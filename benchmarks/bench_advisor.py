@@ -1,0 +1,66 @@
+"""Performance of the advisory stack: advise(), annealing, dominance.
+
+Not paper artifacts — these track the cost of the workload-driven
+tooling a user would run interactively, and write a sample advisory
+session to ``benchmarks/results/ADVISOR.txt``.
+"""
+
+from repro.analysis.advisor import advise, render_recommendations
+from repro.analysis.compare import dominance_matrix, render_dominance
+from repro.core.grid import Grid
+from repro.optimize.annealing import AnnealingConfig, optimize_allocation
+from repro.core.registry import get_scheme
+from repro.workloads.mixtures import WorkloadMixture
+
+GRID = Grid((32, 32))
+DISKS = 16
+
+
+def _mixture_workload():
+    mixture = WorkloadMixture(GRID)
+    mixture.add_shape("lookups", weight=0.6, shape=(2, 2))
+    mixture.add_sides("mid", weight=0.3, side_range=(3, 6))
+    mixture.add_shape("reports", weight=0.1, shape=(1, 32))
+    return mixture.sample(300, seed=41)
+
+
+def test_advise_cost(benchmark, save_result):
+    queries = _mixture_workload()
+    recommendations = benchmark.pedantic(
+        lambda: advise(GRID, DISKS, queries), rounds=3, iterations=1
+    )
+    matrix = dominance_matrix(
+        GRID, DISKS, queries,
+        schemes=[r.scheme for r in recommendations],
+    )
+    text = "\n\n".join(
+        [
+            "advisory session on a 60/30/10 lookup/mid/report mixture:",
+            render_recommendations(recommendations),
+            render_dominance(matrix),
+        ]
+    )
+    save_result("ADVISOR", text)
+    assert recommendations[0].mean_response_time <= (
+        recommendations[-1].mean_response_time
+    )
+
+
+def test_annealing_cost(benchmark):
+    queries = _mixture_workload()
+    start = get_scheme("hcam").allocate(GRID, DISKS)
+    config = AnnealingConfig(iterations=4000, seed=2)
+    result = benchmark.pedantic(
+        lambda: optimize_allocation(start, queries, config),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.final_cost <= result.initial_cost
+
+
+def test_dominance_matrix_cost(benchmark):
+    queries = _mixture_workload()
+    matrix = benchmark(
+        lambda: dominance_matrix(GRID, DISKS, queries)
+    )
+    assert matrix.num_queries == 300

@@ -1,0 +1,37 @@
+"""X3 — the 1994 field vs its cyclic successors and annealing.
+
+Regenerates the extended small-query disk sweep (adds RPHM / GFIB / EXH
+cyclic allocation to the paper's four methods) and an advisor run with a
+workload-annealed allocation.  Written to ``benchmarks/results/X3.txt``.
+"""
+
+from repro.core.grid import Grid
+from repro.experiments import exp_beyond_paper
+from repro.experiments.reporting import render_table
+from repro.analysis.advisor import advise, render_recommendations
+from repro.workloads.queries import random_queries_of_shape
+
+
+def test_x3_beyond_paper(benchmark, save_result):
+    result = benchmark.pedantic(
+        exp_beyond_paper.run, rounds=3, iterations=1
+    )
+    grid = Grid((32, 32))
+    queries = random_queries_of_shape(grid, (3, 3), 200, seed=11)
+    recommendations = advise(
+        grid, 16, queries, include_workload_aware=True
+    )
+    text = "\n\n".join(
+        [
+            render_table(result),
+            "advisor on 200 random 3x3 queries (M = 16):",
+            render_recommendations(recommendations),
+        ]
+    )
+    save_result("X3", text)
+    # The post-paper schemes dominate the 1994 field on small queries.
+    for i in range(len(result.x_values)):
+        exh = result.series["cyclic-exh"][i]
+        for name in ("dm", "fx-auto", "ecc", "hcam"):
+            assert exh <= result.series[name][i] + 1e-9
+    assert recommendations[0].scheme in ("cyclic-exh", "workload-aware")

@@ -1,0 +1,34 @@
+"""X1 (ablation) — swap HCAM's Hilbert curve for Z-order / Gray code.
+
+Not a paper figure: isolates how much of HCAM's small-query behaviour is
+the Hilbert curve itself.  The sweep uses non-power-of-two disk counts,
+where Z-order's tiling accidents disappear and genuine locality shows.
+Written to ``benchmarks/results/X1.txt``.
+"""
+
+from repro.experiments import exp_curve_ablation
+from repro.experiments.reporting import render_table
+
+
+def test_x1_curve_ablation(benchmark, save_result):
+    result = benchmark.pedantic(
+        exp_curve_ablation.run, rounds=3, iterations=1
+    )
+    power_of_two = exp_curve_ablation.run(
+        disk_counts=(4, 8, 16, 32)
+    )
+    text = "\n\n".join(
+        [
+            render_table(result),
+            "--- power-of-two disk counts (Z-order tiling regime) ---",
+            render_table(power_of_two),
+        ]
+    )
+    save_result("X1", text)
+
+    def mean(res, name):
+        return sum(res.series[name]) / len(res.series[name])
+
+    # Hilbert beats the weaker-locality curves on average over odd M.
+    assert mean(result, "hcam") <= mean(result, "gray")
+    assert mean(result, "hcam") <= mean(result, "roundrobin")

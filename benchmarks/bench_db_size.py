@@ -1,0 +1,31 @@
+"""E5 — effect of database size (grid resolution sweep at fixed query).
+
+Paper setting: 16 disks, fixed absolute query shape, database grown from
+64 to 4096 buckets.  Regenerated series written to
+``benchmarks/results/E5.txt``.
+"""
+
+from repro.experiments import exp_db_size
+from repro.experiments.reporting import render_table
+
+
+def test_e5_database_size_sweep(benchmark, save_result):
+    result = benchmark.pedantic(
+        exp_db_size.run, rounds=3, iterations=1
+    )
+    small_query = exp_db_size.run(shape=(2, 2))
+    text = "\n\n".join(
+        [
+            render_table(result),
+            "--- same sweep with a 2x2 query ---",
+            render_table(small_query),
+        ]
+    )
+    save_result("E5", text)
+    # The paper's observation: response times are essentially flat in
+    # database size — no growth trend (ECC wobbles slightly because its
+    # code length follows the grid's bit width, hence the loose band).
+    for name in result.series:
+        series = result.series[name]
+        assert series[-1] <= series[0] + 0.5
+        assert max(series) - min(series) < 0.75

@@ -1,0 +1,55 @@
+"""X2 (ablation) — does the unit-cost metric survive a physical disk model?
+
+The paper counts parallel bucket reads; this bench re-runs the small-query
+comparison with the 1993-era disk timing model and a closed-loop stream,
+reporting milliseconds instead of bucket counts.  The single-query ranking
+must match the bucket-count ranking; the saturated-batch view shows the
+multi-user effect the unit metric hides.  Written to
+``benchmarks/results/X2.txt``.
+"""
+
+from repro.core.grid import Grid
+from repro.core.registry import PAPER_SCHEMES, get_scheme, scheme_label
+from repro.simulation.disk import DiskModel
+from repro.simulation.parallel_io import ParallelIOSimulator, query_time_ms
+from repro.workloads.queries import random_queries_of_shape
+
+GRID = Grid((32, 32))
+DISKS = 16
+
+
+def _simulate():
+    queries = random_queries_of_shape(GRID, (2, 2), 200, seed=23)
+    disk = DiskModel()
+    rows = {}
+    for name in PAPER_SCHEMES:
+        allocation = get_scheme(name).allocate(GRID, DISKS)
+        single = sum(
+            query_time_ms(allocation, q, disk) for q in queries
+        ) / len(queries)
+        report = ParallelIOSimulator(allocation, disk).run(queries)
+        rows[name] = (
+            single,
+            report.mean_latency_ms,
+            report.makespan_ms,
+        )
+    return rows
+
+
+def test_x2_physical_disk_simulation(benchmark, save_result):
+    rows = benchmark.pedantic(_simulate, rounds=3, iterations=1)
+    lines = [
+        "2x2 queries, 32x32 grid, 16 disks, 1993-era disk model (ms):",
+        f"{'scheme':10s} {'single-query':>13s} {'batch latency':>14s} "
+        f"{'batch makespan':>15s}",
+    ]
+    for name, (single, latency, makespan) in rows.items():
+        lines.append(
+            f"{scheme_label(name):10s} {single:13.2f} {latency:14.2f} "
+            f"{makespan:15.2f}"
+        )
+    save_result("X2", "\n".join(lines))
+    # Open-system ranking must match the bucket-count metric.
+    assert rows["hcam"][0] <= rows["ecc"][0]
+    assert rows["ecc"][0] <= rows["fx-auto"][0] + 1e-9
+    assert rows["fx-auto"][0] <= rows["dm"][0]

@@ -1,0 +1,23 @@
+"""X6 — migration cost of declustering under grid-file growth.
+
+Regenerates the growth comparison (identical record stream per scheme)
+and times one full growth run.  Written to ``benchmarks/results/X6.txt``.
+"""
+
+from repro.experiments import exp_growth
+
+
+def test_x6_growth_migration(benchmark, save_result):
+    rows = benchmark.pedantic(
+        exp_growth.run, rounds=2, iterations=1
+    )
+    save_result("X6", exp_growth.render(rows))
+    # Same record stream + same split policy: identical structure...
+    buckets = {row["buckets"] for row in rows.values()}
+    splits = {row["splits"] for row in rows.values()}
+    assert len(buckets) == 1 and len(splits) == 1
+    # ...but every coordinate-based scheme pays multiple full-database
+    # moves' worth of migration over the growth.
+    for row in rows.values():
+        assert row["migration_ratio"] > 1.0
+        assert row["final_query_rt"] >= row["final_query_opt"]

@@ -1,0 +1,51 @@
+"""Micro-benchmarks of the library's hot kernels.
+
+Not paper artifacts — these track the performance of the pieces everything
+else is built on: allocation construction per scheme, the sliding-window
+response-time kernel, and the Hilbert-index bit transform.
+"""
+
+import pytest
+
+from repro.core.cost import sliding_response_times
+from repro.core.grid import Grid
+from repro.core.registry import get_scheme
+from repro.sfc.hilbert import hilbert_index
+
+GRID = Grid((32, 32))
+DISKS = 16
+
+
+@pytest.mark.parametrize("name", ["dm", "fx", "ecc", "hcam"])
+def test_allocation_construction(benchmark, name):
+    scheme = get_scheme(name)
+    allocation = benchmark(lambda: scheme.allocate(GRID, DISKS))
+    assert allocation.table.shape == GRID.dims
+
+
+def test_sliding_window_kernel(benchmark):
+    allocation = get_scheme("dm").allocate(GRID, DISKS)
+    times = benchmark(
+        lambda: sliding_response_times(allocation, (4, 4))
+    )
+    assert times.shape == (29, 29)
+
+
+def test_hilbert_index_kernel(benchmark):
+    def run():
+        total = 0
+        for x in range(32):
+            for y in range(32):
+                total += hilbert_index((x, y), 5)
+        return total
+
+    total = benchmark(run)
+    assert total == 1024 * 1023 // 2
+
+
+def test_large_grid_allocation(benchmark):
+    grid = Grid((128, 128))
+    allocation = benchmark(
+        lambda: get_scheme("hcam").allocate(grid, 32)
+    )
+    assert allocation.is_storage_balanced()

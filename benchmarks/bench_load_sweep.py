@@ -1,0 +1,28 @@
+"""X5 — latency vs load (open-system Poisson arrivals).
+
+Regenerates the saturation sweep: the paper's response-time ordering must
+hold at light load with its full margin, and the relative gap must shrink
+as the system saturates.  Written to ``benchmarks/results/X5.txt``.
+"""
+
+from repro.experiments import exp_load_sweep
+from repro.experiments.reporting import render_table
+
+
+def test_x5_load_sweep(benchmark, save_result):
+    result = benchmark.pedantic(
+        exp_load_sweep.run, rounds=2, iterations=1
+    )
+    save_result("X5", render_table(result))
+
+    def gap(index):
+        dm = result.series["dm"][index]
+        hcam = result.series["hcam"][index]
+        return dm / hcam
+
+    light, heavy = gap(0), gap(len(result.x_values) - 1)
+    # Light load: DM pays nearly its full 2x response-time penalty.
+    assert light > 1.5
+    # Saturation: queueing dominates; the relative gap collapses.
+    assert heavy < 1.1
+    assert heavy < light

@@ -1,0 +1,35 @@
+"""E3 — effect of the number of attributes (2-d vs 3-d grids).
+
+Paper setting: cube queries on a two-attribute and a three-attribute
+database, 16 disks; the claim is that deviation from optimal shrinks as
+the query references more attributes (at matched per-attribute
+selectivity).  Regenerated series written to ``benchmarks/results/E3.txt``.
+"""
+
+from repro.experiments import exp_num_attributes
+from repro.experiments.exp_num_attributes import deviation_table
+from repro.experiments.reporting import render_table
+
+
+def test_e3_attribute_count(benchmark, save_result):
+    comparison = benchmark.pedantic(
+        exp_num_attributes.run, rounds=3, iterations=1
+    )
+    lines = [
+        "mean relative deviation from optimal (sides >= 4):",
+        f"{'scheme':10s} {'2-d':>8s} {'3-d':>8s}",
+    ]
+    for scheme, (dev2, dev3) in deviation_table(
+        comparison, min_side=4
+    ).items():
+        lines.append(f"{scheme:10s} {dev2:8.4f} {dev3:8.4f}")
+    text = "\n\n".join(
+        [
+            render_table(comparison.result_2d),
+            render_table(comparison.result_3d),
+            "\n".join(lines),
+        ]
+    )
+    save_result("E3", text)
+    for scheme in ("dm", "fx-auto", "ecc", "hcam"):
+        assert comparison.deviation_shrinks(scheme, min_side=4)

@@ -1,0 +1,30 @@
+"""E4 — effect of the number of disks (paper Figure 5 (a) and (b)).
+
+Paper setting: 32 x 32 grid, disk count swept over powers of two, one
+small query (2x2) and one large query (16x16).  Regenerated series written
+to ``benchmarks/results/E4.txt``.
+"""
+
+from repro.experiments import exp_num_disks
+from repro.experiments.reporting import render_table
+
+
+def test_e4_disk_count_sweep(benchmark, save_result):
+    small, large = benchmark.pedantic(
+        exp_num_disks.run, rounds=3, iterations=1
+    )
+    text = "\n\n".join([render_table(small), render_table(large)])
+    save_result("E4", text)
+
+    # Figure 5(a): DM/CMD uniformly worst on the small query for M >= 4.
+    for i, num_disks in enumerate(small.x_values):
+        if num_disks >= 4:
+            assert small.series["dm"][i] == max(
+                small.series[name][i] for name in small.series
+            )
+    # Figure 5(b): in the genuinely-large-query regime FX is (tied-)best
+    # and HCAM trails it.
+    area = 256
+    for i, num_disks in enumerate(large.x_values):
+        if area >= 16 * num_disks:
+            assert large.series["fx-auto"][i] <= large.series["hcam"][i]

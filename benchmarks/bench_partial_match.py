@@ -1,0 +1,24 @@
+"""EPM — partial-match performance (the context for the paper's Table 1).
+
+Regenerates the partial-match comparison on a power-of-two configuration:
+DM/CMD and FX must be exactly optimal (their Table 1 guarantees), HCAM
+measurably worse — the mirror image of the range-query story and the
+paper's argument that PM optimality is the wrong yardstick.  Written to
+``benchmarks/results/EPM.txt``.
+"""
+
+import pytest
+
+from repro.experiments import exp_partial_match
+from repro.experiments.reporting import render_table
+
+
+def test_epm_partial_match(benchmark, save_result):
+    result = benchmark.pedantic(
+        exp_partial_match.run, rounds=3, iterations=1
+    )
+    save_result("EPM", render_table(result))
+    for scheme in ("dm", "fx-auto"):
+        for rt, opt in zip(result.series[scheme], result.optimal):
+            assert rt == pytest.approx(opt)
+    assert result.series["hcam"][0] > result.optimal[0]

@@ -1,0 +1,27 @@
+"""E2 — effect of query shape (square -> line at fixed area).
+
+Paper setting: 32 x 32 grid, 16 disks, aspect ratio varied 1:1 to 1:M at
+constant area.  Regenerated series written to ``benchmarks/results/E2.txt``
+for two areas (one small, one large) to show the shape sensitivity on both
+sides of the size divide.
+"""
+
+from repro.experiments import exp_query_shape
+from repro.experiments.reporting import render_table
+
+
+def test_e2_query_shape_sweep(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: exp_query_shape.run(area=64), rounds=3, iterations=1
+    )
+    small_area = exp_query_shape.run(area=16)
+    text = "\n\n".join(
+        [
+            render_table(result),
+            "--- same sweep at small area 16 ---",
+            render_table(small_area),
+        ]
+    )
+    save_result("E2", text)
+    # DM must be optimal on the line-most shape (partial-match-like).
+    assert result.series["dm"][-1] == result.optimal[-1]

@@ -1,0 +1,33 @@
+"""E1 — effect of query size (regenerates the paper's size-sweep figure).
+
+Paper setting: two attributes, 32 x 32 grid, 16 disks, query area swept
+from 1 to 1024.  The benchmark times the full sweep; the regenerated series
+(small-query region and large-query region, like the paper's two panels) is
+written to ``benchmarks/results/E1.txt``.
+"""
+
+from repro.experiments import exp_query_size
+from repro.experiments.reporting import render_deviation_table, render_table
+
+
+def test_e1_query_size_sweep(benchmark, save_result):
+    result = benchmark.pedantic(
+        exp_query_size.run, rounds=3, iterations=1
+    )
+    small = exp_query_size.run(areas=exp_query_size.SMALL_AREAS)
+    large = exp_query_size.run(areas=exp_query_size.LARGE_AREAS)
+    text = "\n\n".join(
+        [
+            render_table(result),
+            "--- small-query region (paper panel a) ---",
+            render_table(small),
+            render_deviation_table(small),
+            "--- large-query region (paper panel b) ---",
+            render_table(large),
+            render_deviation_table(large),
+        ]
+    )
+    save_result("E1", text)
+    # Sanity: the paper's shape — everyone converges to optimal on the
+    # full-grid query.
+    assert result.series["dm"][-1] == result.optimal[-1]

@@ -1,0 +1,41 @@
+"""X4 — replication at query time (the extension the paper scoped out).
+
+Regenerates the single-copy vs two-copy comparison with exact replica
+planning, and times the planner itself.  Written to
+``benchmarks/results/X4.txt``.
+"""
+
+from repro.experiments import exp_replication
+from repro.experiments.reporting import render_table
+
+
+def test_x4_replication_sweep(benchmark, save_result):
+    result = benchmark.pedantic(
+        exp_replication.run, rounds=2, iterations=1
+    )
+    save_result("X4", render_table(result))
+    # Two copies with planning never lose to the primary alone...
+    for i in range(len(result.x_values)):
+        assert (
+            result.series["dm+chain"][i] <= result.series["dm"][i] + 1e-9
+        )
+        assert (
+            result.series["dm+hcam"][i] <= result.series["dm"][i] + 1e-9
+        )
+    # ...and erase DM's 2x penalty on the smallest squares entirely.
+    assert result.series["dm+chain"][0] == result.optimal[0]
+
+
+def test_x4_flow_planner_kernel(benchmark):
+    """Isolated timing of one exact plan (4x4 query, 8 disks)."""
+    from repro.core.grid import Grid
+    from repro.core.query import query_at
+    from repro.core.registry import get_scheme
+    from repro.replication import chained_replication, plan_query
+
+    replicated = chained_replication(
+        get_scheme("dm").allocate(Grid((16, 16)), 8)
+    )
+    query = query_at((3, 3), (4, 4))
+    plan = benchmark(lambda: plan_query(replicated, query, "flow"))
+    assert plan.num_buckets == 16

@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures at full
+paper scale and (besides timing the computation with pytest-benchmark)
+writes the rendered series to ``benchmarks/results/<id>.txt`` so the
+regenerated data survives output capturing.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+and inspect ``benchmarks/results/`` afterwards (or add ``-s`` to see the
+tables inline).
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory the regenerated tables are written to."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Writer: save_result('E1', text) -> benchmarks/results/E1.txt."""
+
+    def _save(experiment_id: str, text: str) -> None:
+        path = results_dir / f"{experiment_id}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

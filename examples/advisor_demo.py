@@ -1,0 +1,81 @@
+"""Advisor demo: pick a declustering method from the actual workload.
+
+The paper ends with two conclusions: *use information about common
+queries*, and *support several declustering methods because none wins
+everywhere*.  This demo is both, live: three different workloads on the
+same relation lead the advisor to three different methods.
+
+Run with::
+
+    python examples/advisor_demo.py
+"""
+
+from repro import Grid
+from repro.analysis import advise, render_recommendations
+from repro.core.query import all_placements
+from repro.workloads.queries import random_queries_of_shape
+
+
+def main() -> None:
+    grid = Grid((32, 32))
+    num_disks = 16
+
+    workloads = {
+        "small squares (interactive lookups)": random_queries_of_shape(
+            grid, (2, 2), 300, seed=1
+        ),
+        "full rows (reporting scans)": list(
+            all_placements(grid, (1, 32))
+        ),
+        "large blocks (analytics)": random_queries_of_shape(
+            grid, (16, 16), 100, seed=2
+        ),
+    }
+
+    paper_methods = ("dm", "fx-auto", "ecc", "hcam")
+
+    print("ACT 1 — choosing among the paper's four methods\n")
+    winners = {}
+    for label, queries in workloads.items():
+        print("=" * 72)
+        print(f"workload: {label}  ({len(queries)} queries)")
+        print("=" * 72)
+        recommendations = advise(
+            grid, num_disks, queries, candidates=paper_methods
+        )
+        print(render_recommendations(recommendations))
+        best = recommendations[0]
+        winners[label] = best.label
+        print(
+            f"-> recommend {best.label} "
+            f"({best.mean_relative_deviation:+.2%} vs optimal)\n"
+        )
+
+    print("summary (1994 methods only):")
+    for label, winner in winners.items():
+        print(f"  {label:40s} -> {winner}")
+    print(
+        "\nDifferent workloads, different winners — the paper's "
+        "conclusion that a\nparallel DBMS must support several "
+        "declustering methods, automated.\n"
+    )
+
+    print("ACT 2 — add the post-paper candidates (cyclic + annealing)\n")
+    for label, queries in workloads.items():
+        recommendations = advise(
+            grid, num_disks, queries, include_workload_aware=True
+        )
+        best = recommendations[0]
+        print(
+            f"  {label:40s} -> {best.label:9s} "
+            f"({best.mean_relative_deviation:+.2%} vs optimal)"
+        )
+    print(
+        "\nThe cyclic lattice (EXH skip) answers the paper's open "
+        "problem: one fixed\nscheme that is at or near optimal on every "
+        "one of these workloads."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Catalog demo: the paper's conclusion, run as a database would.
+
+"Parallel database systems must support a number of declustering
+methods" and choose per relation from its query profile.  This demo
+builds a two-relation database on one 8-disk pool, observes each
+relation's workload, lets the advisor re-place both, and shows the
+before/after response times.
+
+Run with::
+
+    python examples/catalog_demo.py
+"""
+
+from repro.catalog import DeclusteredDatabase
+from repro.core.query import all_placements
+from repro.workloads import uniform_dataset
+from repro.workloads.queries import random_queries_of_shape
+
+
+def main() -> None:
+    db = DeclusteredDatabase(num_disks=8)
+    # Both relations start on the same default scheme — the naive setup.
+    db.create_relation(
+        "orders", uniform_dataset(4000, 2, seed=1),
+        dims=(16, 16), scheme="dm",
+    )
+    db.create_relation(
+        "sensors", uniform_dataset(4000, 2, seed=2),
+        dims=(16, 16), scheme="dm",
+    )
+    print(db.describe())
+
+    # Observed workloads: orders gets reporting scans (full rows);
+    # sensors gets small interactive box lookups.
+    orders_grid = db.relation("orders").grid
+    sensors_grid = db.relation("sensors").grid
+    workloads = {
+        "orders": list(all_placements(orders_grid, (1, 16))),
+        "sensors": random_queries_of_shape(
+            sensors_grid, (2, 2), 200, seed=3
+        ),
+    }
+
+    probe = {
+        "orders": [(0.3, 0.3001), (0.0, 1.0)],     # one full row
+        "sensors": [(0.40, 0.49), (0.40, 0.49)],   # small box
+    }
+    print("\nresponse times before auto-placement (both on DM/CMD):")
+    before = {}
+    for name, ranges in probe.items():
+        execution = db.execute(name, ranges)
+        before[name] = execution.response_time
+        print(
+            f"  {name:8s} RT {execution.response_time} "
+            f"(optimal {execution.optimal})"
+        )
+
+    chosen = db.auto_place(workloads, candidates=("dm", "hcam", "ecc"))
+    print("\nadvisor placement:", chosen)
+
+    print("\nresponse times after auto-placement:")
+    for name, ranges in probe.items():
+        execution = db.execute(name, ranges)
+        print(
+            f"  {name:8s} RT {execution.response_time} "
+            f"(optimal {execution.optimal}, was {before[name]})"
+        )
+
+    loads = db.storage_per_disk()
+    print(
+        f"\npool storage stays balanced: records/disk "
+        f"{loads.min()}..{loads.max()}"
+    )
+    print(
+        "\nOne pool, two relations, two different methods — chosen from "
+        "the workloads,\nnot from folklore."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Record-level demo: a skewed relation, grid-file partitioning, and I/O.
+
+Walks the full stack a parallel database would use:
+
+1. generate a two-attribute relation with a Gaussian hot spot;
+2. grid-partition it (equi-width vs equi-depth) and decluster the buckets
+   over 8 disks with HCAM;
+3. translate value-range predicates into bucket queries and execute them;
+4. replay a query stream through the physical-disk simulator.
+
+Run with::
+
+    python examples/gridfile_demo.py
+"""
+
+from repro.gridfile import DeclusteredGridFile
+from repro.simulation import DiskModel, ParallelIOSimulator
+from repro.workloads import gaussian_dataset
+from repro.workloads.queries import random_queries_of_shape
+
+
+def main() -> None:
+    data = gaussian_dataset(20_000, 2, mean=0.5, std=0.15, seed=42)
+    print(
+        f"relation: {data.num_records} records, "
+        f"{data.num_attributes} attributes, Gaussian hot spot at 0.5"
+    )
+
+    print("\n-- partitioning strategy and bucket balance --")
+    files = {}
+    for partitioning in ("equi-width", "equi-depth"):
+        gf = DeclusteredGridFile.from_dataset(
+            data,
+            dims=(16, 16),
+            num_disks=8,
+            scheme="hcam",
+            partitioning=partitioning,
+        )
+        files[partitioning] = gf
+        occupancy = gf.bucket_occupancy()
+        per_disk = gf.records_per_disk()
+        print(
+            f"{partitioning:11s} records/bucket min..max = "
+            f"{occupancy.min():4d}..{occupancy.max():4d}   "
+            f"records/disk min..max = {per_disk.min()}..{per_disk.max()}"
+        )
+
+    print(
+        "\nequi-depth boundaries follow the data quantiles, so the hot "
+        "spot\nno longer overloads the central buckets (and disks)."
+    )
+
+    gf = files["equi-depth"]
+    print("\n-- value-range queries --")
+    for label, ranges in [
+        ("hot-spot box", [(0.45, 0.55), (0.45, 0.55)]),
+        ("wide band", [(0.0, 1.0), (0.48, 0.52)]),
+        ("quadrant", [(0.0, 0.5), (0.0, 0.5)]),
+    ]:
+        query = gf.range_query(ranges)
+        execution = gf.execute(query)
+        print(
+            f"{label:12s} -> bucket query {query} : "
+            f"{execution.total_buckets} buckets, "
+            f"RT {execution.response_time} "
+            f"(optimal {execution.optimal}), "
+            f"{execution.disks_touched} disks"
+        )
+
+    print("\n-- physical I/O simulation (1993-era disks) --")
+    queries = random_queries_of_shape(gf.grid, (2, 2), 200, seed=7)
+    for scheme in ("dm", "hcam"):
+        alt = DeclusteredGridFile.from_dataset(
+            data, dims=(16, 16), num_disks=8, scheme=scheme,
+            partitioning="equi-depth",
+        )
+        report = ParallelIOSimulator(alt.allocation, DiskModel()).run(
+            queries
+        )
+        utilization = ", ".join(f"{u:.2f}" for u in report.utilization)
+        print(
+            f"{scheme:5s} batch of 200 2x2 queries: "
+            f"makespan {report.makespan_ms:8.1f} ms, "
+            f"disk utilization [{utilization}]"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Dynamic grid file demo: growth, splits, and the migration bill.
+
+The paper studies a *static* grid.  Real grid files grow: buckets
+overflow, boundaries are inserted, coordinates shift — and every
+coordinate-based declustering rule then wants most buckets on different
+disks than before.  This demo grows one file per scheme from the same
+record stream and prints, side by side, the query quality each scheme
+delivers and the data movement it demanded along the way.
+
+Run with::
+
+    python examples/growth_demo.py
+"""
+
+from repro.experiments import exp_growth
+from repro.gridfile import DynamicGridFile
+from repro.workloads import uniform_dataset
+
+
+def main() -> None:
+    print("growing one file step by step (HCAM, capacity 16)...\n")
+    gridfile = DynamicGridFile(
+        [(0.0, 1.0), (0.0, 1.0)],
+        num_disks=8,
+        scheme="hcam",
+        bucket_capacity=16,
+    )
+    data = uniform_dataset(1200, 2, seed=8)
+    checkpoints = (100, 300, 600, 1200)
+    inserted = 0
+    for record in data.values:
+        gridfile.insert(record)
+        inserted += 1
+        if inserted in checkpoints:
+            stats = gridfile.stats()
+            print(
+                f"after {inserted:5d} inserts: grid "
+                f"{gridfile.grid.dims}, {stats['num_splits']:3d} "
+                f"splits, {stats['records_migrated']:6d} record "
+                "migrations so far"
+            )
+
+    query = gridfile.range_query([(0.3, 0.45), (0.3, 0.45)])
+    execution = gridfile.execute(query)
+    print(
+        f"\nfinal small query: {execution.total_buckets} buckets, "
+        f"RT {execution.response_time} (optimal {execution.optimal})"
+    )
+
+    print("\nnow the same stream under each scheme (experiment X6):\n")
+    rows = exp_growth.run(num_records=1200, seed=8)
+    print(exp_growth.render(rows))
+    print(
+        "\nEvery 1994 scheme pays multiple full-database moves over this "
+        "growth:\ninserting one boundary renumbers the buckets after it, "
+        "and the rule\nreassigns them wholesale.  Placement *stability* "
+        "is a separate axis of\nquality the static evaluation never "
+        "measured."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""The impossibility theorem, demonstrated by exhaustive search.
+
+The paper proves that no declustering method is strictly optimal for range
+queries when the number of disks exceeds 5.  This demo runs the complete
+backtracking search for M = 1..7: it *finds* strictly optimal allocations
+where they exist (M = 1, 2, 3, 5 — printing them) and *proves* none exists
+for M = 4, 6, 7 by exhausting the space.
+
+Run with::
+
+    python examples/impossibility_demo.py
+"""
+
+from repro import Grid
+from repro.theory import search_strictly_optimal, verify_strict_optimality
+
+
+def main() -> None:
+    print(
+        "Searching for strictly optimal range-query declusterings\n"
+        "(every sub-rectangle answered in ceil(area / M) parallel "
+        "reads)\n"
+    )
+    for num_disks in range(1, 8):
+        side = max(num_disks, 2)
+        grid = Grid((side, side))
+        result = search_strictly_optimal(grid, num_disks)
+        if result.exists:
+            report = verify_strict_optimality(result.allocation)
+            assert report.strictly_optimal  # double-checked by verifier
+            print(
+                f"M = {num_disks}: EXISTS on {side}x{side} "
+                f"({result.nodes_explored} nodes searched, "
+                f"{report.shapes_checked} query shapes verified)"
+            )
+            for row in result.allocation.table:
+                print("    " + " ".join(str(int(d)) for d in row))
+        else:
+            print(
+                f"M = {num_disks}: IMPOSSIBLE on {side}x{side} "
+                f"(search exhausted after "
+                f"{result.nodes_explored} nodes)"
+            )
+        print()
+
+    print(
+        "M = 5 is the largest disk count with a strictly optimal "
+        "declustering\n(the lattice found above is GDM with "
+        "coefficients (1, 2) mod 5);\nfor M > 5 the paper's theorem "
+        "holds — and the search also shows M = 4\nis impossible, "
+        "refining the picture."
+    )
+
+
+if __name__ == "__main__":
+    main()

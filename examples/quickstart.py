@@ -1,0 +1,62 @@
+"""Quickstart: decluster a grid, run queries, compare against optimal.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    Grid,
+    RangeQuery,
+    buckets_per_disk,
+    get_scheme,
+    optimal_response_time,
+    response_time,
+    scheme_label,
+)
+
+
+def main() -> None:
+    # A relation on two attributes, each split into 16 ranges: 256 buckets.
+    grid = Grid((16, 16))
+    num_disks = 8
+
+    # Materialize the four methods from the paper.
+    allocations = {
+        name: get_scheme(name).allocate(grid, num_disks)
+        for name in ("dm", "fx-auto", "ecc", "hcam")
+    }
+
+    # Show one allocation corner: HCAM deals disks round-robin along the
+    # Hilbert curve, so neighbouring buckets get different disks.
+    print("HCAM allocation (disk id per bucket, top-left 8x8 corner):")
+    for row in allocations["hcam"].table[:8]:
+        print("  " + " ".join(str(int(d)) for d in row[:8]))
+
+    # A small square range query: 3x3 buckets starting at (2, 2).
+    query = RangeQuery((2, 2), (4, 4))
+    optimum = optimal_response_time(query.num_buckets, num_disks)
+    print(
+        f"\nquery {query} touches {query.num_buckets} buckets; "
+        f"optimal response time on {num_disks} disks = {optimum}"
+    )
+
+    print(f"\n{'method':8s} {'RT':>3s}  buckets per disk")
+    for name, allocation in allocations.items():
+        counts = buckets_per_disk(allocation, query)
+        rt = response_time(allocation, query)
+        marker = "  <- optimal" if rt == optimum else ""
+        print(
+            f"{scheme_label(name):8s} {rt:3d}  "
+            f"{counts.tolist()}{marker}"
+        )
+
+    print(
+        "\nDM piles the small square onto few disks (its diagonal "
+        "stripes),\nwhile HCAM/ECC spread it almost perfectly — "
+        "the paper's finding (ii)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Replication demo: the extension the paper scoped out, end to end.
+
+Shows what a second copy per bucket buys on the paper's own weak spot
+(DM's small squares), how orthogonal copies cover each other's failure
+classes, and what happens when a disk dies.
+
+Run with::
+
+    python examples/replication_demo.py
+"""
+
+from repro import Grid, get_scheme, response_time
+from repro.core.cost import average_response_time, optimal_response_time
+from repro.core.query import all_placements, query_at
+from repro.replication import (
+    chained_replication,
+    orthogonal_replication,
+    plan_query,
+    replicated_response_time,
+)
+
+
+def main() -> None:
+    grid = Grid((16, 16))
+    num_disks = 8
+    dm = get_scheme("dm").allocate(grid, num_disks)
+    chained = chained_replication(dm)
+    orthogonal = orthogonal_replication(grid, num_disks, "dm", "hcam")
+
+    print("one 3x3 query, bucket counts per disk:\n")
+    query = query_at((4, 4), (3, 3))
+    print(f"  DM alone        RT {response_time(dm, query)}  "
+          f"(optimal {optimal_response_time(9, num_disks)})")
+    plan = plan_query(chained, query, "flow")
+    print(f"  DM + chained    RT {plan.response_time}  "
+          f"loads {plan.loads.tolist()}")
+    plan = plan_query(orthogonal, query, "flow")
+    print(f"  DM + HCAM copy  RT {plan.response_time}  "
+          f"loads {plan.loads.tolist()}")
+
+    print("\nmean RT over all placements, by query shape:\n")
+    print(f"{'shape':>8s} {'OPT':>4s} {'DM':>6s} {'DM+chain':>9s} "
+          f"{'DM+HCAM':>8s}")
+    for shape in [(2, 2), (3, 3), (4, 4), (1, 8)]:
+        placements = list(all_placements(grid, shape))
+        area = shape[0] * shape[1]
+        opt = optimal_response_time(area, num_disks)
+        dm_mean = average_response_time(dm, shape)
+        chain_mean = sum(
+            replicated_response_time(chained, q, "flow")
+            for q in placements
+        ) / len(placements)
+        orth_mean = sum(
+            replicated_response_time(orthogonal, q, "flow")
+            for q in placements
+        ) / len(placements)
+        print(
+            f"{str(shape):>8s} {opt:>4d} {dm_mean:6.2f} "
+            f"{chain_mean:9.2f} {orth_mean:8.2f}"
+        )
+
+    print("\nnow disk 3 fails (chained layout):\n")
+    survivor = chained.surviving_allocation(3)
+    print("  buckets per disk after failover:",
+          survivor.disk_loads().tolist())
+    healthy = average_response_time(dm, (4, 4))
+    degraded = average_response_time(survivor, (4, 4))
+    print(
+        f"  mean 4x4 RT healthy {healthy:.2f} -> degraded "
+        f"{degraded:.2f} (the failed disk's work lands on one "
+        "neighbour)"
+    )
+
+    print(
+        "\nOne extra copy plus replica planning erases DM's 2x "
+        "small-square penalty\nand keeps the file online through a disk "
+        "failure — the two benefits the\npaper's single-copy scope "
+        "could not study."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Scheme comparison at paper scale: regenerate the headline figures.
+
+Runs the query-size sweep (E1) and the two panels of the disk-count sweep
+(E4, the paper's Figure 5) on the paper's default configuration and prints
+the series as tables plus rough ASCII plots.
+
+Run with::
+
+    python examples/scheme_comparison.py
+"""
+
+from repro.experiments import exp_num_disks, exp_query_size
+from repro.experiments.reporting import (
+    ascii_plot,
+    render_deviation_table,
+    render_table,
+)
+
+
+def main() -> None:
+    print("=" * 72)
+    print("E1: effect of query size (32x32 grid, 16 disks)")
+    print("=" * 72)
+    size = exp_query_size.run(
+        areas=(1, 2, 4, 8, 9, 16, 25, 36, 64, 128, 256, 512, 1024)
+    )
+    print(render_table(size))
+    print()
+    print(render_deviation_table(size))
+    print()
+    print("mean RT vs query area, per scheme (rough shape):")
+    for name in size.series:
+        print()
+        print(ascii_plot(size, scheme=name, width=52, height=7))
+
+    print()
+    print("=" * 72)
+    print("E4: effect of number of disks (paper Figure 5)")
+    print("=" * 72)
+    small, large = exp_num_disks.run()
+    print(render_table(small))
+    print()
+    print(render_table(large))
+
+    print()
+    print("winners per disk count:")
+    print(f"  small 2x2 query : {small.winners()}")
+    print(f"  large 16x16 query: {large.winners()}")
+    print(
+        "\nNo clear winner across regions -> parallel database systems "
+        "should\nsupport several declustering methods (the paper's "
+        "conclusion)."
+    )
+
+
+if __name__ == "__main__":
+    main()

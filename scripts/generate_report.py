@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Regenerate the full experiment report (every table/figure) to a file.
+
+Usage::
+
+    python scripts/generate_report.py [output-path]
+
+Default output: ``benchmarks/results_full_report.txt`` (the file the
+numbers in EXPERIMENTS.md are quoted from).  The run is deterministic;
+re-running reproduces the committed report bit for bit.
+"""
+
+import pathlib
+import sys
+import time
+
+
+def main() -> int:
+    from repro.experiments import exp_growth, runner
+
+    target = pathlib.Path(
+        sys.argv[1]
+        if len(sys.argv) > 1
+        else pathlib.Path(__file__).parent.parent
+        / "benchmarks"
+        / "results_full_report.txt"
+    )
+    started = time.time()
+    results = runner.run_all(quick=False)
+    report = runner.render_all(results)
+    growth = exp_growth.render(exp_growth.run())
+    text = report + "\n\n" + growth + "\n"
+    target.write_text(text)
+    print(text)
+    print(
+        f"[report written to {target} in {time.time() - started:.1f}s]",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

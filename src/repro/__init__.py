@@ -1,0 +1,82 @@
+"""Grid-based multi-attribute record declustering.
+
+Reproduction of Himatsingka & Srivastava, *Performance Evaluation of Grid
+Based Multi-Attribute Record Declustering Methods* (ICDE 1994): the DM/CMD,
+FX/ExFX, ECC, and HCAM declustering methods, the response-time cost model,
+the strict-optimality theory (including the M > 5 impossibility result), and
+the paper's full experiment suite.
+
+Quickstart
+----------
+>>> from repro import Grid, SchemeEvaluator
+>>> ev = SchemeEvaluator(Grid((32, 32)), num_disks=16)
+>>> best = min(ev.evaluate_shapes([(2, 2)]),
+...            key=lambda r: r.mean_response_time)
+>>> best.scheme in {"ecc", "hcam"}
+True
+"""
+
+from repro.core import (
+    PAPER_SCHEMES,
+    AllocationError,
+    DeclusteringError,
+    DiskAllocation,
+    EvaluationResult,
+    Grid,
+    GridError,
+    QueryError,
+    RangeQuery,
+    SchemeError,
+    SchemeEvaluator,
+    SchemeNotApplicableError,
+    all_placements,
+    allocation_from_function,
+    available_schemes,
+    average_response_time,
+    buckets_per_disk,
+    get_scheme,
+    optimal_response_time,
+    partial_match_query,
+    point_query,
+    query_at,
+    rank_schemes,
+    register_scheme,
+    response_time,
+    scheme_label,
+    shapes_with_area,
+    sliding_response_times,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Grid",
+    "RangeQuery",
+    "DiskAllocation",
+    "SchemeEvaluator",
+    "EvaluationResult",
+    "PAPER_SCHEMES",
+    "get_scheme",
+    "register_scheme",
+    "available_schemes",
+    "scheme_label",
+    "allocation_from_function",
+    "optimal_response_time",
+    "response_time",
+    "buckets_per_disk",
+    "average_response_time",
+    "sliding_response_times",
+    "all_placements",
+    "shapes_with_area",
+    "partial_match_query",
+    "point_query",
+    "query_at",
+    "rank_schemes",
+    "DeclusteringError",
+    "GridError",
+    "QueryError",
+    "AllocationError",
+    "SchemeError",
+    "SchemeNotApplicableError",
+]

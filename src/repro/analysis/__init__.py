@@ -1,0 +1,47 @@
+"""Allocation diagnostics and the workload-driven declustering advisor."""
+
+from repro.analysis.advisor import (
+    DEFAULT_CANDIDATES,
+    Recommendation,
+    advise,
+    render_recommendations,
+)
+from repro.analysis.profile import (
+    ShapeProfile,
+    disk_heat,
+    heat_imbalance,
+    same_disk_distance,
+    shape_profile,
+    suboptimality_map,
+)
+from repro.analysis.compare import (
+    DominanceMatrix,
+    dominance_matrix,
+    render_dominance,
+)
+from repro.analysis.render import (
+    render_allocation_profile,
+    render_disk_loads,
+    render_heatmap,
+    render_shape_profiles,
+)
+
+__all__ = [
+    "ShapeProfile",
+    "shape_profile",
+    "suboptimality_map",
+    "disk_heat",
+    "heat_imbalance",
+    "same_disk_distance",
+    "Recommendation",
+    "advise",
+    "render_recommendations",
+    "DEFAULT_CANDIDATES",
+    "render_heatmap",
+    "render_disk_loads",
+    "render_shape_profiles",
+    "render_allocation_profile",
+    "DominanceMatrix",
+    "dominance_matrix",
+    "render_dominance",
+]

@@ -1,0 +1,172 @@
+"""Allocation diagnostics: where and why an allocation is sub-optimal.
+
+Tools for inspecting a materialized allocation beyond a single mean:
+
+* :func:`shape_profile` — full response-time distribution of one query
+  shape over all placements (mean / percentiles / worst, fraction optimal).
+* :func:`disk_heat` — per-disk access totals under a workload: which disks
+  a workload actually hammers.
+* :func:`same_disk_distance` — minimum and mean Manhattan distance between
+  buckets sharing a disk: the geometric "spread" that ECC achieves through
+  code distance and HCAM through curve locality.
+* :func:`suboptimality_map` — per-placement map of RT - OPT for a shape,
+  for locating the bad regions of an allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.allocation import DiskAllocation
+from repro.core.cost import (
+    buckets_per_disk,
+    optimal_response_time,
+    sliding_response_times,
+)
+from repro.core.exceptions import QueryError
+from repro.core.query import RangeQuery
+
+
+@dataclass(frozen=True)
+class ShapeProfile:
+    """Distribution of a shape's response time over all placements."""
+
+    shape: Tuple[int, ...]
+    optimal: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    worst: int
+    fraction_optimal: float
+    num_placements: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for reports."""
+        return {
+            "shape": self.shape,
+            "optimal": self.optimal,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+            "worst": self.worst,
+            "fraction_optimal": self.fraction_optimal,
+            "num_placements": self.num_placements,
+        }
+
+
+def shape_profile(
+    allocation: DiskAllocation, shape: Sequence[int]
+) -> ShapeProfile:
+    """Response-time distribution of ``shape`` over every placement."""
+    shape = tuple(int(s) for s in shape)
+    times = sliding_response_times(allocation, shape)
+    if times.size == 0:
+        raise QueryError(
+            f"shape {shape} does not fit in grid {allocation.grid.dims}"
+        )
+    area = int(np.prod(shape))
+    optimum = optimal_response_time(area, allocation.num_disks)
+    flat = times.ravel()
+    return ShapeProfile(
+        shape=shape,
+        optimal=optimum,
+        mean=float(flat.mean()),
+        p50=float(np.percentile(flat, 50)),
+        p90=float(np.percentile(flat, 90)),
+        p99=float(np.percentile(flat, 99)),
+        worst=int(flat.max()),
+        fraction_optimal=float((flat == optimum).mean()),
+        num_placements=int(flat.size),
+    )
+
+
+def suboptimality_map(
+    allocation: DiskAllocation, shape: Sequence[int]
+) -> np.ndarray:
+    """Per-placement ``RT - OPT`` array for one shape.
+
+    Zero entries are placements answered optimally; the nonzero pattern
+    shows where the allocation's structure fails the shape.
+    """
+    shape = tuple(int(s) for s in shape)
+    times = sliding_response_times(allocation, shape)
+    if times.size == 0:
+        raise QueryError(
+            f"shape {shape} does not fit in grid {allocation.grid.dims}"
+        )
+    area = int(np.prod(shape))
+    optimum = optimal_response_time(area, allocation.num_disks)
+    return times - optimum
+
+
+def disk_heat(
+    allocation: DiskAllocation, queries: Sequence[RangeQuery]
+) -> np.ndarray:
+    """Total bucket reads per disk across a workload, ``shape (M,)``.
+
+    A perfectly balanced workload-allocation pair gives equal entries;
+    skew here means some disks bottleneck the whole workload.
+    """
+    queries = list(queries)
+    if not queries:
+        raise QueryError("workload contains no queries")
+    heat = np.zeros(allocation.num_disks, dtype=np.int64)
+    for query in queries:
+        heat += buckets_per_disk(allocation, query)
+    return heat
+
+
+def heat_imbalance(heat: np.ndarray) -> float:
+    """Max/mean ratio of a heat vector (1.0 = perfectly even)."""
+    heat = np.asarray(heat, dtype=np.float64)
+    if heat.size == 0 or heat.sum() == 0:
+        raise QueryError("heat vector is empty or all-zero")
+    return float(heat.max() / heat.mean())
+
+
+def same_disk_distance(allocation: DiskAllocation) -> Dict[str, float]:
+    """Manhattan-distance statistics between same-disk bucket pairs.
+
+    Returns ``{"min": ..., "mean_nearest": ...}`` where ``min`` is the
+    global minimum distance between any two buckets on one disk and
+    ``mean_nearest`` averages, over buckets, the distance to the nearest
+    same-disk neighbour.  Larger is better: a query must be at least
+    ``min`` wide in some direction before any disk repeats.
+    """
+    grid = allocation.grid
+    coords_by_disk: Dict[int, list] = {}
+    for coords in grid.iter_buckets():
+        coords_by_disk.setdefault(
+            int(allocation.table[coords]), []
+        ).append(coords)
+    global_min = None
+    nearest_sum = 0.0
+    nearest_count = 0
+    for bucket_list in coords_by_disk.values():
+        if len(bucket_list) < 2:
+            continue
+        points = np.array(bucket_list, dtype=np.int64)
+        # Pairwise Manhattan distances within the disk (small lists).
+        diffs = np.abs(
+            points[:, None, :] - points[None, :, :]
+        ).sum(axis=2)
+        np.fill_diagonal(diffs, np.iinfo(np.int64).max)
+        nearest = diffs.min(axis=1)
+        local_min = int(nearest.min())
+        if global_min is None or local_min < global_min:
+            global_min = local_min
+        nearest_sum += float(nearest.sum())
+        nearest_count += len(bucket_list)
+    if nearest_count == 0:
+        raise QueryError(
+            "no disk holds two buckets; distance undefined"
+        )
+    return {
+        "min": float(global_min),
+        "mean_nearest": nearest_sum / nearest_count,
+    }

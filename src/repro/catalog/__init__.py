@@ -1,0 +1,5 @@
+"""Multi-relation catalog: one disk pool, per-relation declustering."""
+
+from repro.catalog.database import DeclusteredDatabase
+
+__all__ = ["DeclusteredDatabase"]

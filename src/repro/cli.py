@@ -1,0 +1,452 @@
+"""Command-line interface: ``python -m repro`` / ``repro-decluster``.
+
+Subcommands
+-----------
+``schemes``
+    List registered declustering schemes.
+``allocate``
+    Materialize one scheme on a grid; print the table and load statistics.
+``evaluate``
+    Compare schemes on a query shape or area (mean RT over all placements).
+``experiment``
+    Run a paper experiment (E1, E2, E3, E4, E5, X1, or ``all``).
+``theory``
+    Strict-optimality tools: ``search`` (existence/impossibility per M) and
+    ``table`` (the paper's Table 1).
+
+Examples
+--------
+::
+
+    python -m repro evaluate --grid 32x32 --disks 16 --shape 2x2
+    python -m repro experiment E4 --quick
+    python -m repro theory search --max-disks 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.grid import Grid
+from repro.core.registry import (
+    PAPER_SCHEMES,
+    available_schemes,
+    get_scheme,
+    scheme_label,
+)
+
+
+def _parse_dims(text: str) -> tuple:
+    try:
+        dims = tuple(int(part) for part in text.lower().split("x"))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected AxBx... integers, got {text!r}"
+        ) from None
+    if not dims or any(d <= 0 for d in dims):
+        raise argparse.ArgumentTypeError(
+            f"extents must be positive integers, got {text!r}"
+        )
+    return dims
+
+
+def _parse_schemes(text: str) -> List[str]:
+    names = [part.strip() for part in text.split(",") if part.strip()]
+    known = set(available_schemes())
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown scheme(s) {unknown}; known: {sorted(known)}"
+        )
+    return names
+
+
+def _cmd_schemes(_args) -> int:
+    for name in available_schemes():
+        scheme = get_scheme(name)
+        print(f"{name:12s} {scheme_label(name):10s} {scheme.describe()}")
+    return 0
+
+
+def _cmd_allocate(args) -> int:
+    grid = Grid(args.grid)
+    scheme = get_scheme(args.scheme)
+    allocation = scheme.allocate(grid, args.disks)
+    loads = allocation.disk_loads()
+    print(
+        f"scheme={args.scheme} grid={grid.dims} disks={args.disks} "
+        f"balanced={allocation.is_storage_balanced()} "
+        f"loads min/max={loads.min()}/{loads.max()}"
+    )
+    if args.show:
+        if grid.ndim != 2:
+            print("(table display is 2-d only)")
+        else:
+            for row in allocation.table:
+                print(" ".join(f"{int(d):>2d}" for d in row))
+    if args.save is not None:
+        from repro.io import save_allocation
+
+        save_allocation(allocation, args.save)
+        print(f"saved to {args.save}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from repro.core.evaluator import SchemeEvaluator, rank_schemes
+
+    grid = Grid(args.grid)
+    evaluator = SchemeEvaluator(grid, args.disks, args.schemes)
+    if args.shape is not None:
+        results = evaluator.evaluate_shapes([args.shape])
+        what = f"shape {args.shape}"
+    elif args.area is not None:
+        results = evaluator.evaluate_area(args.area)
+        what = f"area {args.area} (all shapes)"
+    else:
+        print("evaluate: provide --shape or --area", file=sys.stderr)
+        return 2
+    print(
+        f"grid={grid.dims} disks={args.disks} query {what} "
+        f"(mean over all placements)"
+    )
+    for result in rank_schemes(results):
+        print(
+            f"  {result.label:10s} meanRT={result.mean_response_time:8.4f} "
+            f"opt={result.mean_optimal:8.4f} "
+            f"dev={result.mean_relative_deviation:+7.4f} "
+            f"frac_opt={result.fraction_optimal:6.4f}"
+        )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments import runner
+    from repro.experiments.reporting import render_table
+    from repro.experiments.runner import render_all, render_thm
+
+    wanted = args.which.upper()
+    if wanted == "X6":
+        from repro.experiments import exp_growth
+
+        rows = exp_growth.run(
+            num_records=400 if args.quick else 1500,
+            bucket_capacity=16,
+        )
+        print(exp_growth.render(rows))
+        return 0
+    if wanted == "ALL":
+        print(render_all(runner.run_all(quick=args.quick)))
+        return 0
+    results = runner.run_all(quick=args.quick)
+    key_map = {"E4": ("E4a", "E4b"), "THM": ("THM",)}
+    keys = key_map.get(wanted, (wanted,))
+    exportable = []
+    for key in keys:
+        if key not in results:
+            print(
+                f"unknown experiment {args.which!r}; "
+                f"known: E1 E2 E3 E4 E5 X1 EPM X3 X4 X5 X6 THM all",
+                file=sys.stderr,
+            )
+            return 2
+        result = results[key]
+        if key == "THM":
+            print(render_thm(result))
+        elif key.startswith("E3"):
+            print(render_table(result.result_2d))
+            print()
+            print(render_table(result.result_3d))
+            exportable.extend([result.result_2d, result.result_3d])
+        else:
+            print(render_table(result))
+            exportable.append(result)
+        print()
+    if args.csv is not None or args.json is not None:
+        if not exportable:
+            print(
+                f"experiment {args.which!r} has no tabular series to "
+                "export",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.experiments.reporting import to_csv
+        from repro.io import save_result
+
+        for result in exportable:
+            suffix = (
+                "" if len(exportable) == 1
+                else f".{result.experiment_id}"
+            )
+            if args.csv is not None:
+                path = args.csv + suffix
+                with open(path, "w") as stream:
+                    stream.write(to_csv(result))
+                print(f"csv written to {path}")
+            if args.json is not None:
+                path = args.json + suffix
+                save_result(result, path)
+                print(f"json written to {path}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.analysis.render import render_allocation_profile
+
+    grid = Grid(args.grid)
+    scheme = get_scheme(args.scheme)
+    allocation = scheme.allocate(grid, args.disks)
+    shape = args.shape if args.shape is not None else tuple(
+        min(2, d) for d in grid.dims
+    )
+    print(
+        f"profile: scheme={args.scheme} grid={grid.dims} "
+        f"disks={args.disks} shape={tuple(shape)}"
+    )
+    print(render_allocation_profile(allocation, shape))
+    return 0
+
+
+def _cmd_advise(args) -> int:
+    from repro.analysis.advisor import advise, render_recommendations
+    from repro.workloads.queries import (
+        random_queries_of_shape,
+        random_range_queries,
+    )
+
+    grid = Grid(args.grid)
+    if args.trace is not None:
+        from repro.io import load_queries
+
+        queries = load_queries(args.trace)
+        what = f"{len(queries)} queries from trace {args.trace}"
+    elif args.shape is not None:
+        queries = random_queries_of_shape(
+            grid, args.shape, args.count, seed=args.seed
+        )
+        what = f"{args.count} random placements of {args.shape}"
+    else:
+        queries = random_range_queries(
+            grid, args.count, max_side=args.max_side, seed=args.seed
+        )
+        what = (
+            f"{args.count} random range queries "
+            f"(max side {args.max_side})"
+        )
+    recommendations = advise(
+        grid,
+        args.disks,
+        queries,
+        include_workload_aware=args.workload_aware,
+    )
+    from repro.workloads.summary import (
+        render_summary,
+        summarize_workload,
+    )
+
+    print(
+        f"advisor: grid={grid.dims} disks={args.disks} workload={what}"
+    )
+    print(
+        "workload: "
+        + render_summary(
+            summarize_workload(grid, queries, args.disks), args.disks
+        )
+    )
+    print(render_recommendations(recommendations))
+    if args.matrix:
+        from repro.analysis.compare import (
+            dominance_matrix,
+            render_dominance,
+        )
+
+        # The matrix re-materializes schemes by name, which would give
+        # the annealed scheme its *default* workload — exclude it.
+        matrix = dominance_matrix(
+            grid,
+            args.disks,
+            queries,
+            schemes=[
+                r.scheme
+                for r in recommendations
+                if r.scheme != "workload-aware"
+            ],
+        )
+        print()
+        print(render_dominance(matrix))
+    best = recommendations[0]
+    print(
+        f"\nrecommendation: {best.label} "
+        f"(mean RT {best.mean_response_time:.4f}, "
+        f"{best.mean_relative_deviation:+.2%} vs optimal)"
+    )
+    return 0
+
+
+def _cmd_theory(args) -> int:
+    from repro.theory.conditions import render_table as render_conditions
+    from repro.theory.search import impossibility_frontier
+
+    if args.theory_command == "table":
+        print(render_conditions())
+        return 0
+    results = impossibility_frontier(
+        max_disks=args.max_disks, grid_side=args.side
+    )
+    for num_disks, result in enumerate(results, start=1):
+        side = args.side if args.side else max(num_disks, 2)
+        verdict = "exists" if result.exists else "impossible"
+        print(
+            f"M={num_disks:2d} grid {side}x{side}: strictly optimal "
+            f"declustering {verdict} ({result.nodes_explored} nodes)"
+        )
+        if result.exists and args.show and result.allocation is not None:
+            for row in result.allocation.table:
+                print("   " + " ".join(f"{int(d):>2d}" for d in row))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-decluster",
+        description=(
+            "Grid-based multi-attribute declustering: methods, theory, and "
+            "the ICDE'94 evaluation"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("schemes", help="list declustering schemes")
+
+    p_alloc = sub.add_parser("allocate", help="materialize one allocation")
+    p_alloc.add_argument("--grid", type=_parse_dims, default=(8, 8))
+    p_alloc.add_argument("--disks", type=int, default=4)
+    p_alloc.add_argument("--scheme", default="hcam")
+    p_alloc.add_argument(
+        "--show", action="store_true", help="print the disk-id table"
+    )
+    p_alloc.add_argument(
+        "--save", default=None, help="write the allocation to a JSON file"
+    )
+
+    p_eval = sub.add_parser("evaluate", help="compare schemes on queries")
+    p_eval.add_argument("--grid", type=_parse_dims, default=(32, 32))
+    p_eval.add_argument("--disks", type=int, default=16)
+    p_eval.add_argument(
+        "--schemes", type=_parse_schemes, default=list(PAPER_SCHEMES)
+    )
+    p_eval.add_argument("--shape", type=_parse_dims, default=None)
+    p_eval.add_argument("--area", type=int, default=None)
+
+    p_exp = sub.add_parser("experiment", help="run a paper experiment")
+    p_exp.add_argument(
+        "which",
+        help="E1, E2, E3, E4, E5, X1, EPM, X3, X4, X5, THM, or 'all'",
+    )
+    p_exp.add_argument(
+        "--quick", action="store_true", help="small fast configuration"
+    )
+    p_exp.add_argument(
+        "--csv", default=None, help="also write the series as CSV"
+    )
+    p_exp.add_argument(
+        "--json", default=None, help="also write the series as JSON"
+    )
+
+    p_profile = sub.add_parser(
+        "profile", help="diagnose one scheme's allocation"
+    )
+    p_profile.add_argument("--grid", type=_parse_dims, default=(16, 16))
+    p_profile.add_argument("--disks", type=int, default=8)
+    p_profile.add_argument("--scheme", default="hcam")
+    p_profile.add_argument(
+        "--shape",
+        type=_parse_dims,
+        default=None,
+        help="query shape to profile (default: 2x2...)",
+    )
+
+    p_advise = sub.add_parser(
+        "advise", help="recommend a scheme for a workload"
+    )
+    p_advise.add_argument("--grid", type=_parse_dims, default=(32, 32))
+    p_advise.add_argument("--disks", type=int, default=16)
+    p_advise.add_argument(
+        "--shape",
+        type=_parse_dims,
+        default=None,
+        help="fixed query shape (default: mixed random ranges)",
+    )
+    p_advise.add_argument("--count", type=int, default=200)
+    p_advise.add_argument("--max-side", type=int, default=8)
+    p_advise.add_argument("--seed", type=int, default=0)
+    p_advise.add_argument(
+        "--trace",
+        default=None,
+        help="JSONL query trace to advise on (overrides --shape)",
+    )
+    p_advise.add_argument(
+        "--workload-aware",
+        action="store_true",
+        help="also anneal a workload-specific allocation",
+    )
+    p_advise.add_argument(
+        "--matrix",
+        action="store_true",
+        help="also print the pairwise dominance matrix",
+    )
+
+    p_theory = sub.add_parser("theory", help="strict-optimality tools")
+    theory_sub = p_theory.add_subparsers(
+        dest="theory_command", required=True
+    )
+    p_search = theory_sub.add_parser(
+        "search", help="existence search per disk count"
+    )
+    p_search.add_argument("--max-disks", type=int, default=7)
+    p_search.add_argument(
+        "--side", type=int, default=None, help="grid side (default: M)"
+    )
+    p_search.add_argument(
+        "--show", action="store_true", help="print found allocations"
+    )
+    theory_sub.add_parser("table", help="print the paper's Table 1")
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    Library errors (bad configurations, inapplicable schemes, malformed
+    files) are reported as one-line messages with exit code 1 instead of
+    tracebacks; genuine bugs still raise.
+    """
+    from repro.core.exceptions import DeclusteringError
+
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "schemes": _cmd_schemes,
+        "allocate": _cmd_allocate,
+        "evaluate": _cmd_evaluate,
+        "experiment": _cmd_experiment,
+        "profile": _cmd_profile,
+        "advise": _cmd_advise,
+        "theory": _cmd_theory,
+    }
+    try:
+        return handlers[args.command](args)
+    except DeclusteringError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

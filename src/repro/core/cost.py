@@ -1,0 +1,217 @@
+"""Response-time cost model.
+
+The paper's performance metric: with one bucket read costing one time unit
+and all ``M`` disks operating in parallel, the **response time** of a query
+is the number of buckets on the busiest disk among those the query touches,
+
+    RT(Q, A) = max_d |{ b in Q : A(b) = d }|.
+
+The unbeatable lower bound is the **optimal response time**
+
+    OPT(Q, M) = ceil(|Q| / M),
+
+achieved exactly when the query's buckets are spread as evenly as possible.
+A scheme is *strictly optimal* when RT = OPT for every query in some class
+(range, partial match, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.core.allocation import DiskAllocation
+from repro.core.exceptions import QueryError
+from repro.core.query import RangeQuery
+
+
+def optimal_response_time(num_buckets: int, num_disks: int) -> int:
+    """``ceil(num_buckets / num_disks)`` — the paper's optimal yardstick."""
+    if num_buckets < 0:
+        raise QueryError(f"bucket count must be non-negative: {num_buckets}")
+    if num_disks <= 0:
+        raise QueryError(f"disk count must be positive: {num_disks}")
+    return -(-num_buckets // num_disks)
+
+
+def buckets_per_disk(allocation: DiskAllocation, query: RangeQuery) -> np.ndarray:
+    """Per-disk bucket counts for a query, ``shape (M,)``."""
+    if query.ndim != allocation.grid.ndim:
+        raise QueryError(
+            f"{query.ndim}-d query does not match "
+            f"{allocation.grid.ndim}-d allocation"
+        )
+    if not query.fits_in(allocation.grid):
+        clipped = query.clip_to(allocation.grid)
+        if clipped is None:
+            return np.zeros(allocation.num_disks, dtype=np.int64)
+        query = clipped
+    region = allocation.table[query.slices()]
+    return np.bincount(region.ravel(), minlength=allocation.num_disks)
+
+
+def response_time(allocation: DiskAllocation, query: RangeQuery) -> int:
+    """Buckets on the busiest disk for this query (0 for an empty query)."""
+    counts = buckets_per_disk(allocation, query)
+    return int(counts.max()) if counts.size else 0
+
+
+def query_optimal(query: RangeQuery, num_disks: int) -> int:
+    """OPT for a query that fits in the grid: ``ceil(|Q| / M)``."""
+    return optimal_response_time(query.num_buckets, num_disks)
+
+
+def additive_deviation(allocation: DiskAllocation, query: RangeQuery) -> int:
+    """``RT - OPT`` for one query; 0 means the scheme was optimal on it."""
+    return response_time(allocation, query) - query_optimal(
+        query, allocation.num_disks
+    )
+
+
+def relative_deviation(allocation: DiskAllocation, query: RangeQuery) -> float:
+    """``(RT - OPT) / OPT`` for one query."""
+    opt = query_optimal(query, allocation.num_disks)
+    return (response_time(allocation, query) - opt) / opt
+
+
+def response_times(
+    allocation: DiskAllocation, queries: Iterable[RangeQuery]
+) -> np.ndarray:
+    """Vector of response times, one per query."""
+    return np.fromiter(
+        (response_time(allocation, q) for q in queries), dtype=np.int64
+    )
+
+
+def optimal_times(
+    queries: Sequence[RangeQuery], num_disks: int
+) -> np.ndarray:
+    """Vector of OPT values, one per query."""
+    return np.fromiter(
+        (query_optimal(q, num_disks) for q in queries), dtype=np.int64
+    )
+
+
+def sliding_response_times(
+    allocation: DiskAllocation, shape: Sequence[int]
+) -> np.ndarray:
+    """Response time of a query ``shape`` at *every* placement, vectorized.
+
+    Returns an array of shape ``(d_1 - s_1 + 1, ..., d_k - s_k + 1)`` whose
+    entry at ``origin`` is ``RT(query_at(origin, shape))``.  This is the hot
+    path of the experiments: it computes, per disk, a k-dimensional sliding-
+    window sum of the disk's indicator table via prefix sums, then takes the
+    max across disks.  Complexity is ``O(M * num_buckets)`` regardless of the
+    query size — orders of magnitude faster than evaluating placements one by
+    one for large shapes.
+    """
+    grid = allocation.grid
+    shape = tuple(int(s) for s in shape)
+    if len(shape) != grid.ndim:
+        raise QueryError(
+            f"shape arity {len(shape)} does not match grid {grid.dims}"
+        )
+    if any(s <= 0 for s in shape):
+        raise QueryError(f"query side lengths must be positive: {shape}")
+    if any(s > d for s, d in zip(shape, grid.dims)):
+        out_shape = tuple(
+            max(d - s + 1, 0) for s, d in zip(shape, grid.dims)
+        )
+        return np.zeros(out_shape, dtype=np.int64)
+
+    out_shape = tuple(d - s + 1 for s, d in zip(shape, grid.dims))
+    best = np.zeros(out_shape, dtype=np.int64)
+    table = allocation.table
+    for disk in range(allocation.num_disks):
+        window = _sliding_window_sums(
+            (table == disk).astype(np.int64), shape
+        )
+        np.maximum(best, window, out=best)
+    return best
+
+
+def _sliding_window_sums(indicator: np.ndarray, shape: Sequence[int]) -> np.ndarray:
+    """Sum of ``indicator`` over every axis-aligned window of ``shape``.
+
+    Separable: along each axis, the windowed sum is a difference of
+    cumulative sums.
+    """
+    result = indicator
+    for axis, side in enumerate(shape):
+        csum = np.cumsum(result, axis=axis)
+        length = result.shape[axis]
+        head = np.take(csum, [side - 1], axis=axis)
+        if length > side:
+            tail = (
+                np.take(csum, range(side, length), axis=axis)
+                - np.take(csum, range(0, length - side), axis=axis)
+            )
+            result = np.concatenate([head, tail], axis=axis)
+        else:
+            result = head
+    return result
+
+
+def average_response_time(
+    allocation: DiskAllocation, shape: Sequence[int]
+) -> float:
+    """Exact mean RT of ``shape`` over all placements in the grid."""
+    times = sliding_response_times(allocation, shape)
+    if times.size == 0:
+        raise QueryError(
+            f"shape {tuple(shape)} does not fit in grid "
+            f"{allocation.grid.dims}"
+        )
+    return float(times.mean())
+
+
+def worst_response_time(
+    allocation: DiskAllocation, shape: Sequence[int]
+) -> int:
+    """Worst-case RT of ``shape`` over all placements in the grid."""
+    times = sliding_response_times(allocation, shape)
+    if times.size == 0:
+        raise QueryError(
+            f"shape {tuple(shape)} does not fit in grid "
+            f"{allocation.grid.dims}"
+        )
+    return int(times.max())
+
+
+def placements_at_optimal(
+    allocation: DiskAllocation, shape: Sequence[int]
+) -> float:
+    """Fraction of placements of ``shape`` answered at the optimal RT."""
+    times = sliding_response_times(allocation, shape)
+    if times.size == 0:
+        raise QueryError(
+            f"shape {tuple(shape)} does not fit in grid "
+            f"{allocation.grid.dims}"
+        )
+    area = 1
+    for side in shape:
+        area *= int(side)
+    opt = optimal_response_time(area, allocation.num_disks)
+    return float((times == opt).mean())
+
+
+def per_query_costs(
+    allocation: DiskAllocation, queries: Sequence[RangeQuery]
+) -> List[dict]:
+    """RT, OPT and deviations for each query — handy for reports and tests."""
+    rows = []
+    for query in queries:
+        rt = response_time(allocation, query)
+        opt = query_optimal(query, allocation.num_disks)
+        rows.append(
+            {
+                "query": query,
+                "buckets": query.num_buckets,
+                "response_time": rt,
+                "optimal": opt,
+                "additive_deviation": rt - opt,
+                "relative_deviation": (rt - opt) / opt,
+            }
+        )
+    return rows

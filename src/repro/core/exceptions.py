@@ -1,0 +1,60 @@
+"""Exception hierarchy for the declustering library.
+
+All library-raised errors derive from :class:`DeclusteringError`, so callers
+can catch one type to handle any failure originating here while letting
+genuine programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class DeclusteringError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GridError(DeclusteringError):
+    """Invalid grid specification (non-positive extents, bad dimensionality)."""
+
+
+class QueryError(DeclusteringError):
+    """Invalid query specification (bounds out of order, wrong arity)."""
+
+
+class AllocationError(DeclusteringError):
+    """Invalid bucket-to-disk allocation (bad shape, disk id out of range)."""
+
+
+class SchemeError(DeclusteringError):
+    """A declustering scheme cannot be applied to the given grid/disk count."""
+
+
+class SchemeNotApplicableError(SchemeError):
+    """The scheme's preconditions (e.g. M a power of two) are not met."""
+
+
+class UnknownSchemeError(SchemeError, KeyError):
+    """Requested scheme name is not present in the registry."""
+
+
+class CodeConstructionError(DeclusteringError):
+    """A GF(2) parity-check code with the requested parameters cannot be built."""
+
+
+class SearchBudgetExceeded(DeclusteringError):
+    """The exhaustive optimality search exceeded its node budget.
+
+    Raised instead of returning a wrong existence verdict: the search is only
+    allowed to answer "exists"/"does not exist" when it ran to completion.
+    """
+
+
+class SimulationError(DeclusteringError):
+    """Invalid physical-disk simulation parameters."""
+
+
+class WorkloadError(DeclusteringError):
+    """Invalid workload-generator parameters."""
+
+
+class GridFileError(DeclusteringError):
+    """Invalid grid-file operation (bad record arity, unknown attribute)."""

@@ -1,0 +1,259 @@
+"""Query model: range, partial-match, and point queries over a grid.
+
+Definitions follow the paper exactly:
+
+* **Range query** — for every attribute ``i`` a closed interval
+  ``[l_i, u_i]`` of partition indices; the query touches every bucket whose
+  coordinates fall inside all intervals (a hyper-rectangle of buckets).
+* **Partial-match query** — a range query where each attribute is either
+  fixed to a single partition (``l_i = u_i``) or left unspecified
+  (``[0, d_i - 1]``).
+* **Point query** — a partial-match query with every attribute specified.
+
+Queries are defined in *bucket coordinates*.  Translating attribute-value
+predicates into bucket intervals is the grid file's job
+(:mod:`repro.gridfile`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Tuple
+
+from repro.core.exceptions import QueryError
+from repro.core.grid import Coords, Grid
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """A hyper-rectangular query in bucket-coordinate space.
+
+    ``lower[i] <= upper[i]`` and both bounds are inclusive, matching the
+    paper's definition ``(l_i <= i_j <= u_i)``.
+
+    Examples
+    --------
+    >>> q = RangeQuery((0, 2), (1, 5))
+    >>> q.num_buckets
+    8
+    >>> q.side_lengths
+    (2, 4)
+    """
+
+    lower: Coords
+    upper: Coords
+
+    def __post_init__(self) -> None:
+        lower = tuple(int(c) for c in self.lower)
+        upper = tuple(int(c) for c in self.upper)
+        object.__setattr__(self, "lower", lower)
+        object.__setattr__(self, "upper", upper)
+        if len(lower) != len(upper):
+            raise QueryError(
+                f"bound arity mismatch: lower={lower} upper={upper}"
+            )
+        if not lower:
+            raise QueryError("a query needs at least one attribute")
+        if any(lo > hi for lo, hi in zip(lower, upper)):
+            raise QueryError(
+                f"lower bound exceeds upper bound: lower={lower} upper={upper}"
+            )
+        if any(lo < 0 for lo in lower):
+            raise QueryError(f"negative lower bound in {lower}")
+
+    @property
+    def ndim(self) -> int:
+        """Number of attributes the query spans."""
+        return len(self.lower)
+
+    @property
+    def side_lengths(self) -> Coords:
+        """Number of partitions selected per attribute."""
+        return tuple(hi - lo + 1 for lo, hi in zip(self.lower, self.upper))
+
+    @property
+    def num_buckets(self) -> int:
+        """Total buckets touched, the product of the side lengths."""
+        size = 1
+        for side in self.side_lengths:
+            size *= side
+        return size
+
+    def slices(self) -> Tuple[slice, ...]:
+        """Numpy-compatible slices selecting the query's buckets."""
+        return tuple(
+            slice(lo, hi + 1) for lo, hi in zip(self.lower, self.upper)
+        )
+
+    def iter_buckets(self) -> Iterator[Coords]:
+        """Yield every bucket the query touches, row-major."""
+        return itertools.product(
+            *(range(lo, hi + 1) for lo, hi in zip(self.lower, self.upper))
+        )
+
+    def contains_bucket(self, coords: Sequence[int]) -> bool:
+        """Whether a bucket falls inside the query rectangle."""
+        if len(coords) != self.ndim:
+            return False
+        return all(
+            lo <= c <= hi
+            for c, lo, hi in zip(coords, self.lower, self.upper)
+        )
+
+    def intersect(self, other: "RangeQuery") -> Optional["RangeQuery"]:
+        """The overlap of two queries, or ``None`` if they are disjoint."""
+        if other.ndim != self.ndim:
+            raise QueryError(
+                f"cannot intersect {self.ndim}-d and {other.ndim}-d queries"
+            )
+        lower = tuple(max(a, b) for a, b in zip(self.lower, other.lower))
+        upper = tuple(min(a, b) for a, b in zip(self.upper, other.upper))
+        if any(lo > hi for lo, hi in zip(lower, upper)):
+            return None
+        return RangeQuery(lower, upper)
+
+    def clip_to(self, grid: Grid) -> Optional["RangeQuery"]:
+        """Restrict the query to the grid, or ``None`` if fully outside."""
+        if grid.ndim != self.ndim:
+            raise QueryError(
+                f"{self.ndim}-d query does not match {grid.ndim}-d grid"
+            )
+        full = RangeQuery((0,) * grid.ndim, tuple(d - 1 for d in grid.dims))
+        return self.intersect(full)
+
+    def fits_in(self, grid: Grid) -> bool:
+        """Whether the query lies entirely inside the grid."""
+        return grid.ndim == self.ndim and all(
+            hi < d for hi, d in zip(self.upper, grid.dims)
+        )
+
+    def is_partial_match(self, grid: Grid) -> bool:
+        """Whether each attribute is either a single value or the full domain."""
+        if grid.ndim != self.ndim:
+            return False
+        return all(
+            lo == hi or (lo == 0 and hi == d - 1)
+            for lo, hi, d in zip(self.lower, self.upper, grid.dims)
+        )
+
+    def is_point(self) -> bool:
+        """Whether the query selects exactly one bucket."""
+        return self.lower == self.upper
+
+    def __repr__(self) -> str:
+        ranges = ", ".join(
+            f"[{lo}..{hi}]" for lo, hi in zip(self.lower, self.upper)
+        )
+        return f"RangeQuery({ranges})"
+
+
+def partial_match_query(
+    grid: Grid, specified: Sequence[Optional[int]]
+) -> RangeQuery:
+    """Build a partial-match query.
+
+    Parameters
+    ----------
+    grid:
+        The grid the query runs against (supplies domains for unspecified
+        attributes).
+    specified:
+        One entry per attribute: a partition index to fix that attribute, or
+        ``None`` to leave it unspecified.
+
+    Examples
+    --------
+    >>> q = partial_match_query(Grid((4, 4)), [2, None])
+    >>> (q.lower, q.upper)
+    ((2, 0), (2, 3))
+    """
+    if len(specified) != grid.ndim:
+        raise QueryError(
+            f"expected {grid.ndim} attribute specs, got {len(specified)}"
+        )
+    lower = []
+    upper = []
+    for value, extent in zip(specified, grid.dims):
+        if value is None:
+            lower.append(0)
+            upper.append(extent - 1)
+        else:
+            value = int(value)
+            if not 0 <= value < extent:
+                raise QueryError(
+                    f"specified value {value} outside domain [0, {extent})"
+                )
+            lower.append(value)
+            upper.append(value)
+    return RangeQuery(tuple(lower), tuple(upper))
+
+
+def point_query(grid: Grid, coords: Sequence[int]) -> RangeQuery:
+    """A query selecting the single bucket at ``coords``."""
+    coords = grid.validate_coords(coords)
+    return RangeQuery(coords, coords)
+
+
+def query_at(origin: Sequence[int], shape: Sequence[int]) -> RangeQuery:
+    """A range query of the given ``shape`` with lower corner at ``origin``."""
+    origin = tuple(int(c) for c in origin)
+    shape = tuple(int(s) for s in shape)
+    if len(origin) != len(shape):
+        raise QueryError(
+            f"origin arity {len(origin)} != shape arity {len(shape)}"
+        )
+    if any(s <= 0 for s in shape):
+        raise QueryError(f"query side lengths must be positive, got {shape}")
+    upper = tuple(o + s - 1 for o, s in zip(origin, shape))
+    return RangeQuery(origin, upper)
+
+
+def all_placements(grid: Grid, shape: Sequence[int]) -> Iterator[RangeQuery]:
+    """Every placement of a query of the given shape inside the grid.
+
+    This is how the experiments compute *exact* average response times: the
+    mean over all placements replaces the paper's random sampling with a
+    zero-variance enumeration (feasible because cost evaluation is cheap).
+    """
+    shape = tuple(int(s) for s in shape)
+    if len(shape) != grid.ndim:
+        raise QueryError(
+            f"shape arity {len(shape)} does not match grid {grid.dims}"
+        )
+    if any(s <= 0 for s in shape):
+        raise QueryError(f"query side lengths must be positive, got {shape}")
+    if any(s > d for s, d in zip(shape, grid.dims)):
+        return iter(())
+    origins = itertools.product(
+        *(range(d - s + 1) for s, d in zip(shape, grid.dims))
+    )
+    return (query_at(origin, shape) for origin in origins)
+
+
+def shapes_with_area(
+    grid: Grid, area: int, max_shapes: Optional[int] = None
+) -> Iterator[Coords]:
+    """All query shapes (side-length vectors) of a given bucket count.
+
+    Yields every factorization ``s_1 * ... * s_k = area`` with
+    ``s_j <= d_j``, in lexicographic order.  ``max_shapes`` truncates the
+    enumeration (useful for very composite areas in high dimension).
+    """
+    if area <= 0:
+        raise QueryError(f"query area must be positive, got {area}")
+
+    def factorizations(remaining: int, axis: int) -> Iterator[Coords]:
+        if axis == grid.ndim - 1:
+            if remaining <= grid.dims[axis]:
+                yield (remaining,)
+            return
+        for side in range(1, min(remaining, grid.dims[axis]) + 1):
+            if remaining % side == 0:
+                for rest in factorizations(remaining // side, axis + 1):
+                    yield (side,) + rest
+
+    shapes = factorizations(area, 0)
+    if max_shapes is not None:
+        shapes = itertools.islice(shapes, max_shapes)
+    return shapes

@@ -1,0 +1,114 @@
+"""Name-based registry of declustering schemes.
+
+The experiments, benchmarks, and CLI refer to schemes by short name
+(``"dm"``, ``"fx-auto"``, ``"ecc"``, ``"hcam"``, ...).  The registry maps
+each name to a zero-argument factory so every lookup returns a fresh scheme
+instance.  Third-party schemes can be added with :func:`register_scheme`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.exceptions import UnknownSchemeError
+from repro.schemes.base import DeclusteringScheme
+from repro.schemes.baselines import RandomScheme, RoundRobinScheme
+from repro.schemes.disk_modulo import (
+    DiskModuloScheme,
+    GeneralizedDiskModuloScheme,
+)
+from repro.schemes.ecc_scheme import ECCScheme
+from repro.schemes.fieldwise_xor import AutoFXScheme, ExFXScheme, FXScheme
+from repro.schemes.hilbert_scheme import (
+    GrayCodeScheme,
+    HCAMScheme,
+    ZOrderScheme,
+)
+
+SchemeFactory = Callable[[], DeclusteringScheme]
+
+_REGISTRY: Dict[str, SchemeFactory] = {}
+
+#: Scheme names evaluated by the paper, in the order its figures list them.
+PAPER_SCHEMES = ("dm", "fx-auto", "ecc", "hcam")
+
+#: Display labels matching the paper's figure legends.
+PAPER_LABELS = {
+    "dm": "DM/CMD",
+    "fx": "FX",
+    "exfx": "ExFX",
+    "fx-auto": "FX",
+    "ecc": "ECC",
+    "hcam": "HCAM",
+    "gdm": "GDM",
+    "zorder": "Z-order",
+    "gray": "Gray",
+    "random": "Random",
+    "roundrobin": "RoundRobin",
+    "cyclic": "RPHM",
+    "cyclic-gfib": "GFIB",
+    "cyclic-exh": "EXH",
+    "lattice": "Lattice",
+    "lattice-exh": "LatticeEXH",
+    "workload-aware": "Annealed",
+}
+
+
+def register_scheme(name: str, factory: SchemeFactory, replace: bool = False) -> None:
+    """Register a scheme factory under ``name``.
+
+    Raises ``ValueError`` if the name is taken and ``replace`` is false.
+    """
+    if not name:
+        raise ValueError("scheme name must be non-empty")
+    if name in _REGISTRY and not replace:
+        raise ValueError(f"scheme {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def get_scheme(name: str) -> DeclusteringScheme:
+    """Construct a fresh scheme instance by registry name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise UnknownSchemeError(
+            f"unknown scheme {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return factory()
+
+
+def available_schemes() -> List[str]:
+    """Sorted list of registered scheme names."""
+    return sorted(_REGISTRY)
+
+
+def scheme_label(name: str) -> str:
+    """Paper-style display label for a scheme name."""
+    return PAPER_LABELS.get(name, name.upper())
+
+
+def _register_builtins() -> None:
+    from repro.schemes.cyclic import CyclicScheme
+    from repro.schemes.lattice import LatticeScheme
+    from repro.schemes.workload_aware import WorkloadAwareScheme
+
+    register_scheme("dm", DiskModuloScheme)
+    register_scheme("gdm", GeneralizedDiskModuloScheme)
+    register_scheme("fx", FXScheme)
+    register_scheme("exfx", ExFXScheme)
+    register_scheme("fx-auto", AutoFXScheme)
+    register_scheme("ecc", ECCScheme)
+    register_scheme("hcam", HCAMScheme)
+    register_scheme("zorder", ZOrderScheme)
+    register_scheme("gray", GrayCodeScheme)
+    register_scheme("random", RandomScheme)
+    register_scheme("roundrobin", RoundRobinScheme)
+    register_scheme("cyclic", lambda: CyclicScheme(policy="rphm"))
+    register_scheme("cyclic-gfib", lambda: CyclicScheme(policy="gfib"))
+    register_scheme("cyclic-exh", lambda: CyclicScheme(policy="exh"))
+    register_scheme("lattice", lambda: LatticeScheme(policy="power"))
+    register_scheme("lattice-exh", lambda: LatticeScheme(policy="exh"))
+    register_scheme("workload-aware", WorkloadAwareScheme)
+
+
+_register_builtins()

@@ -1,0 +1,39 @@
+"""GF(2) linear algebra and parity-check codes — substrate for ECC declustering."""
+
+from repro.ecc.codes import (
+    BinaryLinearCode,
+    hamming_like_code,
+    is_power_of_two,
+    nonzero_vectors_by_weight,
+    parity_check_matrix,
+)
+from repro.ecc.gf2 import (
+    as_gf2,
+    bits_to_int,
+    gf2_matmul,
+    gf2_nullspace,
+    gf2_rank,
+    gf2_rref,
+    hamming_distance,
+    hamming_weight,
+    int_to_bits,
+    minimum_distance,
+)
+
+__all__ = [
+    "BinaryLinearCode",
+    "hamming_like_code",
+    "is_power_of_two",
+    "nonzero_vectors_by_weight",
+    "parity_check_matrix",
+    "as_gf2",
+    "bits_to_int",
+    "gf2_matmul",
+    "gf2_nullspace",
+    "gf2_rank",
+    "gf2_rref",
+    "hamming_distance",
+    "hamming_weight",
+    "int_to_bits",
+    "minimum_distance",
+]

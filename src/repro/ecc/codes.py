@@ -1,0 +1,159 @@
+"""Construction of parity-check matrices for ECC declustering.
+
+Faloutsos & Metaxas assign bucket words to disks by coset: with ``M = 2^c``
+disks and buckets written as ``n``-bit words, a ``c x n`` parity-check matrix
+``H`` of full rank partitions the ``2^n`` words into ``M`` cosets of the code
+``C = {w : Hw = 0}``, and coset ``s`` (the syndrome, read as an integer) is
+disk ``s``.  Two buckets land on the same disk iff their difference is a
+codeword, so a code with large minimum distance keeps same-disk buckets far
+apart in the grid — the declustering property.
+
+The paper points readers at the parity-check tables in Reza's information
+theory textbook; here the matrices are constructed programmatically:
+
+* the first ``c`` columns are the identity (systematic form, guaranteeing
+  full rank and therefore that all ``M`` disks are used when ``n >= c``);
+* the remaining columns are the *other* nonzero ``c``-bit vectors, taken in
+  increasing weight (weight-2 vectors first, then weight 3, ...) so that the
+  code is Hamming-like: as long as ``n <= 2^c - 1`` all columns are distinct,
+  giving minimum distance >= 3;
+* if ``n > 2^c - 1`` (more bucket bits than distinct nonzero syndromes, i.e.
+  a very fine grid on few disks) the nonzero vectors are reused cyclically —
+  distance drops to 2, which is unavoidable for any linear code at that
+  length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.exceptions import CodeConstructionError
+from repro.ecc.gf2 import as_gf2, gf2_rank, int_to_bits
+
+
+def is_power_of_two(value: int) -> bool:
+    """Whether ``value`` is a positive power of two (1 counts)."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def nonzero_vectors_by_weight(num_bits: int) -> List[int]:
+    """All nonzero ``num_bits``-bit values, sorted by weight then value."""
+    if num_bits < 0:
+        raise CodeConstructionError(f"num_bits must be >= 0, got {num_bits}")
+    values = list(range(1, 1 << num_bits))
+    values.sort(key=lambda v: (bin(v).count("1"), v))
+    return values
+
+
+def parity_check_matrix(num_checks: int, length: int) -> np.ndarray:
+    """A ``num_checks x length`` systematic Hamming-like parity-check matrix.
+
+    Columns are stored little-endian (row ``i`` is bit ``i`` of the column's
+    value).  Raises if ``length < num_checks`` — the syndrome map could not
+    be surjective, so the coset construction would leave disks empty; callers
+    handle that case separately (see :class:`repro.schemes.ecc_scheme`).
+    """
+    if num_checks <= 0:
+        raise CodeConstructionError(
+            f"need at least one check bit, got {num_checks}"
+        )
+    if length < num_checks:
+        raise CodeConstructionError(
+            f"code length {length} shorter than check count {num_checks}; "
+            "syndrome map cannot reach every disk"
+        )
+    identity_values = [1 << i for i in range(num_checks)]
+    others = [
+        v
+        for v in nonzero_vectors_by_weight(num_checks)
+        if v not in set(identity_values)
+    ]
+    columns = list(identity_values)
+    needed = length - num_checks
+    if others:
+        for i in range(needed):
+            columns.append(others[i % len(others)])
+    else:
+        # num_checks == 1: the only nonzero value is 1, repeat it.
+        columns.extend([1] * needed)
+    matrix = np.zeros((num_checks, length), dtype=np.uint8)
+    for col, value in enumerate(columns):
+        matrix[:, col] = int_to_bits(value, num_checks)
+    return matrix
+
+
+@dataclass(frozen=True)
+class BinaryLinearCode:
+    """A binary linear code given by its parity-check matrix.
+
+    Attributes
+    ----------
+    parity_check:
+        ``c x n`` GF(2) matrix ``H``.
+    """
+
+    parity_check: np.ndarray
+
+    def __post_init__(self) -> None:
+        matrix = as_gf2(self.parity_check)
+        if matrix.ndim != 2:
+            raise CodeConstructionError(
+                f"parity-check matrix must be 2-d, got shape {matrix.shape}"
+            )
+        matrix = matrix.copy()
+        matrix.setflags(write=False)
+        object.__setattr__(self, "parity_check", matrix)
+
+    @property
+    def num_checks(self) -> int:
+        """``c``, the number of parity bits (log2 of the coset count)."""
+        return self.parity_check.shape[0]
+
+    @property
+    def length(self) -> int:
+        """``n``, the code length in bits."""
+        return self.parity_check.shape[1]
+
+    @property
+    def num_cosets(self) -> int:
+        """``2^c`` — the number of disks the coset partition supports."""
+        return 1 << self.num_checks
+
+    def is_full_rank(self) -> bool:
+        """Whether the syndrome map is surjective (every disk reachable)."""
+        return gf2_rank(self.parity_check) == self.num_checks
+
+    def syndrome(self, word) -> int:
+        """Syndrome of an ``n``-bit word as an integer in ``[0, 2^c)``."""
+        word = as_gf2(word).ravel()
+        if word.shape[0] != self.length:
+            raise CodeConstructionError(
+                f"word length {word.shape[0]} != code length {self.length}"
+            )
+        bits = (self.parity_check.astype(np.int64) @ word.astype(np.int64)) % 2
+        value = 0
+        for i, bit in enumerate(bits):
+            value |= int(bit) << i
+        return value
+
+    def syndromes(self, words: np.ndarray) -> np.ndarray:
+        """Vectorized syndromes for a ``(num_words, n)`` bit matrix."""
+        words = as_gf2(words)
+        if words.ndim != 2 or words.shape[1] != self.length:
+            raise CodeConstructionError(
+                f"expected (num_words, {self.length}) bit matrix, "
+                f"got shape {words.shape}"
+            )
+        bits = (
+            words.astype(np.int64) @ self.parity_check.astype(np.int64).T
+        ) % 2
+        weights = (1 << np.arange(self.num_checks, dtype=np.int64))
+        return bits @ weights
+
+
+def hamming_like_code(num_checks: int, length: int) -> BinaryLinearCode:
+    """The code whose parity-check matrix is :func:`parity_check_matrix`."""
+    return BinaryLinearCode(parity_check_matrix(num_checks, length))

@@ -1,0 +1,177 @@
+"""Linear algebra over GF(2), the two-element field.
+
+Substrate for the error-correcting-code declustering scheme
+(Faloutsos & Metaxas, IEEE ToC 1991): buckets become binary words, a
+parity-check matrix ``H`` over GF(2) computes each word's syndrome, and the
+syndrome is the disk id.  Matrices are numpy ``uint8`` arrays with entries in
+{0, 1}; all arithmetic is mod 2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import CodeConstructionError
+
+
+def as_gf2(matrix) -> np.ndarray:
+    """Coerce to a {0,1} ``uint8`` array, validating entries."""
+    arr = np.asarray(matrix)
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise CodeConstructionError(
+            f"GF(2) matrices must be integer, got dtype {arr.dtype}"
+        )
+    if arr.size and not np.isin(arr, (0, 1)).all():
+        raise CodeConstructionError("GF(2) entries must be 0 or 1")
+    return arr.astype(np.uint8)
+
+
+def gf2_matmul(a, b) -> np.ndarray:
+    """Matrix product mod 2."""
+    a = as_gf2(a)
+    b = as_gf2(b)
+    return (a.astype(np.int64) @ b.astype(np.int64)) % 2
+
+
+def gf2_rank(matrix) -> int:
+    """Rank over GF(2) via Gaussian elimination."""
+    m = as_gf2(matrix).copy()
+    if m.size == 0:
+        return 0
+    rows, cols = m.shape
+    rank = 0
+    for col in range(cols):
+        pivot = None
+        for row in range(rank, rows):
+            if m[row, col]:
+                pivot = row
+                break
+        if pivot is None:
+            continue
+        m[[rank, pivot]] = m[[pivot, rank]]
+        for row in range(rows):
+            if row != rank and m[row, col]:
+                m[row] ^= m[rank]
+        rank += 1
+        if rank == rows:
+            break
+    return rank
+
+
+def gf2_rref(matrix) -> Tuple[np.ndarray, List[int]]:
+    """Reduced row-echelon form and the pivot column indices."""
+    m = as_gf2(matrix).copy()
+    rows, cols = m.shape
+    pivots: List[int] = []
+    rank = 0
+    for col in range(cols):
+        pivot = None
+        for row in range(rank, rows):
+            if m[row, col]:
+                pivot = row
+                break
+        if pivot is None:
+            continue
+        m[[rank, pivot]] = m[[pivot, rank]]
+        for row in range(rows):
+            if row != rank and m[row, col]:
+                m[row] ^= m[rank]
+        pivots.append(col)
+        rank += 1
+        if rank == rows:
+            break
+    return m, pivots
+
+
+def gf2_nullspace(matrix) -> np.ndarray:
+    """Basis of the right nullspace, one vector per row (may be empty)."""
+    m = as_gf2(matrix)
+    if m.size == 0:
+        return np.zeros((0, m.shape[1] if m.ndim == 2 else 0), dtype=np.uint8)
+    rref, pivots = gf2_rref(m)
+    cols = m.shape[1]
+    free_cols = [c for c in range(cols) if c not in pivots]
+    basis = np.zeros((len(free_cols), cols), dtype=np.uint8)
+    for i, free in enumerate(free_cols):
+        basis[i, free] = 1
+        for row, pivot in enumerate(pivots):
+            if rref[row, free]:
+                basis[i, pivot] = 1
+    return basis
+
+
+def int_to_bits(value: int, width: int) -> np.ndarray:
+    """Little-endian bit vector of ``value`` (bit 0 first), length ``width``."""
+    value = int(value)
+    if value < 0:
+        raise CodeConstructionError(f"cannot encode negative value {value}")
+    if width < 0:
+        raise CodeConstructionError(f"bit width must be >= 0, got {width}")
+    if value >> width:
+        raise CodeConstructionError(
+            f"value {value} does not fit in {width} bits"
+        )
+    return np.array(
+        [(value >> i) & 1 for i in range(width)], dtype=np.uint8
+    )
+
+
+def bits_to_int(bits) -> int:
+    """Inverse of :func:`int_to_bits` (little-endian)."""
+    bits = as_gf2(bits)
+    value = 0
+    for i, bit in enumerate(bits.ravel()):
+        value |= int(bit) << i
+    return value
+
+
+def hamming_weight(vector) -> int:
+    """Number of ones in a GF(2) vector."""
+    return int(as_gf2(vector).sum())
+
+
+def hamming_distance(a, b) -> int:
+    """Number of positions where two GF(2) vectors differ."""
+    a = as_gf2(a)
+    b = as_gf2(b)
+    if a.shape != b.shape:
+        raise CodeConstructionError(
+            f"shape mismatch: {a.shape} vs {b.shape}"
+        )
+    return int((a ^ b).sum())
+
+
+def minimum_distance(parity_check, limit: Optional[int] = None) -> int:
+    """Minimum distance of the code with parity-check matrix ``H``.
+
+    Equals the minimum Hamming weight over nonzero codewords (vectors in the
+    nullspace of ``H``).  Enumerates the nullspace, so only suitable for
+    small codes — which is all the tests need.  ``limit`` caps the nullspace
+    dimension that will be enumerated (default 20, i.e. about a million
+    codewords).
+    """
+    basis = gf2_nullspace(parity_check)
+    k = basis.shape[0]
+    if k == 0:
+        raise CodeConstructionError(
+            "code has no nonzero codewords; minimum distance undefined"
+        )
+    cap = 20 if limit is None else limit
+    if k > cap:
+        raise CodeConstructionError(
+            f"nullspace dimension {k} exceeds enumeration limit {cap}"
+        )
+    best = None
+    for mask in range(1, 1 << k):
+        word = np.zeros(basis.shape[1], dtype=np.uint8)
+        for i in range(k):
+            if (mask >> i) & 1:
+                word ^= basis[i]
+        weight = hamming_weight(word)
+        if best is None or weight < best:
+            best = weight
+            if best == 1:
+                break
+    return int(best)

@@ -1,0 +1,49 @@
+"""The paper's experiment suite (E1-E5) plus ablations (X1) and the runner."""
+
+from repro.experiments import (
+    exp_beyond_paper,
+    exp_curve_ablation,
+    exp_db_size,
+    exp_num_attributes,
+    exp_num_disks,
+    exp_growth,
+    exp_load_sweep,
+    exp_partial_match,
+    exp_query_shape,
+    exp_query_size,
+    exp_replication,
+)
+from repro.experiments.common import (
+    ExperimentResult,
+    default_area_sweep,
+    mean_rt_for_shapes,
+    sweep_shapes,
+)
+from repro.experiments.reporting import (
+    ascii_plot,
+    render_deviation_table,
+    render_table,
+    to_csv,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "sweep_shapes",
+    "mean_rt_for_shapes",
+    "default_area_sweep",
+    "render_table",
+    "render_deviation_table",
+    "to_csv",
+    "ascii_plot",
+    "exp_query_size",
+    "exp_query_shape",
+    "exp_num_attributes",
+    "exp_num_disks",
+    "exp_db_size",
+    "exp_curve_ablation",
+    "exp_partial_match",
+    "exp_beyond_paper",
+    "exp_replication",
+    "exp_load_sweep",
+    "exp_growth",
+]

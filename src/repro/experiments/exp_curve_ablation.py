@@ -1,0 +1,61 @@
+"""Experiment X1 (ablation, ours) — does HCAM need the Hilbert curve?
+
+HCAM = linearize the grid with a space-filling curve, deal disks
+round-robin.  Swapping the Hilbert curve for Z-order or Gray-code order
+keeps the whole scheme except the curve, isolating how much of HCAM's
+small-query advantage is specifically the Hilbert curve's locality.
+
+Interpretation note for power-of-two configurations: Z-order mod a
+power-of-two M degenerates into a *perfect tiling* (the low interleaved
+bits enumerate an aligned tile), which makes it look unbeatable on aligned
+small squares but brittle — rotate the query shape off the tile or make M
+non-power-of-two and it collapses.  The sweep therefore includes
+non-power-of-two disk counts, where Hilbert's genuine locality shows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.evaluator import SchemeEvaluator
+from repro.core.grid import Grid
+from repro.experiments.common import ExperimentResult
+
+ABLATION_SCHEMES = ("hcam", "zorder", "gray", "roundrobin")
+
+DEFAULT_DISK_COUNTS = (5, 7, 11, 13, 16, 19, 23)
+
+
+def run(
+    grid_dims: Sequence[int] = (32, 32),
+    disk_counts: Sequence[int] = DEFAULT_DISK_COUNTS,
+    shape: Sequence[int] = (3, 3),
+    schemes: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    """Sweep disk count for the curve-swap ablation at one query shape."""
+    schemes = list(schemes or ABLATION_SCHEMES)
+    grid = Grid(grid_dims)
+    shape = tuple(int(s) for s in shape)
+    x_values: List[int] = []
+    series = {name: [] for name in schemes}
+    optimal = []
+    for num_disks in disk_counts:
+        evaluator = SchemeEvaluator(grid, num_disks, schemes)
+        results = evaluator.evaluate_shapes([shape])
+        x_values.append(num_disks)
+        optimal.append(results[0].mean_optimal)
+        for result in results:
+            series[result.scheme].append(result.mean_response_time)
+    return ExperimentResult(
+        experiment_id="X1",
+        title=f"Curve ablation for HCAM, query {shape}",
+        x_label="number of disks (M)",
+        x_values=x_values,
+        series=series,
+        optimal=optimal,
+        config={
+            "grid": grid.dims,
+            "shape": shape,
+            "disk_counts": tuple(disk_counts),
+        },
+    )

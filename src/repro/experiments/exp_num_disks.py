@@ -1,0 +1,94 @@
+"""Experiment 4 — effect of the number of disks (paper Figure 5 (a)/(b)).
+
+Fixed: 32 x 32 grid, two attributes.  The disk count is swept over powers
+of two (ECC requires it; the other methods accept any M) and the mean
+response time of (a) a small query and (b) a large query is reported
+against the optimal at each M.
+
+Paper findings this reproduces:
+
+* (a) small queries — HCAM is the best scheme over nearly the whole range
+  and DM/CMD is uniformly the worst;
+* (b) large queries — FX is consistently the best, DM/CMD and FX
+  out-perform HCAM, and ECC overtakes HCAM as M grows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.evaluator import SchemeEvaluator
+from repro.core.grid import Grid
+from repro.core.registry import PAPER_SCHEMES
+from repro.experiments.common import ExperimentResult
+
+DEFAULT_DISK_COUNTS = (2, 4, 8, 16, 32, 64)
+
+#: Paper's regions: a small square and a large square query.
+SMALL_SHAPE = (2, 2)
+LARGE_SHAPE = (16, 16)
+
+
+def _disk_sweep(
+    experiment_id: str,
+    title: str,
+    grid: Grid,
+    disk_counts: Sequence[int],
+    shape: Sequence[int],
+    schemes: Optional[Sequence[str]],
+) -> ExperimentResult:
+    schemes = list(schemes or PAPER_SCHEMES)
+    shape = tuple(int(s) for s in shape)
+    x_values = []
+    series = {name: [] for name in schemes}
+    optimal = []
+    for num_disks in disk_counts:
+        evaluator = SchemeEvaluator(grid, num_disks, schemes)
+        results = evaluator.evaluate_shapes([shape])
+        x_values.append(num_disks)
+        optimal.append(results[0].mean_optimal)
+        for result in results:
+            series[result.scheme].append(result.mean_response_time)
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        x_label="number of disks (M)",
+        x_values=x_values,
+        series=series,
+        optimal=optimal,
+        config={
+            "grid": grid.dims,
+            "shape": shape,
+            "disk_counts": tuple(disk_counts),
+        },
+    )
+
+
+def run(
+    grid_dims: Sequence[int] = (32, 32),
+    disk_counts: Sequence[int] = DEFAULT_DISK_COUNTS,
+    small_shape: Sequence[int] = SMALL_SHAPE,
+    large_shape: Sequence[int] = LARGE_SHAPE,
+    schemes: Optional[Sequence[str]] = None,
+) -> Tuple[ExperimentResult, ExperimentResult]:
+    """Run both panels of Figure 5; returns (small-query, large-query)."""
+    grid = Grid(grid_dims)
+    small = _disk_sweep(
+        "E4a",
+        f"Effect of number of disks, small query {tuple(small_shape)} "
+        "(Figure 5a)",
+        grid,
+        disk_counts,
+        small_shape,
+        schemes,
+    )
+    large = _disk_sweep(
+        "E4b",
+        f"Effect of number of disks, large query {tuple(large_shape)} "
+        "(Figure 5b)",
+        grid,
+        disk_counts,
+        large_shape,
+        schemes,
+    )
+    return small, large

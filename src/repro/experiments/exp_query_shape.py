@@ -1,0 +1,62 @@
+"""Experiment 2 — effect of query shape (aspect ratio square -> line).
+
+Fixed: 32 x 32 grid, 16 disks, fixed query area.  The paper varies the
+aspect ratio "from 1:1 to 1:M" at constant area; here every ``a x b``
+factorization of the area that fits the grid forms one x-point, labelled by
+its elongation ``max(a,b) / min(a,b)``, with both orientations of a shape
+averaged together (the grid and all schemes under test are
+orientation-symmetric in distribution).
+
+Paper findings this reproduces:
+
+* DM/CMD is strongly shape-sensitive: worst on squares, optimal on
+  ``1 x j`` row/column queries (those are partial-match-like);
+* HCAM is the least shape-sensitive but degrades on extreme lines;
+* square queries are where methods differ most at small areas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.grid import Grid
+from repro.experiments.common import ExperimentResult, sweep_shapes
+from repro.workloads.queries import aspect_ratio_shapes
+
+
+def _grouped_by_ratio(
+    grid: Grid, area: int
+) -> List[Tuple[float, List[Tuple[int, ...]]]]:
+    """Shapes of ``area`` grouped by elongation ratio, square first."""
+    groups: Dict[float, List[Tuple[int, ...]]] = {}
+    for shape in aspect_ratio_shapes(grid, area):
+        ratio = max(shape) / min(shape)
+        groups.setdefault(ratio, []).append(shape)
+    return sorted(groups.items())
+
+
+def run(
+    grid_dims: Sequence[int] = (32, 32),
+    num_disks: int = 16,
+    area: int = 64,
+    schemes: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    """Run the aspect-ratio sweep at fixed query area."""
+    grid = Grid(grid_dims)
+    points = [
+        (ratio, shapes) for ratio, shapes in _grouped_by_ratio(grid, area)
+    ]
+    if not points:
+        raise ValueError(
+            f"area {area} has no realizable shape on grid {grid.dims}"
+        )
+    return sweep_shapes(
+        experiment_id="E2",
+        title=f"Effect of query shape at fixed area {area}",
+        grid=grid,
+        num_disks=num_disks,
+        x_label="aspect ratio (long/short side)",
+        points=points,
+        schemes=schemes,
+        config={"area": area},
+    )

@@ -1,0 +1,63 @@
+"""Experiment 1 — effect of query size (paper: area swept 1 to 1024).
+
+Fixed: two attributes, 32 x 32 grid (1024 buckets), 16 disks.  For each
+query area, *every* shape realizing that area is evaluated at *every*
+placement, and the mean response time per scheme is reported next to the
+``ceil(area / M)`` optimum.
+
+Paper findings this reproduces:
+
+* small areas — ECC and HCAM best, FX next, DM/CMD clearly worst;
+* from medium sizes on, FX becomes the best scheme and stays so;
+* all methods converge towards optimal as the area grows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.grid import Grid
+from repro.core.query import shapes_with_area
+from repro.experiments.common import ExperimentResult, sweep_shapes
+
+#: Log-ish spaced areas between the paper's extremes of 1 and 1024; every
+#: entry has at least one realizable shape on the 32 x 32 grid.
+DEFAULT_AREAS = (
+    1, 2, 3, 4, 6, 8, 9, 12, 16, 20, 24, 32, 40, 48, 64, 80, 96, 128,
+    160, 192, 256, 320, 384, 512, 640, 768, 1024,
+)
+
+#: The paper's "small query" region (differences are large here).
+SMALL_AREAS = (1, 2, 3, 4, 6, 8, 9, 12, 16, 20, 24, 32)
+
+#: The paper's "large query" region (methods converge here).
+LARGE_AREAS = (64, 128, 256, 512, 1024)
+
+
+def run(
+    grid_dims: Sequence[int] = (32, 32),
+    num_disks: int = 16,
+    areas: Optional[Sequence[int]] = None,
+    schemes: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    """Run the query-size sweep and return the series."""
+    grid = Grid(grid_dims)
+    chosen = list(areas if areas is not None else DEFAULT_AREAS)
+    points = []
+    for area in chosen:
+        shapes = list(shapes_with_area(grid, area))
+        if not shapes:
+            raise ValueError(
+                f"area {area} has no realizable shape on grid {grid.dims}"
+            )
+        points.append((area, shapes))
+    return sweep_shapes(
+        experiment_id="E1",
+        title="Effect of query size (mean RT over all shapes and placements)",
+        grid=grid,
+        num_disks=num_disks,
+        x_label="query area (buckets)",
+        points=points,
+        schemes=schemes,
+        config={"areas": tuple(chosen)},
+    )

@@ -1,0 +1,139 @@
+"""Rendering experiment results: ASCII tables, CSV, and quick text plots.
+
+The benchmarks print these tables so that every paper figure has a textual
+regeneration; :func:`ascii_plot` adds a rough visual of the series shape.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Optional, Sequence
+
+from repro.core.registry import scheme_label
+from repro.experiments.common import ExperimentResult
+
+
+def format_value(value, precision: int = 3) -> str:
+    """Numbers with fixed precision, everything else via ``str``."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(result: ExperimentResult, precision: int = 3) -> str:
+    """One row per x-value, columns = x, OPT, each scheme."""
+    header = result.header()
+    body = [
+        [format_value(cell, precision) for cell in row]
+        for row in result.rows()
+    ]
+    widths = [
+        max(len(header[col]), *(len(row[col]) for row in body))
+        if body
+        else len(header[col])
+        for col in range(len(header))
+    ]
+    lines = [
+        f"[{result.experiment_id}] {result.title}",
+        f"config: {result.config}",
+        " | ".join(h.rjust(w) for h, w in zip(header, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in body:
+        lines.append(
+            " | ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def render_deviation_table(
+    result: ExperimentResult, precision: int = 3
+) -> str:
+    """Same layout but cells show relative deviation from optimal."""
+    header = [result.x_label] + [
+        scheme_label(name) for name in result.series
+    ]
+    rows = []
+    for i, x in enumerate(result.x_values):
+        row = [format_value(x, precision)]
+        for name in result.series:
+            deviation = result.deviation_series(name)[i]
+            row.append(f"{deviation:+.{precision}f}")
+        rows.append(row)
+    widths = [
+        max(len(header[col]), *(len(row[col]) for row in rows))
+        if rows
+        else len(header[col])
+        for col in range(len(header))
+    ]
+    lines = [
+        f"[{result.experiment_id}] relative deviation from optimal",
+        " | ".join(h.rjust(w) for h, w in zip(header, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(
+            " | ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def to_csv(result: ExperimentResult) -> str:
+    """The result as CSV text (header row + one row per x-value)."""
+    buffer = io.StringIO()
+    buffer.write(",".join(result.header()) + "\n")
+    for row in result.rows():
+        buffer.write(",".join(format_value(cell, 6) for cell in row) + "\n")
+    return buffer.getvalue()
+
+
+def ascii_plot(
+    result: ExperimentResult,
+    scheme: Optional[str] = None,
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """A rough character plot of one scheme's series (or the optimal).
+
+    Good enough to eyeball the shape of a figure in a terminal; the tables
+    carry the exact numbers.
+    """
+    values = (
+        result.optimal if scheme is None else result.series[scheme]
+    )
+    label = "OPT" if scheme is None else scheme_label(scheme)
+    if not values:
+        return f"{label}: (empty series)"
+    lo = min(values)
+    hi = max(values)
+    span = hi - lo or 1.0
+    columns = _resample(values, width)
+    rows = []
+    for level in range(height - 1, -1, -1):
+        # Level 0 sits exactly at the minimum so the bottom band is always
+        # fully marked for a positive series.
+        threshold = lo + span * level / height
+        row = "".join("*" if v >= threshold else " " for v in columns)
+        rows.append(row)
+    axis = "-" * width
+    return "\n".join(
+        [f"{label}  [{format_value(lo)} .. {format_value(hi)}]"]
+        + rows
+        + [axis]
+    )
+
+
+def _resample(values: Sequence[float], width: int) -> list:
+    if len(values) >= width:
+        step = len(values) / width
+        return [
+            values[min(int(i * step), len(values) - 1)]
+            for i in range(width)
+        ]
+    out = []
+    for i in range(width):
+        position = i * (len(values) - 1) / max(width - 1, 1)
+        out.append(values[round(position)])
+    return out

@@ -1,0 +1,137 @@
+"""Run the full experiment suite (all paper figures/tables) in one call.
+
+``run_all`` executes E1-E5, EPM, X1, X3-X5 and the THM existence search
+with the default (paper-scale) parameters and returns every result keyed
+by experiment id; ``render_all`` turns that into the textual report
+EXPERIMENTS.md is built from.  ``quick=True`` shrinks the sweeps for
+smoke tests and CI.  (X6, the growth experiment, returns a different
+result type and runs separately via ``repro.experiments.exp_growth`` —
+``scripts/generate_report.py`` appends it to the full report.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments import (
+    exp_beyond_paper,
+    exp_curve_ablation,
+    exp_db_size,
+    exp_load_sweep,
+    exp_num_attributes,
+    exp_num_disks,
+    exp_partial_match,
+    exp_query_shape,
+    exp_query_size,
+    exp_replication,
+)
+from repro.experiments.exp_num_attributes import deviation_table
+from repro.experiments.reporting import render_table
+from repro.theory.conditions import render_table as render_conditions
+from repro.theory.search import SearchResult, impossibility_frontier
+
+
+def run_all(quick: bool = False) -> Dict[str, object]:
+    """Execute the whole suite; keys match DESIGN.md's experiment index."""
+    results: Dict[str, object] = {}
+    if quick:
+        results["E1"] = exp_query_size.run(
+            grid_dims=(16, 16), num_disks=8, areas=(1, 4, 16, 64, 256)
+        )
+        results["E2"] = exp_query_shape.run(
+            grid_dims=(16, 16), num_disks=8, area=16
+        )
+        results["E3"] = exp_num_attributes.run(
+            num_disks=8,
+            grid_2d=(16, 16),
+            grid_3d=(8, 8, 8),
+            sides_2d=(2, 4, 8, 16),
+            sides_3d=(2, 4, 8),
+        )
+        results["E4a"], results["E4b"] = exp_num_disks.run(
+            grid_dims=(16, 16),
+            disk_counts=(2, 4, 8, 16),
+            large_shape=(8, 8),
+        )
+        results["E5"] = exp_db_size.run(
+            num_disks=8, grid_sides=(8, 16, 32), shape=(2, 2)
+        )
+        results["X1"] = exp_curve_ablation.run(
+            grid_dims=(16, 16), disk_counts=(5, 7, 8)
+        )
+        results["EPM"] = exp_partial_match.run(
+            grid_dims=(8, 8, 8), num_disks=8
+        )
+        results["X3"] = exp_beyond_paper.run(
+            grid_dims=(16, 16), disk_counts=(4, 8)
+        )
+        results["X4"] = exp_replication.run(
+            grid_dims=(8, 8),
+            num_disks=4,
+            sides=(2, 3),
+            max_placements=16,
+        )
+        results["X5"] = exp_load_sweep.run(
+            grid_dims=(16, 16),
+            num_disks=4,
+            num_queries=100,
+            rates_per_second=(10.0, 80.0),
+        )
+        results["THM"] = impossibility_frontier(max_disks=6)
+    else:
+        results["E1"] = exp_query_size.run()
+        results["E2"] = exp_query_shape.run()
+        results["E3"] = exp_num_attributes.run()
+        results["E4a"], results["E4b"] = exp_num_disks.run()
+        results["E5"] = exp_db_size.run()
+        results["X1"] = exp_curve_ablation.run()
+        results["EPM"] = exp_partial_match.run()
+        results["X3"] = exp_beyond_paper.run()
+        results["X4"] = exp_replication.run()
+        results["X5"] = exp_load_sweep.run()
+        results["THM"] = impossibility_frontier(max_disks=7)
+    return results
+
+
+def render_thm(results: List[SearchResult]) -> str:
+    """Textual rendering of the impossibility-frontier search."""
+    lines = [
+        "[THM] strictly optimal range-query declusterings (exhaustive search)",
+        " M | grid | exists | nodes explored",
+        "---+------+--------+---------------",
+    ]
+    for m, result in enumerate(results, start=1):
+        side = max(m, 2)
+        verdict = "yes" if result.exists else "no"
+        lines.append(
+            f"{m:>2} | {side}x{side:<3} | {verdict:<6} | "
+            f"{result.nodes_explored}"
+        )
+    return "\n".join(lines)
+
+
+def render_all(results: Dict[str, object]) -> str:
+    """The whole suite as one text report."""
+    sections = []
+    for key in ("E1", "E2"):
+        sections.append(render_table(results[key]))
+    comparison = results["E3"]
+    sections.append(render_table(comparison.result_2d))
+    sections.append(render_table(comparison.result_3d))
+    lines = [
+        "[E3] mean relative deviation from optimal, "
+        "2-d vs 3-d (matched sides >= 4)"
+    ]
+    min_side = 4 if any(
+        s >= 4 for s in comparison.common_sides()
+    ) else 1
+    for scheme, (dev2, dev3) in deviation_table(
+        comparison, min_side=min_side
+    ).items():
+        lines.append(f"  {scheme:8s} 2-d: {dev2:.4f}   3-d: {dev3:.4f}")
+    sections.append("\n".join(lines))
+    for key in ("E4a", "E4b", "E5", "X1", "EPM", "X3", "X4", "X5"):
+        sections.append(render_table(results[key]))
+    sections.append(render_thm(results["THM"]))
+    sections.append("[T1] " + render_conditions())
+    return "\n\n".join(sections)

@@ -1,0 +1,18 @@
+"""Record-level substrate: grid-file partitioning and declustered storage."""
+
+from repro.gridfile.dynamic import DynamicGridFile
+from repro.gridfile.file import DeclusteredGridFile, QueryExecution
+from repro.gridfile.partitioner import (
+    RangePartitioner,
+    equi_depth_partitioner,
+    equi_width_partitioner,
+)
+
+__all__ = [
+    "RangePartitioner",
+    "equi_width_partitioner",
+    "equi_depth_partitioner",
+    "DeclusteredGridFile",
+    "DynamicGridFile",
+    "QueryExecution",
+]

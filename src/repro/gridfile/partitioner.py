@@ -1,0 +1,170 @@
+"""Per-attribute range partitioners: attribute values -> partition indices.
+
+The grid-file organization (Nievergelt et al., TODS 1986) splits each
+attribute's domain into intervals; a record's bucket is the vector of the
+intervals its values fall in.  Two standard strategies:
+
+* **Equi-width** — intervals of equal length over a fixed domain.  Matches
+  the paper's setting (uniform data over known domains).
+* **Equi-depth** — interval boundaries at data quantiles, so every interval
+  holds roughly the same number of records.  This is what keeps bucket
+  loads balanced under skewed data, and is the knob exercised by the
+  gaussian/zipf datasets in :mod:`repro.workloads.datasets`.
+
+A partitioner stores its boundary array ``b_0 < b_1 < ... < b_d`` and maps a
+value ``v`` to the partition ``i`` with ``b_i <= v < b_{i+1}`` (the last
+partition is closed on the right so the domain maximum is representable).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.exceptions import GridFileError
+
+
+class RangePartitioner:
+    """Maps scalar attribute values to partition indices via boundaries.
+
+    Parameters
+    ----------
+    boundaries:
+        Strictly increasing array of length ``num_partitions + 1``; the
+        attribute domain is ``[boundaries[0], boundaries[-1]]``.
+    """
+
+    __slots__ = ("_boundaries",)
+
+    def __init__(self, boundaries: Sequence[float]):
+        boundaries = np.asarray(boundaries, dtype=np.float64)
+        if boundaries.ndim != 1 or boundaries.size < 2:
+            raise GridFileError(
+                "boundaries must be a 1-d array with at least 2 entries, "
+                f"got shape {boundaries.shape}"
+            )
+        if not np.all(np.diff(boundaries) > 0):
+            raise GridFileError(
+                f"boundaries must be strictly increasing: {boundaries}"
+            )
+        boundaries = boundaries.copy()
+        boundaries.setflags(write=False)
+        self._boundaries = boundaries
+
+    @property
+    def boundaries(self) -> np.ndarray:
+        """The (read-only) boundary array."""
+        return self._boundaries
+
+    @property
+    def num_partitions(self) -> int:
+        """Number of intervals, ``d_i``."""
+        return self._boundaries.size - 1
+
+    @property
+    def domain(self) -> tuple:
+        """``(lower, upper)`` bounds of the representable domain."""
+        return (float(self._boundaries[0]), float(self._boundaries[-1]))
+
+    def partition_of(self, value: float) -> int:
+        """Partition index of a single value (domain edges included)."""
+        return int(self.partitions_of(np.asarray([value]))[0])
+
+    def partitions_of(self, values) -> np.ndarray:
+        """Vectorized partition lookup; raises on out-of-domain values."""
+        values = np.asarray(values, dtype=np.float64)
+        lower, upper = self.domain
+        if values.size and (
+            values.min() < lower or values.max() > upper
+        ):
+            raise GridFileError(
+                f"value outside domain [{lower}, {upper}]: "
+                f"min={values.min()} max={values.max()}"
+            )
+        indices = np.searchsorted(self._boundaries, values, side="right") - 1
+        # The domain maximum belongs to the last partition.
+        return np.minimum(indices, self.num_partitions - 1)
+
+    def interval_of(self, partition: int) -> tuple:
+        """``(low, high)`` boundaries of one partition's interval."""
+        if not 0 <= partition < self.num_partitions:
+            raise GridFileError(
+                f"partition {partition} outside "
+                f"[0, {self.num_partitions})"
+            )
+        return (
+            float(self._boundaries[partition]),
+            float(self._boundaries[partition + 1]),
+        )
+
+    def partition_range(self, low: float, high: float) -> tuple:
+        """Partitions overlapping the value interval ``[low, high]``.
+
+        Returns the inclusive partition-index pair ``(first, last)`` — the
+        translation step from a value-range predicate to a bucket-coordinate
+        range query.
+        """
+        if low > high:
+            raise GridFileError(
+                f"empty value range [{low}, {high}]"
+            )
+        lower, upper = self.domain
+        low = max(low, lower)
+        high = min(high, upper)
+        if low > high:
+            raise GridFileError(
+                f"value range [{low}, {high}] outside domain "
+                f"[{lower}, {upper}]"
+            )
+        return (self.partition_of(low), self.partition_of(high))
+
+    def __repr__(self) -> str:
+        lower, upper = self.domain
+        return (
+            f"RangePartitioner(num_partitions={self.num_partitions}, "
+            f"domain=[{lower}, {upper}])"
+        )
+
+
+def equi_width_partitioner(
+    lower: float, upper: float, num_partitions: int
+) -> RangePartitioner:
+    """Equal-length intervals over ``[lower, upper]``."""
+    if num_partitions <= 0:
+        raise GridFileError(
+            f"partition count must be positive, got {num_partitions}"
+        )
+    if lower >= upper:
+        raise GridFileError(f"empty domain [{lower}, {upper}]")
+    return RangePartitioner(np.linspace(lower, upper, num_partitions + 1))
+
+
+def equi_depth_partitioner(
+    values, num_partitions: int
+) -> RangePartitioner:
+    """Intervals at data quantiles, each holding ~equal record counts.
+
+    Quantile boundaries are deduplicated; if the data has too few distinct
+    values to support the requested partition count, a
+    :class:`GridFileError` explains the failure rather than silently
+    producing a coarser grid.
+    """
+    if num_partitions <= 0:
+        raise GridFileError(
+            f"partition count must be positive, got {num_partitions}"
+        )
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise GridFileError("cannot build equi-depth boundaries on no data")
+    quantiles = np.linspace(0.0, 1.0, num_partitions + 1)
+    boundaries = np.quantile(values, quantiles)
+    # Make the top boundary inclusive of the maximum.
+    boundaries[-1] = values.max()
+    unique = np.unique(boundaries)
+    if unique.size != boundaries.size:
+        raise GridFileError(
+            f"data supports only {unique.size - 1} equi-depth partitions, "
+            f"{num_partitions} requested (duplicate quantile boundaries)"
+        )
+    return RangePartitioner(boundaries)

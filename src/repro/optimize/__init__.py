@@ -1,0 +1,17 @@
+"""Workload-aware allocation optimization (simulated annealing)."""
+
+from repro.optimize.annealing import (
+    AnnealingConfig,
+    AnnealingResult,
+    optimize_allocation,
+    optimize_allocation_multi,
+    workload_cost,
+)
+
+__all__ = [
+    "AnnealingConfig",
+    "AnnealingResult",
+    "optimize_allocation",
+    "optimize_allocation_multi",
+    "workload_cost",
+]

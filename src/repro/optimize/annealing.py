@@ -1,0 +1,263 @@
+"""Workload-aware allocation optimization by simulated annealing.
+
+The paper's conclusion: "information about common queries on a relation
+ought to be used in deciding the declustering for it."  This module is
+that advice, operationalized: starting from any allocation, a local search
+over *disk-swap moves* minimizes the summed response time of a concrete
+query workload.
+
+Mechanics:
+
+* **Moves are swaps** of two buckets' disk assignments, so the per-disk
+  storage loads of the starting allocation are preserved exactly — the
+  search cannot trade balance away for query speed.
+* **Incremental evaluation**: per-query per-disk bucket counts are
+  maintained in a ``(num_queries, M)`` matrix; a swap touches only the
+  queries containing either bucket, and each such query's response time
+  is recomputed from its count row.  A move is O(queries-per-bucket * M),
+  not O(workload).
+* **Annealing schedule**: classic exponential cooling with
+  Metropolis acceptance; with ``initial_temperature=0`` it degrades to
+  pure hill climbing.  Every run is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.allocation import DiskAllocation
+from repro.core.exceptions import WorkloadError
+from repro.core.grid import Grid
+from repro.core.query import RangeQuery
+
+
+@dataclass(frozen=True)
+class AnnealingConfig:
+    """Knobs of the annealing run.
+
+    Attributes
+    ----------
+    iterations:
+        Number of proposed swap moves.
+    initial_temperature:
+        Metropolis temperature at iteration 0; 0 = hill climbing.
+    cooling:
+        Multiplicative decay applied each iteration (0 < cooling <= 1).
+    seed:
+        PRNG seed; the whole run is deterministic given it.
+    """
+
+    iterations: int = 20_000
+    initial_temperature: float = 1.0
+    cooling: float = 0.9995
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.iterations < 0:
+            raise WorkloadError(
+                f"iterations must be >= 0, got {self.iterations}"
+            )
+        if self.initial_temperature < 0:
+            raise WorkloadError(
+                "initial temperature must be >= 0, got "
+                f"{self.initial_temperature}"
+            )
+        if not 0 < self.cooling <= 1:
+            raise WorkloadError(
+                f"cooling must be in (0, 1], got {self.cooling}"
+            )
+
+
+@dataclass
+class AnnealingResult:
+    """Outcome of one optimization run."""
+
+    allocation: DiskAllocation
+    initial_cost: int
+    final_cost: int
+    accepted_moves: int
+    proposed_moves: int
+    history: List[int] = field(default_factory=list)
+
+    @property
+    def improvement(self) -> float:
+        """Fractional cost reduction, ``(initial - final) / initial``."""
+        if self.initial_cost == 0:
+            return 0.0
+        return (self.initial_cost - self.final_cost) / self.initial_cost
+
+
+class _WorkloadState:
+    """Incremental summed-RT bookkeeping for a fixed query workload."""
+
+    def __init__(
+        self,
+        grid: Grid,
+        num_disks: int,
+        table: np.ndarray,
+        queries: Sequence[RangeQuery],
+    ):
+        self.grid = grid
+        self.num_disks = num_disks
+        self.table = table.copy()
+        self.queries = list(queries)
+        if not self.queries:
+            raise WorkloadError("workload contains no queries")
+        for query in self.queries:
+            if not query.fits_in(grid):
+                raise WorkloadError(
+                    f"query {query} does not fit in grid {grid.dims}"
+                )
+        num_queries = len(self.queries)
+        self.counts = np.zeros((num_queries, num_disks), dtype=np.int64)
+        self.rts = np.zeros(num_queries, dtype=np.int64)
+        # bucket linear index -> indices of queries containing it
+        self.bucket_queries: Dict[int, List[int]] = {}
+        for qi, query in enumerate(self.queries):
+            region = self.table[query.slices()]
+            self.counts[qi] = np.bincount(
+                region.ravel(), minlength=num_disks
+            )
+            self.rts[qi] = self.counts[qi].max()
+            for coords in query.iter_buckets():
+                linear = grid.linear_index(coords)
+                self.bucket_queries.setdefault(linear, []).append(qi)
+
+    def total_cost(self) -> int:
+        return int(self.rts.sum())
+
+    def swap_delta(self, a: Tuple[int, ...], b: Tuple[int, ...]) -> int:
+        """Cost change if buckets ``a`` and ``b`` swapped disks."""
+        return self._apply(a, b, commit=False)
+
+    def commit_swap(self, a: Tuple[int, ...], b: Tuple[int, ...]) -> int:
+        """Perform the swap, returning the cost change."""
+        return self._apply(a, b, commit=True)
+
+    def _apply(self, a, b, commit: bool) -> int:
+        disk_a = int(self.table[a])
+        disk_b = int(self.table[b])
+        if disk_a == disk_b:
+            return 0
+        set_a = set(self.bucket_queries.get(self.grid.linear_index(a), []))
+        set_b = set(self.bucket_queries.get(self.grid.linear_index(b), []))
+        delta = 0
+        updates = []
+        for qi in set_a | set_b:
+            row = self.counts[qi].copy()
+            if qi in set_a:
+                row[disk_a] -= 1
+                row[disk_b] += 1
+            if qi in set_b:
+                row[disk_b] -= 1
+                row[disk_a] += 1
+            new_rt = int(row.max())
+            delta += new_rt - int(self.rts[qi])
+            updates.append((qi, row, new_rt))
+        if commit:
+            for qi, row, new_rt in updates:
+                self.counts[qi] = row
+                self.rts[qi] = new_rt
+            self.table[a] = disk_b
+            self.table[b] = disk_a
+        return delta
+
+
+def workload_cost(
+    allocation: DiskAllocation, queries: Sequence[RangeQuery]
+) -> int:
+    """Summed response time of a workload (the annealer's objective)."""
+    from repro.core.cost import response_time
+
+    return sum(response_time(allocation, q) for q in queries)
+
+
+def optimize_allocation_multi(
+    allocation: DiskAllocation,
+    queries: Sequence[RangeQuery],
+    config: AnnealingConfig = AnnealingConfig(),
+    restarts: int = 3,
+) -> AnnealingResult:
+    """Best of ``restarts`` independent annealing runs (seeds derived
+    from ``config.seed``).
+
+    Annealing is a local search; restarts are the cheap insurance
+    against an unlucky trajectory.  Deterministic given the base seed.
+    """
+    if restarts <= 0:
+        raise WorkloadError(f"restarts must be positive, got {restarts}")
+    best = None
+    for attempt in range(restarts):
+        run_config = AnnealingConfig(
+            iterations=config.iterations,
+            initial_temperature=config.initial_temperature,
+            cooling=config.cooling,
+            seed=config.seed + attempt,
+        )
+        result = optimize_allocation(allocation, queries, run_config)
+        if best is None or result.final_cost < best.final_cost:
+            best = result
+    return best
+
+
+def optimize_allocation(
+    allocation: DiskAllocation,
+    queries: Sequence[RangeQuery],
+    config: AnnealingConfig = AnnealingConfig(),
+) -> AnnealingResult:
+    """Anneal an allocation against a workload; returns the improved map.
+
+    The result's allocation has exactly the same per-disk storage loads as
+    the input (moves are swaps).  With the default configuration the run
+    takes well under a second for a 32 x 32 grid and a few hundred
+    queries.
+    """
+    grid = allocation.grid
+    state = _WorkloadState(
+        grid, allocation.num_disks, np.asarray(allocation.table), queries
+    )
+    rng = np.random.default_rng(config.seed)
+    initial_cost = state.total_cost()
+    cost = initial_cost
+    best_cost = cost
+    best_table = state.table.copy()
+    temperature = config.initial_temperature
+    accepted = 0
+    history = [cost]
+
+    flat_buckets = [grid.coords_of(i) for i in range(grid.num_buckets)]
+    for _ in range(config.iterations):
+        ai, bi = rng.integers(0, grid.num_buckets, size=2)
+        a = flat_buckets[int(ai)]
+        b = flat_buckets[int(bi)]
+        delta = state.swap_delta(a, b)
+        accept = delta < 0
+        if not accept and delta == 0:
+            accept = bool(rng.random() < 0.5)
+        elif not accept and temperature > 0:
+            accept = bool(
+                rng.random() < np.exp(-delta / temperature)
+            )
+        if accept:
+            state.commit_swap(a, b)
+            cost += delta
+            accepted += 1
+            if cost < best_cost:
+                best_cost = cost
+                best_table = state.table.copy()
+        temperature *= config.cooling
+        history.append(cost)
+
+    return AnnealingResult(
+        allocation=DiskAllocation(
+            grid, allocation.num_disks, best_table
+        ),
+        initial_cost=initial_cost,
+        final_cost=best_cost,
+        accepted_moves=accepted,
+        proposed_moves=config.iterations,
+        history=history,
+    )

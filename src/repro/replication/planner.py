@@ -1,0 +1,198 @@
+"""Replica-choice query planning: which copy of each bucket to read.
+
+With two copies per bucket, answering a query becomes an assignment
+problem: pick one disk from each bucket's pair so the busiest disk reads
+as few buckets as possible.  Two planners are provided:
+
+* :func:`plan_query` with ``method="flow"`` — **exact**: binary-search the
+  answer ``T`` and test feasibility as a bipartite degree-constrained
+  assignment via max-flow (source -> buckets (cap 1) -> their two disks ->
+  sink (cap T)).  Polynomial and fast at this problem size.
+* ``method="greedy"`` — assign buckets in decreasing scarcity order to the
+  currently less-loaded of their two disks.  Near-optimal in practice and
+  what a real executor would run.
+
+The headline fact the tests pin down: with a sensible replica layout the
+*planned* response time of the small queries that plague DM collapses to
+(or near) the ``ceil(|Q|/M)`` optimum — replication buys not just
+availability but the paper's missing query-time balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.cost import optimal_response_time
+from repro.core.exceptions import QueryError
+from repro.core.query import RangeQuery
+from repro.replication.allocation import ReplicatedAllocation
+
+Coords = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A replica choice for every bucket of one query."""
+
+    query: RangeQuery
+    assignment: Dict[Coords, int]
+    loads: np.ndarray
+
+    @property
+    def response_time(self) -> int:
+        """Busiest disk's bucket count under this plan."""
+        return int(self.loads.max()) if self.loads.size else 0
+
+    @property
+    def num_buckets(self) -> int:
+        """Buckets read by the plan."""
+        return len(self.assignment)
+
+
+def _query_buckets(
+    replicated: ReplicatedAllocation, query: RangeQuery
+) -> List[Coords]:
+    grid = replicated.grid
+    if query.ndim != grid.ndim:
+        raise QueryError(
+            f"{query.ndim}-d query does not match {grid.ndim}-d grid"
+        )
+    clipped = query.clip_to(grid)
+    if clipped is None:
+        return []
+    return list(clipped.iter_buckets())
+
+
+def _greedy_assignment(
+    replicated: ReplicatedAllocation, buckets: List[Coords]
+) -> Dict[Coords, int]:
+    loads = np.zeros(replicated.num_disks, dtype=np.int64)
+    assignment: Dict[Coords, int] = {}
+    for coords in buckets:
+        primary, backup = replicated.disks_of(coords)
+        if loads[primary] <= loads[backup]:
+            choice = primary
+        else:
+            choice = backup
+        assignment[coords] = choice
+        loads[choice] += 1
+    return assignment
+
+
+def _flow_feasible(
+    pairs: List[Tuple[int, int]], num_disks: int, limit: int
+) -> Dict[int, int]:
+    """Assignment with per-disk load <= limit, or {} if infeasible.
+
+    Max-flow on: source -> bucket_i (cap 1) -> {disk_p, disk_b} (cap 1)
+    -> sink (cap limit).  Feasible iff max flow saturates all buckets.
+    """
+    import networkx as nx
+
+    graph = nx.DiGraph()
+    source, sink = "s", "t"
+    for i, (primary, backup) in enumerate(pairs):
+        bucket = ("b", i)
+        graph.add_edge(source, bucket, capacity=1)
+        graph.add_edge(bucket, ("d", primary), capacity=1)
+        if backup != primary:
+            graph.add_edge(bucket, ("d", backup), capacity=1)
+    for disk in range(num_disks):
+        node = ("d", disk)
+        if graph.has_node(node):
+            graph.add_edge(node, sink, capacity=limit)
+    value, flow = nx.maximum_flow(graph, source, sink)
+    if value < len(pairs):
+        return {}
+    assignment = {}
+    for i in range(len(pairs)):
+        bucket = ("b", i)
+        for target, units in flow[bucket].items():
+            if units > 0:
+                assignment[i] = target[1]
+                break
+    return assignment
+
+
+def plan_query(
+    replicated: ReplicatedAllocation,
+    query: RangeQuery,
+    method: str = "flow",
+) -> QueryPlan:
+    """Choose a replica per bucket minimizing the busiest disk.
+
+    ``method="flow"`` is exact; ``method="greedy"`` is the fast heuristic.
+    """
+    if method not in ("flow", "greedy"):
+        raise QueryError(
+            f"unknown planning method {method!r}; use 'flow' or 'greedy'"
+        )
+    buckets = _query_buckets(replicated, query)
+    num_disks = replicated.num_disks
+    if not buckets:
+        return QueryPlan(
+            query=query,
+            assignment={},
+            loads=np.zeros(num_disks, dtype=np.int64),
+        )
+
+    if method == "greedy":
+        assignment = _greedy_assignment(replicated, buckets)
+    else:
+        pairs = [replicated.disks_of(coords) for coords in buckets]
+        greedy = _greedy_assignment(replicated, buckets)
+        upper = int(
+            np.bincount(
+                list(greedy.values()), minlength=num_disks
+            ).max()
+        )
+        lower = optimal_response_time(len(buckets), num_disks)
+        best: Dict[int, int] = {}
+        while lower < upper:
+            middle = (lower + upper) // 2
+            candidate = _flow_feasible(pairs, num_disks, middle)
+            if candidate:
+                best = candidate
+                upper = middle
+            else:
+                lower = middle + 1
+        if best:
+            assignment = {
+                coords: best[i] for i, coords in enumerate(buckets)
+            }
+        else:
+            assignment = greedy  # greedy already achieved the bound
+
+    loads = np.zeros(num_disks, dtype=np.int64)
+    for disk in assignment.values():
+        loads[disk] += 1
+    return QueryPlan(query=query, assignment=assignment, loads=loads)
+
+
+def replicated_response_time(
+    replicated: ReplicatedAllocation,
+    query: RangeQuery,
+    method: str = "flow",
+) -> int:
+    """Response time of a query under optimal (or greedy) replica choice."""
+    return plan_query(replicated, query, method=method).response_time
+
+
+def replication_speedup(
+    replicated: ReplicatedAllocation,
+    query: RangeQuery,
+    method: str = "flow",
+) -> float:
+    """Primary-only RT divided by planned replicated RT (>= 1)."""
+    from repro.core.cost import response_time
+
+    primary_rt = response_time(replicated.primary, query)
+    planned_rt = replicated_response_time(
+        replicated, query, method=method
+    )
+    if planned_rt == 0:
+        return 1.0
+    return primary_rt / planned_rt

@@ -1,0 +1,58 @@
+"""Grid-based declustering schemes.
+
+The four families evaluated by the paper — DM/CMD, FX/ExFX, ECC, HCAM — plus
+GDM and the baseline/ablation schemes.  All share the
+:class:`~repro.schemes.base.DeclusteringScheme` interface; use
+:func:`repro.core.registry.get_scheme` to construct by name.
+"""
+
+from repro.schemes.base import DeclusteringScheme
+from repro.schemes.baselines import RandomScheme, RoundRobinScheme
+from repro.schemes.cyclic import (
+    CyclicScheme,
+    coprime_skips,
+    exhaustive_skip,
+    gfib_skip,
+    rphm_skip,
+)
+from repro.schemes.disk_modulo import (
+    DiskModuloScheme,
+    GeneralizedDiskModuloScheme,
+)
+from repro.schemes.ecc_scheme import ECCScheme
+from repro.schemes.fieldwise_xor import AutoFXScheme, ExFXScheme, FXScheme
+from repro.schemes.hilbert_scheme import (
+    GrayCodeScheme,
+    HCAMScheme,
+    ZOrderScheme,
+)
+from repro.schemes.lattice import (
+    LatticeScheme,
+    exhaustive_coefficients,
+    power_coefficients,
+)
+from repro.schemes.workload_aware import WorkloadAwareScheme
+
+__all__ = [
+    "DeclusteringScheme",
+    "DiskModuloScheme",
+    "GeneralizedDiskModuloScheme",
+    "FXScheme",
+    "ExFXScheme",
+    "AutoFXScheme",
+    "ECCScheme",
+    "HCAMScheme",
+    "ZOrderScheme",
+    "GrayCodeScheme",
+    "RandomScheme",
+    "RoundRobinScheme",
+    "CyclicScheme",
+    "coprime_skips",
+    "rphm_skip",
+    "gfib_skip",
+    "exhaustive_skip",
+    "LatticeScheme",
+    "power_coefficients",
+    "exhaustive_coefficients",
+    "WorkloadAwareScheme",
+]

@@ -1,0 +1,67 @@
+"""Abstract base class shared by all declustering schemes.
+
+A scheme is a *rule* for mapping bucket coordinates to disk ids.  It is
+stateless with respect to any particular grid: calling
+:meth:`DeclusteringScheme.allocate` materializes the rule over a grid into a
+:class:`~repro.core.allocation.DiskAllocation` that the cost model evaluates.
+
+Subclasses implement either :meth:`disk_of` (per-bucket rule; the base class
+materializes it bucket by bucket) or override :meth:`allocate` directly with
+a vectorized computation.  Schemes with preconditions (e.g. ECC needs ``M``
+to be a power of two) raise :class:`SchemeNotApplicableError` from
+:meth:`check_applicable`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.core.allocation import DiskAllocation, allocation_from_function
+from repro.core.exceptions import SchemeError, SchemeNotApplicableError
+from repro.core.grid import Grid
+
+
+class DeclusteringScheme(abc.ABC):
+    """Base class for bucket-to-disk declustering rules.
+
+    Attributes
+    ----------
+    name:
+        Short identifier used in the registry, reports, and plots
+        (e.g. ``"dm"``, ``"fx"``, ``"ecc"``, ``"hcam"``).
+    """
+
+    #: Registry identifier; subclasses must override.
+    name: str = ""
+
+    def check_applicable(self, grid: Grid, num_disks: int) -> None:
+        """Raise :class:`SchemeNotApplicableError` if preconditions fail.
+
+        The default accepts any positive disk count.
+        """
+        if num_disks <= 0:
+            raise SchemeError(
+                f"number of disks must be positive, got {num_disks}"
+            )
+
+    @abc.abstractmethod
+    def disk_of(self, coords: Sequence[int], grid: Grid, num_disks: int) -> int:
+        """Disk id for the bucket at ``coords`` (the scheme's defining rule)."""
+
+    def allocate(self, grid: Grid, num_disks: int) -> DiskAllocation:
+        """Materialize the rule over ``grid`` into a full allocation table."""
+        self.check_applicable(grid, num_disks)
+        return allocation_from_function(
+            grid,
+            num_disks,
+            lambda coords: self.disk_of(coords, grid, num_disks),
+        )
+
+    def describe(self) -> str:
+        """One-line human description (docstring first line by default)."""
+        doc = (self.__doc__ or "").strip()
+        return doc.splitlines()[0] if doc else self.name
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,69 @@
+"""Baseline allocations: random and row-major round-robin.
+
+Not methods from the paper's evaluation, but useful reference points:
+
+* **Random** is the "no structure" baseline — storage is balanced only in
+  expectation, and small queries routinely collide on a disk.  Any grid-aware
+  method should beat it on worst-case response time.
+* **Row-major round-robin** deals disks along row-major bucket order.  On a
+  2-d grid with ``d_2 mod M != 0`` it behaves like a skewed modulo scheme;
+  with ``d_2 mod M == 0`` every column of a row repeats the same disk
+  pattern, which is pathological for queries tall in axis 0 — a useful
+  cautionary ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.allocation import DiskAllocation
+from repro.core.grid import Grid
+from repro.schemes.base import DeclusteringScheme
+
+
+class RandomScheme(DeclusteringScheme):
+    """Seeded uniform-random bucket-to-disk assignment."""
+
+    name = "random"
+
+    def __init__(self, seed: Optional[int] = 0):
+        self._seed = seed
+
+    @property
+    def seed(self) -> Optional[int]:
+        """The PRNG seed; the allocation is deterministic given the seed."""
+        return self._seed
+
+    def disk_of(self, coords: Sequence[int], grid: Grid, num_disks: int) -> int:
+        coords = grid.validate_coords(coords)
+        table = self._table(grid, num_disks)
+        return int(table[coords])
+
+    def _table(self, grid: Grid, num_disks: int) -> np.ndarray:
+        rng = np.random.default_rng(self._seed)
+        return rng.integers(0, num_disks, size=grid.dims, dtype=np.int64)
+
+    def allocate(self, grid: Grid, num_disks: int) -> DiskAllocation:
+        self.check_applicable(grid, num_disks)
+        return DiskAllocation(grid, num_disks, self._table(grid, num_disks))
+
+    def __repr__(self) -> str:
+        return f"RandomScheme(seed={self._seed})"
+
+
+class RoundRobinScheme(DeclusteringScheme):
+    """Deal disks 0, 1, ..., M-1, 0, ... along row-major bucket order."""
+
+    name = "roundrobin"
+
+    def disk_of(self, coords: Sequence[int], grid: Grid, num_disks: int) -> int:
+        return grid.linear_index(coords) % num_disks
+
+    def allocate(self, grid: Grid, num_disks: int) -> DiskAllocation:
+        self.check_applicable(grid, num_disks)
+        table = (
+            np.arange(grid.num_buckets, dtype=np.int64) % num_disks
+        ).reshape(grid.dims)
+        return DiskAllocation(grid, num_disks, table)

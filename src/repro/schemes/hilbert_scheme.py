@@ -1,0 +1,76 @@
+"""HCAM — Hilbert Curve Allocation Method — and its curve-swap ablations.
+
+Faloutsos & Bhagwat (PDIS 1993): linearize the bucket grid along the
+k-dimensional Hilbert curve and deal disks round-robin,
+
+    disk(b) = rank_along_curve(b) mod M.
+
+Because the Hilbert curve has strong locality (Jagadish, SIGMOD 1990),
+buckets close in the grid are close on the curve, and round-robin dealing
+then sends nearby buckets to different disks — the behaviour that makes HCAM
+the strongest method on small range queries in the paper's experiments.
+
+For grids that are not power-of-two hypercubes, the curve is computed in the
+smallest enclosing hypercube and re-ranked over the cells that exist
+(:func:`repro.sfc.ordering.curve_ranks`); on the paper's power-of-two grids
+this is the identity.
+
+:class:`ZOrderScheme` and :class:`GrayCodeScheme` are ablations of ours, not
+paper methods: identical round-robin dealing along weaker-locality curves,
+isolating the Hilbert curve's contribution (experiment X1 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.allocation import DiskAllocation
+from repro.core.grid import Grid
+from repro.schemes.base import DeclusteringScheme
+from repro.sfc.hilbert import hilbert_index
+from repro.sfc.ordering import curve_ranks, enclosing_order
+from repro.sfc.zorder import gray_index, morton_index
+
+
+class _CurveRoundRobinScheme(DeclusteringScheme):
+    """Shared machinery: rank buckets along a curve, assign rank mod M."""
+
+    #: (coords, order) -> curve position; set by subclasses.
+    curve_fn = None
+
+    def ranks(self, grid: Grid):
+        """Rank of every bucket along this scheme's curve (grid-shaped array)."""
+        return curve_ranks(grid, type(self).curve_fn)
+
+    def disk_of(self, coords: Sequence[int], grid: Grid, num_disks: int) -> int:
+        coords = grid.validate_coords(coords)
+        return int(self.ranks(grid)[coords]) % num_disks
+
+    def allocate(self, grid: Grid, num_disks: int) -> DiskAllocation:
+        self.check_applicable(grid, num_disks)
+        return DiskAllocation(grid, num_disks, self.ranks(grid) % num_disks)
+
+
+class HCAMScheme(_CurveRoundRobinScheme):
+    """HCAM: disk = (Hilbert-curve rank of the bucket) mod M."""
+
+    name = "hcam"
+    curve_fn = staticmethod(hilbert_index)
+
+    def curve_order(self, grid: Grid) -> int:
+        """Order of the enclosing hypercube's Hilbert curve for this grid."""
+        return enclosing_order(grid)
+
+
+class ZOrderScheme(_CurveRoundRobinScheme):
+    """Ablation: round-robin along the Z-order (Morton) curve."""
+
+    name = "zorder"
+    curve_fn = staticmethod(morton_index)
+
+
+class GrayCodeScheme(_CurveRoundRobinScheme):
+    """Ablation: round-robin along the Gray-code curve."""
+
+    name = "gray"
+    curve_fn = staticmethod(gray_index)

@@ -1,0 +1,42 @@
+"""Space-filling-curve substrate: Hilbert, Z-order, and Gray-code curves.
+
+These linearize a k-dimensional bucket grid into a single sequence; HCAM
+(:mod:`repro.schemes.hilbert_scheme`) deals disks round-robin along the
+Hilbert curve, and the ablation schemes do the same along the other curves.
+"""
+
+from repro.sfc.hilbert import (
+    curve_points,
+    hilbert_coords,
+    hilbert_index,
+    hilbert_index_array,
+)
+from repro.sfc.ordering import curve_positions, curve_ranks, enclosing_order
+from repro.sfc.zorder import (
+    gray_coords,
+    gray_decode,
+    gray_encode,
+    gray_index,
+    gray_index_array,
+    morton_coords,
+    morton_index,
+    morton_index_array,
+)
+
+__all__ = [
+    "hilbert_index",
+    "hilbert_coords",
+    "hilbert_index_array",
+    "morton_index_array",
+    "gray_index_array",
+    "curve_points",
+    "morton_index",
+    "morton_coords",
+    "gray_encode",
+    "gray_decode",
+    "gray_index",
+    "gray_coords",
+    "curve_positions",
+    "curve_ranks",
+    "enclosing_order",
+]

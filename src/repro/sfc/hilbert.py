@@ -1,0 +1,227 @@
+"""k-dimensional Hilbert curve, implemented from scratch.
+
+The Hilbert curve visits every point of a ``2^p x ... x 2^p`` (n-dimensional)
+grid exactly once, moving one unit step at a time, and never crosses itself.
+HCAM (Faloutsos & Bhagwat, PDIS'93) uses it to linearize the bucket grid and
+then deals disks round-robin along the curve; the curve's locality is what
+gives HCAM its good behaviour on small range queries.
+
+The implementation follows John Skilling's transpose algorithm
+("Programming the Hilbert curve", AIP Conf. Proc. 707, 2004): coordinates are
+converted to/from a "transposed" form of the Hilbert index with O(n*p) bit
+operations, with no recursion and no lookup tables, for any number of
+dimensions ``n >= 1`` and order ``p >= 1``.
+
+Both directions are provided and are exact inverses:
+
+* :func:`hilbert_index` — coordinates -> position along the curve,
+* :func:`hilbert_coords` — position -> coordinates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.exceptions import GridError
+
+
+def _validate(ndim: int, order: int) -> None:
+    if ndim < 1:
+        raise GridError(f"Hilbert curve needs ndim >= 1, got {ndim}")
+    if order < 1:
+        raise GridError(f"Hilbert curve needs order >= 1, got {order}")
+
+
+def _transpose_to_index(transpose: Sequence[int], ndim: int, order: int) -> int:
+    """Interleave the transposed form back into a single integer.
+
+    Bit ``b`` of ``transpose[i]`` becomes bit ``b * ndim + (ndim - 1 - i)``
+    of the index (most significant bits come from the highest coordinate
+    bit of axis 0).
+    """
+    index = 0
+    for bit in range(order - 1, -1, -1):
+        for axis in range(ndim):
+            index = (index << 1) | ((transpose[axis] >> bit) & 1)
+    return index
+
+
+def _index_to_transpose(index: int, ndim: int, order: int) -> List[int]:
+    """De-interleave an index into its transposed form (inverse of above)."""
+    transpose = [0] * ndim
+    position = ndim * order - 1
+    for bit in range(order - 1, -1, -1):
+        for axis in range(ndim):
+            transpose[axis] |= ((index >> position) & 1) << bit
+            position -= 1
+    return transpose
+
+
+def hilbert_index(coords: Sequence[int], order: int) -> int:
+    """Position of ``coords`` along the Hilbert curve of the given order.
+
+    Parameters
+    ----------
+    coords:
+        Point in a ``[0, 2^order)^n`` hypercube.
+    order:
+        Bits per coordinate, ``p``.
+
+    Returns
+    -------
+    int
+        Curve position in ``[0, 2^(n*p))``.
+
+    Examples
+    --------
+    >>> [hilbert_index((x, y), 1) for x in (0, 1) for y in (0, 1)]
+    [0, 1, 3, 2]
+    """
+    ndim = len(coords)
+    _validate(ndim, order)
+    side = 1 << order
+    x = [int(c) for c in coords]
+    for c in x:
+        if not 0 <= c < side:
+            raise GridError(
+                f"coordinate {c} outside [0, {side}) for order {order}"
+            )
+
+    # Skilling: inverse undo of the excess work (top bit down to bit 1).
+    q = 1 << (order - 1)
+    while q > 1:
+        mask = q - 1
+        for axis in range(ndim):
+            if x[axis] & q:
+                x[0] ^= mask  # invert low bits of axis 0
+            else:
+                swap = (x[0] ^ x[axis]) & mask
+                x[0] ^= swap
+                x[axis] ^= swap
+        q >>= 1
+
+    # Gray encode.
+    for axis in range(1, ndim):
+        x[axis] ^= x[axis - 1]
+    flip = 0
+    q = 1 << (order - 1)
+    while q > 1:
+        if x[ndim - 1] & q:
+            flip ^= q - 1
+        q >>= 1
+    for axis in range(ndim):
+        x[axis] ^= flip
+
+    return _transpose_to_index(x, ndim, order)
+
+
+def hilbert_coords(index: int, ndim: int, order: int) -> Tuple[int, ...]:
+    """Coordinates of the point at ``index`` along the curve.
+
+    Exact inverse of :func:`hilbert_index`.
+
+    Examples
+    --------
+    >>> hilbert_coords(2, 2, 1)
+    (1, 1)
+    """
+    _validate(ndim, order)
+    total = 1 << (ndim * order)
+    index = int(index)
+    if not 0 <= index < total:
+        raise GridError(f"curve position {index} outside [0, {total})")
+
+    x = _index_to_transpose(index, ndim, order)
+
+    # Gray decode.
+    flip = x[ndim - 1] >> 1
+    for axis in range(ndim - 1, 0, -1):
+        x[axis] ^= x[axis - 1]
+    x[0] ^= flip
+
+    # Undo excess work (bit 1 up to the top bit).
+    q = 2
+    top = 1 << (order - 1)
+    while q <= top:
+        mask = q - 1
+        for axis in range(ndim - 1, -1, -1):
+            if x[axis] & q:
+                x[0] ^= mask
+            else:
+                swap = (x[0] ^ x[axis]) & mask
+                x[0] ^= swap
+                x[axis] ^= swap
+        q <<= 1
+
+    return tuple(x)
+
+
+def hilbert_index_array(coords, order: int):
+    """Vectorized :func:`hilbert_index` for a ``(N, ndim)`` array.
+
+    A faithful numpy port of the same Skilling transform: the bit-level
+    loops run ``order * ndim`` times regardless of N, with every
+    operation vectorized across the N points.  Used by HCAM to rank
+    large grids hundreds of times faster than the scalar path; the test
+    suite pins exact agreement with :func:`hilbert_index`.
+    """
+    import numpy as np
+
+    coords = np.asarray(coords, dtype=np.int64)
+    if coords.ndim != 2:
+        raise GridError(
+            f"expected an (N, ndim) coordinate array, got shape "
+            f"{coords.shape}"
+        )
+    num_points, ndim = coords.shape
+    _validate(ndim, order)
+    side = 1 << order
+    if num_points and (coords.min() < 0 or coords.max() >= side):
+        raise GridError(
+            f"coordinates outside [0, {side}) for order {order}"
+        )
+    x = coords.T.copy()  # shape (ndim, N)
+
+    # Inverse undo of the excess work.
+    q = 1 << (order - 1)
+    while q > 1:
+        mask = q - 1
+        for axis in range(ndim):
+            has_bit = (x[axis] & q) != 0
+            # Where the bit is set: invert low bits of axis 0.
+            x[0] = np.where(has_bit, x[0] ^ mask, x[0])
+            # Elsewhere: swap the low bits of axis 0 and this axis.
+            swap = np.where(has_bit, 0, (x[0] ^ x[axis]) & mask)
+            x[0] ^= swap
+            x[axis] ^= swap
+        q >>= 1
+
+    # Gray encode.
+    for axis in range(1, ndim):
+        x[axis] ^= x[axis - 1]
+    flip = np.zeros(num_points, dtype=np.int64)
+    q = 1 << (order - 1)
+    while q > 1:
+        flip = np.where((x[ndim - 1] & q) != 0, flip ^ (q - 1), flip)
+        q >>= 1
+    for axis in range(ndim):
+        x[axis] ^= flip
+
+    # Interleave the transposed form into indices.
+    index = np.zeros(num_points, dtype=np.int64)
+    for bit in range(order - 1, -1, -1):
+        for axis in range(ndim):
+            index = (index << 1) | ((x[axis] >> bit) & 1)
+    return index
+
+
+def curve_points(ndim: int, order: int) -> List[Tuple[int, ...]]:
+    """The whole curve as a point sequence (small orders; mainly for tests).
+
+    Successive points differ in exactly one coordinate by exactly one —
+    the defining unit-step property.
+    """
+    _validate(ndim, order)
+    return [
+        hilbert_coords(i, ndim, order) for i in range(1 << (ndim * order))
+    ]

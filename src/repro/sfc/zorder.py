@@ -1,0 +1,140 @@
+"""Z-order (Morton) and Gray-code linearizations of a power-of-two grid.
+
+Neither appears in the paper's evaluation; they serve as ablation curves for
+HCAM (same round-robin assignment, different linearization), isolating how
+much of HCAM's behaviour comes specifically from the Hilbert curve's
+locality.
+
+* **Z-order** interleaves the coordinate bits directly.  It is the cheapest
+  space-filling curve but takes long jumps, so its locality is weaker than
+  Hilbert's.
+* **Gray-code order** visits cells so that consecutive interleaved codes
+  differ in one bit; it sits between Z-order and Hilbert in locality.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.core.exceptions import GridError
+
+
+def _validate(ndim: int, order: int) -> None:
+    if ndim < 1:
+        raise GridError(f"curve needs ndim >= 1, got {ndim}")
+    if order < 1:
+        raise GridError(f"curve needs order >= 1, got {order}")
+
+
+def morton_index(coords: Sequence[int], order: int) -> int:
+    """Interleave coordinate bits, axis 0 contributing the most significant.
+
+    Examples
+    --------
+    >>> [morton_index((x, y), 1) for x in (0, 1) for y in (0, 1)]
+    [0, 1, 2, 3]
+    """
+    ndim = len(coords)
+    _validate(ndim, order)
+    side = 1 << order
+    index = 0
+    for c in coords:
+        if not 0 <= int(c) < side:
+            raise GridError(
+                f"coordinate {c} outside [0, {side}) for order {order}"
+            )
+    for bit in range(order - 1, -1, -1):
+        for c in coords:
+            index = (index << 1) | ((int(c) >> bit) & 1)
+    return index
+
+
+def morton_coords(index: int, ndim: int, order: int) -> Tuple[int, ...]:
+    """Inverse of :func:`morton_index`."""
+    _validate(ndim, order)
+    total = 1 << (ndim * order)
+    index = int(index)
+    if not 0 <= index < total:
+        raise GridError(f"curve position {index} outside [0, {total})")
+    coords = [0] * ndim
+    position = ndim * order - 1
+    for bit in range(order - 1, -1, -1):
+        for axis in range(ndim):
+            coords[axis] |= ((index >> position) & 1) << bit
+            position -= 1
+    return tuple(coords)
+
+
+def morton_index_array(coords, order: int):
+    """Vectorized :func:`morton_index` for a ``(N, ndim)`` array."""
+    import numpy as np
+
+    coords = np.asarray(coords, dtype=np.int64)
+    if coords.ndim != 2:
+        raise GridError(
+            f"expected an (N, ndim) coordinate array, got shape "
+            f"{coords.shape}"
+        )
+    num_points, ndim = coords.shape
+    _validate(ndim, order)
+    side = 1 << order
+    if num_points and (coords.min() < 0 or coords.max() >= side):
+        raise GridError(
+            f"coordinates outside [0, {side}) for order {order}"
+        )
+    index = np.zeros(num_points, dtype=np.int64)
+    for bit in range(order - 1, -1, -1):
+        for axis in range(ndim):
+            index = (index << 1) | ((coords[:, axis] >> bit) & 1)
+    return index
+
+
+def gray_encode(value: int) -> int:
+    """Reflected binary Gray code of ``value``."""
+    if value < 0:
+        raise GridError(f"Gray code needs a non-negative value, got {value}")
+    return value ^ (value >> 1)
+
+
+def gray_decode(code: int) -> int:
+    """Inverse of :func:`gray_encode`."""
+    if code < 0:
+        raise GridError(f"Gray decode needs a non-negative code, got {code}")
+    value = 0
+    while code:
+        value ^= code
+        code >>= 1
+    return value
+
+
+def gray_index_array(coords, order: int):
+    """Vectorized :func:`gray_index` for a ``(N, ndim)`` array."""
+    import numpy as np
+
+    code = morton_index_array(coords, order)
+    value = np.zeros_like(code)
+    while code.any():
+        value ^= code
+        code >>= 1
+    return value
+
+
+def gray_index(coords: Sequence[int], order: int) -> int:
+    """Rank of a cell in Gray-code order of its interleaved bits.
+
+    The cell visited at rank ``r`` has Morton code ``gray_encode(r)``, so the
+    rank of a cell is ``gray_decode(morton_index(cell))``.  Consecutive cells
+    differ in exactly one interleaved bit (one coordinate changes by a power
+    of two).
+    """
+    return gray_decode(morton_index(coords, order))
+
+
+def gray_coords(index: int, ndim: int, order: int) -> Tuple[int, ...]:
+    """Inverse of :func:`gray_index`."""
+    _validate(ndim, order)
+    total = 1 << (ndim * order)
+    index = int(index)
+    if not 0 <= index < total:
+        raise GridError(f"curve position {index} outside [0, {total})")
+    return morton_coords(gray_encode(index), ndim, order)

@@ -1,0 +1,33 @@
+"""Physical-disk timing model and parallel I/O stream simulation."""
+
+from repro.simulation.disk import DiskModel
+from repro.simulation.open_system import (
+    OpenSystemReport,
+    OpenSystemSimulator,
+    poisson_arrivals,
+    saturation_sweep,
+)
+from repro.simulation.parallel_io import (
+    ParallelIOSimulator,
+    StreamReport,
+    query_time_ms,
+)
+from repro.simulation.scheduling import (
+    balanced_order,
+    compare_orderings,
+    lpt_order,
+)
+
+__all__ = [
+    "DiskModel",
+    "query_time_ms",
+    "ParallelIOSimulator",
+    "StreamReport",
+    "OpenSystemSimulator",
+    "OpenSystemReport",
+    "poisson_arrivals",
+    "saturation_sweep",
+    "lpt_order",
+    "balanced_order",
+    "compare_orderings",
+]

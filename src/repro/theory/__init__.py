@@ -1,0 +1,61 @@
+"""Strict-optimality theory: verifier, existence search, Table 1, bounds."""
+
+from repro.theory.bounds import (
+    dm_small_square_penalty,
+    dm_square_query_response_time,
+    max_possible_disks_touched_dm,
+    response_time_lower_bound,
+    strictly_optimal_exists,
+)
+from repro.theory.conditions import (
+    OPTIMALITY_TABLE,
+    ConditionRow,
+    dm_guaranteed_optimal,
+    ecc_applicable,
+    fx_applicable,
+    fx_guaranteed_optimal,
+    guaranteed_optimal,
+    render_table,
+    unspecified_attributes,
+)
+from repro.theory.optimality import (
+    OptimalityReport,
+    is_strictly_optimal_for_partial_match,
+    iter_query_shapes,
+    verify_strict_optimality,
+)
+from repro.theory.search import (
+    SearchResult,
+    count_strictly_optimal,
+    enumerate_strictly_optimal,
+    impossibility_frontier,
+    minimal_impossible_grid,
+    search_strictly_optimal,
+)
+
+__all__ = [
+    "OptimalityReport",
+    "verify_strict_optimality",
+    "is_strictly_optimal_for_partial_match",
+    "iter_query_shapes",
+    "SearchResult",
+    "search_strictly_optimal",
+    "enumerate_strictly_optimal",
+    "count_strictly_optimal",
+    "impossibility_frontier",
+    "minimal_impossible_grid",
+    "ConditionRow",
+    "OPTIMALITY_TABLE",
+    "render_table",
+    "unspecified_attributes",
+    "dm_guaranteed_optimal",
+    "fx_guaranteed_optimal",
+    "fx_applicable",
+    "ecc_applicable",
+    "guaranteed_optimal",
+    "dm_square_query_response_time",
+    "dm_small_square_penalty",
+    "max_possible_disks_touched_dm",
+    "response_time_lower_bound",
+    "strictly_optimal_exists",
+]

@@ -1,0 +1,83 @@
+"""Analytic bounds used as cross-checks in tests and experiments.
+
+These are small, exact facts about the schemes that the test suite verifies
+against materialized allocations — they catch implementation drift in the
+schemes and give the experiments known anchor points.
+"""
+
+from __future__ import annotations
+
+from repro.core.cost import optimal_response_time
+from repro.core.exceptions import QueryError
+
+
+def dm_square_query_response_time(
+    height: int, width: int, num_disks: int
+) -> int:
+    """Exact DM/CMD response time for an ``height x width`` range query.
+
+    Under DM the disk of ``<i, j>`` is ``(i + j) mod M``, so inside an
+    ``a x b`` rectangle the coordinate sums take the consecutive values
+    ``s0 .. s0 + a + b - 2`` — the query can touch at most ``a + b - 1``
+    distinct disks.  Counting how many (i, j) pairs share each residue gives
+    the busiest disk exactly:
+
+    * if ``a + b - 1 <= M`` each residue class is hit by at most
+      ``min(a, b)`` cells and the maximum is achieved, so
+      ``RT = min(a, b)``;
+    * otherwise residues wrap, and the busiest residue collects
+      ``ceil`` of the diagonal-count partition — computed here by direct
+      counting (small loop, exact for all cases).
+    """
+    if height <= 0 or width <= 0:
+        raise QueryError(
+            f"query sides must be positive, got {height}x{width}"
+        )
+    if num_disks <= 0:
+        raise QueryError(f"disk count must be positive, got {num_disks}")
+    counts = [0] * num_disks
+    for i in range(height):
+        for j in range(width):
+            counts[(i + j) % num_disks] += 1
+    return max(counts)
+
+
+def dm_small_square_penalty(side: int, num_disks: int) -> float:
+    """DM's multiplicative penalty over optimal on a small square query.
+
+    For an ``s x s`` query with ``2 s - 1 <= M``: RT is ``s`` while the
+    optimum is ``ceil(s^2 / M)``.  This is the analytic form of the paper's
+    observation that DM/CMD is the worst method on small squares.
+    """
+    if 2 * side - 1 > num_disks:
+        raise QueryError(
+            f"penalty formula needs 2*{side}-1 <= {num_disks}"
+        )
+    return side / optimal_response_time(side * side, num_disks)
+
+
+def max_possible_disks_touched_dm(height: int, width: int) -> int:
+    """Under DM an ``a x b`` query touches at most ``a + b - 1`` disks."""
+    if height <= 0 or width <= 0:
+        raise QueryError(
+            f"query sides must be positive, got {height}x{width}"
+        )
+    return height + width - 1
+
+
+def response_time_lower_bound(area: int, num_disks: int) -> int:
+    """Alias of the optimal bound, for symmetry with the upper bounds."""
+    return optimal_response_time(area, num_disks)
+
+
+def strictly_optimal_exists(num_disks: int) -> bool:
+    """For which M a strictly optimal 2-d range-query declustering exists.
+
+    The paper proves impossibility for ``M > 5``; the exhaustive search in
+    :mod:`repro.theory.search` additionally shows ``M = 4`` is impossible
+    (on any grid of side >= 4) and confirms existence for ``M in
+    {1, 2, 3, 5}`` — see ``tests/theory/test_search.py``.
+    """
+    if num_disks <= 0:
+        raise QueryError(f"disk count must be positive, got {num_disks}")
+    return num_disks in (1, 2, 3, 5)

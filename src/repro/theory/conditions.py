@@ -1,0 +1,171 @@
+"""Known optimality conditions — the paper's Table 1, made executable.
+
+Section 3 of the paper summarizes, per method, the published conditions on
+the attribute domains (``d_i``), on the number of disks (``M``), and on the
+query class under which the method is *provably optimal*:
+
+* **DM/CMD** — optimal for every partial-match query with exactly one
+  unspecified attribute, and for every partial-match query with at least one
+  unspecified attribute ``i`` such that ``d_i mod M = 0``.
+* **FX** — requires power-of-two domains and disks; optimal for
+  partial-match queries with exactly one unspecified attribute, and for
+  those with an unspecified attribute ``i`` such that ``d_i >= M``.
+* **ECC** — requires power-of-two domains and disks; good *average*
+  partial-match behaviour (no simple per-query optimality condition).
+* **HCAM** — no optimality conditions (its case rests on the Hilbert
+  curve's empirical locality).
+
+Each row is available both as structured data (:data:`OPTIMALITY_TABLE`) and
+as executable predicates used by the tests to confirm the conditions hold on
+actual allocations (``dm_guaranteed_optimal`` etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.grid import Grid
+from repro.core.query import RangeQuery
+from repro.ecc.codes import is_power_of_two
+
+
+@dataclass(frozen=True)
+class ConditionRow:
+    """One row of the paper's Table 1."""
+
+    method: str
+    domain_condition: str
+    disk_condition: str
+    optimal_for: str
+
+
+#: The paper's Table 1 (conditions under which each method is known optimal).
+OPTIMALITY_TABLE: Tuple[ConditionRow, ...] = (
+    ConditionRow(
+        method="DM/CMD",
+        domain_condition="none",
+        disk_condition="none",
+        optimal_for=(
+            "PM queries with exactly one unspecified attribute; "
+            "PM queries with an unspecified attribute i s.t. d_i mod M = 0"
+        ),
+    ),
+    ConditionRow(
+        method="GDM",
+        domain_condition="d_i an integral multiple of M (per [9])",
+        disk_condition="none",
+        optimal_for="PM queries under the domain condition",
+    ),
+    ConditionRow(
+        method="FX",
+        domain_condition="d_i a power of 2",
+        disk_condition="M a power of 2",
+        optimal_for=(
+            "PM queries with exactly one unspecified attribute; "
+            "PM queries with an unspecified attribute i s.t. d_i >= M"
+        ),
+    ),
+    ConditionRow(
+        method="ECC",
+        domain_condition="d_i a power of 2",
+        disk_condition="M a power of 2",
+        optimal_for="good average PM performance (no per-query condition)",
+    ),
+    ConditionRow(
+        method="HCAM",
+        domain_condition="none",
+        disk_condition="none",
+        optimal_for="none proven (empirical locality argument)",
+    ),
+)
+
+
+def render_table(rows: Sequence[ConditionRow] = OPTIMALITY_TABLE) -> str:
+    """ASCII rendering of Table 1 for reports and the CLI."""
+    headers = ("Method", "Condition on d_i", "Condition on M", "Optimal for")
+    cells = [headers] + [
+        (row.method, row.domain_condition, row.disk_condition, row.optimal_for)
+        for row in rows
+    ]
+    widths = [
+        max(len(line[col]) for line in cells) for col in range(len(headers))
+    ]
+    separator = "-+-".join("-" * w for w in widths)
+    lines = []
+    for i, line in enumerate(cells):
+        lines.append(
+            " | ".join(cell.ljust(w) for cell, w in zip(line, widths))
+        )
+        if i == 0:
+            lines.append(separator)
+    return "\n".join(lines)
+
+
+def unspecified_attributes(query: RangeQuery, grid: Grid) -> List[int]:
+    """Indices of attributes the partial-match query leaves unspecified."""
+    return [
+        axis
+        for axis, (lo, hi, d) in enumerate(
+            zip(query.lower, query.upper, grid.dims)
+        )
+        if lo == 0 and hi == d - 1 and d > 1
+    ]
+
+
+def dm_guaranteed_optimal(
+    query: RangeQuery, grid: Grid, num_disks: int
+) -> bool:
+    """Whether Table 1 guarantees DM/CMD is optimal on this PM query."""
+    if not query.is_partial_match(grid):
+        return False
+    free = unspecified_attributes(query, grid)
+    if len(free) == 1:
+        return True
+    return any(grid.dims[axis] % num_disks == 0 for axis in free)
+
+
+def fx_applicable(grid: Grid, num_disks: int) -> bool:
+    """Whether FX's Table 1 preconditions hold for this configuration."""
+    return is_power_of_two(num_disks) and all(
+        is_power_of_two(d) for d in grid.dims
+    )
+
+
+def fx_guaranteed_optimal(
+    query: RangeQuery, grid: Grid, num_disks: int
+) -> bool:
+    """Whether Table 1 guarantees FX is optimal on this PM query."""
+    if not fx_applicable(grid, num_disks):
+        return False
+    if not query.is_partial_match(grid):
+        return False
+    free = unspecified_attributes(query, grid)
+    if len(free) == 1:
+        return True
+    return any(grid.dims[axis] >= num_disks for axis in free)
+
+
+def ecc_applicable(grid: Grid, num_disks: int) -> bool:
+    """Whether ECC's Table 1 preconditions hold for this configuration."""
+    return is_power_of_two(num_disks) and all(
+        is_power_of_two(d) for d in grid.dims
+    )
+
+
+def guaranteed_optimal(
+    method: str, query: RangeQuery, grid: Grid, num_disks: int
+) -> Optional[bool]:
+    """Table-1 verdict for a method on a query.
+
+    Returns ``True``/``False`` for methods with per-query conditions
+    (DM/CMD, FX) and ``None`` for methods without one (ECC, HCAM).
+    """
+    method = method.lower()
+    if method in ("dm", "cmd", "dm/cmd"):
+        return dm_guaranteed_optimal(query, grid, num_disks)
+    if method == "fx":
+        return fx_guaranteed_optimal(query, grid, num_disks)
+    if method in ("ecc", "hcam", "gdm"):
+        return None
+    raise KeyError(f"no Table 1 row for method {method!r}")

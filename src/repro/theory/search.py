@@ -1,0 +1,315 @@
+"""Exhaustive search for strictly optimal range-query declusterings.
+
+Computational counterpart of the paper's impossibility theorem ("there
+exists no declustering method that is strictly optimal for range queries if
+the number of disks is more than 5"): for a given 2-d grid and disk count
+``M``, a backtracking search either produces an allocation in which *every*
+sub-rectangle meets the ``ceil(area / M)`` bound, or exhausts the space and
+thereby proves that none exists for that grid — and any larger grid, since a
+strictly optimal allocation of a larger grid restricts to one of its
+corners.
+
+Why the search is feasible:
+
+* Cells are filled row-major, so every rectangle whose bottom-right corner
+  is the just-assigned cell is fully assigned; checking exactly those
+  rectangles at each step is a *complete* pruning rule (each rectangle of
+  the final grid is checked at its own corner, and counts never change once
+  a rectangle is complete).
+* Disk labels are interchangeable, so candidates at each cell are limited to
+  the labels already used plus one fresh label (canonical-labeling symmetry
+  breaking), shrinking the space by ~M!.
+
+The search is written for 2-d grids, which is all the theorem needs: a
+strictly optimal allocation of a ``k``-d grid induces one on any 2-d slice,
+so 2-d impossibility implies impossibility in higher dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.allocation import DiskAllocation
+from repro.core.exceptions import GridError, SearchBudgetExceeded
+from repro.core.grid import Grid
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of an existence search.
+
+    Attributes
+    ----------
+    exists:
+        ``True`` if a strictly optimal allocation of the grid was found,
+        ``False`` if the exhausted search proves none exists.
+    allocation:
+        A strictly optimal allocation when ``exists`` is true.
+    nodes_explored:
+        Number of (cell, candidate) assignments tried — the search effort.
+    """
+
+    exists: bool
+    allocation: Optional[DiskAllocation]
+    nodes_explored: int
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def search_strictly_optimal(
+    grid: Grid,
+    num_disks: int,
+    node_budget: int = 50_000_000,
+) -> SearchResult:
+    """Find a strictly optimal allocation of a 2-d grid, or prove none exists.
+
+    Parameters
+    ----------
+    grid:
+        A two-dimensional grid.
+    num_disks:
+        ``M``.  For ``M in {1, 2, 3, 5}`` the search finds the classical
+        lattice allocations; for ``M > 5`` it exhausts and returns
+        ``exists=False`` once the grid is at least about ``M x M`` (the
+        paper's theorem).
+    node_budget:
+        Hard cap on assignments tried.  Exceeding it raises
+        :class:`SearchBudgetExceeded` rather than returning a possibly-wrong
+        verdict.
+    """
+    if grid.ndim != 2:
+        raise GridError(
+            f"the existence search handles 2-d grids, got {grid.ndim}-d"
+        )
+    if num_disks <= 0:
+        raise GridError(f"disk count must be positive, got {num_disks}")
+
+    rows, cols = grid.dims
+    total = rows * cols
+    table = [[-1] * cols for _ in range(rows)]
+    # Optimal bounds for every (height, width), precomputed.
+    bound = [
+        [0] * (cols + 1) for _ in range(rows + 1)
+    ]
+    for h in range(1, rows + 1):
+        for w in range(1, cols + 1):
+            bound[h][w] = _ceil_div(h * w, num_disks)
+
+    nodes = 0
+
+    def violates(row: int, col: int, disk: int) -> bool:
+        """Whether assigning ``disk`` at (row, col) breaks any bound.
+
+        Checks every rectangle with bottom-right corner (row, col).  Only
+        the candidate disk's count can newly exceed its bound (other disks'
+        counts in these rectangles were already checked at earlier corners
+        of their completed sub-rectangles... but a *new* rectangle is first
+        completed here, so all disks must be counted).
+        """
+        for height in range(1, row + 2):
+            top = row - height + 1
+            counts = [0] * num_disks
+            counts[disk] += 1  # the candidate cell itself
+            # Grow the rectangle leftwards one column at a time.
+            for width in range(1, col + 2):
+                left = col - width + 1
+                # Add column `left` (rows top..row), excluding the candidate
+                # cell which is already counted.
+                for r in range(top, row + 1):
+                    if r == row and left == col:
+                        continue
+                    counts[table[r][left]] += 1
+                limit = bound[height][width]
+                if max(counts) > limit:
+                    return True
+        return False
+
+    def backtrack(position: int, used: int) -> bool:
+        nonlocal nodes
+        if position == total:
+            return True
+        row, col = divmod(position, cols)
+        # Canonical labeling: allow previously used labels plus one new.
+        candidate_count = min(used + 1, num_disks)
+        for disk in range(candidate_count):
+            nodes += 1
+            if nodes > node_budget:
+                raise SearchBudgetExceeded(
+                    f"existence search for grid {grid.dims}, M={num_disks} "
+                    f"exceeded {node_budget} nodes"
+                )
+            if violates(row, col, disk):
+                continue
+            table[row][col] = disk
+            if backtrack(position + 1, max(used, disk + 1)):
+                return True
+            table[row][col] = -1
+        return False
+
+    found = backtrack(0, 0)
+    if not found:
+        return SearchResult(exists=False, allocation=None, nodes_explored=nodes)
+    allocation = DiskAllocation(
+        grid, num_disks, np.array(table, dtype=np.int64)
+    )
+    return SearchResult(
+        exists=True, allocation=allocation, nodes_explored=nodes
+    )
+
+
+def enumerate_strictly_optimal(
+    grid: Grid,
+    num_disks: int,
+    limit: int = 100,
+    node_budget: int = 50_000_000,
+) -> List[DiskAllocation]:
+    """All strictly optimal allocations of a 2-d grid, up to relabeling.
+
+    The same backtracking as :func:`search_strictly_optimal`, but instead
+    of stopping at the first solution it collects every *canonical*
+    solution (disk labels appear in first-use order, so each equivalence
+    class under disk renaming is counted exactly once).  ``limit`` caps
+    the number of solutions gathered; the search still proves
+    completeness when it returns fewer than ``limit``.
+    """
+    if grid.ndim != 2:
+        raise GridError(
+            f"the existence search handles 2-d grids, got {grid.ndim}-d"
+        )
+    if num_disks <= 0:
+        raise GridError(f"disk count must be positive, got {num_disks}")
+    if limit <= 0:
+        raise GridError(f"solution limit must be positive, got {limit}")
+
+    rows, cols = grid.dims
+    total = rows * cols
+    table = [[-1] * cols for _ in range(rows)]
+    bound = [[0] * (cols + 1) for _ in range(rows + 1)]
+    for h in range(1, rows + 1):
+        for w in range(1, cols + 1):
+            bound[h][w] = _ceil_div(h * w, num_disks)
+
+    nodes = 0
+    solutions: List[DiskAllocation] = []
+
+    def violates(row: int, col: int, disk: int) -> bool:
+        for height in range(1, row + 2):
+            top = row - height + 1
+            counts = [0] * num_disks
+            counts[disk] += 1
+            for width in range(1, col + 2):
+                left = col - width + 1
+                for r in range(top, row + 1):
+                    if r == row and left == col:
+                        continue
+                    counts[table[r][left]] += 1
+                if max(counts) > bound[height][width]:
+                    return True
+        return False
+
+    def backtrack(position: int, used: int) -> bool:
+        """Collect solutions; returns True when the limit is reached."""
+        nonlocal nodes
+        if position == total:
+            solutions.append(
+                DiskAllocation(
+                    grid, num_disks, np.array(table, dtype=np.int64)
+                )
+            )
+            return len(solutions) >= limit
+        row, col = divmod(position, cols)
+        for disk in range(min(used + 1, num_disks)):
+            nodes += 1
+            if nodes > node_budget:
+                raise SearchBudgetExceeded(
+                    f"enumeration for grid {grid.dims}, M={num_disks} "
+                    f"exceeded {node_budget} nodes"
+                )
+            if violates(row, col, disk):
+                continue
+            table[row][col] = disk
+            if backtrack(position + 1, max(used, disk + 1)):
+                table[row][col] = -1
+                return True
+            table[row][col] = -1
+        return False
+
+    backtrack(0, 0)
+    return solutions
+
+
+def count_strictly_optimal(
+    grid: Grid,
+    num_disks: int,
+    limit: int = 100,
+    node_budget: int = 50_000_000,
+) -> int:
+    """Number of strictly optimal allocations up to disk relabeling.
+
+    Returns ``min(true count, limit)``; a return value below ``limit`` is
+    exact.
+    """
+    return len(
+        enumerate_strictly_optimal(
+            grid, num_disks, limit=limit, node_budget=node_budget
+        )
+    )
+
+
+def minimal_impossible_grid(
+    num_disks: int,
+    max_side: int = 12,
+    node_budget: int = 50_000_000,
+) -> Optional[Tuple[int, int]]:
+    """The smallest grid with no strictly optimal allocation, or ``None``.
+
+    Scans grids by area then by squareness (``a <= b``), returning the
+    first ``(a, b)`` for which the exhaustive search proves impossibility.
+    ``None`` means every grid up to ``max_side x max_side`` admits a
+    strictly optimal allocation (e.g. for ``M in {1, 2, 3, 5}``).
+
+    These minimal witnesses make the impossibility results concrete: the
+    proof for a given M only needs queries inside this one small grid.
+    """
+    if num_disks <= 0:
+        raise GridError(f"disk count must be positive, got {num_disks}")
+    candidates = [
+        (a, b)
+        for a in range(1, max_side + 1)
+        for b in range(a, max_side + 1)
+    ]
+    candidates.sort(key=lambda ab: (ab[0] * ab[1], ab[1] - ab[0]))
+    for a, b in candidates:
+        result = search_strictly_optimal(
+            Grid((a, b)), num_disks, node_budget=node_budget
+        )
+        if not result.exists:
+            return (a, b)
+    return None
+
+
+def impossibility_frontier(
+    max_disks: int,
+    grid_side: Optional[int] = None,
+    node_budget: int = 50_000_000,
+) -> List[SearchResult]:
+    """Run the existence search for ``M = 1 .. max_disks`` on M x M grids.
+
+    Reproduces the paper's theorem as data: entries for ``M <= 5`` (except
+    the known-impossible ``M = 4``) report existence, entries for ``M > 5``
+    report impossibility.  ``grid_side`` overrides the per-``M`` grid side.
+    """
+    results = []
+    for num_disks in range(1, max_disks + 1):
+        side = grid_side if grid_side is not None else num_disks
+        side = max(side, 2)
+        grid = Grid((side, side))
+        results.append(
+            search_strictly_optimal(grid, num_disks, node_budget=node_budget)
+        )
+    return results

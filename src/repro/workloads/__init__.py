@@ -1,0 +1,44 @@
+"""Workload generation: query streams and synthetic record datasets."""
+
+from repro.workloads.datasets import (
+    Dataset,
+    correlated_dataset,
+    gaussian_dataset,
+    uniform_dataset,
+    zipf_grid_dataset,
+)
+from repro.workloads.mixtures import Component, WorkloadMixture
+from repro.workloads.summary import (
+    WorkloadSummary,
+    render_summary,
+    summarize_workload,
+)
+from repro.workloads.queries import (
+    aspect_ratio_shapes,
+    exhaustive_workload,
+    random_partial_match_queries,
+    random_queries_of_shape,
+    random_range_queries,
+    square_shape,
+    zipf_placed_queries,
+)
+
+__all__ = [
+    "square_shape",
+    "aspect_ratio_shapes",
+    "exhaustive_workload",
+    "random_range_queries",
+    "random_queries_of_shape",
+    "random_partial_match_queries",
+    "zipf_placed_queries",
+    "Dataset",
+    "uniform_dataset",
+    "gaussian_dataset",
+    "zipf_grid_dataset",
+    "correlated_dataset",
+    "WorkloadMixture",
+    "Component",
+    "WorkloadSummary",
+    "summarize_workload",
+    "render_summary",
+]

@@ -1,0 +1,168 @@
+"""Composite workloads: weighted mixtures of query families.
+
+Real relations see a blend — mostly point lookups, some reports, the
+occasional scan.  A :class:`WorkloadMixture` declares that blend as
+weighted components and samples a concrete, reproducible query list from
+it, which then drives the evaluator, the advisor, or the annealer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import WorkloadError
+from repro.core.grid import Grid
+from repro.core.query import RangeQuery
+
+#: A component draws ``count`` queries using the supplied rng.
+ComponentFn = Callable[[Grid, int, np.random.Generator], List[RangeQuery]]
+
+
+@dataclass(frozen=True)
+class Component:
+    """One weighted query family of a mixture."""
+
+    name: str
+    weight: float
+    sample: ComponentFn
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise WorkloadError(
+                f"component {self.name!r} has non-positive weight "
+                f"{self.weight}"
+            )
+
+
+class WorkloadMixture:
+    """A weighted blend of query families over one grid.
+
+    Examples
+    --------
+    >>> mix = WorkloadMixture(Grid((16, 16)))
+    >>> mix.add_shape("lookups", weight=0.7, shape=(2, 2))
+    >>> mix.add_shape("reports", weight=0.3, shape=(1, 16))
+    >>> queries = mix.sample(100, seed=0)
+    >>> len(queries)
+    100
+    """
+
+    def __init__(self, grid: Grid):
+        self._grid = grid
+        self._components: List[Component] = []
+
+    @property
+    def grid(self) -> Grid:
+        """The grid all components draw queries on."""
+        return self._grid
+
+    @property
+    def components(self) -> List[Component]:
+        """The declared components."""
+        return list(self._components)
+
+    def add_component(
+        self, name: str, weight: float, sample: ComponentFn
+    ) -> "WorkloadMixture":
+        """Add an arbitrary component (returns self for chaining)."""
+        self._components.append(Component(name, float(weight), sample))
+        return self
+
+    def add_shape(
+        self, name: str, weight: float, shape: Sequence[int]
+    ) -> "WorkloadMixture":
+        """Component: uniformly random placements of one fixed shape."""
+        shape = tuple(int(s) for s in shape)
+        if len(shape) != self._grid.ndim or any(
+            s <= 0 or s > d for s, d in zip(shape, self._grid.dims)
+        ):
+            raise WorkloadError(
+                f"shape {shape} does not fit in grid {self._grid.dims}"
+            )
+
+        def sample(grid: Grid, count: int, rng) -> List[RangeQuery]:
+            from repro.core.query import query_at
+
+            queries = []
+            for _ in range(count):
+                origin = [
+                    int(rng.integers(0, d - s + 1))
+                    for s, d in zip(shape, grid.dims)
+                ]
+                queries.append(query_at(origin, shape))
+            return queries
+
+        return self.add_component(name, weight, sample)
+
+    def add_sides(
+        self,
+        name: str,
+        weight: float,
+        side_range: Tuple[int, int],
+    ) -> "WorkloadMixture":
+        """Component: square-ish queries with sides drawn per axis."""
+        low, high = int(side_range[0]), int(side_range[1])
+        if not 1 <= low <= high:
+            raise WorkloadError(
+                f"invalid side range [{low}, {high}]"
+            )
+        if any(high > d for d in self._grid.dims):
+            raise WorkloadError(
+                f"max side {high} exceeds grid {self._grid.dims}"
+            )
+
+        def sample(grid: Grid, count: int, rng) -> List[RangeQuery]:
+            from repro.core.query import query_at
+
+            queries = []
+            for _ in range(count):
+                shape = [
+                    int(rng.integers(low, high + 1))
+                    for _ in grid.dims
+                ]
+                origin = [
+                    int(rng.integers(0, d - s + 1))
+                    for s, d in zip(shape, grid.dims)
+                ]
+                queries.append(query_at(origin, shape))
+            return queries
+
+        return self.add_component(name, weight, sample)
+
+    def sample(self, count: int, seed=0) -> List[RangeQuery]:
+        """Draw a concrete workload of ``count`` queries.
+
+        Component counts follow the weights exactly (largest-remainder
+        rounding), so the blend is deterministic, not just in
+        expectation.
+        """
+        if count <= 0:
+            raise WorkloadError(
+                f"query count must be positive, got {count}"
+            )
+        if not self._components:
+            raise WorkloadError("mixture has no components")
+        rng = np.random.default_rng(seed)
+        total_weight = sum(c.weight for c in self._components)
+        raw = [
+            count * c.weight / total_weight for c in self._components
+        ]
+        counts = [int(x) for x in raw]
+        remainders = sorted(
+            range(len(raw)),
+            key=lambda i: raw[i] - counts[i],
+            reverse=True,
+        )
+        for i in remainders[: count - sum(counts)]:
+            counts[i] += 1
+        queries: List[RangeQuery] = []
+        for component, n in zip(self._components, counts):
+            if n:
+                queries.extend(component.sample(self._grid, n, rng))
+        # Interleave deterministically so no component clusters at the
+        # end of the list (matters for arrival-order simulations).
+        order = rng.permutation(len(queries))
+        return [queries[i] for i in order]

@@ -1,0 +1,89 @@
+"""Describing a workload: the statistics that predict scheme choice.
+
+The experiments show scheme ranking is governed by query size (in units
+of M), shape elongation, and partial-match structure.  This module
+computes exactly those statistics for a concrete query list, so an
+advisory report can say *why* a scheme was recommended.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.exceptions import WorkloadError
+from repro.core.grid import Grid
+from repro.core.query import RangeQuery
+
+
+@dataclass(frozen=True)
+class WorkloadSummary:
+    """Shape/size statistics of one query workload."""
+
+    num_queries: int
+    mean_buckets: float
+    median_buckets: float
+    max_buckets: int
+    mean_elongation: float
+    fraction_small: float
+    fraction_partial_match: float
+    fraction_point: float
+
+    def regime(self, num_disks: int) -> str:
+        """Coarse classification driving scheme choice.
+
+        ``"small"`` when most queries are below ``M`` buckets (the
+        locality regime: HCAM/cyclic territory), ``"large"`` when most
+        are well above (the modular regime: FX/DM territory), else
+        ``"mixed"``.
+        """
+        if self.fraction_small >= 0.7:
+            return "small"
+        if self.fraction_small <= 0.3:
+            return "large"
+        return "mixed"
+
+
+def summarize_workload(
+    grid: Grid,
+    queries: Sequence[RangeQuery],
+    num_disks: int,
+) -> WorkloadSummary:
+    """Compute the summary for a workload on one configuration."""
+    queries = list(queries)
+    if not queries:
+        raise WorkloadError("workload contains no queries")
+    sizes = np.array([q.num_buckets for q in queries], dtype=np.int64)
+    elongations = np.array(
+        [max(q.side_lengths) / min(q.side_lengths) for q in queries]
+    )
+    partial = np.array(
+        [q.is_partial_match(grid) for q in queries], dtype=bool
+    )
+    points = np.array([q.is_point() for q in queries], dtype=bool)
+    return WorkloadSummary(
+        num_queries=len(queries),
+        mean_buckets=float(sizes.mean()),
+        median_buckets=float(np.median(sizes)),
+        max_buckets=int(sizes.max()),
+        mean_elongation=float(elongations.mean()),
+        fraction_small=float((sizes < num_disks).mean()),
+        fraction_partial_match=float(partial.mean()),
+        fraction_point=float(points.mean()),
+    )
+
+
+def render_summary(summary: WorkloadSummary, num_disks: int) -> str:
+    """One-paragraph text description of the workload."""
+    return (
+        f"{summary.num_queries} queries; "
+        f"buckets mean/median/max = {summary.mean_buckets:.1f}/"
+        f"{summary.median_buckets:.0f}/{summary.max_buckets}; "
+        f"mean elongation {summary.mean_elongation:.2f}; "
+        f"{summary.fraction_small:.0%} below M={num_disks} buckets "
+        f"({summary.regime(num_disks)} regime); "
+        f"{summary.fraction_partial_match:.0%} partial-match, "
+        f"{summary.fraction_point:.0%} point queries"
+    )

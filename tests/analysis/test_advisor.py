@@ -1,0 +1,109 @@
+"""Unit tests for the declustering advisor."""
+
+import pytest
+
+from repro.core.exceptions import WorkloadError
+from repro.core.grid import Grid
+from repro.core.query import all_placements
+from repro.analysis.advisor import (
+    DEFAULT_CANDIDATES,
+    advise,
+    render_recommendations,
+)
+from repro.workloads.queries import random_queries_of_shape
+
+
+@pytest.fixture
+def grid():
+    return Grid((16, 16))
+
+
+@pytest.fixture
+def square_workload(grid):
+    return random_queries_of_shape(grid, (2, 2), 100, seed=4)
+
+
+class TestAdvise:
+    def test_ranked_best_first(self, grid, square_workload):
+        recommendations = advise(grid, 8, square_workload)
+        means = [r.mean_response_time for r in recommendations]
+        assert means == sorted(means)
+
+    def test_small_square_workload_prefers_locality_schemes(
+        self, grid, square_workload
+    ):
+        recommendations = advise(grid, 8, square_workload)
+        assert recommendations[0].scheme in (
+            "hcam", "ecc", "cyclic-exh",
+        )
+        assert recommendations[-1].scheme == "dm"
+
+    def test_row_workload_rates_dm_optimal(self, grid):
+        rows = list(all_placements(grid, (1, 16)))
+        recommendations = advise(grid, 8, rows)
+        dm = next(r for r in recommendations if r.scheme == "dm")
+        assert dm.mean_relative_deviation == pytest.approx(0.0)
+
+    def test_inapplicable_candidates_dropped(self, square_workload):
+        # M = 7: ECC (power-of-two only) must silently drop out.
+        recommendations = advise(
+            Grid((16, 16)), 7, square_workload
+        )
+        names = {r.scheme for r in recommendations}
+        assert "ecc" not in names
+        assert "hcam" in names
+
+    def test_workload_aware_included_on_request(
+        self, grid, square_workload
+    ):
+        recommendations = advise(
+            grid, 8, square_workload, include_workload_aware=True
+        )
+        names = [r.scheme for r in recommendations]
+        assert "workload-aware" in names
+        # The annealed allocation must rank at or above its seed (HCAM).
+        assert names.index("workload-aware") <= names.index("hcam")
+
+    def test_custom_candidates(self, grid, square_workload):
+        recommendations = advise(
+            grid, 8, square_workload, candidates=["dm", "hcam"]
+        )
+        assert {r.scheme for r in recommendations} == {"dm", "hcam"}
+
+    def test_empty_workload_rejected(self, grid):
+        with pytest.raises(WorkloadError):
+            advise(grid, 8, [])
+
+    def test_no_applicable_candidate_rejected(self, square_workload):
+        with pytest.raises(WorkloadError):
+            advise(
+                Grid((16, 16)), 7, square_workload, candidates=["ecc"]
+            )
+
+    def test_recommendation_carries_allocation(
+        self, grid, square_workload
+    ):
+        recommendations = advise(grid, 8, square_workload)
+        for rec in recommendations:
+            assert rec.allocation.grid == grid
+            assert rec.allocation.num_disks == 8
+
+    def test_default_candidates_cover_paper_methods(self):
+        assert {"dm", "fx-auto", "ecc", "hcam"} <= set(
+            DEFAULT_CANDIDATES
+        )
+
+
+class TestRendering:
+    def test_table_lists_every_candidate(self, grid, square_workload):
+        recommendations = advise(grid, 8, square_workload)
+        text = render_recommendations(recommendations)
+        for rec in recommendations:
+            assert rec.label in text
+        assert text.splitlines()[0].strip().startswith("rank")
+
+    def test_rank_column_sequential(self, grid, square_workload):
+        recommendations = advise(grid, 8, square_workload)
+        lines = render_recommendations(recommendations).splitlines()[1:]
+        ranks = [int(line.split()[0]) for line in lines]
+        assert ranks == list(range(1, len(recommendations) + 1))

@@ -1,0 +1,81 @@
+"""Unit tests for the dominance matrix."""
+
+import pytest
+
+from repro.core.exceptions import WorkloadError
+from repro.core.grid import Grid
+from repro.core.query import all_placements
+from repro.analysis.compare import dominance_matrix, render_dominance
+from repro.workloads.queries import random_range_queries
+
+
+@pytest.fixture
+def grid():
+    return Grid((16, 16))
+
+
+@pytest.fixture
+def square_matrix(grid):
+    queries = list(all_placements(grid, (2, 2)))
+    return dominance_matrix(grid, 8, queries)
+
+
+class TestDominanceMatrix:
+    def test_diagonal_zero(self, square_matrix):
+        for name in square_matrix.schemes:
+            assert square_matrix.win_fraction(name, name) == 0.0
+
+    def test_win_fractions_antisymmetric_bound(self, square_matrix):
+        for a in square_matrix.schemes:
+            for b in square_matrix.schemes:
+                if a != b:
+                    total = square_matrix.win_fraction(
+                        a, b
+                    ) + square_matrix.win_fraction(b, a)
+                    assert 0.0 <= total <= 1.0
+
+    def test_hcam_dominates_dm_on_small_squares(self, square_matrix):
+        # DM answers every 2x2 in exactly 2; HCAM in 1 or 2: HCAM never
+        # loses (dominance), and wins most placements.
+        assert square_matrix.dominates("hcam", "dm")
+        assert square_matrix.win_fraction("hcam", "dm") > 0.8
+
+    def test_best_overall_is_hcam_here(self, square_matrix):
+        assert square_matrix.best_overall() == "hcam"
+
+    def test_rows_dominated_on_rows_workload(self, grid):
+        # On 1 x 16 row queries DM is optimal everywhere: nobody strictly
+        # beats it on any query.
+        queries = list(all_placements(grid, (1, 16)))
+        matrix = dominance_matrix(grid, 8, queries)
+        for other in matrix.schemes:
+            if other != "dm":
+                assert matrix.win_fraction(other, "dm") == 0.0
+
+    def test_inapplicable_schemes_dropped(self, grid):
+        queries = random_range_queries(grid, 20, max_side=4, seed=1)
+        matrix = dominance_matrix(
+            grid, 7, queries, schemes=("dm", "hcam", "ecc")
+        )
+        assert "ecc" not in matrix.schemes
+
+    def test_too_few_schemes_rejected(self, grid):
+        queries = random_range_queries(grid, 10, seed=2)
+        with pytest.raises(WorkloadError):
+            dominance_matrix(grid, 7, queries, schemes=("ecc",))
+
+    def test_empty_workload_rejected(self, grid):
+        with pytest.raises(WorkloadError):
+            dominance_matrix(grid, 8, [])
+
+
+class TestRendering:
+    def test_contains_labels_and_fractions(self, square_matrix):
+        text = render_dominance(square_matrix)
+        assert "DM/CMD" in text and "HCAM" in text
+        assert "-" in text  # the diagonal
+        assert "dominance matrix" in text
+
+    def test_row_count(self, square_matrix):
+        lines = render_dominance(square_matrix).splitlines()
+        assert len(lines) == 2 + len(square_matrix.schemes)

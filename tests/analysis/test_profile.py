@@ -1,0 +1,129 @@
+"""Unit tests for allocation diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import DiskAllocation
+from repro.core.exceptions import QueryError
+from repro.core.grid import Grid
+from repro.core.query import all_placements, query_at
+from repro.core.registry import get_scheme
+from repro.analysis.profile import (
+    disk_heat,
+    heat_imbalance,
+    same_disk_distance,
+    shape_profile,
+    suboptimality_map,
+)
+
+
+class TestShapeProfile:
+    def test_checkerboard_profile(self, checkerboard_allocation):
+        profile = shape_profile(checkerboard_allocation, (2, 2))
+        assert profile.optimal == 2
+        assert profile.mean == pytest.approx(2.0)
+        assert profile.worst == 2
+        assert profile.fraction_optimal == pytest.approx(1.0)
+        assert profile.num_placements == 49
+
+    def test_percentiles_ordered(self):
+        allocation = get_scheme("random").allocate(Grid((16, 16)), 4)
+        profile = shape_profile(allocation, (3, 3))
+        assert profile.p50 <= profile.p90 <= profile.p99 <= profile.worst
+        assert profile.optimal <= profile.mean <= profile.worst
+
+    def test_as_dict_round_trip(self, checkerboard_allocation):
+        d = shape_profile(checkerboard_allocation, (2, 2)).as_dict()
+        assert d["shape"] == (2, 2)
+        assert d["mean"] == pytest.approx(2.0)
+
+    def test_oversized_shape_rejected(self, checkerboard_allocation):
+        with pytest.raises(QueryError):
+            shape_profile(checkerboard_allocation, (9, 1))
+
+
+class TestSuboptimalityMap:
+    def test_zero_for_optimal_allocation(self, checkerboard_allocation):
+        gap = suboptimality_map(checkerboard_allocation, (2, 2))
+        assert gap.shape == (7, 7)
+        assert gap.max() == 0
+
+    def test_positive_where_dm_fails(self):
+        allocation = get_scheme("dm").allocate(Grid((8, 8)), 8)
+        gap = suboptimality_map(allocation, (2, 2))
+        # DM on 2x2 with M=8: RT 2 vs OPT 1 everywhere.
+        assert (gap == 1).all()
+
+    def test_matches_response_times(self):
+        allocation = get_scheme("hcam").allocate(Grid((8, 8)), 4)
+        from repro.core.cost import query_optimal, response_time
+
+        gap = suboptimality_map(allocation, (3, 2))
+        for query in all_placements(allocation.grid, (3, 2)):
+            expected = response_time(allocation, query) - query_optimal(
+                query, 4
+            )
+            assert gap[tuple(query.lower)] == expected
+
+
+class TestDiskHeat:
+    def test_sums_to_total_bucket_reads(self):
+        allocation = get_scheme("hcam").allocate(Grid((8, 8)), 4)
+        queries = [query_at((0, 0), (4, 4)), query_at((2, 2), (2, 2))]
+        heat = disk_heat(allocation, queries)
+        assert heat.sum() == 16 + 4
+
+    def test_empty_workload_rejected(self):
+        allocation = get_scheme("dm").allocate(Grid((4, 4)), 2)
+        with pytest.raises(QueryError):
+            disk_heat(allocation, [])
+
+    def test_heat_imbalance_bounds(self):
+        assert heat_imbalance(np.array([5, 5, 5, 5])) == pytest.approx(
+            1.0
+        )
+        assert heat_imbalance(np.array([10, 0, 0, 0])) == pytest.approx(
+            4.0
+        )
+
+    def test_heat_imbalance_rejects_empty(self):
+        with pytest.raises(QueryError):
+            heat_imbalance(np.array([]))
+        with pytest.raises(QueryError):
+            heat_imbalance(np.array([0, 0]))
+
+    def test_balanced_scheme_has_low_imbalance(self):
+        grid = Grid((16, 16))
+        allocation = get_scheme("hcam").allocate(grid, 4)
+        queries = list(all_placements(grid, (4, 4)))
+        assert heat_imbalance(disk_heat(allocation, queries)) < 1.1
+
+
+class TestSameDiskDistance:
+    def test_checkerboard_distance(self, checkerboard_allocation):
+        stats = same_disk_distance(checkerboard_allocation)
+        # Same-color cells of a checkerboard are diagonal neighbours.
+        assert stats["min"] == 2.0
+        assert stats["mean_nearest"] == pytest.approx(2.0)
+
+    def test_dm_distance(self):
+        allocation = get_scheme("dm").allocate(Grid((8, 8)), 4)
+        stats = same_disk_distance(allocation)
+        # DM's stripes are anti-diagonals: the offset (1, -1) preserves
+        # i + j, so every disk repeats at Manhattan distance 2 — the
+        # geometric root of DM's small-square pathology.
+        assert stats["min"] == 2.0
+
+    def test_good_lattice_spreads_far(self):
+        dm = get_scheme("dm").allocate(Grid((16, 16)), 16)
+        exh = get_scheme("cyclic-exh").allocate(Grid((16, 16)), 16)
+        assert same_disk_distance(exh)["min"] >= same_disk_distance(
+            dm
+        )["min"]
+
+    def test_single_bucket_per_disk_rejected(self):
+        allocation = DiskAllocation(
+            Grid((2, 2)), 4, np.arange(4).reshape(2, 2)
+        )
+        with pytest.raises(QueryError):
+            same_disk_distance(allocation)

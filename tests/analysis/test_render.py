@@ -1,0 +1,103 @@
+"""Unit tests for diagnostics rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.render import (
+    render_allocation_profile,
+    render_disk_loads,
+    render_heatmap,
+    render_shape_profiles,
+)
+from repro.core.exceptions import QueryError
+from repro.core.grid import Grid
+from repro.core.registry import get_scheme
+
+
+class TestHeatmap:
+    def test_zero_renders_as_dot(self):
+        text = render_heatmap(np.array([[0, 1], [2, 0]]))
+        assert text.splitlines() == [". 1", "2 ."]
+
+    def test_large_values_clamped_to_hash(self):
+        text = render_heatmap(np.array([[12]]))
+        assert text == "#"
+
+    def test_custom_zero_char(self):
+        text = render_heatmap(np.zeros((1, 2), dtype=int), zero_char="_")
+        assert text == "_ _"
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(QueryError):
+            render_heatmap(np.zeros(3, dtype=int))
+
+
+class TestDiskLoads:
+    def test_one_line_per_disk(self):
+        text = render_disk_loads(np.array([4, 2, 0]))
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].endswith("4")
+        assert "disk   2" in lines[2]
+
+    def test_bar_lengths_proportional(self):
+        text = render_disk_loads(np.array([10, 5]), width=10)
+        top, bottom = text.splitlines()
+        assert top.count("#") == 10
+        assert bottom.count("#") == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            render_disk_loads(np.array([]))
+
+
+class TestShapeProfiles:
+    def test_one_row_per_shape(self):
+        allocation = get_scheme("hcam").allocate(Grid((8, 8)), 4)
+        text = render_shape_profiles(allocation, [(2, 2), (1, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 3  # header + 2 rows
+        assert "(2, 2)" in lines[1]
+        assert "(1, 4)" in lines[2]
+
+
+class TestFullProfile:
+    def test_contains_all_sections_for_2d(self):
+        allocation = get_scheme("dm").allocate(Grid((8, 8)), 4)
+        text = render_allocation_profile(allocation, (2, 2))
+        assert "same-disk distance" in text
+        assert "storage loads" in text
+        assert "sub-optimality map" in text
+
+    def test_heatmap_omitted_for_3d(self):
+        allocation = get_scheme("dm").allocate(Grid((4, 4, 4)), 4)
+        text = render_allocation_profile(allocation, (2, 2, 2))
+        assert "sub-optimality map" not in text
+        assert "same-disk distance" in text
+
+
+class TestGrowthExperiment:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        from repro.experiments import exp_growth
+
+        return exp_growth.run(
+            num_records=300,
+            num_disks=4,
+            bucket_capacity=16,
+            schemes=("dm", "hcam"),
+        )
+
+    def test_identical_structure_across_schemes(self, rows):
+        assert rows["dm"]["buckets"] == rows["hcam"]["buckets"]
+        assert rows["dm"]["splits"] == rows["hcam"]["splits"]
+
+    def test_migration_positive(self, rows):
+        for row in rows.values():
+            assert row["records_migrated"] > 0
+
+    def test_render_contains_schemes(self, rows):
+        from repro.experiments import exp_growth
+
+        text = exp_growth.render(rows)
+        assert "DM/CMD" in text and "HCAM" in text

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import DiskAllocation
+from repro.core.grid import Grid
+
+
+@pytest.fixture
+def grid_2d() -> Grid:
+    """The small 2-d grid most unit tests run on."""
+    return Grid((8, 8))
+
+
+@pytest.fixture
+def grid_3d() -> Grid:
+    """A small 3-d grid."""
+    return Grid((4, 4, 4))
+
+
+@pytest.fixture
+def paper_grid() -> Grid:
+    """The paper's default configuration: 32 x 32 buckets."""
+    return Grid((32, 32))
+
+
+@pytest.fixture
+def ragged_grid() -> Grid:
+    """A grid with unequal, non-power-of-two extents."""
+    return Grid((5, 12))
+
+
+@pytest.fixture
+def checkerboard_allocation(grid_2d: Grid) -> DiskAllocation:
+    """2-disk checkerboard on the 8x8 grid — hand-checkable costs."""
+    table = np.indices(grid_2d.dims).sum(axis=0) % 2
+    return DiskAllocation(grid_2d, 2, table)

@@ -1,0 +1,177 @@
+"""Unit tests for :mod:`repro.core.allocation`."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import DiskAllocation, allocation_from_function
+from repro.core.exceptions import AllocationError
+from repro.core.grid import Grid
+
+
+@pytest.fixture
+def simple_allocation():
+    grid = Grid((2, 3))
+    table = np.array([[0, 1, 2], [2, 0, 1]])
+    return DiskAllocation(grid, 3, table)
+
+
+class TestConstruction:
+    def test_valid(self, simple_allocation):
+        assert simple_allocation.num_disks == 3
+        assert simple_allocation.grid.dims == (2, 3)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(AllocationError):
+            DiskAllocation(Grid((2, 2)), 2, np.zeros((2, 3), dtype=int))
+
+    def test_float_table_rejected(self):
+        with pytest.raises(AllocationError):
+            DiskAllocation(Grid((2, 2)), 2, np.zeros((2, 2)))
+
+    def test_disk_id_out_of_range_rejected(self):
+        with pytest.raises(AllocationError):
+            DiskAllocation(Grid((2, 2)), 2, np.full((2, 2), 2))
+        with pytest.raises(AllocationError):
+            DiskAllocation(Grid((2, 2)), 2, np.full((2, 2), -1))
+
+    def test_nonpositive_disk_count_rejected(self):
+        with pytest.raises(AllocationError):
+            DiskAllocation(Grid((2, 2)), 0, np.zeros((2, 2), dtype=int))
+
+    def test_table_is_read_only_copy(self, simple_allocation):
+        original = np.array([[0, 1, 2], [2, 0, 1]])
+        alloc = DiskAllocation(Grid((2, 3)), 3, original)
+        original[0, 0] = 1  # mutating the source must not leak in
+        assert alloc.disk_of((0, 0)) == 0
+        with pytest.raises(ValueError):
+            alloc.table[0, 0] = 1
+
+
+class TestQueries:
+    def test_disk_of(self, simple_allocation):
+        assert simple_allocation.disk_of((0, 1)) == 1
+        assert simple_allocation.disk_of((1, 0)) == 2
+
+    def test_disk_loads(self, simple_allocation):
+        assert simple_allocation.disk_loads().tolist() == [2, 2, 2]
+
+    def test_is_storage_balanced(self, simple_allocation):
+        assert simple_allocation.is_storage_balanced()
+        skewed = DiskAllocation(
+            Grid((2, 2)), 2, np.array([[0, 0], [0, 1]])
+        )
+        assert not skewed.is_storage_balanced()
+
+    def test_disks_used(self):
+        alloc = DiskAllocation(
+            Grid((2, 2)), 4, np.array([[0, 0], [1, 1]])
+        )
+        assert alloc.disks_used() == 2
+
+    def test_buckets_on_disk(self, simple_allocation):
+        assert simple_allocation.buckets_on_disk(0) == [(0, 0), (1, 1)]
+        with pytest.raises(AllocationError):
+            simple_allocation.buckets_on_disk(3)
+
+    def test_as_mapping_round_trip(self, simple_allocation):
+        mapping = simple_allocation.as_mapping()
+        assert len(mapping) == 6
+        for coords, disk in mapping.items():
+            assert simple_allocation.disk_of(coords) == disk
+
+
+class TestRelabeling:
+    def test_relabeled_applies_permutation(self, simple_allocation):
+        swapped = simple_allocation.relabeled([1, 0, 2])
+        assert swapped.disk_of((0, 0)) == 1
+        assert swapped.disk_of((0, 1)) == 0
+        assert swapped.disk_of((0, 2)) == 2
+
+    def test_relabeled_preserves_loads_multiset(self, simple_allocation):
+        swapped = simple_allocation.relabeled([2, 0, 1])
+        assert sorted(swapped.disk_loads()) == sorted(
+            simple_allocation.disk_loads()
+        )
+
+    def test_invalid_permutation_rejected(self, simple_allocation):
+        with pytest.raises(AllocationError):
+            simple_allocation.relabeled([0, 0, 1])
+        with pytest.raises(AllocationError):
+            simple_allocation.relabeled([0, 1])
+
+
+class TestCanonicalization:
+    def test_first_use_order(self):
+        alloc = DiskAllocation(
+            Grid((2, 2)), 3, np.array([[2, 0], [0, 1]])
+        )
+        canonical = alloc.canonicalized()
+        # First-use order: 2 -> 0, 0 -> 1, 1 -> 2.
+        assert canonical.table.tolist() == [[0, 1], [1, 2]]
+
+    def test_idempotent(self, simple_allocation):
+        once = simple_allocation.canonicalized()
+        assert once.canonicalized() == once
+
+    def test_unused_disks_keep_distinct_labels(self):
+        alloc = DiskAllocation(
+            Grid((2, 2)), 4, np.array([[3, 3], [1, 1]])
+        )
+        canonical = alloc.canonicalized()
+        assert canonical.table.tolist() == [[0, 0], [1, 1]]
+        assert canonical.num_disks == 4
+
+    def test_equivalence_under_relabeling(self, simple_allocation):
+        relabeled = simple_allocation.relabeled([2, 0, 1])
+        assert simple_allocation.is_equivalent_to(relabeled)
+        assert relabeled.is_equivalent_to(simple_allocation)
+
+    def test_non_equivalent_detected(self, simple_allocation):
+        other = DiskAllocation(
+            Grid((2, 3)), 3, np.array([[0, 0, 2], [2, 0, 1]])
+        )
+        assert not simple_allocation.is_equivalent_to(other)
+
+    def test_equivalence_preserves_costs(self, simple_allocation):
+        from repro.core.cost import sliding_response_times
+
+        relabeled = simple_allocation.relabeled([1, 2, 0])
+        assert np.array_equal(
+            sliding_response_times(simple_allocation, (2, 2)),
+            sliding_response_times(relabeled, (2, 2)),
+        )
+
+
+class TestEquality:
+    def test_equality(self, simple_allocation):
+        same = DiskAllocation(
+            Grid((2, 3)), 3, np.array([[0, 1, 2], [2, 0, 1]])
+        )
+        assert simple_allocation == same
+        assert hash(simple_allocation) == hash(same)
+
+    def test_inequality_different_table(self, simple_allocation):
+        other = DiskAllocation(
+            Grid((2, 3)), 3, np.array([[1, 1, 2], [2, 0, 1]])
+        )
+        assert simple_allocation != other
+
+    def test_inequality_different_disk_count(self, simple_allocation):
+        other = DiskAllocation(
+            Grid((2, 3)), 4, np.array([[0, 1, 2], [2, 0, 1]])
+        )
+        assert simple_allocation != other
+
+
+class TestFromFunction:
+    def test_materializes_rule(self):
+        grid = Grid((3, 3))
+        alloc = allocation_from_function(
+            grid, 3, lambda c: (c[0] + c[1]) % 3
+        )
+        assert alloc.disk_of((1, 1)) == 2
+        assert alloc.disk_loads().sum() == 9
+
+    def test_rule_returning_bad_disk_rejected(self):
+        with pytest.raises(AllocationError):
+            allocation_from_function(Grid((2, 2)), 2, lambda c: 5)

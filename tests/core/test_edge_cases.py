@@ -1,0 +1,174 @@
+"""Edge-case coverage across the core model.
+
+Behaviours not naturally exercised by the main suites: degenerate grids,
+one-dimensional configurations, extreme disk counts, and the less-used
+accessors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import DiskAllocation
+from repro.core.cost import (
+    buckets_per_disk,
+    optimal_times,
+    response_time,
+    sliding_response_times,
+)
+from repro.core.evaluator import SchemeEvaluator
+from repro.core.exceptions import QueryError
+from repro.core.grid import Grid
+from repro.core.query import (
+    RangeQuery,
+    all_placements,
+    partial_match_query,
+    query_at,
+    shapes_with_area,
+)
+from repro.core.registry import get_scheme
+
+
+class TestOneDimensional:
+    def test_grid_and_queries(self):
+        grid = Grid((10,))
+        query = query_at((2,), (5,))
+        allocation = get_scheme("dm").allocate(grid, 3)
+        assert response_time(allocation, query) == 2  # ceil(5/3)
+
+    def test_all_placements_1d(self):
+        grid = Grid((6,))
+        assert len(list(all_placements(grid, (3,)))) == 4
+
+    def test_shapes_with_area_1d(self):
+        grid = Grid((8,))
+        assert list(shapes_with_area(grid, 5)) == [(5,)]
+        assert list(shapes_with_area(grid, 9)) == []
+
+    def test_hcam_on_1d_is_round_robin_like(self):
+        grid = Grid((8,))
+        allocation = get_scheme("hcam").allocate(grid, 4)
+        assert allocation.is_storage_balanced()
+
+    def test_partial_match_1d(self):
+        grid = Grid((5,))
+        q = partial_match_query(grid, [None])
+        assert q.num_buckets == 5
+
+
+class TestDegenerateGrids:
+    def test_single_bucket_grid(self):
+        grid = Grid((1, 1))
+        allocation = get_scheme("dm").allocate(grid, 4)
+        q = query_at((0, 0), (1, 1))
+        assert response_time(allocation, q) == 1
+
+    def test_extent_one_axis(self):
+        grid = Grid((1, 8))
+        for name in ("dm", "fx", "hcam", "roundrobin"):
+            allocation = get_scheme(name).allocate(grid, 4)
+            assert allocation.table.shape == (1, 8)
+
+    def test_more_disks_than_buckets(self):
+        grid = Grid((2, 2))
+        allocation = get_scheme("hcam").allocate(grid, 16)
+        # Only 4 disks can be used; each bucket on its own disk makes
+        # every query optimal.
+        assert allocation.disks_used() == 4
+        q = query_at((0, 0), (2, 2))
+        assert response_time(allocation, q) == 1
+
+
+class TestExtremeDiskCounts:
+    def test_m_equals_num_buckets(self):
+        grid = Grid((4, 4))
+        allocation = get_scheme("ecc").allocate(grid, 16)
+        # A bijection: every query is strictly optimal.
+        from repro.theory.optimality import verify_strict_optimality
+
+        assert verify_strict_optimality(allocation).strictly_optimal
+
+    def test_large_m_sliding_windows(self):
+        grid = Grid((8, 8))
+        allocation = get_scheme("hcam").allocate(grid, 64)
+        times = sliding_response_times(allocation, (2, 2))
+        assert times.max() == 1
+
+
+class TestAccessors:
+    def test_optimal_times_vector(self):
+        queries = [query_at((0, 0), (2, 2)), query_at((0, 0), (3, 3))]
+        assert optimal_times(queries, 4).tolist() == [1, 3]
+
+    def test_buckets_per_disk_partial_overlap(self):
+        grid = Grid((4, 4))
+        allocation = get_scheme("dm").allocate(grid, 2)
+        q = RangeQuery((2, 2), (5, 5))  # half outside
+        counts = buckets_per_disk(allocation, q)
+        assert counts.sum() == 4  # only the 2x2 inside
+
+    def test_evaluation_result_extra_field(self):
+        from repro.core.evaluator import EvaluationResult
+
+        result = EvaluationResult(
+            scheme="x",
+            num_queries=1,
+            mean_response_time=1.0,
+            mean_optimal=1.0,
+            worst_response_time=1,
+            fraction_optimal=1.0,
+            extra={"note": 1.0},
+        )
+        assert result.extra["note"] == 1.0
+
+    def test_evaluator_grid_and_disk_accessors(self):
+        grid = Grid((4, 4))
+        evaluator = SchemeEvaluator(grid, 2, ["dm"])
+        assert evaluator.grid == grid
+        assert evaluator.num_disks == 2
+
+    def test_scheme_describe_default(self):
+        scheme = get_scheme("dm")
+        assert "disk" in scheme.describe().lower()
+        assert "dm" in repr(scheme).lower()
+
+
+class TestAllocationEdge:
+    def test_single_disk_loads(self):
+        grid = Grid((3, 3))
+        allocation = DiskAllocation(
+            grid, 1, np.zeros((3, 3), dtype=np.int64)
+        )
+        assert allocation.disk_loads().tolist() == [9]
+        assert allocation.is_storage_balanced()
+
+    def test_empty_region_counts(self):
+        grid = Grid((4, 4))
+        allocation = get_scheme("dm").allocate(grid, 2)
+        outside = RangeQuery((10, 10), (11, 11))
+        assert buckets_per_disk(allocation, outside).sum() == 0
+        assert response_time(allocation, outside) == 0
+
+    def test_sliding_response_times_shape_equal_grid(self):
+        grid = Grid((5, 5))
+        allocation = get_scheme("dm").allocate(grid, 3)
+        times = sliding_response_times(allocation, (5, 5))
+        assert times.shape == (1, 1)
+        assert times[0, 0] == response_time(
+            allocation, query_at((0, 0), (5, 5))
+        )
+
+
+class TestQueryErrors:
+    def test_average_of_unfittable_shape(self):
+        from repro.core.cost import average_response_time
+
+        grid = Grid((4, 4))
+        allocation = get_scheme("dm").allocate(grid, 2)
+        with pytest.raises(QueryError):
+            average_response_time(allocation, (5, 5))
+
+    def test_evaluator_mixed_arity_queries_rejected(self):
+        grid = Grid((4, 4))
+        evaluator = SchemeEvaluator(grid, 2, ["dm"])
+        with pytest.raises(QueryError):
+            evaluator.evaluate_queries([RangeQuery((0,), (1,))])

@@ -1,0 +1,152 @@
+"""Unit tests for :mod:`repro.core.evaluator`."""
+
+import pytest
+
+from repro.core.evaluator import (
+    EvaluationResult,
+    SchemeEvaluator,
+    evaluate_allocation_on_queries,
+    evaluate_allocation_on_shapes,
+    rank_schemes,
+)
+from repro.core.exceptions import QueryError
+from repro.core.grid import Grid
+from repro.core.query import RangeQuery, all_placements
+
+
+class TestEvaluateOnQueries:
+    def test_checkerboard_known_means(self, checkerboard_allocation):
+        queries = list(
+            all_placements(checkerboard_allocation.grid, (2, 2))
+        )
+        result = evaluate_allocation_on_queries(
+            checkerboard_allocation, queries, scheme_name="cb"
+        )
+        assert result.scheme == "cb"
+        assert result.num_queries == 49
+        assert result.mean_response_time == pytest.approx(2.0)
+        assert result.mean_optimal == pytest.approx(2.0)
+        assert result.fraction_optimal == pytest.approx(1.0)
+        assert result.worst_response_time == 2
+
+    def test_empty_workload_rejected(self, checkerboard_allocation):
+        with pytest.raises(QueryError):
+            evaluate_allocation_on_queries(checkerboard_allocation, [])
+
+    def test_deviation_properties(self):
+        result = EvaluationResult(
+            scheme="x",
+            num_queries=10,
+            mean_response_time=3.0,
+            mean_optimal=2.0,
+            worst_response_time=5,
+            fraction_optimal=0.4,
+        )
+        assert result.mean_additive_deviation == pytest.approx(1.0)
+        assert result.mean_relative_deviation == pytest.approx(0.5)
+
+    def test_zero_optimal_deviation_is_zero(self):
+        result = EvaluationResult(
+            scheme="x",
+            num_queries=1,
+            mean_response_time=0.0,
+            mean_optimal=0.0,
+            worst_response_time=0,
+            fraction_optimal=1.0,
+        )
+        assert result.mean_relative_deviation == 0.0
+
+
+class TestEvaluateOnShapes:
+    def test_equivalent_to_explicit_placements(
+        self, checkerboard_allocation
+    ):
+        shapes = [(2, 2), (1, 3)]
+        by_shapes = evaluate_allocation_on_shapes(
+            checkerboard_allocation, shapes
+        )
+        queries = [
+            q
+            for shape in shapes
+            for q in all_placements(checkerboard_allocation.grid, shape)
+        ]
+        by_queries = evaluate_allocation_on_queries(
+            checkerboard_allocation, queries
+        )
+        assert by_shapes.num_queries == by_queries.num_queries
+        assert by_shapes.mean_response_time == pytest.approx(
+            by_queries.mean_response_time
+        )
+        assert by_shapes.mean_optimal == pytest.approx(
+            by_queries.mean_optimal
+        )
+        assert by_shapes.fraction_optimal == pytest.approx(
+            by_queries.fraction_optimal
+        )
+
+    def test_oversized_shape_rejected(self, checkerboard_allocation):
+        with pytest.raises(QueryError):
+            evaluate_allocation_on_shapes(
+                checkerboard_allocation, [(10, 1)]
+            )
+
+    def test_empty_shape_list_rejected(self, checkerboard_allocation):
+        with pytest.raises(QueryError):
+            evaluate_allocation_on_shapes(checkerboard_allocation, [])
+
+
+class TestSchemeEvaluator:
+    def test_default_schemes_are_papers(self, grid_2d):
+        evaluator = SchemeEvaluator(grid_2d, 4)
+        assert evaluator.scheme_names == ["dm", "fx-auto", "ecc", "hcam"]
+
+    def test_allocation_cached(self, grid_2d):
+        evaluator = SchemeEvaluator(grid_2d, 4, ["dm"])
+        assert evaluator.allocation("dm") is evaluator.allocation("dm")
+
+    def test_evaluate_shapes_returns_one_result_per_scheme(self, grid_2d):
+        evaluator = SchemeEvaluator(grid_2d, 4, ["dm", "hcam"])
+        results = evaluator.evaluate_shapes([(2, 2)])
+        assert [r.scheme for r in results] == ["dm", "hcam"]
+
+    def test_evaluate_queries_matches_shapes(self, grid_2d):
+        evaluator = SchemeEvaluator(grid_2d, 4, ["dm"])
+        shape_result = evaluator.evaluate_shapes([(2, 2)])[0]
+        query_result = evaluator.evaluate_queries(
+            list(all_placements(grid_2d, (2, 2)))
+        )[0]
+        assert shape_result.mean_response_time == pytest.approx(
+            query_result.mean_response_time
+        )
+
+    def test_evaluate_area_uses_all_shapes(self, grid_2d):
+        evaluator = SchemeEvaluator(grid_2d, 4, ["dm"])
+        area_result = evaluator.evaluate_area(4)[0]
+        shape_result = evaluator.evaluate_shapes(
+            [(1, 4), (2, 2), (4, 1)]
+        )[0]
+        assert area_result.num_queries == shape_result.num_queries
+        assert area_result.mean_response_time == pytest.approx(
+            shape_result.mean_response_time
+        )
+
+    def test_evaluate_area_unrealizable_rejected(self):
+        evaluator = SchemeEvaluator(Grid((4, 4)), 2, ["dm"])
+        with pytest.raises(QueryError):
+            evaluator.evaluate_area(7)
+
+
+class TestRanking:
+    def test_rank_schemes_orders_by_mean_rt(self):
+        def make(name, rt):
+            return EvaluationResult(
+                scheme=name,
+                num_queries=1,
+                mean_response_time=rt,
+                mean_optimal=1.0,
+                worst_response_time=int(rt),
+                fraction_optimal=0.0,
+            )
+
+        ranked = rank_schemes([make("b", 2.0), make("a", 1.0), make("c", 1.0)])
+        assert [r.scheme for r in ranked] == ["a", "c", "b"]

@@ -1,0 +1,188 @@
+"""Unit tests for :mod:`repro.core.query`."""
+
+import pytest
+
+from repro.core.exceptions import QueryError
+from repro.core.grid import Grid
+from repro.core.query import (
+    RangeQuery,
+    all_placements,
+    partial_match_query,
+    point_query,
+    query_at,
+    shapes_with_area,
+)
+
+
+class TestRangeQuery:
+    def test_basic_properties(self):
+        q = RangeQuery((0, 2), (1, 5))
+        assert q.ndim == 2
+        assert q.side_lengths == (2, 4)
+        assert q.num_buckets == 8
+
+    def test_bounds_inclusive(self):
+        q = RangeQuery((3,), (3,))
+        assert q.num_buckets == 1
+        assert q.is_point()
+
+    def test_iter_buckets_enumerates_rectangle(self):
+        q = RangeQuery((1, 1), (2, 2))
+        assert list(q.iter_buckets()) == [(1, 1), (1, 2), (2, 1), (2, 2)]
+
+    def test_contains_bucket(self):
+        q = RangeQuery((1, 1), (2, 3))
+        assert q.contains_bucket((2, 3))
+        assert not q.contains_bucket((0, 1))
+        assert not q.contains_bucket((1,))
+
+    def test_slices_select_region(self):
+        q = RangeQuery((1, 0), (2, 1))
+        assert q.slices() == (slice(1, 3), slice(0, 2))
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(QueryError):
+            RangeQuery((0, 0), (1,))
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(QueryError):
+            RangeQuery((2, 0), (1, 3))
+
+    def test_negative_lower_rejected(self):
+        with pytest.raises(QueryError):
+            RangeQuery((-1, 0), (1, 1))
+
+    def test_zero_attributes_rejected(self):
+        with pytest.raises(QueryError):
+            RangeQuery((), ())
+
+
+class TestIntersectAndClip:
+    def test_intersect_overlapping(self):
+        a = RangeQuery((0, 0), (3, 3))
+        b = RangeQuery((2, 2), (5, 5))
+        assert a.intersect(b) == RangeQuery((2, 2), (3, 3))
+
+    def test_intersect_disjoint_is_none(self):
+        a = RangeQuery((0, 0), (1, 1))
+        b = RangeQuery((3, 3), (4, 4))
+        assert a.intersect(b) is None
+
+    def test_intersect_dimension_mismatch_rejected(self):
+        with pytest.raises(QueryError):
+            RangeQuery((0,), (1,)).intersect(RangeQuery((0, 0), (1, 1)))
+
+    def test_clip_to_grid(self):
+        grid = Grid((4, 4))
+        q = RangeQuery((2, 2), (9, 9))
+        assert q.clip_to(grid) == RangeQuery((2, 2), (3, 3))
+
+    def test_clip_fully_outside_is_none(self):
+        grid = Grid((4, 4))
+        assert RangeQuery((5, 5), (6, 6)).clip_to(grid) is None
+
+    def test_fits_in(self):
+        grid = Grid((4, 4))
+        assert RangeQuery((0, 0), (3, 3)).fits_in(grid)
+        assert not RangeQuery((0, 0), (4, 3)).fits_in(grid)
+
+
+class TestQueryClasses:
+    def test_partial_match_recognition(self):
+        grid = Grid((4, 4))
+        assert partial_match_query(grid, [2, None]).is_partial_match(grid)
+        assert RangeQuery((1, 0), (2, 3)).is_partial_match(grid) is False
+        # Fully specified and fully free are both partial match.
+        assert RangeQuery((1, 1), (1, 1)).is_partial_match(grid)
+        assert RangeQuery((0, 0), (3, 3)).is_partial_match(grid)
+
+    def test_partial_match_query_bounds(self):
+        grid = Grid((4, 8))
+        q = partial_match_query(grid, [None, 5])
+        assert q.lower == (0, 5)
+        assert q.upper == (3, 5)
+
+    def test_partial_match_value_out_of_domain_rejected(self):
+        grid = Grid((4, 4))
+        with pytest.raises(QueryError):
+            partial_match_query(grid, [4, None])
+
+    def test_partial_match_arity_rejected(self):
+        grid = Grid((4, 4))
+        with pytest.raises(QueryError):
+            partial_match_query(grid, [1])
+
+    def test_point_query(self):
+        grid = Grid((4, 4))
+        q = point_query(grid, (2, 3))
+        assert q.is_point()
+        assert q.is_partial_match(grid)
+        assert q.num_buckets == 1
+
+
+class TestPlacement:
+    def test_query_at(self):
+        q = query_at((1, 2), (3, 2))
+        assert q.lower == (1, 2)
+        assert q.upper == (3, 3)
+
+    def test_query_at_rejects_nonpositive_shape(self):
+        with pytest.raises(QueryError):
+            query_at((0, 0), (0, 2))
+
+    def test_all_placements_count(self):
+        grid = Grid((5, 7))
+        placements = list(all_placements(grid, (2, 3)))
+        assert len(placements) == (5 - 2 + 1) * (7 - 3 + 1)
+        assert all(p.fits_in(grid) for p in placements)
+        assert len(set(placements)) == len(placements)
+
+    def test_all_placements_full_grid_single(self):
+        grid = Grid((4, 4))
+        placements = list(all_placements(grid, (4, 4)))
+        assert placements == [RangeQuery((0, 0), (3, 3))]
+
+    def test_all_placements_oversized_shape_empty(self):
+        grid = Grid((4, 4))
+        assert list(all_placements(grid, (5, 1))) == []
+
+    def test_all_placements_wrong_arity_rejected(self):
+        with pytest.raises(QueryError):
+            list(all_placements(Grid((4, 4)), (2,)))
+
+
+class TestShapesWithArea:
+    def test_exact_factorizations(self):
+        grid = Grid((8, 8))
+        shapes = set(shapes_with_area(grid, 12))
+        assert shapes == {(2, 6), (3, 4), (4, 3), (6, 2)}
+
+    def test_shapes_respect_grid_extents(self):
+        grid = Grid((4, 16))
+        shapes = set(shapes_with_area(grid, 16))
+        assert (16, 1) not in shapes
+        assert (1, 16) in shapes
+        assert (4, 4) in shapes
+
+    def test_area_one(self):
+        assert list(shapes_with_area(Grid((3, 3)), 1)) == [(1, 1)]
+
+    def test_unrealizable_area_is_empty(self):
+        # 11 is prime and exceeds both extents of a 8x8 grid on one side.
+        assert list(shapes_with_area(Grid((8, 8)), 11)) == []
+
+    def test_three_dimensional_factorizations(self):
+        grid = Grid((4, 4, 4))
+        shapes = set(shapes_with_area(grid, 8))
+        assert (2, 2, 2) in shapes
+        assert (1, 2, 4) in shapes
+        assert all(len(s) == 3 for s in shapes)
+
+    def test_max_shapes_truncates(self):
+        grid = Grid((32, 32))
+        shapes = list(shapes_with_area(grid, 16, max_shapes=2))
+        assert len(shapes) == 2
+
+    def test_nonpositive_area_rejected(self):
+        with pytest.raises(QueryError):
+            list(shapes_with_area(Grid((4, 4)), 0))

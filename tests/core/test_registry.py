@@ -1,0 +1,70 @@
+"""Unit tests for the scheme registry."""
+
+import pytest
+
+from repro.core.exceptions import UnknownSchemeError
+from repro.core.registry import (
+    PAPER_SCHEMES,
+    available_schemes,
+    get_scheme,
+    register_scheme,
+    scheme_label,
+)
+from repro.schemes.base import DeclusteringScheme
+
+
+class TestLookup:
+    def test_all_builtins_constructible(self):
+        for name in available_schemes():
+            scheme = get_scheme(name)
+            assert isinstance(scheme, DeclusteringScheme)
+
+    def test_each_lookup_is_a_fresh_instance(self):
+        assert get_scheme("dm") is not get_scheme("dm")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownSchemeError):
+            get_scheme("definitely-not-a-scheme")
+
+    def test_paper_schemes_are_registered(self):
+        assert set(PAPER_SCHEMES) <= set(available_schemes())
+
+    def test_labels(self):
+        assert scheme_label("dm") == "DM/CMD"
+        assert scheme_label("hcam") == "HCAM"
+        assert scheme_label("someother") == "SOMEOTHER"
+
+
+class TestRegistration:
+    def test_register_and_retrieve(self):
+        class Dummy(DeclusteringScheme):
+            name = "dummy-test-scheme"
+
+            def disk_of(self, coords, grid, num_disks):
+                return 0
+
+        register_scheme("dummy-test-scheme", Dummy)
+        try:
+            assert isinstance(get_scheme("dummy-test-scheme"), Dummy)
+        finally:
+            # Clean up so other tests see only the builtins.
+            from repro.core import registry
+
+            del registry._REGISTRY["dummy-test-scheme"]
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_scheme("dm", lambda: None)
+
+    def test_replace_allows_override(self):
+        from repro.core import registry
+
+        original = registry._REGISTRY["dm"]
+        try:
+            register_scheme("dm", original, replace=True)
+        finally:
+            registry._REGISTRY["dm"] = original
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            register_scheme("", lambda: None)

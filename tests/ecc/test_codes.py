@@ -1,0 +1,125 @@
+"""Unit tests for parity-check code construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import CodeConstructionError
+from repro.ecc.codes import (
+    BinaryLinearCode,
+    hamming_like_code,
+    is_power_of_two,
+    nonzero_vectors_by_weight,
+    parity_check_matrix,
+)
+from repro.ecc.gf2 import int_to_bits, minimum_distance
+
+
+class TestHelpers:
+    @pytest.mark.parametrize("value", [1, 2, 4, 8, 1024])
+    def test_powers_of_two(self, value):
+        assert is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, 3, 6, 12, -4])
+    def test_non_powers(self, value):
+        assert not is_power_of_two(value)
+
+    def test_nonzero_vectors_sorted_by_weight(self):
+        values = nonzero_vectors_by_weight(3)
+        assert values == [1, 2, 4, 3, 5, 6, 7]
+
+    def test_nonzero_vectors_count(self):
+        assert len(nonzero_vectors_by_weight(4)) == 15
+
+
+class TestParityCheckMatrix:
+    def test_systematic_prefix(self):
+        h = parity_check_matrix(3, 7)
+        # First three columns are the identity (values 1, 2, 4).
+        for i in range(3):
+            assert h[:, i].tolist() == int_to_bits(1 << i, 3).tolist()
+
+    def test_columns_distinct_up_to_hamming_length(self):
+        h = parity_check_matrix(3, 7)
+        columns = {tuple(h[:, c]) for c in range(7)}
+        assert len(columns) == 7  # all nonzero 3-bit vectors, distinct
+
+    def test_distance_three_within_hamming_length(self):
+        assert minimum_distance(parity_check_matrix(3, 7)) == 3
+        assert minimum_distance(parity_check_matrix(4, 10)) >= 3
+
+    def test_columns_cycle_beyond_hamming_length(self):
+        h = parity_check_matrix(2, 6)
+        # 2 check bits have only 3 nonzero vectors: repetition is forced
+        # and distance drops to 2 — but never below.
+        assert minimum_distance(h) == 2
+
+    def test_single_check_bit(self):
+        h = parity_check_matrix(1, 5)
+        assert h.tolist() == [[1, 1, 1, 1, 1]]  # overall parity code
+
+    def test_too_short_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            parity_check_matrix(4, 3)
+
+    def test_nonpositive_checks_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            parity_check_matrix(0, 3)
+
+
+class TestBinaryLinearCode:
+    def test_dimensions(self):
+        code = hamming_like_code(3, 7)
+        assert code.num_checks == 3
+        assert code.length == 7
+        assert code.num_cosets == 8
+
+    def test_full_rank(self):
+        assert hamming_like_code(4, 12).is_full_rank()
+
+    def test_syndrome_of_zero_word(self):
+        code = hamming_like_code(3, 7)
+        assert code.syndrome(np.zeros(7, dtype=np.uint8)) == 0
+
+    def test_syndrome_of_identity_columns(self):
+        code = hamming_like_code(3, 7)
+        for i in range(3):
+            word = np.zeros(7, dtype=np.uint8)
+            word[i] = 1
+            assert code.syndrome(word) == 1 << i
+
+    def test_syndromes_vectorized_matches_scalar(self):
+        code = hamming_like_code(3, 6)
+        rng = np.random.default_rng(5)
+        words = rng.integers(0, 2, size=(20, 6)).astype(np.uint8)
+        vectorized = code.syndromes(words)
+        for row, expected in zip(words, vectorized):
+            assert code.syndrome(row) == expected
+
+    def test_same_coset_iff_difference_is_codeword(self):
+        code = hamming_like_code(3, 5)
+        rng = np.random.default_rng(11)
+        for _ in range(50):
+            a = rng.integers(0, 2, size=5).astype(np.uint8)
+            b = rng.integers(0, 2, size=5).astype(np.uint8)
+            same_coset = code.syndrome(a) == code.syndrome(b)
+            diff_syndrome = code.syndrome(a ^ b)
+            assert same_coset == (diff_syndrome == 0)
+
+    def test_every_coset_nonempty(self):
+        code = hamming_like_code(3, 4)
+        seen = set()
+        for value in range(16):
+            word = int_to_bits(value, 4)
+            seen.add(code.syndrome(word))
+        assert seen == set(range(8))
+
+    def test_word_length_mismatch_rejected(self):
+        code = hamming_like_code(3, 7)
+        with pytest.raises(CodeConstructionError):
+            code.syndrome(np.zeros(6, dtype=np.uint8))
+        with pytest.raises(CodeConstructionError):
+            code.syndromes(np.zeros((2, 6), dtype=np.uint8))
+
+    def test_non_2d_parity_check_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            BinaryLinearCode(np.zeros(3, dtype=np.uint8))

@@ -1,0 +1,123 @@
+"""Unit tests for GF(2) linear algebra."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import CodeConstructionError
+from repro.ecc.gf2 import (
+    as_gf2,
+    bits_to_int,
+    gf2_matmul,
+    gf2_nullspace,
+    gf2_rank,
+    gf2_rref,
+    hamming_distance,
+    hamming_weight,
+    int_to_bits,
+    minimum_distance,
+)
+
+
+class TestCoercion:
+    def test_accepts_zero_one_integers(self):
+        arr = as_gf2([[0, 1], [1, 0]])
+        assert arr.dtype == np.uint8
+
+    def test_rejects_other_values(self):
+        with pytest.raises(CodeConstructionError):
+            as_gf2([[0, 2]])
+
+    def test_rejects_floats(self):
+        with pytest.raises(CodeConstructionError):
+            as_gf2([[0.0, 1.0]])
+
+
+class TestMatmul:
+    def test_mod_two_arithmetic(self):
+        a = [[1, 1], [0, 1]]
+        b = [[1, 0], [1, 1]]
+        # Over the integers a@b = [[2,1],[1,1]]; over GF(2) the 2 wraps to 0.
+        assert gf2_matmul(a, b).tolist() == [[0, 1], [1, 1]]
+
+
+class TestRankAndRref:
+    def test_identity_full_rank(self):
+        assert gf2_rank(np.eye(4, dtype=np.uint8)) == 4
+
+    def test_dependent_rows(self):
+        # Third row is the XOR of the first two.
+        m = [[1, 0, 1], [0, 1, 1], [1, 1, 0]]
+        assert gf2_rank(m) == 2
+
+    def test_zero_matrix(self):
+        assert gf2_rank(np.zeros((3, 3), dtype=np.uint8)) == 0
+
+    def test_rref_pivots(self):
+        m = [[1, 1, 0], [1, 0, 1]]
+        rref, pivots = gf2_rref(np.array(m, dtype=np.uint8))
+        assert pivots == [0, 1]
+        assert rref.tolist() == [[1, 0, 1], [0, 1, 1]]
+
+
+class TestNullspace:
+    def test_dimension(self):
+        # rank 2 in GF(2)^4 -> nullspace dimension 2.
+        m = [[1, 0, 1, 0], [0, 1, 0, 1]]
+        basis = gf2_nullspace(np.array(m, dtype=np.uint8))
+        assert basis.shape == (2, 4)
+
+    def test_vectors_are_in_kernel(self):
+        m = np.array([[1, 1, 0, 1], [0, 1, 1, 1]], dtype=np.uint8)
+        basis = gf2_nullspace(m)
+        for vector in basis:
+            assert gf2_matmul(m, vector.reshape(-1, 1)).sum() == 0
+
+    def test_full_rank_square_has_trivial_kernel(self):
+        basis = gf2_nullspace(np.eye(3, dtype=np.uint8))
+        assert basis.shape == (0, 3)
+
+
+class TestBits:
+    def test_int_to_bits_little_endian(self):
+        assert int_to_bits(6, 4).tolist() == [0, 1, 1, 0]
+
+    def test_bits_round_trip(self):
+        for value in range(32):
+            assert bits_to_int(int_to_bits(value, 5)) == value
+
+    def test_overflow_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            int_to_bits(8, 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            int_to_bits(-1, 3)
+
+
+class TestDistances:
+    def test_hamming_weight(self):
+        assert hamming_weight([1, 0, 1, 1]) == 3
+
+    def test_hamming_distance(self):
+        assert hamming_distance([1, 0, 1], [0, 0, 1]) == 1
+
+    def test_distance_shape_mismatch_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            hamming_distance([1, 0], [1, 0, 0])
+
+    def test_minimum_distance_of_hamming_7_4(self):
+        # Parity-check matrix of the [7,4] Hamming code: columns 1..7.
+        h = np.array(
+            [[(c >> b) & 1 for c in range(1, 8)] for b in range(3)],
+            dtype=np.uint8,
+        )
+        assert minimum_distance(h) == 3
+
+    def test_minimum_distance_repetition_code(self):
+        # H = [[1,1,0],[0,1,1]] -> code {000, 111}: distance 3.
+        h = np.array([[1, 1, 0], [0, 1, 1]], dtype=np.uint8)
+        assert minimum_distance(h) == 3
+
+    def test_minimum_distance_without_codewords_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            minimum_distance(np.eye(3, dtype=np.uint8))

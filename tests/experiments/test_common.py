@@ -1,0 +1,107 @@
+"""Unit tests for the experiment machinery."""
+
+import pytest
+
+from repro.core.exceptions import WorkloadError
+from repro.core.grid import Grid
+from repro.experiments.common import (
+    ExperimentResult,
+    default_area_sweep,
+    sweep_shapes,
+)
+
+
+def make_result():
+    return ExperimentResult(
+        experiment_id="T",
+        title="test",
+        x_label="x",
+        x_values=[1, 2],
+        series={"dm": [2.0, 3.0], "hcam": [1.0, 4.0]},
+        optimal=[1.0, 2.0],
+    )
+
+
+class TestExperimentResult:
+    def test_length_validation(self):
+        with pytest.raises(WorkloadError):
+            ExperimentResult(
+                experiment_id="T",
+                title="t",
+                x_label="x",
+                x_values=[1, 2],
+                series={"dm": [1.0]},
+                optimal=[1.0, 2.0],
+            )
+        with pytest.raises(WorkloadError):
+            ExperimentResult(
+                experiment_id="T",
+                title="t",
+                x_label="x",
+                x_values=[1, 2],
+                series={"dm": [1.0, 2.0]},
+                optimal=[1.0],
+            )
+
+    def test_deviation_series(self):
+        result = make_result()
+        assert result.deviation_series("dm") == [1.0, 0.5]
+
+    def test_winner_at(self):
+        result = make_result()
+        assert result.winner_at(0) == "hcam"
+        assert result.winner_at(1) == "dm"
+        assert result.winners() == ["hcam", "dm"]
+
+    def test_rows_and_header_aligned(self):
+        result = make_result()
+        header = result.header()
+        rows = result.rows()
+        assert header == ["x", "OPT", "DM/CMD", "HCAM"]
+        assert rows[0] == (1, 1.0, 2.0, 1.0)
+        assert all(len(row) == len(header) for row in rows)
+
+
+class TestSweepShapes:
+    def test_structure(self):
+        grid = Grid((8, 8))
+        result = sweep_shapes(
+            experiment_id="T",
+            title="t",
+            grid=grid,
+            num_disks=4,
+            x_label="area",
+            points=[(4, [(2, 2)]), (8, [(2, 4), (4, 2)])],
+            schemes=["dm", "hcam"],
+        )
+        assert result.x_values == [4, 8]
+        assert set(result.series) == {"dm", "hcam"}
+        assert result.optimal == [1.0, 2.0]
+        assert result.config["grid"] == (8, 8)
+
+    def test_series_at_least_optimal(self):
+        grid = Grid((8, 8))
+        result = sweep_shapes(
+            experiment_id="T",
+            title="t",
+            grid=grid,
+            num_disks=4,
+            x_label="area",
+            points=[(4, [(2, 2)]), (16, [(4, 4)])],
+            schemes=["dm", "fx", "hcam"],
+        )
+        for name in result.series:
+            for rt, opt in zip(result.series[name], result.optimal):
+                assert rt >= opt - 1e-9
+
+
+class TestDefaultAreaSweep:
+    def test_skips_unrealizable_areas(self):
+        areas = default_area_sweep(Grid((4, 4)))
+        assert 16 in areas
+        assert 13 not in areas  # prime > 4: no shape fits
+        assert 1 in areas
+
+    def test_max_area_cap(self):
+        areas = default_area_sweep(Grid((8, 8)), max_area=10)
+        assert max(areas) <= 10

@@ -1,0 +1,119 @@
+"""Tests for the EPM and X3 experiment modules."""
+
+import pytest
+
+from repro.core.grid import Grid
+from repro.experiments import exp_beyond_paper, exp_partial_match
+
+
+class TestPartialMatch:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_partial_match.run(grid_dims=(8, 8, 8), num_disks=8)
+
+    def test_structure(self, result):
+        assert result.experiment_id == "EPM"
+        assert result.x_values == [1, 2]
+
+    def test_dm_and_fx_exactly_optimal(self, result):
+        # Table 1: on a power-of-two config with d_i = M, DM and FX are
+        # strictly optimal for every partial-match query.
+        for scheme in ("dm", "fx-auto"):
+            for rt, opt in zip(result.series[scheme], result.optimal):
+                assert rt == pytest.approx(opt)
+
+    def test_hcam_unguaranteed_and_measurably_worse(self, result):
+        assert result.series["hcam"][0] > result.optimal[0]
+
+    def test_query_generation_counts(self):
+        grid = Grid((4, 4))
+        queries = exp_partial_match.partial_match_queries_with(grid, 1)
+        # 2 choices of bound axis x 4 values each.
+        assert len(queries) == 8
+        assert all(q.is_partial_match(grid) for q in queries)
+
+    def test_single_free_attribute_queries(self):
+        grid = Grid((3, 4))
+        queries = exp_partial_match.single_free_attribute_queries(grid)
+        # free axis 0: 4 queries; free axis 1: 3 queries.
+        assert len(queries) == 7
+        for q in queries:
+            frees = [
+                1
+                for lo, hi, d in zip(q.lower, q.upper, grid.dims)
+                if (lo, hi) == (0, d - 1)
+            ]
+            assert sum(frees) == 1
+
+
+class TestReplicationExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import exp_replication
+
+        return exp_replication.run(
+            grid_dims=(8, 8),
+            num_disks=4,
+            sides=(2, 3, 4),
+            max_placements=16,
+        )
+
+    def test_structure(self, result):
+        assert result.experiment_id == "X4"
+        assert set(result.series) == {
+            "dm", "hcam", "dm+chain", "dm+hcam",
+        }
+
+    def test_replication_never_hurts_dm(self, result):
+        for i in range(len(result.x_values)):
+            assert (
+                result.series["dm+chain"][i]
+                <= result.series["dm"][i] + 1e-9
+            )
+
+    def test_chained_fixes_smallest_squares(self, result):
+        assert result.series["dm+chain"][0] == pytest.approx(
+            result.optimal[0]
+        )
+
+    def test_greedy_method_also_valid(self):
+        from repro.experiments import exp_replication
+
+        result = exp_replication.run(
+            grid_dims=(8, 8),
+            num_disks=4,
+            sides=(2,),
+            method="greedy",
+            max_placements=8,
+        )
+        assert result.series["dm+chain"][0] >= result.optimal[0] - 1e-9
+
+    def test_oversized_side_rejected(self):
+        from repro.experiments import exp_replication
+
+        with pytest.raises(ValueError):
+            exp_replication.run(grid_dims=(4, 4), sides=(8,))
+
+
+class TestBeyondPaper:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_beyond_paper.run(
+            grid_dims=(16, 16), disk_counts=(8, 16)
+        )
+
+    def test_extended_scheme_set(self, result):
+        assert set(result.series) == set(
+            exp_beyond_paper.EXTENDED_SCHEMES
+        )
+
+    def test_cyclic_exh_at_least_matches_every_1994_method(self, result):
+        for i in range(len(result.x_values)):
+            exh = result.series["cyclic-exh"][i]
+            for name in ("dm", "fx-auto", "ecc", "hcam"):
+                assert exh <= result.series[name][i] + 1e-9
+
+    def test_all_series_at_least_optimal(self, result):
+        for name in result.series:
+            for rt, opt in zip(result.series[name], result.optimal):
+                assert rt >= opt - 1e-9

@@ -1,0 +1,106 @@
+"""Unit tests for result rendering."""
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.reporting import (
+    ascii_plot,
+    format_value,
+    render_deviation_table,
+    render_table,
+    to_csv,
+)
+
+
+def make_result():
+    return ExperimentResult(
+        experiment_id="E9",
+        title="demo experiment",
+        x_label="area",
+        x_values=[1, 4, 16],
+        series={"dm": [1.0, 2.0, 3.0], "hcam": [1.0, 1.5, 2.5]},
+        optimal=[1.0, 1.0, 2.0],
+        config={"grid": (8, 8)},
+    )
+
+
+class TestFormatValue:
+    def test_floats_fixed_precision(self):
+        assert format_value(1.23456) == "1.235"
+        assert format_value(1.2, precision=1) == "1.2"
+
+    def test_ints_and_strings_pass_through(self):
+        assert format_value(7) == "7"
+        assert format_value("x") == "x"
+
+    def test_bools_not_formatted_as_floats(self):
+        assert format_value(True) == "True"
+
+
+class TestRenderTable:
+    def test_contains_title_and_config(self):
+        text = render_table(make_result())
+        assert "[E9] demo experiment" in text
+        assert "(8, 8)" in text
+
+    def test_one_line_per_x_value(self):
+        lines = render_table(make_result()).splitlines()
+        # title + config + header + separator + 3 data rows
+        assert len(lines) == 7
+
+    def test_labels_used(self):
+        text = render_table(make_result())
+        assert "DM/CMD" in text and "HCAM" in text and "OPT" in text
+
+    def test_columns_aligned(self):
+        lines = render_table(make_result()).splitlines()
+        header, separator = lines[2], lines[3]
+        assert len(header) == len(separator)
+
+
+class TestDeviationTable:
+    def test_signed_deviations(self):
+        text = render_deviation_table(make_result())
+        assert "+1.000" in text  # dm at area 4: (2 - 1) / 1
+        assert "+0.000" in text
+
+    def test_header_has_schemes(self):
+        text = render_deviation_table(make_result())
+        assert "DM/CMD" in text and "HCAM" in text
+
+
+class TestCSV:
+    def test_header_and_rows(self):
+        csv = to_csv(make_result())
+        lines = csv.strip().splitlines()
+        assert lines[0] == "area,OPT,DM/CMD,HCAM"
+        assert len(lines) == 4
+        assert lines[1].startswith("1,")
+
+    def test_numeric_cells_parse(self):
+        csv = to_csv(make_result())
+        for line in csv.strip().splitlines()[1:]:
+            for cell in line.split(","):
+                float(cell)
+
+
+class TestAsciiPlot:
+    def test_plot_dimensions(self):
+        plot = ascii_plot(make_result(), scheme="dm", width=40, height=8)
+        lines = plot.splitlines()
+        assert len(lines) == 1 + 8 + 1  # label + rows + axis
+        assert all(len(line) <= 40 for line in lines[1:])
+
+    def test_optimal_series_by_default(self):
+        plot = ascii_plot(make_result())
+        assert plot.startswith("OPT")
+
+    def test_monotone_series_fills_bottom_right(self):
+        plot = ascii_plot(make_result(), scheme="dm", width=12, height=4)
+        rows = plot.splitlines()[1:-1]
+        bottom = rows[-1]
+        # The bottom band must be fully covered for a positive series.
+        assert bottom.count("*") == 12
+
+    def test_short_series_resampled(self):
+        result = make_result()
+        plot = ascii_plot(result, scheme="hcam", width=30, height=5)
+        assert len(plot.splitlines()[1]) == 30

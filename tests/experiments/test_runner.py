@@ -1,0 +1,45 @@
+"""Tests for the all-experiments runner (quick configuration)."""
+
+import pytest
+
+from repro.experiments.runner import render_all, render_thm, run_all
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_all(quick=True)
+
+
+class TestRunAll:
+    def test_every_experiment_present(self, results):
+        assert set(results) == {
+            "E1", "E2", "E3", "E4a", "E4b", "E5",
+            "X1", "EPM", "X3", "X4", "X5", "THM",
+        }
+
+    def test_experiment_ids_consistent(self, results):
+        assert results["E1"].experiment_id == "E1"
+        assert results["E4a"].experiment_id == "E4a"
+        assert results["E3"].result_2d.experiment_id == "E3-2d"
+
+    def test_thm_results_match_theory(self, results):
+        exists = [r.exists for r in results["THM"]]
+        assert exists == [True, True, True, False, True, False]
+
+
+class TestRenderAll:
+    def test_report_mentions_every_section(self, results):
+        report = render_all(results)
+        for token in ("[E1]", "[E2]", "[E3", "[E4a]", "[E4b]", "[E5]",
+                      "[X1]", "[THM]", "[T1]"):
+            assert token in report
+
+    def test_report_has_scheme_labels(self, results):
+        report = render_all(results)
+        for label in ("DM/CMD", "FX", "ECC", "HCAM"):
+            assert label in report
+
+    def test_render_thm_rows(self, results):
+        text = render_thm(results["THM"])
+        assert "yes" in text and "no" in text
+        assert text.count("\n") >= len(results["THM"])

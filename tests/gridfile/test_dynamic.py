@@ -1,0 +1,173 @@
+"""Unit and integration tests for the dynamic grid file."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import GridFileError
+from repro.gridfile.dynamic import DynamicGridFile
+from repro.workloads.datasets import gaussian_dataset, uniform_dataset
+
+
+def make_file(**kwargs) -> DynamicGridFile:
+    defaults = {
+        "domains": [(0.0, 1.0), (0.0, 1.0)],
+        "num_disks": 4,
+        "scheme": "hcam",
+        "bucket_capacity": 8,
+    }
+    defaults.update(kwargs)
+    return DynamicGridFile(**defaults)
+
+
+class TestConstruction:
+    def test_starts_as_single_bucket(self):
+        gf = make_file()
+        assert gf.grid.dims == (1, 1)
+        assert gf.num_records == 0
+
+    def test_invalid_domain_rejected(self):
+        with pytest.raises(GridFileError):
+            make_file(domains=[(1.0, 1.0), (0.0, 1.0)])
+
+    def test_no_domains_rejected(self):
+        with pytest.raises(GridFileError):
+            make_file(domains=[])
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(GridFileError):
+            make_file(bucket_capacity=0)
+
+
+class TestInsertion:
+    def test_insert_returns_bucket(self):
+        gf = make_file()
+        coords = gf.insert((0.3, 0.7))
+        assert coords == (0, 0)
+        assert gf.num_records == 1
+
+    def test_record_out_of_domain_rejected(self):
+        gf = make_file()
+        with pytest.raises(GridFileError):
+            gf.insert((1.5, 0.5))
+
+    def test_wrong_arity_rejected(self):
+        gf = make_file()
+        with pytest.raises(GridFileError):
+            gf.insert((0.5,))
+
+    def test_capacity_triggers_split(self):
+        gf = make_file(bucket_capacity=4)
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            gf.insert(rng.uniform(0, 1, size=2))
+        assert gf.stats()["num_splits"] >= 1
+        assert gf.grid.num_buckets >= 2
+
+    def test_no_bucket_exceeds_capacity_on_distinct_data(self):
+        gf = make_file(bucket_capacity=8)
+        data = uniform_dataset(400, 2, seed=3)
+        gf.insert_many(data.values)
+        assert gf.bucket_occupancy().max() <= 8
+
+    def test_occupancy_sums_to_records(self):
+        gf = make_file()
+        data = uniform_dataset(200, 2, seed=4)
+        gf.insert_many(data.values)
+        assert gf.bucket_occupancy().sum() == 200
+        assert gf.records_per_disk().sum() == 200
+
+    def test_duplicate_heavy_data_allows_overflow(self):
+        # All-identical records cannot be separated by any boundary; the
+        # file must degrade gracefully (overflow) instead of looping.
+        gf = make_file(bucket_capacity=2)
+        for _ in range(10):
+            gf.insert((0.5, 0.5))
+        assert gf.num_records == 10
+
+    def test_records_stay_findable_across_splits(self):
+        gf = make_file(bucket_capacity=4)
+        rng = np.random.default_rng(7)
+        records = rng.uniform(0, 1, size=(100, 2))
+        gf.insert_many(records)
+        occupancy = gf.bucket_occupancy()
+        # Re-derive each record's bucket; it must hold a record.
+        for record in records[:20]:
+            coords = gf.bucket_of(record)
+            assert occupancy[coords] > 0
+
+    def test_skewed_data_splits_the_hot_region(self):
+        gf = make_file(bucket_capacity=8)
+        data = gaussian_dataset(600, 2, mean=0.5, std=0.08, seed=5)
+        gf.insert_many(data.values)
+        partitioners = gf.partitioners()
+        # Median splits concentrate boundaries around the hot spot.
+        centre_widths = []
+        edge_widths = []
+        for p in partitioners:
+            widths = np.diff(p.boundaries)
+            centre_widths.append(
+                widths[p.partition_of(0.5)]
+            )
+            edge_widths.append(widths[0])
+        assert np.mean(centre_widths) < np.mean(edge_widths)
+
+
+class TestQueries:
+    @pytest.fixture
+    def loaded(self):
+        gf = make_file(num_disks=8, bucket_capacity=8)
+        gf.insert_many(uniform_dataset(500, 2, seed=9).values)
+        return gf
+
+    def test_range_query_translation(self, loaded):
+        query = loaded.range_query([(0.0, 0.5), (0.0, 0.5)])
+        assert query.fits_in(loaded.grid)
+
+    def test_execute_is_consistent_with_core_model(self, loaded):
+        from repro.core.cost import response_time
+
+        query = loaded.range_query([(0.1, 0.6), (0.2, 0.7)])
+        execution = loaded.execute(query)
+        assert execution.response_time == response_time(
+            loaded.allocation, query
+        )
+        assert execution.response_time >= execution.optimal
+
+    def test_range_arity_rejected(self, loaded):
+        with pytest.raises(GridFileError):
+            loaded.range_query([(0.0, 1.0)])
+
+
+class TestMigrationAccounting:
+    def test_counters_start_at_zero(self):
+        gf = make_file()
+        stats = gf.stats()
+        assert stats["buckets_migrated"] == 0
+        assert stats["records_migrated"] == 0
+
+    def test_splits_cause_migrations(self):
+        gf = make_file(bucket_capacity=4, scheme="dm", num_disks=4)
+        gf.insert_many(uniform_dataset(200, 2, seed=11).values)
+        stats = gf.stats()
+        assert stats["num_splits"] > 0
+        assert stats["buckets_migrated"] > 0
+
+    def test_migration_counts_are_scheme_dependent(self):
+        data = uniform_dataset(600, 2, seed=13)
+        migrated = {}
+        for scheme in ("dm", "hcam"):
+            gf = make_file(
+                bucket_capacity=8, scheme=scheme, num_disks=8
+            )
+            gf.insert_many(data.values)
+            migrated[scheme] = gf.stats()["records_migrated"]
+        # Identical data and split sequence; only the scheme differs.
+        assert migrated["dm"] != migrated["hcam"]
+
+    def test_three_attributes_supported(self):
+        gf = DynamicGridFile(
+            [(0.0, 1.0)] * 3, num_disks=4, bucket_capacity=8
+        )
+        gf.insert_many(uniform_dataset(300, 3, seed=15).values)
+        assert gf.grid.ndim == 3
+        assert gf.bucket_occupancy().sum() == 300

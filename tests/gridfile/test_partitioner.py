@@ -1,0 +1,111 @@
+"""Unit tests for range partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import GridFileError
+from repro.gridfile.partitioner import (
+    RangePartitioner,
+    equi_depth_partitioner,
+    equi_width_partitioner,
+)
+
+
+class TestRangePartitioner:
+    def test_partition_lookup(self):
+        p = RangePartitioner([0.0, 1.0, 2.0, 3.0])
+        assert p.partition_of(0.0) == 0
+        assert p.partition_of(0.99) == 0
+        assert p.partition_of(1.0) == 1
+        assert p.partition_of(2.5) == 2
+
+    def test_domain_maximum_in_last_partition(self):
+        p = RangePartitioner([0.0, 1.0, 2.0])
+        assert p.partition_of(2.0) == 1
+
+    def test_out_of_domain_rejected(self):
+        p = RangePartitioner([0.0, 1.0])
+        with pytest.raises(GridFileError):
+            p.partition_of(-0.1)
+        with pytest.raises(GridFileError):
+            p.partition_of(1.5)
+
+    def test_vectorized_matches_scalar(self):
+        p = RangePartitioner([0.0, 0.3, 0.7, 1.0])
+        values = np.linspace(0.0, 1.0, 37)
+        vector = p.partitions_of(values)
+        for value, expected in zip(values, vector):
+            assert p.partition_of(value) == expected
+
+    def test_interval_of(self):
+        p = RangePartitioner([0.0, 0.5, 1.0])
+        assert p.interval_of(1) == (0.5, 1.0)
+        with pytest.raises(GridFileError):
+            p.interval_of(2)
+
+    def test_partition_range_translation(self):
+        p = RangePartitioner([0.0, 1.0, 2.0, 3.0, 4.0])
+        assert p.partition_range(0.5, 2.5) == (0, 2)
+        assert p.partition_range(1.0, 1.0) == (1, 1)
+
+    def test_partition_range_clamps_to_domain(self):
+        p = RangePartitioner([0.0, 1.0, 2.0])
+        assert p.partition_range(-5.0, 5.0) == (0, 1)
+
+    def test_empty_range_rejected(self):
+        p = RangePartitioner([0.0, 1.0])
+        with pytest.raises(GridFileError):
+            p.partition_range(0.8, 0.2)
+
+    def test_non_increasing_boundaries_rejected(self):
+        with pytest.raises(GridFileError):
+            RangePartitioner([0.0, 1.0, 1.0])
+
+    def test_too_few_boundaries_rejected(self):
+        with pytest.raises(GridFileError):
+            RangePartitioner([0.0])
+
+
+class TestEquiWidth:
+    def test_uniform_intervals(self):
+        p = equi_width_partitioner(0.0, 10.0, 5)
+        assert p.num_partitions == 5
+        assert p.interval_of(0) == (0.0, 2.0)
+        assert p.interval_of(4) == (8.0, 10.0)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(GridFileError):
+            equi_width_partitioner(0.0, 1.0, 0)
+        with pytest.raises(GridFileError):
+            equi_width_partitioner(1.0, 0.0, 4)
+
+
+class TestEquiDepth:
+    def test_balances_skewed_data(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(0.5, 0.1, size=10_000)
+        p = equi_depth_partitioner(values, 8)
+        counts = np.bincount(p.partitions_of(values), minlength=8)
+        # Each partition holds ~1250 records; allow quantile-edge slack.
+        assert counts.min() > 1000
+        assert counts.max() < 1500
+
+    def test_equi_width_does_not_balance_the_same_data(self):
+        rng = np.random.default_rng(0)
+        values = np.clip(rng.normal(0.5, 0.1, size=10_000), 0.0, 1.0)
+        p = equi_width_partitioner(0.0, 1.0, 8)
+        counts = np.bincount(p.partitions_of(values), minlength=8)
+        assert counts.max() > 2 * counts[counts > 0].min()
+
+    def test_duplicate_heavy_data_rejected(self):
+        values = np.zeros(100)
+        with pytest.raises(GridFileError):
+            equi_depth_partitioner(values, 4)
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(GridFileError):
+            equi_depth_partitioner(np.array([]), 4)
+
+    def test_nonpositive_partitions_rejected(self):
+        with pytest.raises(GridFileError):
+            equi_depth_partitioner(np.arange(10.0), 0)

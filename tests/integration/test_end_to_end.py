@@ -1,0 +1,101 @@
+"""End-to-end integration: records -> grid file -> declustering -> I/O sim.
+
+Walks the full pipeline a downstream user would run, crossing every
+subsystem boundary in one scenario.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cost import response_time
+from repro.core.registry import PAPER_SCHEMES
+from repro.gridfile.file import DeclusteredGridFile
+from repro.simulation.disk import DiskModel
+from repro.simulation.parallel_io import ParallelIOSimulator
+from repro.workloads.datasets import uniform_dataset
+from repro.workloads.queries import random_queries_of_shape
+
+
+@pytest.fixture(scope="module")
+def files():
+    data = uniform_dataset(5000, 2, seed=99)
+    return {
+        scheme: DeclusteredGridFile.from_dataset(
+            data, dims=(32, 32), num_disks=16, scheme=scheme
+        )
+        for scheme in PAPER_SCHEMES
+    }
+
+
+class TestPipeline:
+    def test_every_scheme_stores_every_record(self, files):
+        for gf in files.values():
+            assert gf.records_per_disk().sum() == 5000
+            assert gf.bucket_occupancy().sum() == 5000
+
+    def test_value_query_consistency_across_schemes(self, files):
+        # The same value predicate must touch the same buckets under
+        # every scheme — only the disk spread differs.
+        ranges = [(0.2, 0.4), (0.1, 0.7)]
+        sizes = {
+            scheme: gf.execute(gf.range_query(ranges)).total_buckets
+            for scheme, gf in files.items()
+        }
+        assert len(set(sizes.values())) == 1
+
+    def test_execution_matches_core_cost_model(self, files):
+        gf = files["hcam"]
+        query = gf.range_query([(0.0, 0.3), (0.0, 0.3)])
+        execution = gf.execute(query)
+        assert execution.response_time == response_time(
+            gf.allocation, query
+        )
+
+    def test_single_query_latency_ranks_schemes_like_bucket_model(
+        self, files
+    ):
+        # Open system (idle disks): HCAM's bucket-count advantage over DM
+        # on small squares must survive the translation into simulated
+        # milliseconds.
+        from repro.simulation.parallel_io import query_time_ms
+
+        queries = random_queries_of_shape(
+            files["dm"].grid, (2, 2), 100, seed=17
+        )
+        mean_ms = {}
+        for scheme in ("dm", "hcam"):
+            allocation = files[scheme].allocation
+            times = [query_time_ms(allocation, q) for q in queries]
+            mean_ms[scheme] = sum(times) / len(times)
+        assert mean_ms["hcam"] < mean_ms["dm"]
+
+    def test_saturated_batch_narrows_the_gap(self, files):
+        # Closed loop with every query queued at t=0: per-query latency is
+        # governed by queue depth, and spreading each query over *more*
+        # disks (HCAM) increases the number of queues it must wait for —
+        # the classic multi-user declustering effect (Ghandeharizadeh &
+        # DeWitt).  The batch *makespan*, in contrast, only depends on
+        # total work and stays comparable.
+        queries = random_queries_of_shape(
+            files["dm"].grid, (2, 2), 100, seed=17
+        )
+        reports = {
+            scheme: ParallelIOSimulator(
+                files[scheme].allocation, DiskModel()
+            ).run(queries)
+            for scheme in ("dm", "hcam")
+        }
+        ratio = (
+            reports["hcam"].makespan_ms / reports["dm"].makespan_ms
+        )
+        assert 0.5 < ratio < 2.0
+
+    def test_records_follow_their_buckets(self, files):
+        gf = files["ecc"]
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            record = rng.uniform(0.0, 1.0, size=2)
+            bucket = gf.bucket_of_record(record)
+            assert gf.disk_of_record(record) == gf.allocation.disk_of(
+                bucket
+            )

@@ -1,0 +1,187 @@
+"""Integration tests pinning the paper's five findings, at paper scale.
+
+Each test runs the relevant experiment at (or near) the paper's default
+configuration — 32 x 32 grid, 16 disks — and asserts the *qualitative*
+claim from the abstract / conclusions:
+
+ (i)   for large queries all methods perform almost the same and are close
+       to optimal;
+ (ii)  there can be a substantial difference for small queries;
+ (iii) performance of the methods is quite sensitive to query shape;
+ (iv)  the relative difference between methods and their deviation from
+       optimality decreases with the size and the number of attributes in
+       a query;
+ (v)   no clear winner exists — different methods win different regions
+       (hence "parallel database systems must support a number of
+       declustering methods").
+"""
+
+import pytest
+
+from repro.core.grid import Grid
+from repro.experiments import (
+    exp_num_attributes,
+    exp_num_disks,
+    exp_query_shape,
+    exp_query_size,
+)
+
+GRID = (32, 32)
+DISKS = 16
+
+
+@pytest.fixture(scope="module")
+def size_sweep():
+    return exp_query_size.run(
+        grid_dims=GRID,
+        num_disks=DISKS,
+        areas=(1, 2, 4, 8, 9, 16, 64, 256, 512, 1024),
+    )
+
+
+class TestFindingLargeQueriesConverge:
+    """(i) large queries: all methods near each other and near optimal."""
+
+    def test_within_15_percent_of_optimal_at_area_512(self, size_sweep):
+        index = size_sweep.x_values.index(512)
+        opt = size_sweep.optimal[index]
+        for name in size_sweep.series:
+            assert size_sweep.series[name][index] <= 1.15 * opt
+
+    def test_methods_within_15_percent_of_each_other(self, size_sweep):
+        index = size_sweep.x_values.index(1024)
+        values = [
+            size_sweep.series[name][index] for name in size_sweep.series
+        ]
+        assert max(values) <= 1.15 * min(values)
+
+
+class TestFindingSmallQueriesDiffer:
+    """(ii) small queries: substantial differences between methods.
+
+    The witness is the small *square* query (the area average dilutes the
+    effect with 1 x j line shapes, on which DM is optimal).
+    """
+
+    @pytest.fixture(scope="class")
+    def small_square(self):
+        from repro.core.evaluator import SchemeEvaluator
+
+        evaluator = SchemeEvaluator(Grid(GRID), DISKS)
+        return {
+            r.scheme: r.mean_response_time
+            for r in evaluator.evaluate_shapes([(2, 2)])
+        }
+
+    def test_worst_method_at_least_50_percent_above_best(
+        self, small_square
+    ):
+        assert max(small_square.values()) >= 1.5 * min(
+            small_square.values()
+        )
+
+    def test_ordering_matches_faloutsos_bhagwat(self, small_square):
+        # Paper: "for small queries, ECC and HCAM best, then FX, then
+        # DM/CMD", consistent with [11].
+        assert small_square["hcam"] <= small_square["fx-auto"]
+        assert small_square["ecc"] <= small_square["fx-auto"]
+        assert small_square["fx-auto"] <= small_square["dm"]
+
+    def test_dm_exactly_double_optimal_on_2x2(self, small_square):
+        # 2x2 at M = 16: DM's RT is min(2, 2) = 2 on every placement
+        # while the optimum is 1.
+        assert small_square["dm"] == pytest.approx(2.0)
+
+    def test_ordering_survives_in_area_average(self, size_sweep):
+        index = size_sweep.x_values.index(4)
+        series = size_sweep.series
+        assert series["hcam"][index] <= series["fx-auto"][index]
+        assert series["fx-auto"][index] <= series["dm"][index]
+
+
+class TestFindingShapeSensitivity:
+    """(iii) performance is quite sensitive to query shape."""
+
+    @pytest.fixture(scope="class")
+    def shape_sweep(self):
+        return exp_query_shape.run(
+            grid_dims=GRID, num_disks=DISKS, area=32
+        )
+
+    def test_dm_spread_across_shapes_is_large(self, shape_sweep):
+        series = shape_sweep.series["dm"]
+        assert max(series) >= 1.5 * min(series)
+
+    def test_dm_optimal_on_lines_worst_on_squares(self, shape_sweep):
+        series = shape_sweep.series["dm"]
+        # Line-most shapes (1 x 32): partial-match-like, DM optimal.
+        assert series[-1] == pytest.approx(shape_sweep.optimal[-1])
+        # Square-most shape is DM's worst point.
+        assert series[0] == max(series)
+
+    def test_winner_depends_on_shape(self, shape_sweep):
+        assert len(set(shape_sweep.winners())) >= 2
+
+
+class TestFindingConvergenceWithSizeAndAttributes:
+    """(iv) deviation decreases with query size and attribute count."""
+
+    def test_deviation_decreases_with_size(self, size_sweep):
+        for name in size_sweep.series:
+            deviations = size_sweep.deviation_series(name)
+            small = max(deviations[:4])
+            large = max(deviations[-2:])
+            assert large <= small + 1e-9
+
+    def test_deviation_decreases_with_attributes(self):
+        comparison = exp_num_attributes.run(
+            num_disks=DISKS,
+            grid_2d=GRID,
+            grid_3d=(16, 16, 16),
+            sides_2d=(4, 6, 8, 12, 16),
+            sides_3d=(4, 6, 8, 12, 16),
+        )
+        for scheme in ("dm", "fx-auto", "ecc", "hcam"):
+            assert comparison.deviation_shrinks(scheme, min_side=4)
+
+
+class TestFindingNoClearWinner:
+    """(v) no single method dominates all regions."""
+
+    def test_different_regions_have_different_winners(self, size_sweep):
+        winners = set(size_sweep.winners())
+        # At least two distinct methods win somewhere in the size sweep.
+        assert len(winners - {"optimal"}) >= 2
+
+    def test_small_vs_large_disk_sweep_winners_differ(self):
+        small, large = exp_num_disks.run(
+            grid_dims=GRID,
+            disk_counts=(8, 16),
+            small_shape=(2, 2),
+            large_shape=(16, 16),
+        )
+        index = small.x_values.index(16)
+        small_winner = small.winner_at(index)
+        large_winner = large.winner_at(index)
+        assert small_winner == "hcam"
+        assert large_winner in ("dm", "fx-auto")
+
+    def test_hcam_wins_small_dm_cmd_worst(self):
+        small, _ = exp_num_disks.run(
+            grid_dims=GRID,
+            disk_counts=(8, 16, 32),
+            small_shape=(2, 2),
+        )
+        for i in range(len(small.x_values)):
+            series_at = {
+                name: small.series[name][i] for name in small.series
+            }
+            assert series_at["dm"] == max(series_at.values())
+
+
+class TestImpossibilityTheoremAtPaperScale:
+    def test_theorem_m_greater_than_five(self):
+        from repro.theory.search import search_strictly_optimal
+
+        result = search_strictly_optimal(Grid((6, 6)), 6)
+        assert not result.exists

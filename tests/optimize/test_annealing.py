@@ -1,0 +1,197 @@
+"""Unit tests for the workload-aware annealing optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import WorkloadError
+from repro.core.grid import Grid
+from repro.core.query import all_placements, query_at
+from repro.core.registry import get_scheme
+from repro.optimize.annealing import (
+    AnnealingConfig,
+    optimize_allocation,
+    workload_cost,
+)
+
+
+@pytest.fixture
+def grid():
+    return Grid((8, 8))
+
+
+@pytest.fixture
+def workload(grid):
+    return list(all_placements(grid, (2, 2)))
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        AnnealingConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"iterations": -1},
+            {"initial_temperature": -0.1},
+            {"cooling": 0.0},
+            {"cooling": 1.5},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(WorkloadError):
+            AnnealingConfig(**kwargs)
+
+
+class TestWorkloadCost:
+    def test_matches_sum_of_response_times(self, grid, workload):
+        from repro.core.cost import response_time
+
+        allocation = get_scheme("dm").allocate(grid, 4)
+        assert workload_cost(allocation, workload) == sum(
+            response_time(allocation, q) for q in workload
+        )
+
+
+class TestOptimizer:
+    def test_never_worse_than_start(self, grid, workload):
+        start = get_scheme("roundrobin").allocate(grid, 4)
+        result = optimize_allocation(
+            start, workload, AnnealingConfig(iterations=2000, seed=1)
+        )
+        assert result.final_cost <= result.initial_cost
+        assert workload_cost(
+            result.allocation, workload
+        ) == result.final_cost
+
+    def test_improves_a_bad_start(self, grid, workload):
+        # Row-major round-robin on d_2 = M is pathological for 2x2
+        # queries; annealing must fix most of it.
+        start = get_scheme("roundrobin").allocate(Grid((8, 4)), 4)
+        queries = list(all_placements(Grid((8, 4)), (2, 2)))
+        result = optimize_allocation(
+            start, queries, AnnealingConfig(iterations=4000, seed=2)
+        )
+        assert result.improvement > 0.2
+
+    def test_preserves_storage_loads(self, grid, workload):
+        start = get_scheme("hcam").allocate(grid, 4)
+        result = optimize_allocation(
+            start, workload, AnnealingConfig(iterations=2000, seed=3)
+        )
+        assert np.array_equal(
+            np.sort(result.allocation.disk_loads()),
+            np.sort(start.disk_loads()),
+        )
+
+    def test_deterministic_given_seed(self, grid, workload):
+        start = get_scheme("random").allocate(grid, 4)
+        config = AnnealingConfig(iterations=1500, seed=7)
+        a = optimize_allocation(start, workload, config)
+        b = optimize_allocation(start, workload, config)
+        assert np.array_equal(a.allocation.table, b.allocation.table)
+        assert a.history == b.history
+
+    def test_zero_iterations_is_identity(self, grid, workload):
+        start = get_scheme("dm").allocate(grid, 4)
+        result = optimize_allocation(
+            start, workload, AnnealingConfig(iterations=0)
+        )
+        assert np.array_equal(result.allocation.table, start.table)
+        assert result.initial_cost == result.final_cost
+
+    def test_reaches_optimal_on_small_instance(self):
+        # 4x4 grid, 4 disks, 2x2 workload: cost 9 (one per placement) is
+        # achievable (e.g. the Z-order tiling); annealing should find it.
+        grid = Grid((4, 4))
+        queries = list(all_placements(grid, (2, 2)))
+        start = get_scheme("roundrobin").allocate(grid, 4)
+        result = optimize_allocation(
+            start,
+            queries,
+            AnnealingConfig(
+                iterations=6000, initial_temperature=0.8, seed=5
+            ),
+        )
+        assert result.final_cost == len(queries)
+
+    def test_history_tracks_every_iteration(self, grid, workload):
+        config = AnnealingConfig(iterations=100, seed=0)
+        start = get_scheme("dm").allocate(grid, 4)
+        result = optimize_allocation(start, workload, config)
+        assert len(result.history) == 101
+        assert result.history[0] == result.initial_cost
+
+    def test_empty_workload_rejected(self, grid):
+        start = get_scheme("dm").allocate(grid, 4)
+        with pytest.raises(WorkloadError):
+            optimize_allocation(start, [])
+
+    def test_query_outside_grid_rejected(self, grid):
+        start = get_scheme("dm").allocate(grid, 4)
+        with pytest.raises(WorkloadError):
+            optimize_allocation(start, [query_at((6, 6), (4, 4))])
+
+
+class TestMultiRestart:
+    def test_best_of_restarts_never_worse_than_single(
+        self, grid, workload
+    ):
+        from repro.optimize.annealing import optimize_allocation_multi
+
+        start = get_scheme("random").allocate(grid, 4)
+        config = AnnealingConfig(iterations=800, seed=10)
+        single = optimize_allocation(start, workload, config)
+        multi = optimize_allocation_multi(
+            start, workload, config, restarts=4
+        )
+        assert multi.final_cost <= single.final_cost
+
+    def test_deterministic(self, grid, workload):
+        from repro.optimize.annealing import optimize_allocation_multi
+
+        start = get_scheme("random").allocate(grid, 4)
+        config = AnnealingConfig(iterations=400, seed=11)
+        a = optimize_allocation_multi(start, workload, config, 3)
+        b = optimize_allocation_multi(start, workload, config, 3)
+        assert np.array_equal(a.allocation.table, b.allocation.table)
+
+    def test_invalid_restarts_rejected(self, grid, workload):
+        from repro.optimize.annealing import optimize_allocation_multi
+
+        start = get_scheme("dm").allocate(grid, 4)
+        with pytest.raises(WorkloadError):
+            optimize_allocation_multi(start, workload, restarts=0)
+
+
+class TestWorkloadAwareScheme:
+    def test_registry_constructible(self, grid):
+        allocation = get_scheme("workload-aware").allocate(grid, 4)
+        assert allocation.table.shape == grid.dims
+
+    def test_beats_seed_scheme_on_target_workload(self):
+        from repro.schemes.workload_aware import WorkloadAwareScheme
+
+        grid = Grid((16, 16))
+        queries = list(all_placements(grid, (2, 2)))
+        seed = get_scheme("fx").allocate(grid, 8)
+        tuned = WorkloadAwareScheme(
+            queries=queries, seed_scheme="fx"
+        ).allocate(grid, 8)
+        assert workload_cost(tuned, queries) <= workload_cost(
+            seed, queries
+        )
+
+    def test_custom_workload_used(self):
+        from repro.schemes.workload_aware import WorkloadAwareScheme
+
+        grid = Grid((8, 8))
+        queries = list(all_placements(grid, (1, 4)))
+        scheme = WorkloadAwareScheme(queries=queries)
+        assert scheme.workload_for(grid) == queries
+
+    def test_default_workload_is_small_squares(self):
+        from repro.schemes.workload_aware import WorkloadAwareScheme
+
+        grid = Grid((8, 8))
+        workload = WorkloadAwareScheme().workload_for(grid)
+        assert all(q.side_lengths == (2, 2) for q in workload)

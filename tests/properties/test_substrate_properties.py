@@ -1,0 +1,154 @@
+"""Property-based tests for the substrates: curves, GF(2), schemes."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grid import Grid
+from repro.core.registry import get_scheme
+from repro.ecc.gf2 import (
+    bits_to_int,
+    gf2_matmul,
+    gf2_nullspace,
+    gf2_rank,
+    int_to_bits,
+)
+from repro.sfc.hilbert import hilbert_coords, hilbert_index
+from repro.sfc.zorder import (
+    gray_decode,
+    gray_encode,
+    morton_coords,
+    morton_index,
+)
+
+
+class TestCurveProperties:
+    @given(
+        ndim=st.integers(1, 4),
+        order=st.integers(1, 4),
+        data=st.data(),
+    )
+    @settings(max_examples=60)
+    def test_hilbert_round_trip(self, ndim, order, data):
+        side = 1 << order
+        coords = tuple(
+            data.draw(st.integers(0, side - 1)) for _ in range(ndim)
+        )
+        index = hilbert_index(coords, order)
+        assert 0 <= index < 1 << (ndim * order)
+        assert hilbert_coords(index, ndim, order) == coords
+
+    @given(
+        ndim=st.integers(1, 4),
+        order=st.integers(1, 4),
+        data=st.data(),
+    )
+    @settings(max_examples=60)
+    def test_morton_round_trip(self, ndim, order, data):
+        side = 1 << order
+        coords = tuple(
+            data.draw(st.integers(0, side - 1)) for _ in range(ndim)
+        )
+        assert morton_coords(
+            morton_index(coords, order), ndim, order
+        ) == coords
+
+    @given(order=st.integers(2, 5), data=st.data())
+    def test_hilbert_consecutive_points_adjacent(self, order, data):
+        ndim = 2
+        total = 1 << (ndim * order)
+        index = data.draw(st.integers(0, total - 2))
+        a = hilbert_coords(index, ndim, order)
+        b = hilbert_coords(index + 1, ndim, order)
+        assert sum(abs(x - y) for x, y in zip(a, b)) == 1
+
+    @given(value=st.integers(0, 2**20))
+    def test_gray_round_trip(self, value):
+        assert gray_decode(gray_encode(value)) == value
+
+    @given(value=st.integers(0, 2**20 - 2))
+    def test_gray_neighbours_one_bit(self, value):
+        diff = gray_encode(value) ^ gray_encode(value + 1)
+        assert diff != 0 and diff & (diff - 1) == 0
+
+
+class TestGF2Properties:
+    @given(value=st.integers(0, 2**16 - 1), width=st.integers(16, 24))
+    def test_bit_round_trip(self, value, width):
+        assert bits_to_int(int_to_bits(value, width)) == value
+
+    @given(
+        rows=st.integers(1, 5),
+        cols=st.integers(1, 6),
+        seed=st.integers(0, 2**16),
+    )
+    def test_rank_bounded(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.integers(0, 2, size=(rows, cols)).astype(np.uint8)
+        rank = gf2_rank(matrix)
+        assert 0 <= rank <= min(rows, cols)
+
+    @given(
+        rows=st.integers(1, 5),
+        cols=st.integers(1, 6),
+        seed=st.integers(0, 2**16),
+    )
+    def test_rank_nullity_theorem(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.integers(0, 2, size=(rows, cols)).astype(np.uint8)
+        rank = gf2_rank(matrix)
+        nullity = gf2_nullspace(matrix).shape[0]
+        assert rank + nullity == cols
+
+    @given(
+        rows=st.integers(1, 4),
+        cols=st.integers(1, 5),
+        seed=st.integers(0, 2**16),
+    )
+    def test_nullspace_vectors_annihilate(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.integers(0, 2, size=(rows, cols)).astype(np.uint8)
+        for vector in gf2_nullspace(matrix):
+            product = gf2_matmul(matrix, vector.reshape(-1, 1))
+            assert product.sum() == 0
+
+
+class TestSchemeProperties:
+    @given(
+        d1=st.sampled_from([2, 4, 8]),
+        d2=st.sampled_from([2, 4, 8]),
+        log_m=st.integers(0, 3),
+        name=st.sampled_from(["dm", "fx", "exfx", "hcam", "roundrobin"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_valid_total_allocation(self, d1, d2, log_m, name):
+        grid = Grid((d1, d2))
+        num_disks = 1 << log_m
+        allocation = get_scheme(name).allocate(grid, num_disks)
+        table = allocation.table
+        assert table.shape == grid.dims
+        assert table.min() >= 0 and table.max() < num_disks
+
+    @given(
+        d1=st.sampled_from([4, 8, 16]),
+        log_m=st.integers(1, 3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_ecc_coset_partition_balanced(self, d1, log_m):
+        grid = Grid((d1, d1))
+        num_disks = 1 << log_m
+        allocation = get_scheme("ecc").allocate(grid, num_disks)
+        loads = allocation.disk_loads()
+        # Cosets of a full-rank code all have identical size.
+        assert loads.max() == loads.min()
+
+    @given(
+        d1=st.sampled_from([3, 5, 8, 12]),
+        num_disks=st.integers(1, 9),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_hcam_round_robin_balance(self, d1, num_disks):
+        allocation = get_scheme("hcam").allocate(
+            Grid((d1, d1)), num_disks
+        )
+        assert allocation.is_storage_balanced()

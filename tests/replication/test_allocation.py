@@ -1,0 +1,126 @@
+"""Unit tests for replicated allocations."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import DiskAllocation
+from repro.core.exceptions import AllocationError, SchemeError
+from repro.core.grid import Grid
+from repro.core.registry import get_scheme
+from repro.replication.allocation import (
+    ReplicatedAllocation,
+    chained_replication,
+    orthogonal_replication,
+)
+
+
+@pytest.fixture
+def grid():
+    return Grid((8, 8))
+
+
+@pytest.fixture
+def chained(grid):
+    primary = get_scheme("dm").allocate(grid, 4)
+    return chained_replication(primary)
+
+
+class TestConstruction:
+    def test_disks_of_returns_pair(self, chained):
+        primary, backup = chained.disks_of((2, 3))
+        assert primary != backup
+        assert backup == (primary + 1) % 4
+
+    def test_same_disk_copies_rejected(self, grid):
+        primary = get_scheme("dm").allocate(grid, 4)
+        with pytest.raises(AllocationError):
+            ReplicatedAllocation(primary, primary)
+
+    def test_grid_mismatch_rejected(self, grid):
+        primary = get_scheme("dm").allocate(grid, 4)
+        other = get_scheme("fx").allocate(Grid((4, 4)), 4)
+        with pytest.raises(AllocationError):
+            ReplicatedAllocation(primary, other)
+
+    def test_disk_count_mismatch_rejected(self, grid):
+        primary = get_scheme("dm").allocate(grid, 4)
+        other = get_scheme("fx").allocate(grid, 8)
+        with pytest.raises(AllocationError):
+            ReplicatedAllocation(primary, other)
+
+
+class TestChained:
+    def test_offset_applies_modulo(self, grid):
+        primary = get_scheme("hcam").allocate(grid, 4)
+        replicated = chained_replication(primary, offset=3)
+        assert np.array_equal(
+            replicated.backup.table, (primary.table + 3) % 4
+        )
+
+    def test_zero_offset_rejected(self, grid):
+        primary = get_scheme("dm").allocate(grid, 4)
+        with pytest.raises(SchemeError):
+            chained_replication(primary, offset=0)
+        with pytest.raises(SchemeError):
+            chained_replication(primary, offset=4)
+
+    def test_single_disk_rejected(self, grid):
+        primary = get_scheme("dm").allocate(grid, 1)
+        with pytest.raises(SchemeError):
+            chained_replication(primary)
+
+    def test_storage_doubles_and_stays_balanced(self, chained):
+        total = chained.storage_per_disk()
+        assert total.sum() == 2 * 64
+        assert chained.is_storage_balanced()
+
+
+class TestOrthogonal:
+    def test_copies_disjoint_per_bucket(self, grid):
+        replicated = orthogonal_replication(grid, 4, "dm", "hcam")
+        assert not (
+            replicated.primary.table == replicated.backup.table
+        ).any()
+
+    def test_primary_is_requested_scheme(self, grid):
+        replicated = orthogonal_replication(grid, 4, "dm", "hcam")
+        expected = get_scheme("dm").allocate(grid, 4)
+        assert np.array_equal(replicated.primary.table, expected.table)
+
+    def test_backup_mostly_follows_second_scheme(self, grid):
+        replicated = orthogonal_replication(grid, 8, "dm", "hcam")
+        reference = get_scheme("hcam").allocate(grid, 8)
+        primary = get_scheme("dm").allocate(grid, 8)
+        clash_rate = (primary.table == reference.table).mean()
+        agreement = (
+            replicated.backup.table == reference.table
+        ).mean()
+        # Exactly the clash buckets get bumped, nothing else.
+        assert agreement == pytest.approx(1.0 - clash_rate)
+        assert agreement > 0.5
+
+    def test_single_disk_rejected(self, grid):
+        with pytest.raises(SchemeError):
+            orthogonal_replication(grid, 1)
+
+
+class TestDegradedMode:
+    def test_failed_disk_has_no_buckets(self, chained):
+        survivor = chained.surviving_allocation(2)
+        assert survivor.disk_loads()[2] == 0
+
+    def test_all_buckets_still_stored(self, chained):
+        survivor = chained.surviving_allocation(2)
+        assert survivor.disk_loads().sum() == chained.grid.num_buckets
+
+    def test_chained_failure_doubles_one_neighbour(self, chained):
+        # Chained declustering's known property: disk d's load moves
+        # entirely to disk (d + 1) mod M.
+        survivor = chained.surviving_allocation(1)
+        loads = survivor.disk_loads()
+        assert loads[2] == 32  # its 16 plus the failed disk's 16
+        assert loads[0] == 16 and loads[3] == 16
+
+    def test_invalid_disk_rejected(self, chained):
+        with pytest.raises(AllocationError):
+            chained.surviving_allocation(9)

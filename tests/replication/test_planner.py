@@ -1,0 +1,199 @@
+"""Unit tests for the replica-choice query planner."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost import optimal_response_time, response_time
+from repro.core.exceptions import QueryError
+from repro.core.grid import Grid
+from repro.core.query import RangeQuery, all_placements, query_at
+from repro.core.registry import get_scheme
+from repro.replication import (
+    chained_replication,
+    orthogonal_replication,
+    plan_query,
+    replicated_response_time,
+    replication_speedup,
+)
+
+
+@pytest.fixture
+def grid():
+    return Grid((16, 16))
+
+
+@pytest.fixture
+def chained_dm(grid):
+    return chained_replication(get_scheme("dm").allocate(grid, 8))
+
+
+class TestPlanValidity:
+    @pytest.mark.parametrize("method", ["flow", "greedy"])
+    def test_assignment_uses_only_the_two_replicas(
+        self, chained_dm, method
+    ):
+        plan = plan_query(
+            chained_dm, query_at((3, 3), (3, 4)), method=method
+        )
+        for coords, disk in plan.assignment.items():
+            assert disk in chained_dm.disks_of(coords)
+
+    @pytest.mark.parametrize("method", ["flow", "greedy"])
+    def test_every_bucket_assigned_once(self, chained_dm, method):
+        query = query_at((0, 0), (4, 4))
+        plan = plan_query(chained_dm, query, method=method)
+        assert plan.num_buckets == 16
+        assert plan.loads.sum() == 16
+
+    def test_loads_match_assignment(self, chained_dm):
+        plan = plan_query(chained_dm, query_at((2, 2), (3, 3)))
+        recounted = np.zeros(chained_dm.num_disks, dtype=np.int64)
+        for disk in plan.assignment.values():
+            recounted[disk] += 1
+        assert np.array_equal(plan.loads, recounted)
+
+    def test_query_outside_grid_is_empty_plan(self, chained_dm):
+        plan = plan_query(chained_dm, RangeQuery((40, 40), (42, 42)))
+        assert plan.num_buckets == 0
+        assert plan.response_time == 0
+
+    def test_overhanging_query_clipped(self, chained_dm):
+        inside = plan_query(chained_dm, query_at((14, 14), (2, 2)))
+        overhang = plan_query(
+            chained_dm, RangeQuery((14, 14), (20, 20))
+        )
+        assert overhang.num_buckets == inside.num_buckets
+
+    def test_unknown_method_rejected(self, chained_dm):
+        with pytest.raises(QueryError):
+            plan_query(chained_dm, query_at((0, 0), (2, 2)), method="magic")
+
+    def test_dimension_mismatch_rejected(self, chained_dm):
+        with pytest.raises(QueryError):
+            plan_query(chained_dm, RangeQuery((0,), (1,)))
+
+
+class TestOptimality:
+    def test_flow_never_worse_than_greedy(self, chained_dm):
+        for query in all_placements(chained_dm.grid, (3, 3)):
+            flow_rt = replicated_response_time(
+                chained_dm, query, "flow"
+            )
+            greedy_rt = replicated_response_time(
+                chained_dm, query, "greedy"
+            )
+            assert flow_rt <= greedy_rt
+
+    def test_flow_never_below_information_bound(self, chained_dm):
+        for query in all_placements(chained_dm.grid, (4, 2)):
+            rt = replicated_response_time(chained_dm, query, "flow")
+            assert rt >= optimal_response_time(
+                query.num_buckets, chained_dm.num_disks
+            )
+
+    def test_replication_never_hurts(self, chained_dm):
+        for query in all_placements(chained_dm.grid, (2, 2)):
+            replicated = replicated_response_time(
+                chained_dm, query, "flow"
+            )
+            primary_only = response_time(chained_dm.primary, query)
+            assert replicated <= primary_only
+
+    def test_chained_fixes_dm_small_squares(self, chained_dm):
+        # The headline: DM + one chained copy answers every 2x2 at the
+        # optimum (DM alone is 2x optimal on all of them).
+        for query in all_placements(chained_dm.grid, (2, 2)):
+            assert replicated_response_time(
+                chained_dm, query, "flow"
+            ) == 1
+
+    def test_flow_exactness_by_brute_force(self):
+        # Exhaustively check the flow planner against all 2^|Q| replica
+        # choices on small queries.
+        import itertools
+
+        grid = Grid((6, 6))
+        replicated = chained_replication(
+            get_scheme("dm").allocate(grid, 3)
+        )
+        for query in [
+            query_at((0, 0), (2, 2)),
+            query_at((1, 2), (2, 3)),
+            query_at((3, 0), (3, 2)),
+        ]:
+            buckets = list(query.iter_buckets())
+            pairs = [replicated.disks_of(b) for b in buckets]
+            best = None
+            for choice in itertools.product((0, 1), repeat=len(pairs)):
+                loads = np.zeros(3, dtype=np.int64)
+                for pick, pair in zip(choice, pairs):
+                    loads[pair[pick]] += 1
+                cost = int(loads.max())
+                best = cost if best is None else min(best, cost)
+            assert replicated_response_time(
+                replicated, query, "flow"
+            ) == best
+
+    def test_speedup_at_least_one(self, chained_dm):
+        for query in all_placements(chained_dm.grid, (3, 3)):
+            assert replication_speedup(chained_dm, query) >= 1.0
+
+    def test_speedup_two_on_dm_2x2(self, chained_dm):
+        assert replication_speedup(
+            chained_dm, query_at((4, 4), (2, 2))
+        ) == pytest.approx(2.0)
+
+
+class TestDegradedModePerformance:
+    def test_degraded_rt_bounded_by_double(self):
+        # Chained: a failed disk's work moves to one neighbour, so any
+        # query's degraded RT is at most twice its healthy RT.
+        grid = Grid((16, 16))
+        replicated = chained_replication(
+            get_scheme("hcam").allocate(grid, 8)
+        )
+        survivor = replicated.surviving_allocation(3)
+        for query in all_placements(grid, (3, 3)):
+            healthy = response_time(replicated.primary, query)
+            degraded = response_time(survivor, query)
+            assert degraded <= 2 * healthy
+
+    def test_degraded_remains_complete(self):
+        grid = Grid((8, 8))
+        replicated = chained_replication(
+            get_scheme("dm").allocate(grid, 4)
+        )
+        survivor = replicated.surviving_allocation(0)
+        # Every query still reads all its buckets.
+        query = query_at((1, 1), (4, 4))
+        from repro.core.cost import buckets_per_disk
+
+        assert buckets_per_disk(survivor, query).sum() == 16
+
+    def test_mean_degradation_is_moderate(self):
+        # Averaged over placements, losing 1 of 8 disks costs well under
+        # the 2x worst case.
+        grid = Grid((16, 16))
+        replicated = chained_replication(
+            get_scheme("hcam").allocate(grid, 8)
+        )
+        survivor = replicated.surviving_allocation(2)
+        from repro.core.cost import average_response_time
+
+        healthy = average_response_time(replicated.primary, (4, 4))
+        degraded = average_response_time(survivor, (4, 4))
+        assert healthy <= degraded <= 1.6 * healthy
+
+
+class TestOrthogonalPlanning:
+    def test_orthogonal_copies_cover_both_weaknesses(self):
+        grid = Grid((16, 16))
+        replicated = orthogonal_replication(grid, 8, "dm", "hcam")
+        # Square query: DM primary is bad, HCAM backup fixes it.
+        square = query_at((3, 3), (2, 2))
+        assert replicated_response_time(replicated, square, "flow") == 1
+        # Row query: DM primary is already optimal.
+        row = query_at((5, 0), (1, 16))
+        assert replicated_response_time(
+            replicated, row, "flow"
+        ) == optimal_response_time(16, 8)

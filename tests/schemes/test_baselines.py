@@ -1,0 +1,60 @@
+"""Unit tests for the baseline schemes."""
+
+import numpy as np
+
+from repro.core.grid import Grid
+from repro.schemes.baselines import RandomScheme, RoundRobinScheme
+
+
+class TestRandom:
+    def test_deterministic_given_seed(self):
+        grid = Grid((8, 8))
+        a = RandomScheme(seed=42).allocate(grid, 4)
+        b = RandomScheme(seed=42).allocate(grid, 4)
+        assert np.array_equal(a.table, b.table)
+
+    def test_different_seeds_differ(self):
+        grid = Grid((8, 8))
+        a = RandomScheme(seed=1).allocate(grid, 4)
+        b = RandomScheme(seed=2).allocate(grid, 4)
+        assert not np.array_equal(a.table, b.table)
+
+    def test_disk_of_matches_allocation(self):
+        grid = Grid((4, 4))
+        scheme = RandomScheme(seed=3)
+        allocation = scheme.allocate(grid, 4)
+        for coords in grid.iter_buckets():
+            assert allocation.disk_of(coords) == scheme.disk_of(
+                coords, grid, 4
+            )
+
+    def test_roughly_uniform_loads(self):
+        allocation = RandomScheme(seed=0).allocate(Grid((32, 32)), 4)
+        loads = allocation.disk_loads()
+        assert loads.sum() == 1024
+        # With 1024 buckets over 4 disks, each load is ~256 +- noise.
+        assert loads.min() > 180
+        assert loads.max() < 340
+
+
+class TestRoundRobin:
+    def test_follows_row_major_order(self):
+        grid = Grid((3, 4))
+        allocation = RoundRobinScheme().allocate(grid, 5)
+        for coords in grid.iter_buckets():
+            assert allocation.disk_of(coords) == grid.linear_index(
+                coords
+            ) % 5
+
+    def test_storage_balanced(self):
+        allocation = RoundRobinScheme().allocate(Grid((7, 9)), 4)
+        assert allocation.is_storage_balanced()
+
+    def test_pathological_column_alignment(self):
+        # d_2 divisible by M: every column repeats one disk per row
+        # pattern, so a tall 4x1 query hits a single... pattern per row:
+        # disks repeat every row -> column query concentrates on 1 disk.
+        grid = Grid((8, 4))
+        allocation = RoundRobinScheme().allocate(grid, 4)
+        column = [allocation.disk_of((r, 2)) for r in range(8)]
+        assert len(set(column)) == 1

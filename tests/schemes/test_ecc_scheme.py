@@ -1,0 +1,92 @@
+"""Unit tests for the ECC declustering scheme."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import SchemeNotApplicableError
+from repro.core.grid import Grid
+from repro.ecc.gf2 import hamming_distance, int_to_bits
+from repro.schemes.ecc_scheme import ECCScheme
+
+
+class TestApplicability:
+    def test_power_of_two_config_accepted(self):
+        ECCScheme().check_applicable(Grid((8, 8)), 16)
+
+    def test_non_power_of_two_disks_rejected(self):
+        with pytest.raises(SchemeNotApplicableError):
+            ECCScheme().check_applicable(Grid((8, 8)), 6)
+
+    def test_non_power_of_two_extent_rejected(self):
+        with pytest.raises(SchemeNotApplicableError):
+            ECCScheme().check_applicable(Grid((8, 6)), 4)
+
+    def test_more_disks_than_buckets_rejected(self):
+        # 2x2 grid = 2 coordinate bits; 8 disks need 3 syndrome bits.
+        with pytest.raises(SchemeNotApplicableError):
+            ECCScheme().check_applicable(Grid((2, 2)), 8)
+
+    def test_single_disk_always_applicable(self):
+        allocation = ECCScheme().allocate(Grid((4, 4)), 1)
+        assert allocation.disks_used() == 1
+
+
+class TestAllocation:
+    def test_allocate_matches_disk_of(self):
+        grid = Grid((4, 8))
+        scheme = ECCScheme()
+        allocation = scheme.allocate(grid, 4)
+        for coords in grid.iter_buckets():
+            assert allocation.disk_of(coords) == scheme.disk_of(
+                coords, grid, 4
+            )
+
+    def test_storage_balanced(self):
+        allocation = ECCScheme().allocate(Grid((8, 8)), 8)
+        assert allocation.is_storage_balanced()
+        assert allocation.disks_used() == 8
+
+    def test_all_disks_used_even_when_many(self):
+        allocation = ECCScheme().allocate(Grid((8, 8)), 32)
+        assert allocation.disks_used() == 32
+
+    def test_origin_on_disk_zero(self):
+        # The zero word is a codeword, so bucket <0,...,0> -> disk 0.
+        allocation = ECCScheme().allocate(Grid((8, 8, 8)), 16)
+        assert allocation.disk_of((0, 0, 0)) == 0
+
+    def test_same_disk_buckets_are_hamming_far(self):
+        # Coset property: same-disk buckets differ by a codeword whose
+        # weight is at least the code's minimum distance (3 here, since
+        # n = 6 <= 2^4 - 1 with c = 4 checks).
+        grid = Grid((8, 8))
+        scheme = ECCScheme()
+        allocation = scheme.allocate(grid, 16)
+        widths = grid.bits_per_axis()
+        total_bits = sum(widths)
+
+        def word(coords):
+            packed = coords[0] | (coords[1] << widths[0])
+            return int_to_bits(packed, total_bits)
+
+        buckets = list(grid.iter_buckets())
+        for i, a in enumerate(buckets):
+            for b in buckets[i + 1:]:
+                if allocation.disk_of(a) == allocation.disk_of(b):
+                    assert hamming_distance(word(a), word(b)) >= 3
+
+    def test_code_for_reports_parameters(self):
+        code = ECCScheme().code_for(Grid((8, 8)), 16)
+        assert code.num_checks == 4
+        assert code.length == 6
+        assert code.is_full_rank()
+
+    def test_deterministic(self):
+        a = ECCScheme().allocate(Grid((16, 16)), 8)
+        b = ECCScheme().allocate(Grid((16, 16)), 8)
+        assert np.array_equal(a.table, b.table)
+
+    def test_extent_one_axes_supported(self):
+        # d_i = 1 contributes zero bits; still a valid power of two.
+        allocation = ECCScheme().allocate(Grid((1, 16)), 4)
+        assert allocation.disks_used() == 4

@@ -1,0 +1,139 @@
+"""Unit tests for FX, ExFX, and the automatic chooser."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost import response_time
+from repro.core.exceptions import SchemeError
+from repro.core.grid import Grid
+from repro.core.query import partial_match_query
+from repro.schemes.fieldwise_xor import (
+    AutoFXScheme,
+    ExFXScheme,
+    FXScheme,
+    concatenate_fields,
+    xor_fold,
+)
+
+
+class TestHelpers:
+    def test_xor_fold_basic(self):
+        # 0b110101 folded in 2-bit chunks: 01 ^ 01 ^ 11 = 11.
+        assert xor_fold(0b110101, 6, 2) == 0b11
+
+    def test_xor_fold_pads_short_tail(self):
+        # 0b101 in 2-bit chunks from the LSB: 0b01 then 0b(0)1 -> XOR 0.
+        assert xor_fold(0b101, 3, 2) == 0
+        # 0b110 in 2-bit chunks from the LSB: 0b10 then 0b(0)1 -> 0b11.
+        assert xor_fold(0b110, 3, 2) == 0b11
+
+    def test_xor_fold_chunk_at_least_total(self):
+        assert xor_fold(0b1011, 4, 8) == 0b1011
+
+    def test_xor_fold_zero_value(self):
+        assert xor_fold(0, 4, 2) == 0
+
+    def test_xor_fold_invalid_chunk_rejected(self):
+        with pytest.raises(SchemeError):
+            xor_fold(3, 4, 0)
+
+    def test_concatenate_fields(self):
+        # Fields (3, 1) with widths (2, 3): 3 | 1 << 2 = 0b00111.
+        assert concatenate_fields((3, 1), (2, 3)) == 0b00111
+
+    def test_concatenate_arity_mismatch_rejected(self):
+        with pytest.raises(SchemeError):
+            concatenate_fields((1, 2), (2,))
+
+
+class TestFX:
+    def test_rule_matches_definition(self, grid_2d):
+        scheme = FXScheme()
+        for coords in grid_2d.iter_buckets():
+            assert scheme.disk_of(coords, grid_2d, 4) == (
+                coords[0] ^ coords[1]
+            ) % 4
+
+    def test_allocate_matches_disk_of(self, grid_3d):
+        scheme = FXScheme()
+        allocation = scheme.allocate(grid_3d, 4)
+        for coords in grid_3d.iter_buckets():
+            assert allocation.disk_of(coords) == scheme.disk_of(
+                coords, grid_3d, 4
+            )
+
+    def test_storage_balanced_on_power_of_two_config(self):
+        allocation = FXScheme().allocate(Grid((8, 8)), 8)
+        assert allocation.is_storage_balanced()
+        assert allocation.disks_used() == 8
+
+    def test_single_unspecified_attribute_pm_optimal(self):
+        # Kim & Pramanik's headline property on a power-of-two config.
+        grid = Grid((8, 8))
+        allocation = FXScheme().allocate(grid, 8)
+        for fixed in range(8):
+            q = partial_match_query(grid, [fixed, None])
+            assert response_time(allocation, q) == 1
+            q = partial_match_query(grid, [None, fixed])
+            assert response_time(allocation, q) == 1
+
+    def test_row_within_narrow_field_cannot_reach_all_disks(self):
+        # d_i = 4 < M = 8: one free field only reaches 4 disks.
+        grid = Grid((4, 4))
+        allocation = FXScheme().allocate(grid, 8)
+        assert allocation.disks_used() <= 4
+
+
+class TestExFX:
+    def test_reaches_all_disks_on_narrow_fields(self):
+        # The scenario FX fails above: ExFX's folding borrows bits.
+        grid = Grid((4, 4))
+        allocation = ExFXScheme().allocate(grid, 8)
+        assert allocation.disks_used() == 8
+
+    def test_deterministic(self, grid_2d):
+        a = ExFXScheme().allocate(grid_2d, 8)
+        b = ExFXScheme().allocate(grid_2d, 8)
+        assert np.array_equal(a.table, b.table)
+
+    def test_matches_manual_computation(self):
+        grid = Grid((4, 4))  # widths (2, 2)
+        scheme = ExFXScheme()
+        # coords (3, 2): packed = 0b1011; M=8 -> chunk 3 bits:
+        # 0b011 ^ 0b001 = 0b010 = 2.
+        assert scheme.disk_of((3, 2), grid, 8) == 2
+
+
+class TestAutoFX:
+    def test_chooses_plain_fx_when_fields_wide(self):
+        grid = Grid((16, 16))
+        auto = AutoFXScheme()
+        assert not auto.chooses_extended(grid, 8)
+        assert np.array_equal(
+            auto.allocate(grid, 8).table,
+            FXScheme().allocate(grid, 8).table,
+        )
+
+    def test_chooses_exfx_when_fields_narrow(self):
+        grid = Grid((4, 4))
+        auto = AutoFXScheme()
+        assert auto.chooses_extended(grid, 8)
+        assert np.array_equal(
+            auto.allocate(grid, 8).table,
+            ExFXScheme().allocate(grid, 8).table,
+        )
+
+    def test_disk_of_delegates_consistently(self):
+        grid = Grid((4, 8))
+        auto = AutoFXScheme()
+        allocation = auto.allocate(grid, 8)
+        for coords in grid.iter_buckets():
+            assert allocation.disk_of(coords) == auto.disk_of(
+                coords, grid, 8
+            )
+
+    def test_boundary_equal_extent_uses_plain_fx(self):
+        # "partitions greater than number of disks" — d_i == M counts as
+        # wide enough (the field reaches all disks).
+        grid = Grid((8, 8))
+        assert not AutoFXScheme().chooses_extended(grid, 8)

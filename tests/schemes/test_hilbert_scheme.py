@@ -1,0 +1,92 @@
+"""Unit tests for HCAM and the curve-swap ablation schemes."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost import average_response_time
+from repro.core.grid import Grid
+from repro.schemes.hilbert_scheme import (
+    GrayCodeScheme,
+    HCAMScheme,
+    ZOrderScheme,
+)
+from repro.sfc.hilbert import hilbert_index
+
+
+class TestHCAM:
+    def test_round_robin_along_curve(self):
+        grid = Grid((4, 4))
+        allocation = HCAMScheme().allocate(grid, 3)
+        for coords in grid.iter_buckets():
+            rank = hilbert_index(coords, 2)
+            assert allocation.disk_of(coords) == rank % 3
+
+    def test_storage_balance_within_one(self):
+        for num_disks in (3, 5, 7, 16):
+            allocation = HCAMScheme().allocate(Grid((8, 8)), num_disks)
+            assert allocation.is_storage_balanced()
+
+    def test_allocate_matches_disk_of(self):
+        grid = Grid((4, 4))
+        scheme = HCAMScheme()
+        allocation = scheme.allocate(grid, 5)
+        for coords in grid.iter_buckets():
+            assert allocation.disk_of(coords) == scheme.disk_of(
+                coords, grid, 5
+            )
+
+    def test_non_power_of_two_grid_supported(self):
+        grid = Grid((5, 12))
+        allocation = HCAMScheme().allocate(grid, 7)
+        assert allocation.is_storage_balanced()
+        assert allocation.disks_used() == 7
+
+    def test_curve_order_reported(self):
+        assert HCAMScheme().curve_order(Grid((8, 8))) == 3
+        assert HCAMScheme().curve_order(Grid((5, 12))) == 4
+
+    def test_three_dimensional(self):
+        allocation = HCAMScheme().allocate(Grid((4, 4, 4)), 8)
+        assert allocation.is_storage_balanced()
+
+    def test_small_queries_near_optimal(self):
+        # HCAM's defining behaviour: 2x2 queries on many disks almost
+        # always hit 4 distinct disks (mean RT close to the optimum 1).
+        allocation = HCAMScheme().allocate(Grid((32, 32)), 16)
+        assert average_response_time(allocation, (2, 2)) < 1.15
+
+
+class TestAblationCurves:
+    @pytest.mark.parametrize(
+        "scheme_cls", [ZOrderScheme, GrayCodeScheme]
+    )
+    def test_round_robin_balance(self, scheme_cls):
+        allocation = scheme_cls().allocate(Grid((8, 8)), 5)
+        assert allocation.is_storage_balanced()
+
+    def test_three_curves_differ(self):
+        grid = Grid((8, 8))
+        tables = [
+            scheme().allocate(grid, 5).table
+            for scheme in (HCAMScheme, ZOrderScheme, GrayCodeScheme)
+        ]
+        assert not np.array_equal(tables[0], tables[1])
+        assert not np.array_equal(tables[0], tables[2])
+        assert not np.array_equal(tables[1], tables[2])
+
+    def test_zorder_perfect_tiling_on_power_of_two(self):
+        # Morton mod 2^(2b) assigns each aligned 2^b x 2^b tile all M
+        # distinct disks: aligned square queries are answered optimally.
+        allocation = ZOrderScheme().allocate(Grid((16, 16)), 16)
+        region = allocation.table[0:4, 0:4]
+        assert len(set(region.ravel().tolist())) == 16
+
+    def test_hilbert_beats_zorder_on_odd_disk_counts(self):
+        # Without the power-of-two tiling accident, Hilbert's locality
+        # wins on small squares.
+        grid = Grid((32, 32))
+        hcam = HCAMScheme().allocate(grid, 7)
+        zorder = ZOrderScheme().allocate(grid, 7)
+        assert average_response_time(
+            hcam, (2, 2)
+        ) <= average_response_time(zorder, (2, 2))

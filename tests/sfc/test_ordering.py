@@ -1,0 +1,49 @@
+"""Unit tests for curve restriction to arbitrary grids."""
+
+import numpy as np
+
+from repro.core.grid import Grid
+from repro.sfc.hilbert import hilbert_index
+from repro.sfc.ordering import curve_positions, curve_ranks, enclosing_order
+from repro.sfc.zorder import morton_index
+
+
+class TestEnclosingOrder:
+    def test_power_of_two_hypercube(self):
+        assert enclosing_order(Grid((8, 8))) == 3
+
+    def test_ragged_grid_uses_largest_axis(self):
+        assert enclosing_order(Grid((5, 12))) == 4  # 12 needs 4 bits
+
+    def test_degenerate_grid_still_order_one(self):
+        assert enclosing_order(Grid((1, 1))) == 1
+
+
+class TestCurveRanks:
+    def test_hypercube_ranks_equal_positions(self):
+        grid = Grid((8, 8))
+        positions = curve_positions(grid, hilbert_index)
+        ranks = curve_ranks(grid, hilbert_index)
+        assert np.array_equal(positions, ranks)
+
+    def test_ranks_are_a_permutation(self):
+        grid = Grid((5, 12))
+        ranks = curve_ranks(grid, hilbert_index)
+        assert sorted(ranks.ravel().tolist()) == list(
+            range(grid.num_buckets)
+        )
+
+    def test_ranks_preserve_curve_order(self):
+        grid = Grid((3, 6))
+        positions = curve_positions(grid, morton_index)
+        ranks = curve_ranks(grid, morton_index)
+        flat_pos = positions.ravel()
+        flat_rank = ranks.ravel()
+        by_rank = flat_pos[np.argsort(flat_rank)]
+        assert np.all(np.diff(by_rank) > 0)
+
+    def test_different_curves_give_different_ranks(self):
+        grid = Grid((4, 4))
+        hilbert = curve_ranks(grid, hilbert_index)
+        morton = curve_ranks(grid, morton_index)
+        assert not np.array_equal(hilbert, morton)

@@ -1,0 +1,89 @@
+"""Tests for the vectorized curve transforms."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import GridError
+from repro.core.grid import Grid
+from repro.sfc.hilbert import hilbert_index, hilbert_index_array
+from repro.sfc.ordering import curve_positions
+from repro.sfc.zorder import (
+    gray_index,
+    gray_index_array,
+    morton_index,
+    morton_index_array,
+)
+
+
+@pytest.mark.parametrize("ndim,order", [(1, 4), (2, 4), (3, 3), (4, 2)])
+class TestAgreementWithScalar:
+    def _points(self, ndim, order):
+        rng = np.random.default_rng(ndim * 10 + order)
+        return rng.integers(0, 1 << order, size=(150, ndim))
+
+    def test_hilbert(self, ndim, order):
+        points = self._points(ndim, order)
+        vector = hilbert_index_array(points, order)
+        scalar = [hilbert_index(tuple(p), order) for p in points]
+        assert vector.tolist() == scalar
+
+    def test_morton(self, ndim, order):
+        points = self._points(ndim, order)
+        vector = morton_index_array(points, order)
+        scalar = [morton_index(tuple(p), order) for p in points]
+        assert vector.tolist() == scalar
+
+    def test_gray(self, ndim, order):
+        points = self._points(ndim, order)
+        vector = gray_index_array(points, order)
+        scalar = [gray_index(tuple(p), order) for p in points]
+        assert vector.tolist() == scalar
+
+
+class TestValidation:
+    def test_out_of_cube_rejected(self):
+        with pytest.raises(GridError):
+            hilbert_index_array(np.array([[4, 0]]), 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(GridError):
+            morton_index_array(np.array([[-1, 0]]), 2)
+
+    def test_non_2d_input_rejected(self):
+        with pytest.raises(GridError):
+            hilbert_index_array(np.array([1, 2, 3]), 2)
+
+    def test_empty_input_allowed(self):
+        out = hilbert_index_array(np.empty((0, 2), dtype=np.int64), 3)
+        assert out.shape == (0,)
+
+
+class TestOrderingDispatch:
+    def test_curve_positions_uses_vectorized_path(self):
+        # Both paths must agree exactly on a ragged grid.
+        grid = Grid((5, 12))
+        fast = curve_positions(grid, hilbert_index)
+        slow = np.empty(grid.dims, dtype=np.int64)
+        for coords in grid.iter_buckets():
+            slow[coords] = hilbert_index(coords, 4)
+        assert np.array_equal(fast, slow)
+
+    def test_third_party_curve_falls_back(self):
+        grid = Grid((4, 4))
+
+        def snake(coords, order):
+            row, col = coords
+            width = 1 << order
+            return row * width + (
+                col if row % 2 == 0 else width - 1 - col
+            )
+
+        positions = curve_positions(grid, snake)
+        assert positions[0, 0] == 0
+        assert positions[1, 3] == 4  # snake turns
+
+    def test_hcam_large_grid_fast_path(self):
+        from repro.core.registry import get_scheme
+
+        allocation = get_scheme("hcam").allocate(Grid((64, 64)), 16)
+        assert allocation.is_storage_balanced()

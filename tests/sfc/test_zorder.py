@@ -1,0 +1,97 @@
+"""Unit tests for Z-order and Gray-code curves."""
+
+import itertools
+
+import pytest
+
+from repro.core.exceptions import GridError
+from repro.sfc.zorder import (
+    gray_coords,
+    gray_decode,
+    gray_encode,
+    gray_index,
+    morton_coords,
+    morton_index,
+)
+
+
+class TestMorton:
+    def test_2d_order_2_reference(self):
+        # Bit interleaving with axis 0 most significant.
+        assert morton_index((0, 0), 2) == 0
+        assert morton_index((0, 1), 2) == 1
+        assert morton_index((1, 0), 2) == 2
+        assert morton_index((1, 1), 2) == 3
+        assert morton_index((2, 0), 2) == 8
+
+    @pytest.mark.parametrize("ndim,order", [(1, 4), (2, 3), (3, 2)])
+    def test_bijective(self, ndim, order):
+        total = 1 << (ndim * order)
+        coords_seen = set()
+        for index in range(total):
+            coords = morton_coords(index, ndim, order)
+            assert morton_index(coords, order) == index
+            coords_seen.add(coords)
+        assert len(coords_seen) == total
+
+    def test_out_of_cube_rejected(self):
+        with pytest.raises(GridError):
+            morton_index((4, 0), 2)
+
+    def test_index_out_of_range_rejected(self):
+        with pytest.raises(GridError):
+            morton_coords(64, 2, 1)
+
+
+class TestGrayCode:
+    def test_encode_reference_values(self):
+        assert [gray_encode(v) for v in range(8)] == [
+            0, 1, 3, 2, 6, 7, 5, 4,
+        ]
+
+    def test_decode_inverts_encode(self):
+        for value in range(256):
+            assert gray_decode(gray_encode(value)) == value
+
+    def test_adjacent_codes_differ_in_one_bit(self):
+        for value in range(255):
+            diff = gray_encode(value) ^ gray_encode(value + 1)
+            assert diff and (diff & (diff - 1)) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(GridError):
+            gray_encode(-1)
+        with pytest.raises(GridError):
+            gray_decode(-1)
+
+
+class TestGrayCurve:
+    @pytest.mark.parametrize("ndim,order", [(2, 2), (3, 2)])
+    def test_bijective(self, ndim, order):
+        total = 1 << (ndim * order)
+        seen = set()
+        for index in range(total):
+            coords = gray_coords(index, ndim, order)
+            assert gray_index(coords, order) == index
+            seen.add(coords)
+        assert len(seen) == total
+
+    def test_consecutive_cells_differ_in_one_coordinate(self):
+        # Gray order flips one interleaved bit per step: exactly one
+        # coordinate changes (by a power of two).
+        order, ndim = 3, 2
+        previous = gray_coords(0, ndim, order)
+        for index in range(1, 1 << (ndim * order)):
+            current = gray_coords(index, ndim, order)
+            changed = [
+                1 for a, b in zip(previous, current) if a != b
+            ]
+            assert sum(changed) == 1
+            previous = current
+
+    def test_matches_brute_force_ranking(self):
+        order, ndim = 2, 2
+        cells = list(itertools.product(range(4), repeat=2))
+        expected = sorted(cells, key=lambda c: gray_index(c, order))
+        for rank, cell in enumerate(expected):
+            assert gray_index(cell, order) == rank

@@ -1,0 +1,64 @@
+"""Unit tests for the physical disk model."""
+
+import pytest
+
+from repro.core.exceptions import SimulationError
+from repro.simulation.disk import DiskModel
+
+
+class TestParameters:
+    def test_defaults_are_valid(self):
+        disk = DiskModel()
+        assert disk.avg_latency_ms == pytest.approx(disk.rotation_ms / 2)
+        assert disk.random_access_ms > 0
+
+    @pytest.mark.parametrize("field,value", [
+        ("avg_seek_ms", 0.0),
+        ("rotation_ms", -1.0),
+        ("transfer_mb_per_s", 0.0),
+        ("bucket_kb", -8.0),
+    ])
+    def test_nonpositive_parameters_rejected(self, field, value):
+        kwargs = {field: value}
+        with pytest.raises(SimulationError):
+            DiskModel(**kwargs)
+
+    def test_transfer_time_scales_with_bucket_size(self):
+        small = DiskModel(bucket_kb=4.0)
+        large = DiskModel(bucket_kb=8.0)
+        assert large.transfer_ms_per_bucket == pytest.approx(
+            2 * small.transfer_ms_per_bucket
+        )
+
+
+class TestServiceTime:
+    def test_zero_buckets_is_free(self):
+        assert DiskModel().service_time_ms(0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            DiskModel().service_time_ms(-1)
+
+    def test_scattered_reads_charge_positioning_per_bucket(self):
+        disk = DiskModel()
+        one = disk.service_time_ms(1)
+        five = disk.service_time_ms(5)
+        assert five == pytest.approx(5 * one)
+
+    def test_sequential_reads_charge_positioning_once(self):
+        disk = DiskModel()
+        sequential = disk.service_time_ms(5, sequential=True)
+        expected = disk.random_access_ms + 5 * disk.transfer_ms_per_bucket
+        assert sequential == pytest.approx(expected)
+
+    def test_sequential_cheaper_than_scattered(self):
+        disk = DiskModel()
+        assert disk.service_time_ms(
+            10, sequential=True
+        ) < disk.service_time_ms(10)
+
+    def test_single_bucket_sequential_equals_scattered(self):
+        disk = DiskModel()
+        assert disk.service_time_ms(1, sequential=True) == pytest.approx(
+            disk.service_time_ms(1)
+        )

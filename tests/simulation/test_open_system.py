@@ -1,0 +1,153 @@
+"""Unit tests for the open-system simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import SimulationError
+from repro.core.grid import Grid
+from repro.core.query import query_at
+from repro.core.registry import get_scheme
+from repro.simulation.disk import DiskModel
+from repro.simulation.open_system import (
+    OpenSystemSimulator,
+    poisson_arrivals,
+    saturation_sweep,
+)
+
+
+@pytest.fixture
+def allocation():
+    return get_scheme("hcam").allocate(Grid((8, 8)), 4)
+
+
+class TestPoissonArrivals:
+    def test_deterministic_given_seed(self):
+        a = poisson_arrivals(50, 10.0, seed=4)
+        b = poisson_arrivals(50, 10.0, seed=4)
+        assert np.array_equal(a, b)
+
+    def test_monotone_increasing(self):
+        arrivals = poisson_arrivals(100, 5.0, seed=1)
+        assert np.all(np.diff(arrivals) >= 0)
+
+    def test_mean_gap_matches_rate(self):
+        arrivals = poisson_arrivals(20_000, 10.0, seed=2)
+        mean_gap = float(np.diff(arrivals).mean())
+        assert mean_gap == pytest.approx(100.0, rel=0.05)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(SimulationError):
+            poisson_arrivals(0, 10.0)
+        with pytest.raises(SimulationError):
+            poisson_arrivals(10, 0.0)
+
+
+class TestOpenSystemSimulator:
+    def test_idle_system_latency_is_service_time(self, allocation):
+        disk = DiskModel()
+        query = query_at((0, 0), (2, 2))
+        # Arrivals 10 seconds apart: no queueing at all.
+        simulator = OpenSystemSimulator(allocation, disk)
+        report = simulator.run([query] * 3, [0.0, 10_000.0, 20_000.0])
+        from repro.core.cost import response_time
+
+        expected = disk.service_time_ms(
+            response_time(allocation, query)
+        )
+        for latency in report.latencies_ms:
+            assert latency == pytest.approx(expected)
+
+    def test_simultaneous_arrivals_queue(self, allocation):
+        query = query_at((0, 0), (2, 2))
+        simulator = OpenSystemSimulator(allocation)
+        report = simulator.run([query] * 3, [0.0, 0.0, 0.0])
+        assert report.latencies_ms == sorted(report.latencies_ms)
+        assert report.latencies_ms[2] > report.latencies_ms[0]
+
+    def test_busy_time_independent_of_arrival_pattern(self, allocation):
+        queries = [query_at((i, i), (2, 2)) for i in range(5)]
+        simulator = OpenSystemSimulator(allocation)
+        bunched = simulator.run(queries, [0.0] * 5)
+        spread = simulator.run(
+            queries, [0.0, 1000.0, 2000.0, 3000.0, 4000.0]
+        )
+        assert sum(bunched.disk_busy_ms) == pytest.approx(
+            sum(spread.disk_busy_ms)
+        )
+
+    def test_utilization_at_most_one(self, allocation):
+        queries = [query_at((i % 6, i % 6), (2, 2)) for i in range(30)]
+        arrivals = poisson_arrivals(30, 50.0, seed=0)
+        report = OpenSystemSimulator(allocation).run(queries, arrivals)
+        assert 0.0 < report.max_utilization <= 1.0 + 1e-9
+
+    def test_empty_stream_rejected(self, allocation):
+        with pytest.raises(SimulationError):
+            OpenSystemSimulator(allocation).run([], [])
+
+    def test_arrival_count_mismatch_rejected(self, allocation):
+        query = query_at((0, 0), (2, 2))
+        with pytest.raises(SimulationError):
+            OpenSystemSimulator(allocation).run([query], [0.0, 1.0])
+
+    def test_decreasing_arrivals_rejected(self, allocation):
+        query = query_at((0, 0), (2, 2))
+        with pytest.raises(SimulationError):
+            OpenSystemSimulator(allocation).run(
+                [query, query], [5.0, 1.0]
+            )
+
+    def test_report_percentile_ordering(self, allocation):
+        queries = [query_at((i % 6, 0), (2, 2)) for i in range(40)]
+        arrivals = poisson_arrivals(40, 40.0, seed=5)
+        report = OpenSystemSimulator(allocation).run(queries, arrivals)
+        assert report.p95_latency_ms >= report.mean_latency_ms * 0.5
+        assert report.p95_latency_ms <= max(report.latencies_ms)
+
+
+class TestSaturationSweep:
+    def test_latency_monotone_in_rate(self, allocation):
+        from repro.workloads.queries import random_queries_of_shape
+
+        queries = random_queries_of_shape(
+            allocation.grid, (2, 2), 200, seed=6
+        )
+        reports = saturation_sweep(
+            allocation, queries, [5.0, 50.0, 200.0], seed=1
+        )
+        latencies = [r.mean_latency_ms for r in reports]
+        assert latencies == sorted(latencies)
+
+    def test_empty_workload_rejected(self, allocation):
+        with pytest.raises(SimulationError):
+            saturation_sweep(allocation, [], [10.0])
+
+
+class TestLoadSweepExperiment:
+    def test_light_load_matches_paper_ordering(self):
+        from repro.experiments import exp_load_sweep
+
+        result = exp_load_sweep.run(
+            grid_dims=(16, 16),
+            num_disks=8,
+            num_queries=150,
+            rates_per_second=(5.0, 60.0),
+        )
+        light = {
+            name: result.series[name][0] for name in result.series
+        }
+        assert light["hcam"] < light["dm"]
+        assert light["cyclic-exh"] <= light["hcam"] + 1e-9
+
+    def test_relative_gap_shrinks_towards_saturation(self):
+        from repro.experiments import exp_load_sweep
+
+        result = exp_load_sweep.run(
+            grid_dims=(16, 16),
+            num_disks=8,
+            num_queries=300,
+            rates_per_second=(5.0, 100.0),
+        )
+        light_gap = result.series["dm"][0] / result.series["hcam"][0]
+        heavy_gap = result.series["dm"][1] / result.series["hcam"][1]
+        assert heavy_gap < light_gap

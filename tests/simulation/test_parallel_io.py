@@ -1,0 +1,116 @@
+"""Unit tests for the parallel I/O stream simulator."""
+
+import pytest
+
+from repro.core.exceptions import SimulationError
+from repro.core.grid import Grid
+from repro.core.query import RangeQuery, query_at
+from repro.core.registry import get_scheme
+from repro.simulation.disk import DiskModel
+from repro.simulation.parallel_io import (
+    ParallelIOSimulator,
+    query_time_ms,
+)
+
+
+@pytest.fixture
+def hcam_allocation():
+    return get_scheme("hcam").allocate(Grid((8, 8)), 4)
+
+
+@pytest.fixture
+def lopsided_allocation():
+    # Everything on disk 0 — the degenerate comparison point.
+    return get_scheme("roundrobin").allocate(Grid((8, 8)), 1)
+
+
+class TestQueryTime:
+    def test_proportional_to_busiest_disk(self, hcam_allocation):
+        from repro.core.cost import response_time
+
+        disk = DiskModel()
+        q = query_at((0, 0), (4, 4))
+        rt = response_time(hcam_allocation, q)
+        assert query_time_ms(hcam_allocation, q, disk) == pytest.approx(
+            disk.service_time_ms(rt)
+        )
+
+    def test_empty_query_is_free(self, hcam_allocation):
+        q = RangeQuery((20, 20), (21, 21))  # outside the grid
+        assert query_time_ms(hcam_allocation, q) == 0.0
+
+    def test_declustering_speeds_up_queries(self):
+        grid = Grid((8, 8))
+        q = query_at((0, 0), (4, 4))
+        one_disk = get_scheme("dm").allocate(grid, 1)
+        four_disks = get_scheme("hcam").allocate(grid, 4)
+        assert query_time_ms(four_disks, q) < query_time_ms(one_disk, q)
+
+    def test_sequential_flag_passed_through(self, hcam_allocation):
+        q = query_at((0, 0), (8, 8))
+        assert query_time_ms(
+            hcam_allocation, q, sequential=True
+        ) < query_time_ms(hcam_allocation, q, sequential=False)
+
+
+class TestStreamSimulation:
+    def test_latencies_one_per_query(self, hcam_allocation):
+        queries = [query_at((i, i), (2, 2)) for i in range(5)]
+        report = ParallelIOSimulator(hcam_allocation).run(queries)
+        assert len(report.latencies_ms) == 5
+        assert report.makespan_ms >= max(report.latencies_ms) - 1e9
+
+    def test_busy_time_conservation(self, hcam_allocation):
+        # Total busy time = sum over queries of per-disk service times.
+        disk = DiskModel()
+        queries = [query_at((0, 0), (4, 4)), query_at((2, 2), (3, 3))]
+        report = ParallelIOSimulator(hcam_allocation, disk).run(queries)
+        from repro.core.cost import buckets_per_disk
+
+        expected = 0.0
+        for q in queries:
+            for count in buckets_per_disk(hcam_allocation, q):
+                expected += disk.service_time_ms(int(count))
+        assert sum(report.disk_busy_ms) == pytest.approx(expected)
+
+    def test_queueing_grows_latency(self, hcam_allocation):
+        q = query_at((0, 0), (4, 4))
+        single = ParallelIOSimulator(hcam_allocation).run([q])
+        repeated = ParallelIOSimulator(hcam_allocation).run([q] * 4)
+        assert repeated.latencies_ms[-1] > single.latencies_ms[0]
+        # FIFO: each repetition finishes later than the previous.
+        assert repeated.latencies_ms == sorted(repeated.latencies_ms)
+
+    def test_utilization_bounded_by_one(self, hcam_allocation):
+        queries = [query_at((i % 4, i % 4), (3, 3)) for i in range(10)]
+        report = ParallelIOSimulator(hcam_allocation).run(queries)
+        assert all(0.0 <= u <= 1.0 + 1e-9 for u in report.utilization)
+
+    def test_balanced_allocation_better_utilization(self):
+        # A stream of small squares: HCAM keeps all disks busy, DM leaves
+        # idle disks (its small-square RT is 2x optimal).
+        grid = Grid((16, 16))
+        queries = [
+            query_at((i % 14, (3 * i) % 14), (2, 2)) for i in range(40)
+        ]
+        reports = {}
+        for scheme in ("dm", "hcam"):
+            allocation = get_scheme(scheme).allocate(grid, 4)
+            reports[scheme] = ParallelIOSimulator(allocation).run(queries)
+        assert (
+            reports["hcam"].mean_latency_ms
+            <= reports["dm"].mean_latency_ms
+        )
+
+    def test_empty_stream_rejected(self, hcam_allocation):
+        with pytest.raises(SimulationError):
+            ParallelIOSimulator(hcam_allocation).run([])
+
+    def test_report_accessors_require_queries(self):
+        from repro.simulation.parallel_io import StreamReport
+
+        empty = StreamReport()
+        with pytest.raises(SimulationError):
+            _ = empty.mean_latency_ms
+        with pytest.raises(SimulationError):
+            _ = empty.max_latency_ms

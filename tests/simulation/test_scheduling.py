@@ -1,0 +1,113 @@
+"""Unit tests for batch scheduling policies."""
+
+import pytest
+
+from repro.core.exceptions import SimulationError
+from repro.core.grid import Grid
+from repro.core.query import query_at
+from repro.core.registry import get_scheme
+from repro.simulation.scheduling import (
+    balanced_order,
+    compare_orderings,
+    lpt_order,
+)
+
+
+@pytest.fixture
+def allocation():
+    return get_scheme("hcam").allocate(Grid((16, 16)), 4)
+
+
+@pytest.fixture
+def mixed_batch():
+    # A few big scans buried at the end of many small lookups — the
+    # arrival order every scheduling heuristic should improve on.
+    batch = [query_at((i % 14, (3 * i) % 14), (2, 2)) for i in range(20)]
+    batch += [query_at((0, 0), (16, 16)), query_at((0, 0), (8, 16))]
+    return batch
+
+
+class TestOrders:
+    def test_orders_are_permutations(self, allocation, mixed_batch):
+        n = len(mixed_batch)
+        for order in (
+            lpt_order(allocation, mixed_batch),
+            balanced_order(allocation, mixed_batch),
+        ):
+            assert sorted(order) == list(range(n))
+
+    def test_lpt_puts_biggest_first(self, allocation, mixed_batch):
+        order = lpt_order(allocation, mixed_batch)
+        # The full-grid scan (index 20) has the most work.
+        assert order[0] == 20
+
+    def test_lpt_deterministic_tiebreak(self, allocation):
+        batch = [query_at((i, i), (2, 2)) for i in range(5)]
+        # Identical work: original positions must be preserved.
+        assert lpt_order(allocation, batch) == [0, 1, 2, 3, 4]
+
+    def test_balanced_interleaves_skewed_queries(self):
+        # Under DM a 2x2 query loads two disks unevenly, and queries at
+        # offsets (0,0) vs (1,0) load *different* disks: the balanced
+        # order must alternate them instead of issuing all of one group
+        # first.  (HCAM spreads 2x2 perfectly at M=4, so DM is the
+        # scheme where ordering has something to balance.)
+        dm = get_scheme("dm").allocate(Grid((16, 16)), 4)
+        group_a = [query_at((0, 0), (2, 2))] * 4
+        group_b = [query_at((1, 0), (2, 2))] * 4
+        order = balanced_order(dm, group_a + group_b)
+        first_half = set(order[:4])
+        assert first_half != {0, 1, 2, 3}
+        assert first_half != {4, 5, 6, 7}
+
+    def test_empty_batch_rejected(self, allocation):
+        with pytest.raises(SimulationError):
+            lpt_order(allocation, [])
+        with pytest.raises(SimulationError):
+            balanced_order(allocation, [])
+
+
+class TestCompareOrderings:
+    def test_reports_all_policies(self, allocation, mixed_batch):
+        report = compare_orderings(allocation, mixed_batch)
+        assert set(report) == {"arrival", "lpt", "balanced"}
+        for metrics in report.values():
+            assert metrics["mean_latency_ms"] > 0
+            assert (
+                metrics["max_latency_ms"] >= metrics["mean_latency_ms"]
+            )
+
+    def test_makespan_equal_when_one_disk_dominates(self, allocation):
+        # A batch that keeps all disks equally busy throughout: ordering
+        # cannot change the makespan by more than scheduling slack.
+        batch = [query_at((0, 0), (16, 16))] * 3
+        report = compare_orderings(allocation, batch)
+        values = [m["makespan_ms"] for m in report.values()]
+        assert max(values) == pytest.approx(min(values))
+
+    def test_small_queries_finish_faster_without_scans_ahead(
+        self, allocation, mixed_batch
+    ):
+        # In arrival order the scans sit at the end, so mean latency is
+        # low; reverse the batch (scans first) and LPT ties it while the
+        # scan-first arrival order is clearly worse.
+        scans_first = list(reversed(mixed_batch))
+        report = compare_orderings(allocation, scans_first)
+        assert (
+            report["balanced"]["mean_latency_ms"]
+            <= report["arrival"]["mean_latency_ms"] + 1e-9
+        )
+
+    def test_total_work_identical_across_policies(
+        self, allocation, mixed_batch
+    ):
+        from repro.simulation.parallel_io import ParallelIOSimulator
+
+        report = compare_orderings(allocation, mixed_batch)
+        # Makespans may differ, but no policy can beat the busiest
+        # disk's total service time (a lower bound shared by all).
+        simulator = ParallelIOSimulator(allocation)
+        baseline = simulator.run(mixed_batch)
+        lower_bound = max(baseline.disk_busy_ms)
+        for metrics in report.values():
+            assert metrics["makespan_ms"] >= lower_bound - 1e-6

@@ -1,0 +1,287 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_grid_parsing(self):
+        args = build_parser().parse_args(
+            ["allocate", "--grid", "4x8", "--disks", "2"]
+        )
+        assert args.grid == (4, 8)
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["allocate", "--grid", "4xfoo"])
+
+    def test_bad_scheme_list_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["evaluate", "--schemes", "dm,nope"]
+            )
+
+
+class TestErrorHandling:
+    def test_inapplicable_scheme_reports_cleanly(self, capsys):
+        assert main(
+            ["allocate", "--grid", "6x6", "--disks", "4",
+             "--scheme", "ecc"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "power-of-two" in err
+
+    def test_missing_trace_file_reports_cleanly(self, capsys):
+        assert main(
+            ["advise", "--grid", "8x8", "--disks", "4",
+             "--trace", "/nonexistent/trace.jsonl"]
+        ) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_scheme_reports_cleanly(self, capsys):
+        assert main(
+            ["allocate", "--grid", "8x8", "--disks", "4",
+             "--scheme", "nope"]
+        ) == 1
+        assert "unknown scheme" in capsys.readouterr().err
+
+
+class TestSchemesCommand:
+    def test_lists_all_schemes(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        for name in ("dm", "fx", "ecc", "hcam"):
+            assert name in out
+
+
+class TestAllocateCommand:
+    def test_reports_balance(self, capsys):
+        assert main(
+            ["allocate", "--grid", "8x8", "--disks", "4",
+             "--scheme", "hcam"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "balanced=True" in out
+
+    def test_show_prints_table(self, capsys):
+        assert main(
+            ["allocate", "--grid", "4x4", "--disks", "2",
+             "--scheme", "dm", "--show"]
+        ) == 0
+        out = capsys.readouterr().out
+        # 4 rows of 4 disk ids after the summary line.
+        assert len(out.strip().splitlines()) == 5
+
+    def test_save_writes_loadable_file(self, capsys, tmp_path):
+        path = tmp_path / "alloc.json"
+        assert main(
+            ["allocate", "--grid", "8x8", "--disks", "4",
+             "--scheme", "dm", "--save", str(path)]
+        ) == 0
+        from repro.io import load_allocation
+
+        allocation = load_allocation(path)
+        assert allocation.grid.dims == (8, 8)
+        assert allocation.num_disks == 4
+
+    def test_show_refuses_non_2d(self, capsys):
+        assert main(
+            ["allocate", "--grid", "4x4x4", "--disks", "2",
+             "--scheme", "dm", "--show"]
+        ) == 0
+        assert "2-d only" in capsys.readouterr().out
+
+
+class TestEvaluateCommand:
+    def test_shape_evaluation(self, capsys):
+        assert main(
+            ["evaluate", "--grid", "16x16", "--disks", "8",
+             "--shape", "2x2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "HCAM" in out and "meanRT" in out
+
+    def test_area_evaluation(self, capsys):
+        assert main(
+            ["evaluate", "--grid", "16x16", "--disks", "8",
+             "--area", "16"]
+        ) == 0
+        assert "area 16" in capsys.readouterr().out
+
+    def test_missing_query_spec_fails(self, capsys):
+        assert main(
+            ["evaluate", "--grid", "16x16", "--disks", "8"]
+        ) == 2
+        assert "provide --shape or --area" in capsys.readouterr().err
+
+    def test_results_sorted_best_first(self, capsys):
+        main(
+            ["evaluate", "--grid", "16x16", "--disks", "8",
+             "--shape", "2x2"]
+        )
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if "meanRT" in l]
+        values = [float(l.split("meanRT=")[1].split()[0]) for l in lines]
+        assert values == sorted(values)
+
+
+class TestExperimentCommand:
+    def test_single_experiment(self, capsys):
+        assert main(["experiment", "E2", "--quick"]) == 0
+        assert "[E2]" in capsys.readouterr().out
+
+    def test_e4_prints_both_panels(self, capsys):
+        assert main(["experiment", "E4", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "[E4a]" in out and "[E4b]" in out
+
+    def test_e3_prints_both_grids(self, capsys):
+        assert main(["experiment", "E3", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "2-attribute" in out and "3-attribute" in out
+
+    def test_thm(self, capsys):
+        assert main(["experiment", "THM", "--quick"]) == 0
+        assert "strictly optimal" in capsys.readouterr().out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["experiment", "E99", "--quick"]) == 2
+
+    def test_csv_and_json_export(self, capsys, tmp_path):
+        csv_path = tmp_path / "e2.csv"
+        json_path = tmp_path / "e2.json"
+        assert main(
+            ["experiment", "E2", "--quick",
+             "--csv", str(csv_path), "--json", str(json_path)]
+        ) == 0
+        assert csv_path.read_text().startswith("aspect ratio")
+        from repro.io import load_result
+
+        assert load_result(json_path).experiment_id == "E2"
+
+    def test_export_of_e4_writes_both_panels(self, capsys, tmp_path):
+        base = tmp_path / "e4.csv"
+        assert main(
+            ["experiment", "E4", "--quick", "--csv", str(base)]
+        ) == 0
+        assert (tmp_path / "e4.csv.E4a").exists()
+        assert (tmp_path / "e4.csv.E4b").exists()
+
+    def test_thm_export_rejected(self, capsys, tmp_path):
+        assert main(
+            ["experiment", "THM", "--quick",
+             "--csv", str(tmp_path / "thm.csv")]
+        ) == 2
+        assert "no tabular series" in capsys.readouterr().err
+
+
+class TestAdviseCommand:
+    def test_shape_workload(self, capsys):
+        assert main(
+            ["advise", "--grid", "16x16", "--disks", "8",
+             "--shape", "2x2", "--count", "50"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "recommendation:" in out
+        assert "rank" in out
+
+    def test_mixed_workload_default(self, capsys):
+        assert main(
+            ["advise", "--grid", "16x16", "--disks", "8",
+             "--count", "30", "--max-side", "4"]
+        ) == 0
+        assert "random range queries" in capsys.readouterr().out
+
+    def test_workload_aware_flag(self, capsys):
+        assert main(
+            ["advise", "--grid", "8x8", "--disks", "4",
+             "--shape", "2x2", "--count", "20", "--workload-aware"]
+        ) == 0
+        assert "Annealed" in capsys.readouterr().out
+
+    def test_matrix_flag(self, capsys):
+        assert main(
+            ["advise", "--grid", "16x16", "--disks", "8",
+             "--shape", "2x2", "--count", "30", "--matrix"]
+        ) == 0
+        assert "dominance matrix" in capsys.readouterr().out
+
+    def test_trace_workload(self, capsys, tmp_path):
+        from repro.core.query import query_at
+        from repro.io import save_queries
+
+        path = tmp_path / "trace.jsonl"
+        save_queries(
+            [query_at((i, i), (2, 2)) for i in range(10)], path
+        )
+        assert main(
+            ["advise", "--grid", "16x16", "--disks", "8",
+             "--trace", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "10 queries from trace" in out
+
+    def test_non_power_of_two_disks_drops_ecc(self, capsys):
+        assert main(
+            ["advise", "--grid", "16x16", "--disks", "7",
+             "--shape", "2x2", "--count", "20"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ECC" not in out
+
+
+class TestNewExperimentIds:
+    def test_epm(self, capsys):
+        assert main(["experiment", "EPM", "--quick"]) == 0
+        assert "[EPM]" in capsys.readouterr().out
+
+    def test_x3(self, capsys):
+        assert main(["experiment", "X3", "--quick"]) == 0
+        assert "[X3]" in capsys.readouterr().out
+
+    def test_x6_growth(self, capsys):
+        assert main(["experiment", "X6", "--quick"]) == 0
+        assert "[X6]" in capsys.readouterr().out
+
+
+class TestProfileCommand:
+    def test_profile_2d(self, capsys):
+        assert main(
+            ["profile", "--grid", "8x8", "--disks", "4",
+             "--scheme", "dm", "--shape", "2x2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sub-optimality map" in out
+        assert "same-disk distance" in out
+
+    def test_profile_default_shape(self, capsys):
+        assert main(
+            ["profile", "--grid", "8x8", "--disks", "4",
+             "--scheme", "hcam"]
+        ) == 0
+        assert "shape=(2, 2)" in capsys.readouterr().out
+
+
+class TestTheoryCommand:
+    def test_search(self, capsys):
+        assert main(["theory", "search", "--max-disks", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "M= 4" in out and "impossible" in out
+
+    def test_search_show_prints_allocation(self, capsys):
+        assert main(
+            ["theory", "search", "--max-disks", "2", "--show"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "exists" in out
+
+    def test_table(self, capsys):
+        assert main(["theory", "table"]) == 0
+        out = capsys.readouterr().out
+        assert "DM/CMD" in out and "HCAM" in out

@@ -1,0 +1,103 @@
+"""Unit tests for the analytic bounds, cross-checked against allocations."""
+
+import pytest
+
+from repro.core.cost import response_time, worst_response_time
+from repro.core.exceptions import QueryError
+from repro.core.grid import Grid
+from repro.core.query import query_at
+from repro.schemes.disk_modulo import DiskModuloScheme
+from repro.theory.bounds import (
+    dm_small_square_penalty,
+    dm_square_query_response_time,
+    max_possible_disks_touched_dm,
+    response_time_lower_bound,
+    strictly_optimal_exists,
+)
+
+
+class TestDMClosedForm:
+    @pytest.mark.parametrize("height,width,num_disks", [
+        (2, 2, 8), (3, 3, 16), (4, 4, 4), (1, 6, 4), (5, 2, 7), (4, 6, 3),
+    ])
+    def test_matches_measured_response_time(self, height, width, num_disks):
+        # The closed form must equal the cost model on a real allocation
+        # (any placement — DM's counts are translation-invariant up to
+        # residue shift, which does not change the max).
+        grid = Grid((max(height, 8), max(width, 8)))
+        allocation = DiskModuloScheme().allocate(grid, num_disks)
+        expected = dm_square_query_response_time(height, width, num_disks)
+        measured = worst_response_time(allocation, (height, width))
+        assert measured == expected
+
+    def test_small_rectangle_equals_min_side(self):
+        # a + b - 1 <= M  =>  RT = min(a, b).
+        assert dm_square_query_response_time(3, 4, 8) == 3
+        assert dm_square_query_response_time(2, 2, 16) == 2
+
+    def test_invalid_sides_rejected(self):
+        with pytest.raises(QueryError):
+            dm_square_query_response_time(0, 2, 4)
+        with pytest.raises(QueryError):
+            dm_square_query_response_time(2, 2, 0)
+
+
+class TestPenaltyFormula:
+    def test_penalty_value(self):
+        # 3x3 on 16 disks: RT 3 vs OPT ceil(9/16) = 1 -> penalty 3.
+        assert dm_small_square_penalty(3, 16) == pytest.approx(3.0)
+
+    def test_penalty_requires_small_square(self):
+        with pytest.raises(QueryError):
+            dm_small_square_penalty(5, 8)  # 2*5-1 = 9 > 8
+
+    def test_penalty_matches_measured(self):
+        grid = Grid((16, 16))
+        allocation = DiskModuloScheme().allocate(grid, 16)
+        q = query_at((4, 4), (3, 3))
+        measured = response_time(allocation, q)
+        opt = response_time_lower_bound(9, 16)
+        assert measured / opt == pytest.approx(
+            dm_small_square_penalty(3, 16)
+        )
+
+
+class TestDisksTouched:
+    def test_formula(self):
+        assert max_possible_disks_touched_dm(3, 4) == 6
+
+    def test_measured_never_exceeds_bound(self):
+        from repro.core.cost import buckets_per_disk
+        import numpy as np
+
+        grid = Grid((12, 12))
+        allocation = DiskModuloScheme().allocate(grid, 32)
+        for h, w in [(2, 2), (3, 5), (1, 7)]:
+            q = query_at((2, 3), (h, w))
+            counts = buckets_per_disk(allocation, q)
+            assert np.count_nonzero(counts) <= (
+                max_possible_disks_touched_dm(h, w)
+            )
+
+    def test_invalid_rejected(self):
+        with pytest.raises(QueryError):
+            max_possible_disks_touched_dm(0, 1)
+
+
+class TestExistencePredicate:
+    def test_known_values(self):
+        assert [strictly_optimal_exists(m) for m in range(1, 8)] == [
+            True, True, True, False, True, False, False,
+        ]
+
+    def test_matches_search(self):
+        from repro.theory.search import search_strictly_optimal
+
+        for m in range(1, 7):
+            side = max(m, 2)
+            result = search_strictly_optimal(Grid((side, side)), m)
+            assert result.exists == strictly_optimal_exists(m)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(QueryError):
+            strictly_optimal_exists(0)

@@ -1,0 +1,131 @@
+"""Unit tests for Table 1's optimality conditions — checked empirically."""
+
+import pytest
+
+from repro.core.cost import query_optimal, response_time
+from repro.core.grid import Grid
+from repro.core.query import partial_match_query
+from repro.core.registry import get_scheme
+from repro.theory.conditions import (
+    OPTIMALITY_TABLE,
+    dm_guaranteed_optimal,
+    ecc_applicable,
+    fx_applicable,
+    fx_guaranteed_optimal,
+    guaranteed_optimal,
+    render_table,
+    unspecified_attributes,
+)
+
+
+class TestTableData:
+    def test_all_methods_present(self):
+        methods = {row.method for row in OPTIMALITY_TABLE}
+        assert methods == {"DM/CMD", "GDM", "FX", "ECC", "HCAM"}
+
+    def test_render_contains_every_method(self):
+        text = render_table()
+        for row in OPTIMALITY_TABLE:
+            assert row.method in text
+
+    def test_render_has_header_separator(self):
+        lines = render_table().splitlines()
+        assert set(lines[1]) <= {"-", "+"}
+
+
+class TestUnspecifiedAttributes:
+    def test_detects_free_axes(self):
+        grid = Grid((4, 8))
+        q = partial_match_query(grid, [2, None])
+        assert unspecified_attributes(q, grid) == [1]
+
+    def test_fully_specified(self):
+        grid = Grid((4, 4))
+        q = partial_match_query(grid, [1, 2])
+        assert unspecified_attributes(q, grid) == []
+
+    def test_extent_one_axis_never_free(self):
+        grid = Grid((1, 4))
+        q = partial_match_query(grid, [None, None])
+        assert unspecified_attributes(q, grid) == [1]
+
+
+class TestDMConditionsHoldEmpirically:
+    """Wherever Table 1 says DM is optimal, the allocation must deliver."""
+
+    @pytest.mark.parametrize("dims,num_disks", [
+        ((8, 8), 4),
+        ((8, 12), 4),
+        ((6, 6, 6), 3),
+    ])
+    def test_guaranteed_pm_queries_are_optimal(self, dims, num_disks):
+        grid = Grid(dims)
+        allocation = get_scheme("dm").allocate(grid, num_disks)
+        import itertools
+
+        choices = [[None] + list(range(d)) for d in grid.dims]
+        checked = 0
+        for spec in itertools.product(*choices):
+            query = partial_match_query(grid, list(spec))
+            if dm_guaranteed_optimal(query, grid, num_disks):
+                assert response_time(allocation, query) == query_optimal(
+                    query, num_disks
+                )
+                checked += 1
+        assert checked > 0
+
+    def test_range_query_not_guaranteed(self):
+        grid = Grid((8, 8))
+        from repro.core.query import RangeQuery
+
+        q = RangeQuery((1, 1), (2, 4))
+        assert not dm_guaranteed_optimal(q, grid, 4)
+
+
+class TestFXConditionsHoldEmpirically:
+    def test_applicability(self):
+        assert fx_applicable(Grid((8, 8)), 4)
+        assert not fx_applicable(Grid((6, 8)), 4)
+        assert not fx_applicable(Grid((8, 8)), 6)
+
+    def test_guaranteed_pm_queries_are_optimal(self):
+        grid = Grid((8, 8))
+        num_disks = 8
+        allocation = get_scheme("fx").allocate(grid, num_disks)
+        import itertools
+
+        choices = [[None] + list(range(d)) for d in grid.dims]
+        checked = 0
+        for spec in itertools.product(*choices):
+            query = partial_match_query(grid, list(spec))
+            if fx_guaranteed_optimal(query, grid, num_disks):
+                assert response_time(allocation, query) == query_optimal(
+                    query, num_disks
+                )
+                checked += 1
+        assert checked > 0
+
+    def test_not_guaranteed_on_non_power_of_two(self):
+        grid = Grid((6, 6))
+        q = partial_match_query(grid, [1, None])
+        assert not fx_guaranteed_optimal(q, grid, 4)
+
+
+class TestDispatch:
+    def test_per_method_verdicts(self):
+        grid = Grid((8, 8))
+        q = partial_match_query(grid, [3, None])
+        assert guaranteed_optimal("dm", q, grid, 4) is True
+        assert guaranteed_optimal("fx", q, grid, 4) is True
+        assert guaranteed_optimal("ecc", q, grid, 4) is None
+        assert guaranteed_optimal("hcam", q, grid, 4) is None
+
+    def test_unknown_method_rejected(self):
+        grid = Grid((4, 4))
+        q = partial_match_query(grid, [0, None])
+        with pytest.raises(KeyError):
+            guaranteed_optimal("nope", q, grid, 4)
+
+    def test_ecc_applicability_helper(self):
+        assert ecc_applicable(Grid((8, 8)), 4)
+        assert not ecc_applicable(Grid((8, 8)), 12)

@@ -1,0 +1,108 @@
+"""Unit tests for the strict-optimality verifier."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import DiskAllocation
+from repro.core.grid import Grid
+from repro.schemes.disk_modulo import (
+    DiskModuloScheme,
+    GeneralizedDiskModuloScheme,
+)
+from repro.theory.optimality import (
+    is_strictly_optimal_for_partial_match,
+    iter_query_shapes,
+    verify_strict_optimality,
+)
+
+
+class TestIterQueryShapes:
+    def test_counts_all_shapes(self):
+        shapes = list(iter_query_shapes((3, 4)))
+        assert len(shapes) == 12
+        assert (1, 1) in shapes and (3, 4) in shapes
+
+    def test_three_dimensional(self):
+        shapes = list(iter_query_shapes((2, 2, 2)))
+        assert len(shapes) == 8
+
+
+class TestVerifier:
+    def test_dm_two_disks_strictly_optimal(self):
+        allocation = DiskModuloScheme().allocate(Grid((8, 8)), 2)
+        report = verify_strict_optimality(allocation)
+        assert report.strictly_optimal
+        assert report.witness is None
+        assert report.shapes_checked == 64
+
+    def test_gdm_five_disk_lattice_strictly_optimal(self):
+        allocation = GeneralizedDiskModuloScheme((1, 2)).allocate(
+            Grid((8, 8)), 5
+        )
+        assert verify_strict_optimality(allocation).strictly_optimal
+
+    def test_dm_four_disks_not_strictly_optimal_with_witness(self):
+        allocation = DiskModuloScheme().allocate(Grid((8, 8)), 4)
+        report = verify_strict_optimality(allocation)
+        assert not report.strictly_optimal
+        # Minimum-area witness: a 2x2 query (4 buckets, OPT 1, RT 2).
+        assert report.witness is not None
+        assert report.witness.num_buckets == 4
+        assert report.witness_response_time == 2
+        assert report.witness_optimal == 1
+
+    def test_witness_cost_is_reproducible(self):
+        from repro.core.cost import response_time
+
+        allocation = DiskModuloScheme().allocate(Grid((8, 8)), 4)
+        report = verify_strict_optimality(allocation)
+        assert response_time(
+            allocation, report.witness
+        ) == report.witness_response_time
+
+    def test_max_area_restricts_check(self):
+        # DM with 4 disks is optimal on all 1-, 2-, 3-bucket queries.
+        allocation = DiskModuloScheme().allocate(Grid((8, 8)), 4)
+        report = verify_strict_optimality(allocation, max_area=3)
+        assert report.strictly_optimal
+
+    def test_three_dimensional_verifier(self):
+        # The verifier is k-d: a bijective allocation (M = buckets) is
+        # strictly optimal; an all-on-one-disk allocation is not.
+        grid = Grid((2, 2, 2))
+        bijective = DiskAllocation(
+            grid, 8, np.arange(8).reshape(2, 2, 2)
+        )
+        assert verify_strict_optimality(bijective).strictly_optimal
+        lumped = DiskAllocation(
+            grid, 8, np.zeros((2, 2, 2), dtype=np.int64)
+        )
+        report = verify_strict_optimality(lumped)
+        assert not report.strictly_optimal
+        assert report.witness.ndim == 3
+
+    def test_single_disk_trivially_optimal(self):
+        allocation = DiskAllocation(
+            Grid((4, 4)), 1, np.zeros((4, 4), dtype=np.int64)
+        )
+        assert verify_strict_optimality(allocation).strictly_optimal
+
+
+class TestPartialMatchOptimality:
+    def test_dm_pm_optimal_on_square_grid(self):
+        # DM on d_i = M is strictly optimal for partial-match queries.
+        allocation = DiskModuloScheme().allocate(Grid((4, 4)), 4)
+        assert is_strictly_optimal_for_partial_match(allocation)
+
+    def test_everything_on_one_disk_fails_pm(self):
+        allocation = DiskAllocation(
+            Grid((4, 4)), 4, np.zeros((4, 4), dtype=np.int64)
+        )
+        assert not is_strictly_optimal_for_partial_match(allocation)
+
+    def test_pm_optimal_but_not_range_optimal(self):
+        # The paper's core tension: DM at M=4 aces partial match but
+        # fails range queries.
+        allocation = DiskModuloScheme().allocate(Grid((4, 4)), 4)
+        assert is_strictly_optimal_for_partial_match(allocation)
+        assert not verify_strict_optimality(allocation).strictly_optimal

@@ -1,0 +1,112 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import WorkloadError
+from repro.workloads.datasets import (
+    Dataset,
+    correlated_dataset,
+    gaussian_dataset,
+    uniform_dataset,
+    zipf_grid_dataset,
+)
+
+
+class TestDataset:
+    def test_shape_and_bounds(self):
+        data = uniform_dataset(100, 3, seed=1)
+        assert data.num_records == 100
+        assert data.num_attributes == 3
+        assert data.lower == (0.0, 0.0, 0.0)
+        assert data.upper == (1.0, 1.0, 1.0)
+
+    def test_values_read_only(self):
+        data = uniform_dataset(10, 2)
+        with pytest.raises(ValueError):
+            data.values[0, 0] = 5.0
+
+    def test_non_2d_values_rejected(self):
+        with pytest.raises(WorkloadError):
+            Dataset(np.zeros(5), (0.0,), (1.0,))
+
+    def test_bounds_arity_mismatch_rejected(self):
+        with pytest.raises(WorkloadError):
+            Dataset(np.zeros((5, 2)), (0.0,), (1.0, 1.0))
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(WorkloadError):
+            Dataset(np.zeros((5, 1)), (1.0,), (1.0,))
+
+
+class TestUniform:
+    def test_deterministic(self):
+        a = uniform_dataset(50, 2, seed=3)
+        b = uniform_dataset(50, 2, seed=3)
+        assert np.array_equal(a.values, b.values)
+
+    def test_values_within_domain(self):
+        data = uniform_dataset(1000, 2, lower=2.0, upper=5.0, seed=4)
+        assert data.values.min() >= 2.0
+        assert data.values.max() < 5.0
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(WorkloadError):
+            uniform_dataset(0, 2)
+        with pytest.raises(WorkloadError):
+            uniform_dataset(10, 0)
+        with pytest.raises(WorkloadError):
+            uniform_dataset(10, 2, lower=1.0, upper=1.0)
+
+
+class TestGaussian:
+    def test_values_clipped_to_unit_box(self):
+        data = gaussian_dataset(5000, 2, mean=0.9, std=0.3, seed=5)
+        assert data.values.min() >= 0.0
+        assert data.values.max() < 1.0
+
+    def test_centred_mass(self):
+        data = gaussian_dataset(5000, 1, mean=0.5, std=0.1, seed=6)
+        central = np.logical_and(
+            data.values > 0.3, data.values < 0.7
+        ).mean()
+        assert central > 0.9
+
+    def test_invalid_std_rejected(self):
+        with pytest.raises(WorkloadError):
+            gaussian_dataset(10, 2, std=0.0)
+
+
+class TestZipfGrid:
+    def test_values_in_domain(self):
+        data = zipf_grid_dataset(1000, 2, domain_size=16, seed=7)
+        assert data.values.min() >= 0
+        assert data.values.max() <= 15
+
+    def test_skew_towards_zero(self):
+        data = zipf_grid_dataset(
+            2000, 1, domain_size=16, skew=2.0, seed=8
+        )
+        zeros = (data.values == 0).mean()
+        assert zeros > 0.4
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(WorkloadError):
+            zipf_grid_dataset(10, 2, domain_size=1)
+        with pytest.raises(WorkloadError):
+            zipf_grid_dataset(10, 2, domain_size=8, skew=1.0)
+
+
+class TestCorrelated:
+    def test_two_attributes(self):
+        data = correlated_dataset(500, seed=9)
+        assert data.num_attributes == 2
+
+    def test_correlation_direction(self):
+        data = correlated_dataset(5000, correlation=0.9, seed=10)
+        measured = np.corrcoef(data.values[:, 0], data.values[:, 1])[0, 1]
+        assert measured > 0.6
+
+    def test_invalid_correlation_rejected(self):
+        with pytest.raises(WorkloadError):
+            correlated_dataset(10, correlation=1.0)

@@ -1,0 +1,99 @@
+"""Unit tests for workload mixtures."""
+
+import pytest
+
+from repro.core.exceptions import WorkloadError
+from repro.core.grid import Grid
+from repro.workloads.mixtures import WorkloadMixture
+
+
+@pytest.fixture
+def grid():
+    return Grid((16, 16))
+
+
+def two_component_mixture(grid):
+    mix = WorkloadMixture(grid)
+    mix.add_shape("lookups", weight=0.75, shape=(2, 2))
+    mix.add_shape("reports", weight=0.25, shape=(1, 16))
+    return mix
+
+
+class TestConstruction:
+    def test_chaining(self, grid):
+        mix = WorkloadMixture(grid).add_shape(
+            "a", 1.0, (2, 2)
+        ).add_shape("b", 1.0, (4, 4))
+        assert len(mix.components) == 2
+
+    def test_nonpositive_weight_rejected(self, grid):
+        with pytest.raises(WorkloadError):
+            WorkloadMixture(grid).add_shape("a", 0.0, (2, 2))
+
+    def test_oversized_shape_rejected(self, grid):
+        with pytest.raises(WorkloadError):
+            WorkloadMixture(grid).add_shape("a", 1.0, (17, 2))
+
+    def test_bad_side_range_rejected(self, grid):
+        with pytest.raises(WorkloadError):
+            WorkloadMixture(grid).add_sides("a", 1.0, (3, 2))
+        with pytest.raises(WorkloadError):
+            WorkloadMixture(grid).add_sides("a", 1.0, (1, 20))
+
+
+class TestSampling:
+    def test_exact_count(self, grid):
+        mix = two_component_mixture(grid)
+        assert len(mix.sample(100, seed=1)) == 100
+        assert len(mix.sample(7, seed=1)) == 7
+
+    def test_deterministic(self, grid):
+        mix = two_component_mixture(grid)
+        assert mix.sample(50, seed=3) == mix.sample(50, seed=3)
+
+    def test_weights_respected_exactly(self, grid):
+        mix = two_component_mixture(grid)
+        queries = mix.sample(100, seed=2)
+        lookups = sum(1 for q in queries if q.side_lengths == (2, 2))
+        reports = sum(1 for q in queries if q.side_lengths == (1, 16))
+        assert lookups == 75
+        assert reports == 25
+
+    def test_all_queries_fit(self, grid):
+        mix = two_component_mixture(grid)
+        for query in mix.sample(60, seed=4):
+            assert query.fits_in(grid)
+
+    def test_components_interleaved(self, grid):
+        mix = two_component_mixture(grid)
+        queries = mix.sample(100, seed=5)
+        # The rare component must not all cluster in the final quarter.
+        first_half = queries[:50]
+        reports_in_first_half = sum(
+            1 for q in first_half if q.side_lengths == (1, 16)
+        )
+        assert reports_in_first_half > 0
+
+    def test_sides_component_bounds(self, grid):
+        mix = WorkloadMixture(grid).add_sides("mid", 1.0, (2, 4))
+        for query in mix.sample(50, seed=6):
+            assert all(2 <= s <= 4 for s in query.side_lengths)
+
+    def test_empty_mixture_rejected(self, grid):
+        with pytest.raises(WorkloadError):
+            WorkloadMixture(grid).sample(10)
+
+    def test_nonpositive_count_rejected(self, grid):
+        with pytest.raises(WorkloadError):
+            two_component_mixture(grid).sample(0)
+
+
+class TestIntegrationWithAdvisor:
+    def test_mixture_drives_advice(self, grid):
+        from repro.analysis import advise
+
+        mix = two_component_mixture(grid)
+        recommendations = advise(grid, 8, mix.sample(120, seed=7))
+        assert recommendations[0].mean_response_time <= (
+            recommendations[-1].mean_response_time
+        )

@@ -1,0 +1,134 @@
+"""Unit tests for the query-workload generators."""
+
+import pytest
+
+from repro.core.exceptions import WorkloadError
+from repro.core.grid import Grid
+from repro.workloads.queries import (
+    aspect_ratio_shapes,
+    exhaustive_workload,
+    random_partial_match_queries,
+    random_queries_of_shape,
+    random_range_queries,
+    square_shape,
+    zipf_placed_queries,
+)
+
+
+@pytest.fixture
+def grid():
+    return Grid((16, 16))
+
+
+class TestShapes:
+    def test_square_shape(self, grid):
+        assert square_shape(grid, 3) == (3, 3)
+
+    def test_square_shape_3d(self):
+        assert square_shape(Grid((4, 4, 4)), 2) == (2, 2, 2)
+
+    def test_square_too_large_rejected(self, grid):
+        with pytest.raises(WorkloadError):
+            square_shape(grid, 17)
+
+    def test_aspect_ratio_order(self, grid):
+        shapes = aspect_ratio_shapes(grid, 16)
+        ratios = [max(s) / min(s) for s in shapes]
+        assert ratios == sorted(ratios)
+        assert shapes[0] == (4, 4)
+
+    def test_aspect_ratio_includes_both_orientations(self, grid):
+        shapes = aspect_ratio_shapes(grid, 16)
+        assert (2, 8) in shapes and (8, 2) in shapes
+
+    def test_aspect_ratio_unrealizable_area_rejected(self):
+        with pytest.raises(WorkloadError):
+            aspect_ratio_shapes(Grid((4, 4)), 64)
+
+    def test_aspect_ratio_needs_2d(self):
+        with pytest.raises(WorkloadError):
+            aspect_ratio_shapes(Grid((4, 4, 4)), 8)
+
+
+class TestExhaustive:
+    def test_counts(self, grid):
+        queries = list(exhaustive_workload(grid, [(2, 2), (1, 16)]))
+        assert len(queries) == 15 * 15 + 16 * 1
+
+
+class TestRandomQueries:
+    def test_deterministic_given_seed(self, grid):
+        a = random_range_queries(grid, 20, seed=4)
+        b = random_range_queries(grid, 20, seed=4)
+        assert a == b
+
+    def test_all_queries_fit(self, grid):
+        for q in random_range_queries(grid, 50, seed=1):
+            assert q.fits_in(grid)
+
+    def test_max_side_respected(self, grid):
+        for q in random_range_queries(grid, 50, max_side=3, seed=2):
+            assert max(q.side_lengths) <= 3
+
+    def test_nonpositive_count_rejected(self, grid):
+        with pytest.raises(WorkloadError):
+            random_range_queries(grid, 0)
+
+    def test_fixed_shape_placements(self, grid):
+        queries = random_queries_of_shape(grid, (3, 5), 30, seed=7)
+        assert all(q.side_lengths == (3, 5) for q in queries)
+        assert all(q.fits_in(grid) for q in queries)
+
+    def test_fixed_shape_must_fit(self, grid):
+        with pytest.raises(WorkloadError):
+            random_queries_of_shape(grid, (17, 1), 5)
+
+
+class TestPartialMatch:
+    def test_queries_are_partial_match(self, grid):
+        for q in random_partial_match_queries(grid, 30, seed=3):
+            assert q.is_partial_match(grid)
+
+    def test_num_specified_respected(self, grid):
+        for q in random_partial_match_queries(
+            grid, 20, num_specified=1, seed=5
+        ):
+            specified = sum(
+                1 for lo, hi in zip(q.lower, q.upper) if lo == hi
+            )
+            assert specified == 1
+
+    def test_default_leaves_some_attribute_free(self, grid):
+        for q in random_partial_match_queries(grid, 20, seed=6):
+            assert q.num_buckets > 1  # at least one free attribute
+
+    def test_bad_num_specified_rejected(self, grid):
+        with pytest.raises(WorkloadError):
+            random_partial_match_queries(grid, 5, num_specified=3)
+
+    def test_1d_grid_needs_explicit_spec(self):
+        with pytest.raises(WorkloadError):
+            random_partial_match_queries(Grid((8,)), 5)
+
+
+class TestZipfPlacement:
+    def test_deterministic_and_fitting(self, grid):
+        a = zipf_placed_queries(grid, (2, 2), 50, seed=8)
+        b = zipf_placed_queries(grid, (2, 2), 50, seed=8)
+        assert a == b
+        assert all(q.fits_in(grid) for q in a)
+
+    def test_skew_concentrates_on_low_ranks(self, grid):
+        queries = zipf_placed_queries(
+            grid, (2, 2), 400, skew=2.0, seed=9
+        )
+        at_origin = sum(1 for q in queries if q.lower == (0, 0))
+        assert at_origin > 100  # rank-1 placement dominates
+
+    def test_invalid_skew_rejected(self, grid):
+        with pytest.raises(WorkloadError):
+            zipf_placed_queries(grid, (2, 2), 5, skew=1.0)
+
+    def test_oversized_shape_rejected(self, grid):
+        with pytest.raises(WorkloadError):
+            zipf_placed_queries(grid, (20, 2), 5)

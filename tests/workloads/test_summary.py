@@ -1,0 +1,79 @@
+"""Unit tests for workload summarization."""
+
+import pytest
+
+from repro.core.exceptions import WorkloadError
+from repro.core.grid import Grid
+from repro.core.query import all_placements, partial_match_query, query_at
+from repro.workloads.summary import (
+    render_summary,
+    summarize_workload,
+)
+
+
+@pytest.fixture
+def grid():
+    return Grid((16, 16))
+
+
+class TestSummarize:
+    def test_basic_statistics(self, grid):
+        queries = [
+            query_at((0, 0), (2, 2)),   # 4 buckets
+            query_at((0, 0), (4, 4)),   # 16 buckets
+            query_at((0, 0), (1, 8)),   # 8 buckets
+        ]
+        summary = summarize_workload(grid, queries, num_disks=8)
+        assert summary.num_queries == 3
+        assert summary.mean_buckets == pytest.approx((4 + 16 + 8) / 3)
+        assert summary.median_buckets == 8
+        assert summary.max_buckets == 16
+        assert summary.fraction_small == pytest.approx(1 / 3)
+
+    def test_elongation(self, grid):
+        queries = [query_at((0, 0), (1, 8))]
+        summary = summarize_workload(grid, queries, num_disks=4)
+        assert summary.mean_elongation == pytest.approx(8.0)
+
+    def test_partial_match_and_point_fractions(self, grid):
+        queries = [
+            partial_match_query(grid, [3, None]),
+            partial_match_query(grid, [3, 4]),
+            query_at((1, 1), (2, 3)),
+        ]
+        summary = summarize_workload(grid, queries, num_disks=4)
+        assert summary.fraction_partial_match == pytest.approx(2 / 3)
+        assert summary.fraction_point == pytest.approx(1 / 3)
+
+    def test_empty_workload_rejected(self, grid):
+        with pytest.raises(WorkloadError):
+            summarize_workload(grid, [], 4)
+
+
+class TestRegime:
+    def test_small_regime(self, grid):
+        queries = list(all_placements(grid, (2, 2)))
+        summary = summarize_workload(grid, queries, num_disks=8)
+        assert summary.regime(8) == "small"
+
+    def test_large_regime(self, grid):
+        queries = list(all_placements(grid, (8, 8)))
+        summary = summarize_workload(grid, queries, num_disks=8)
+        assert summary.regime(8) == "large"
+
+    def test_mixed_regime(self, grid):
+        queries = list(all_placements(grid, (2, 2)))[:10] + list(
+            all_placements(grid, (8, 8))
+        )[:10]
+        summary = summarize_workload(grid, queries, num_disks=8)
+        assert summary.regime(8) == "mixed"
+
+
+class TestRender:
+    def test_mentions_key_figures(self, grid):
+        queries = list(all_placements(grid, (2, 2)))[:20]
+        summary = summarize_workload(grid, queries, num_disks=8)
+        text = render_summary(summary, 8)
+        assert "20 queries" in text
+        assert "small regime" in text
+        assert "M=8" in text
