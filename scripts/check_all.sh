@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# The repository's quality gate, in the order CI runs it:
+#
+#   ruff  ->  mypy  ->  repro-decluster qa  ->  tier-1 pytest
+#
+# ruff and mypy come from the `dev` extra (`pip install -e '.[dev]'`).
+# When they are not installed (e.g. a minimal container) they are skipped
+# with a warning unless REQUIRE_TOOLS=1, in which case missing tools fail
+# the gate.  The qa pass and the test suite always run.
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+REQUIRE_TOOLS="${REQUIRE_TOOLS:-0}"
+failed=0
+
+run_step() {
+    local name="$1"
+    shift
+    echo "==> ${name}"
+    if "$@"; then
+        echo "==> ${name}: ok"
+    else
+        echo "==> ${name}: FAILED" >&2
+        failed=1
+    fi
+}
+
+run_optional_tool() {
+    local name="$1"
+    shift
+    if command -v "${name}" >/dev/null 2>&1; then
+        run_step "${name}" "$@"
+    elif [ "${REQUIRE_TOOLS}" = "1" ]; then
+        echo "==> ${name}: NOT INSTALLED (REQUIRE_TOOLS=1)" >&2
+        failed=1
+    else
+        echo "==> ${name}: not installed, skipping (pip install -e '.[dev]')"
+    fi
+}
+
+run_optional_tool ruff ruff check src tests
+run_optional_tool mypy mypy
+run_step "repro qa" python -m repro.qa
+run_step "pytest (tier 1)" python -m pytest -x -q
+
+if [ "${failed}" -ne 0 ]; then
+    echo "check_all: FAILED" >&2
+    exit 1
+fi
+echo "check_all: all gates passed"

@@ -27,6 +27,13 @@ from repro.core.grid import Grid
 from repro.core.query import RangeQuery
 from repro.core.registry import get_scheme, scheme_label
 
+__all__ = [
+    "DEFAULT_CANDIDATES",
+    "Recommendation",
+    "advise",
+    "render_recommendations",
+]
+
 #: Candidates offered by default: the paper's four methods plus the
 #: strongest post-paper fixed schemes (2-d cyclic/EXH; k-d lattice,
 #: which covers grids where the cyclic scheme is not applicable).

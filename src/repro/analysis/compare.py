@@ -25,6 +25,12 @@ from repro.core.grid import Grid
 from repro.core.query import RangeQuery
 from repro.core.registry import get_scheme, scheme_label
 
+__all__ = [
+    "DominanceMatrix",
+    "dominance_matrix",
+    "render_dominance",
+]
+
 
 @dataclass(frozen=True)
 class DominanceMatrix:
@@ -45,7 +51,9 @@ class DominanceMatrix:
 
     def dominates(self, row: str, column: str) -> bool:
         """Whether ``row`` never loses to ``column`` on this workload."""
-        return self.wins[column][row] == 0.0
+        # Win fractions are count / num_queries, so "never loses" is a
+        # fraction that cannot be positive (exact float == is banned here).
+        return not self.wins[column][row] > 0.0
 
     def best_overall(self) -> str:
         """Scheme with the highest mean win fraction against the field."""

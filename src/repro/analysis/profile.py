@@ -29,6 +29,15 @@ from repro.core.cost import (
 from repro.core.exceptions import QueryError
 from repro.core.query import RangeQuery
 
+__all__ = [
+    "ShapeProfile",
+    "disk_heat",
+    "heat_imbalance",
+    "same_disk_distance",
+    "shape_profile",
+    "suboptimality_map",
+]
+
 
 @dataclass(frozen=True)
 class ShapeProfile:

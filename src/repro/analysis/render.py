@@ -14,6 +14,13 @@ from repro.analysis.profile import (
 from repro.core.allocation import DiskAllocation
 from repro.core.exceptions import QueryError
 
+__all__ = [
+    "render_allocation_profile",
+    "render_disk_loads",
+    "render_heatmap",
+    "render_shape_profiles",
+]
+
 
 def render_heatmap(values: np.ndarray, zero_char: str = ".") -> str:
     """A 2-d integer array as a character map.

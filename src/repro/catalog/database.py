@@ -24,6 +24,8 @@ from repro.core.query import RangeQuery
 from repro.gridfile.file import DeclusteredGridFile, QueryExecution
 from repro.workloads.datasets import Dataset
 
+__all__ = ["DeclusteredDatabase"]
+
 
 class DeclusteredDatabase:
     """Named relations declustered over one shared pool of disks."""

@@ -13,6 +13,9 @@ Subcommands
 ``theory``
     Strict-optimality tools: ``search`` (existence/impossibility per M) and
     ``table`` (the paper's Table 1).
+``qa``
+    Quality gate: repo-specific AST lint rules plus the scheme-contract
+    checker; exits nonzero on findings outside the baseline.
 
 Examples
 --------
@@ -36,6 +39,11 @@ from repro.core.registry import (
     get_scheme,
     scheme_label,
 )
+
+__all__ = [
+    "build_parser",
+    "main",
+]
 
 
 def _parse_dims(text: str) -> tuple:
@@ -285,6 +293,12 @@ def _cmd_advise(args) -> int:
     return 0
 
 
+def _cmd_qa(args) -> int:
+    from repro.qa.runner import run_from_args
+
+    return run_from_args(args)
+
+
 def _cmd_theory(args) -> int:
     from repro.theory.conditions import render_table as render_conditions
     from repro.theory.search import impossibility_frontier
@@ -399,6 +413,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the pairwise dominance matrix",
     )
 
+    from repro.qa.runner import add_qa_arguments
+
+    p_qa = sub.add_parser(
+        "qa", help="run the lint + scheme-contract quality gate"
+    )
+    add_qa_arguments(p_qa)
+
     p_theory = sub.add_parser("theory", help="strict-optimality tools")
     theory_sub = p_theory.add_subparsers(
         dest="theory_command", required=True
@@ -437,6 +458,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "profile": _cmd_profile,
         "advise": _cmd_advise,
         "theory": _cmd_theory,
+        "qa": _cmd_qa,
     }
     try:
         return handlers[args.command](args)

@@ -19,6 +19,11 @@ import numpy as np
 from repro.core.exceptions import AllocationError
 from repro.core.grid import Coords, Grid
 
+__all__ = [
+    "DiskAllocation",
+    "allocation_from_function",
+]
+
 
 class DiskAllocation:
     """An assignment of every grid bucket to one of ``num_disks`` disks.

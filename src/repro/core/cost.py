@@ -25,6 +25,22 @@ from repro.core.allocation import DiskAllocation
 from repro.core.exceptions import QueryError
 from repro.core.query import RangeQuery
 
+__all__ = [
+    "additive_deviation",
+    "average_response_time",
+    "buckets_per_disk",
+    "optimal_response_time",
+    "optimal_times",
+    "per_query_costs",
+    "placements_at_optimal",
+    "query_optimal",
+    "relative_deviation",
+    "response_time",
+    "response_times",
+    "sliding_response_times",
+    "worst_response_time",
+]
+
 
 def optimal_response_time(num_buckets: int, num_disks: int) -> int:
     """``ceil(num_buckets / num_disks)`` — the paper's optimal yardstick."""

@@ -26,6 +26,14 @@ from repro.core.grid import Grid
 from repro.core.query import RangeQuery, shapes_with_area
 from repro.core.registry import get_scheme, scheme_label
 
+__all__ = [
+    "EvaluationResult",
+    "SchemeEvaluator",
+    "evaluate_allocation_on_queries",
+    "evaluate_allocation_on_shapes",
+    "rank_schemes",
+]
+
 
 @dataclass(frozen=True)
 class EvaluationResult:

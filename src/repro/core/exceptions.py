@@ -7,6 +7,21 @@ genuine programming errors (``TypeError`` etc.) propagate.
 
 from __future__ import annotations
 
+__all__ = [
+    "AllocationError",
+    "CodeConstructionError",
+    "DeclusteringError",
+    "GridError",
+    "GridFileError",
+    "QueryError",
+    "SchemeError",
+    "SchemeNotApplicableError",
+    "SearchBudgetExceeded",
+    "SimulationError",
+    "UnknownSchemeError",
+    "WorkloadError",
+]
+
 
 class DeclusteringError(Exception):
     """Base class for all errors raised by the ``repro`` library."""

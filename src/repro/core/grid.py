@@ -20,6 +20,11 @@ import numpy as np
 
 from repro.core.exceptions import GridError
 
+__all__ = [
+    "Coords",
+    "Grid",
+]
+
 Coords = Tuple[int, ...]
 
 

@@ -24,6 +24,15 @@ from typing import Iterator, Optional, Sequence, Tuple
 from repro.core.exceptions import QueryError
 from repro.core.grid import Coords, Grid
 
+__all__ = [
+    "RangeQuery",
+    "all_placements",
+    "partial_match_query",
+    "point_query",
+    "query_at",
+    "shapes_with_area",
+]
+
 
 @dataclass(frozen=True)
 class RangeQuery:

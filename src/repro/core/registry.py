@@ -8,7 +8,8 @@ instance.  Third-party schemes can be added with :func:`register_scheme`.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import contextlib
+from typing import Callable, Dict, Iterator, List, Mapping
 
 from repro.core.exceptions import UnknownSchemeError
 from repro.schemes.base import DeclusteringScheme
@@ -24,6 +25,21 @@ from repro.schemes.hilbert_scheme import (
     HCAMScheme,
     ZOrderScheme,
 )
+
+__all__ = [
+    "PAPER_LABELS",
+    "PAPER_SCHEMES",
+    "SchemeFactory",
+    "available_schemes",
+    "get_scheme",
+    "register_scheme",
+    "registry_snapshot",
+    "restore_registry",
+    "scheme_factory",
+    "scheme_label",
+    "temporary_scheme",
+    "unregister_scheme",
+]
 
 SchemeFactory = Callable[[], DeclusteringScheme]
 
@@ -66,15 +82,65 @@ def register_scheme(name: str, factory: SchemeFactory, replace: bool = False) ->
     _REGISTRY[name] = factory
 
 
-def get_scheme(name: str) -> DeclusteringScheme:
-    """Construct a fresh scheme instance by registry name."""
+def unregister_scheme(name: str) -> SchemeFactory:
+    """Remove and return the factory registered under ``name``.
+
+    Raises :class:`UnknownSchemeError` if the name is not registered.
+    """
     try:
-        factory = _REGISTRY[name]
+        return _REGISTRY.pop(name)
     except KeyError:
         raise UnknownSchemeError(
             f"unknown scheme {name!r}; known: {sorted(_REGISTRY)}"
         ) from None
-    return factory()
+
+
+@contextlib.contextmanager
+def temporary_scheme(
+    name: str, factory: SchemeFactory, replace: bool = False
+) -> Iterator[None]:
+    """Register ``name`` for the duration of a ``with`` block.
+
+    On exit the previous state is restored exactly: the name is removed
+    again, or — when ``replace=True`` shadowed a builtin — the original
+    factory is put back.  This is the supported way for tests and
+    experiments to try a scheme variant without leaking registry state.
+    """
+    previous = _REGISTRY.get(name)
+    register_scheme(name, factory, replace=replace)
+    try:
+        yield
+    finally:
+        if previous is None:
+            _REGISTRY.pop(name, None)
+        else:
+            _REGISTRY[name] = previous
+
+
+def registry_snapshot() -> Dict[str, SchemeFactory]:
+    """A copy of the current name → factory mapping."""
+    return dict(_REGISTRY)
+
+
+def restore_registry(snapshot: Mapping[str, SchemeFactory]) -> None:
+    """Reset the registry to a :func:`registry_snapshot` state."""
+    _REGISTRY.clear()
+    _REGISTRY.update(snapshot)
+
+
+def scheme_factory(name: str) -> SchemeFactory:
+    """The registered factory for ``name`` (without instantiating it)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownSchemeError(
+            f"unknown scheme {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def get_scheme(name: str) -> DeclusteringScheme:
+    """Construct a fresh scheme instance by registry name."""
+    return scheme_factory(name)()
 
 
 def available_schemes() -> List[str]:

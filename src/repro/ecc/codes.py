@@ -33,6 +33,14 @@ import numpy as np
 from repro.core.exceptions import CodeConstructionError
 from repro.ecc.gf2 import as_gf2, gf2_rank, int_to_bits
 
+__all__ = [
+    "BinaryLinearCode",
+    "hamming_like_code",
+    "is_power_of_two",
+    "nonzero_vectors_by_weight",
+    "parity_check_matrix",
+]
+
 
 def is_power_of_two(value: int) -> bool:
     """Whether ``value`` is a positive power of two (1 counts)."""

@@ -15,6 +15,19 @@ import numpy as np
 
 from repro.core.exceptions import CodeConstructionError
 
+__all__ = [
+    "as_gf2",
+    "bits_to_int",
+    "gf2_matmul",
+    "gf2_nullspace",
+    "gf2_rank",
+    "gf2_rref",
+    "hamming_distance",
+    "hamming_weight",
+    "int_to_bits",
+    "minimum_distance",
+]
+
 
 def as_gf2(matrix) -> np.ndarray:
     """Coerce to a {0,1} ``uint8`` array, validating entries."""

@@ -17,6 +17,13 @@ from repro.core.exceptions import WorkloadError
 from repro.core.grid import Grid
 from repro.core.registry import PAPER_SCHEMES, scheme_label
 
+__all__ = [
+    "ExperimentResult",
+    "default_area_sweep",
+    "mean_rt_for_shapes",
+    "sweep_shapes",
+]
+
 
 @dataclass
 class ExperimentResult:

@@ -23,6 +23,12 @@ from repro.core.evaluator import SchemeEvaluator
 from repro.core.grid import Grid
 from repro.experiments.common import ExperimentResult
 
+__all__ = [
+    "DEFAULT_DISK_COUNTS",
+    "EXTENDED_SCHEMES",
+    "run",
+]
+
 EXTENDED_SCHEMES = (
     "dm", "fx-auto", "ecc", "hcam", "cyclic", "cyclic-gfib", "cyclic-exh",
 )

@@ -21,6 +21,12 @@ from repro.core.evaluator import SchemeEvaluator
 from repro.core.grid import Grid
 from repro.experiments.common import ExperimentResult
 
+__all__ = [
+    "ABLATION_SCHEMES",
+    "DEFAULT_DISK_COUNTS",
+    "run",
+]
+
 ABLATION_SCHEMES = ("hcam", "zorder", "gray", "roundrobin")
 
 DEFAULT_DISK_COUNTS = (5, 7, 11, 13, 16, 19, 23)

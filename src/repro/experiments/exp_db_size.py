@@ -27,6 +27,11 @@ from repro.core.grid import Grid
 from repro.core.registry import PAPER_SCHEMES
 from repro.experiments.common import ExperimentResult
 
+__all__ = [
+    "DEFAULT_SIDES",
+    "run",
+]
+
 DEFAULT_SIDES = (16, 32, 64, 128)
 
 

@@ -23,6 +23,12 @@ from typing import Dict, Optional, Sequence
 from repro.gridfile.dynamic import DynamicGridFile
 from repro.workloads.datasets import uniform_dataset
 
+__all__ = [
+    "DEFAULT_SCHEMES",
+    "render",
+    "run",
+]
+
 DEFAULT_SCHEMES = ("dm", "fx-auto", "hcam", "roundrobin")
 
 

@@ -26,6 +26,12 @@ from repro.simulation.disk import DiskModel
 from repro.simulation.open_system import saturation_sweep
 from repro.workloads.queries import random_queries_of_shape
 
+__all__ = [
+    "DEFAULT_RATES",
+    "DEFAULT_SCHEMES",
+    "run",
+]
+
 DEFAULT_SCHEMES = ("dm", "hcam", "cyclic-exh")
 DEFAULT_RATES = (10.0, 40.0, 60.0, 80.0, 100.0, 140.0, 200.0)
 

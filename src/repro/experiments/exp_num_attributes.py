@@ -23,6 +23,12 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.grid import Grid
 from repro.experiments.common import ExperimentResult, sweep_shapes
 
+__all__ = [
+    "AttributesComparison",
+    "deviation_table",
+    "run",
+]
+
 
 @dataclass
 class AttributesComparison:

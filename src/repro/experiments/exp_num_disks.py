@@ -22,6 +22,13 @@ from repro.core.grid import Grid
 from repro.core.registry import PAPER_SCHEMES
 from repro.experiments.common import ExperimentResult
 
+__all__ = [
+    "DEFAULT_DISK_COUNTS",
+    "LARGE_SHAPE",
+    "SMALL_SHAPE",
+    "run",
+]
+
 DEFAULT_DISK_COUNTS = (2, 4, 8, 16, 32, 64)
 
 #: Paper's regions: a small square and a large square query.

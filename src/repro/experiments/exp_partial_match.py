@@ -24,6 +24,12 @@ from repro.core.query import RangeQuery, partial_match_query
 from repro.core.registry import PAPER_SCHEMES
 from repro.experiments.common import ExperimentResult
 
+__all__ = [
+    "partial_match_queries_with",
+    "run",
+    "single_free_attribute_queries",
+]
+
 
 def partial_match_queries_with(
     grid: Grid, num_specified: int

@@ -23,6 +23,8 @@ from repro.core.grid import Grid
 from repro.experiments.common import ExperimentResult, sweep_shapes
 from repro.workloads.queries import aspect_ratio_shapes
 
+__all__ = ["run"]
+
 
 def _grouped_by_ratio(
     grid: Grid, area: int

@@ -20,6 +20,13 @@ from repro.core.grid import Grid
 from repro.core.query import shapes_with_area
 from repro.experiments.common import ExperimentResult, sweep_shapes
 
+__all__ = [
+    "DEFAULT_AREAS",
+    "LARGE_AREAS",
+    "SMALL_AREAS",
+    "run",
+]
+
 #: Log-ish spaced areas between the paper's extremes of 1 and 1024; every
 #: entry has at least one realizable shape on the 32 x 32 grid.
 DEFAULT_AREAS = (

@@ -28,6 +28,11 @@ from repro.replication.allocation import (
 )
 from repro.replication.planner import replicated_response_time
 
+__all__ = [
+    "DEFAULT_SIDES",
+    "run",
+]
+
 DEFAULT_SIDES = (2, 3, 4, 6, 8)
 
 

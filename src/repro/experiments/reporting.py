@@ -12,6 +12,14 @@ from typing import Optional, Sequence
 from repro.core.registry import scheme_label
 from repro.experiments.common import ExperimentResult
 
+__all__ = [
+    "ascii_plot",
+    "format_value",
+    "render_deviation_table",
+    "render_table",
+    "to_csv",
+]
+
 
 def format_value(value, precision: int = 3) -> str:
     """Numbers with fixed precision, everything else via ``str``."""

@@ -30,6 +30,12 @@ from repro.experiments.reporting import render_table
 from repro.theory.conditions import render_table as render_conditions
 from repro.theory.search import SearchResult, impossibility_frontier
 
+__all__ = [
+    "render_all",
+    "render_thm",
+    "run_all",
+]
+
 
 def run_all(quick: bool = False) -> Dict[str, object]:
     """Execute the whole suite; keys match DESIGN.md's experiment index."""

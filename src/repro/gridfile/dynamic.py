@@ -41,6 +41,8 @@ from repro.core.registry import get_scheme
 from repro.gridfile.file import QueryExecution
 from repro.gridfile.partitioner import RangePartitioner
 
+__all__ = ["DynamicGridFile"]
+
 
 class DynamicGridFile:
     """An insert-driven, declustered grid file.

@@ -28,6 +28,11 @@ from repro.gridfile.partitioner import (
 )
 from repro.workloads.datasets import Dataset
 
+__all__ = [
+    "DeclusteredGridFile",
+    "QueryExecution",
+]
+
 
 class DeclusteredGridFile:
     """A multi-attribute file, grid-partitioned and declustered over disks.

@@ -24,6 +24,12 @@ import numpy as np
 
 from repro.core.exceptions import GridFileError
 
+__all__ = [
+    "RangePartitioner",
+    "equi_depth_partitioner",
+    "equi_width_partitioner",
+]
+
 
 class RangePartitioner:
     """Maps scalar attribute values to partition indices via boundaries.

@@ -28,6 +28,22 @@ from repro.core.grid import Grid
 from repro.experiments.common import ExperimentResult
 from repro.replication.allocation import ReplicatedAllocation
 
+__all__ = [
+    "PathLike",
+    "allocation_from_dict",
+    "allocation_to_dict",
+    "load_allocation",
+    "load_queries",
+    "load_replicated",
+    "load_result",
+    "result_from_dict",
+    "result_to_dict",
+    "save_allocation",
+    "save_queries",
+    "save_replicated",
+    "save_result",
+]
+
 PathLike = Union[str, pathlib.Path]
 
 _FORMAT_VERSION = 1

@@ -33,6 +33,14 @@ from repro.core.exceptions import WorkloadError
 from repro.core.grid import Grid
 from repro.core.query import RangeQuery
 
+__all__ = [
+    "AnnealingConfig",
+    "AnnealingResult",
+    "optimize_allocation",
+    "optimize_allocation_multi",
+    "workload_cost",
+]
+
 
 @dataclass(frozen=True)
 class AnnealingConfig:

@@ -1,0 +1,8 @@
+"""``python -m repro.qa`` — run the full QA gate."""
+
+import sys
+
+from repro.qa.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

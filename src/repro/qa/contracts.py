@@ -1,0 +1,306 @@
+"""Runtime contract checker for registered declustering schemes.
+
+The paper's comparisons — and every experiment in this repository — assume
+each scheme's ``disk_of`` rule is a *function*: defined on every bucket,
+deterministic, returning an integer in ``[0, M)``, and agreeing bucket-for-
+bucket with any vectorized ``allocate`` override.  Third-party schemes added
+through :func:`~repro.core.registry.register_scheme` get no such guarantee
+from the type system, so this module verifies it empirically over small
+grids and emits the same :class:`~repro.qa.diagnostics.Finding` records as
+the linter.
+
+Schemes that declare ``disk_of_is_expensive`` (the annealed workload-aware
+scheme, whose per-bucket rule re-runs the optimizer) are checked on a
+deterministic sample of buckets and a bounded number of grid/disk combos
+instead of exhaustively; the findings note when sampling was used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.exceptions import DeclusteringError
+from repro.core.grid import Grid
+from repro.qa.diagnostics import Finding, Severity
+from repro.schemes.base import DeclusteringScheme
+
+__all__ = [
+    "ContractConfig",
+    "check_registry",
+    "check_scheme",
+]
+
+
+@dataclass(frozen=True)
+class ContractConfig:
+    """Knobs for the contract checker.
+
+    ``grids``/``disks`` span the combo matrix; every applicable combo is
+    checked.  ``repeats`` is the number of times each call is replayed for
+    the determinism checks.  Expensive schemes are limited to
+    ``expensive_combo_limit`` applicable combos and ``expensive_sample``
+    sampled buckets per combo.
+    """
+
+    grids: Tuple[Tuple[int, ...], ...] = ((4, 4), (3, 5), (2, 2, 2))
+    disks: Tuple[int, ...] = (2, 3, 4, 5)
+    repeats: int = 2
+    expensive_sample: int = 2
+    expensive_combo_limit: int = 4
+
+    def scaled_down(self) -> "ContractConfig":
+        """A cheaper variant used by ``--quick`` runs."""
+        return ContractConfig(
+            grids=self.grids[:2],
+            disks=self.disks[:2],
+            repeats=self.repeats,
+            expensive_sample=1,
+            expensive_combo_limit=2,
+        )
+
+
+def _finding(
+    name: str, rule: str, message: str, severity: Severity = Severity.ERROR
+) -> Finding:
+    return Finding(
+        rule=rule,
+        severity=severity,
+        file=f"registry:{name}",
+        line=0,
+        message=message,
+    )
+
+
+def _sample_coords(grid: Grid, limit: Optional[int]) -> List[Tuple[int, ...]]:
+    """All bucket coords, or ``limit`` of them evenly spaced in linear order."""
+    total = grid.num_buckets
+    if limit is None or limit >= total:
+        return list(grid.iter_buckets())
+    limit = max(1, limit)
+    step = total / limit
+    indices = sorted({int(i * step) for i in range(limit)})
+    return [grid.coords_of(index) for index in indices]
+
+
+def _is_disk_id(value: object) -> bool:
+    return isinstance(value, (int, np.integer)) and not isinstance(
+        value, bool
+    )
+
+
+def check_scheme(
+    name: str,
+    scheme_or_factory: Union[
+        DeclusteringScheme, Callable[[], DeclusteringScheme]
+    ],
+    config: Optional[ContractConfig] = None,
+) -> List[Finding]:
+    """Verify one scheme's ``disk_of``/``allocate`` contract.
+
+    ``scheme_or_factory`` may be a scheme instance or a zero-argument
+    factory (the registry's currency).  Returns findings; an empty list
+    means the scheme honored the contract on every applicable combo.
+    """
+    config = config or ContractConfig()
+    findings: List[Finding] = []
+
+    if isinstance(scheme_or_factory, DeclusteringScheme):
+        scheme = scheme_or_factory
+    else:
+        try:
+            scheme = scheme_or_factory()
+        except Exception as exc:
+            return [
+                _finding(
+                    name,
+                    "QA401",
+                    f"factory raised {type(exc).__name__}: {exc}",
+                )
+            ]
+        if not isinstance(scheme, DeclusteringScheme):
+            return [
+                _finding(
+                    name,
+                    "QA401",
+                    f"factory returned {type(scheme).__name__}, not a "
+                    f"DeclusteringScheme",
+                )
+            ]
+
+    if not isinstance(getattr(scheme, "name", None), str) or not scheme.name:
+        findings.append(
+            _finding(
+                name,
+                "QA402",
+                f"scheme {type(scheme).__name__} has empty or non-string "
+                f"`name`",
+            )
+        )
+
+    expensive = bool(getattr(scheme, "disk_of_is_expensive", False))
+    sample_limit = config.expensive_sample if expensive else None
+    combos_checked = 0
+    applicable_any = False
+
+    for dims in config.grids:
+        grid = Grid(dims)
+        for num_disks in config.disks:
+            if expensive and combos_checked >= config.expensive_combo_limit:
+                break
+            try:
+                scheme.check_applicable(grid, num_disks)
+            except DeclusteringError:
+                # Declining a configuration is the documented, contractual
+                # way to say "not applicable" — not a violation.
+                continue
+            except Exception as exc:
+                findings.append(
+                    _finding(
+                        name,
+                        "QA403",
+                        f"check_applicable(grid={dims}, M={num_disks}) "
+                        f"crashed with {type(exc).__name__}: {exc} — raise "
+                        f"SchemeNotApplicableError instead",
+                    )
+                )
+                continue
+            applicable_any = True
+            combos_checked += 1
+            findings.extend(
+                _check_combo(name, scheme, grid, num_disks, config,
+                             sample_limit)
+            )
+
+    if not applicable_any and not findings:
+        findings.append(
+            _finding(
+                name,
+                "QA410",
+                f"scheme was applicable to none of the checked combos "
+                f"(grids {list(config.grids)}, disks {list(config.disks)})",
+                severity=Severity.WARNING,
+            )
+        )
+    return findings
+
+
+def _check_combo(
+    name: str,
+    scheme: DeclusteringScheme,
+    grid: Grid,
+    num_disks: int,
+    config: ContractConfig,
+    sample_limit: Optional[int],
+) -> List[Finding]:
+    findings: List[Finding] = []
+    where = f"grid={grid.dims}, M={num_disks}"
+
+    tables = []
+    for _ in range(max(2, config.repeats)):
+        try:
+            tables.append(scheme.allocate(grid, num_disks).table)
+        except Exception as exc:
+            findings.append(
+                _finding(
+                    name,
+                    "QA404",
+                    f"allocate({where}) raised {type(exc).__name__} after "
+                    f"check_applicable accepted the configuration: {exc}",
+                )
+            )
+            return findings
+    base_table = tables[0]
+    if any(not np.array_equal(base_table, other) for other in tables[1:]):
+        findings.append(
+            _finding(
+                name,
+                "QA405",
+                f"allocate({where}) is nondeterministic: repeated calls "
+                f"returned different tables",
+            )
+        )
+        return findings
+
+    coords_list = _sample_coords(grid, sample_limit)
+    sampled = len(coords_list) < grid.num_buckets
+    suffix = (
+        f" (sampled {len(coords_list)}/{grid.num_buckets} buckets)"
+        if sampled
+        else ""
+    )
+    for coords in coords_list:
+        values = []
+        for _ in range(max(2, config.repeats)):
+            try:
+                values.append(scheme.disk_of(coords, grid, num_disks))
+            except Exception as exc:
+                findings.append(
+                    _finding(
+                        name,
+                        "QA408",
+                        f"disk_of({coords}, {where}) raised "
+                        f"{type(exc).__name__}: {exc} — the rule must be "
+                        f"total on the grid{suffix}",
+                    )
+                )
+                return findings
+        value = values[0]
+        if not _is_disk_id(value) or not 0 <= int(value) < num_disks:
+            findings.append(
+                _finding(
+                    name,
+                    "QA406",
+                    f"disk_of({coords}, {where}) returned {value!r}, not "
+                    f"an integer in [0, {num_disks}){suffix}",
+                )
+            )
+            return findings
+        if any(int(v) != int(value) for v in values[1:]):
+            findings.append(
+                _finding(
+                    name,
+                    "QA407",
+                    f"disk_of({coords}, {where}) is nondeterministic: "
+                    f"repeated calls returned {sorted(set(map(int, values)))}"
+                    f"{suffix}",
+                )
+            )
+            return findings
+        if int(base_table[tuple(coords)]) != int(value):
+            findings.append(
+                _finding(
+                    name,
+                    "QA409",
+                    f"allocate({where}) assigns bucket {coords} to disk "
+                    f"{int(base_table[tuple(coords)])} but disk_of returns "
+                    f"{int(value)} — vectorized override disagrees with "
+                    f"the per-bucket rule{suffix}",
+                )
+            )
+            return findings
+    return findings
+
+
+def check_registry(
+    config: Optional[ContractConfig] = None,
+    names: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Run :func:`check_scheme` for every (or the named) registered scheme."""
+    from repro.core.exceptions import UnknownSchemeError
+    from repro.core.registry import available_schemes, scheme_factory
+
+    config = config or ContractConfig()
+    findings: List[Finding] = []
+    for name in names if names is not None else available_schemes():
+        try:
+            factory = scheme_factory(name)
+        except UnknownSchemeError:
+            findings.append(
+                _finding(name, "QA401", "scheme name is not registered")
+            )
+            continue
+        findings.extend(check_scheme(name, factory, config))
+    return sorted(findings)

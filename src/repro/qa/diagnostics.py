@@ -1,0 +1,209 @@
+"""Shared diagnostics vocabulary: findings, reporters, and the baseline.
+
+Every QA pass — linter rules and the scheme-contract checker alike — emits
+:class:`Finding` records.  A finding is identified by a stable *fingerprint*
+(rule id + file + message, independent of line numbers) so a committed
+baseline file keeps suppressing a pre-existing finding even as unrelated
+edits shift it around the file.  New findings are everything the baseline
+does not already cover; the CLI exits nonzero exactly when there are any.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "Severity",
+    "parse_json_report",
+    "render_json_report",
+    "render_text_report",
+]
+
+#: Schema version stamped into JSON reports and baseline files.
+REPORT_VERSION = 1
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; errors gate the build, warnings inform."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic emitted by a QA pass.
+
+    Attributes
+    ----------
+    rule:
+        Stable rule identifier, e.g. ``"QA201"``.
+    severity:
+        :class:`Severity` of the finding.
+    file:
+        Path (repository-relative where possible) or pseudo-path such as
+        ``"registry:dm"`` for contract findings with no source location.
+    line:
+        1-based line number, or 0 when no source line applies.
+    message:
+        Human-readable description of the violation.
+    """
+
+    rule: str
+    severity: Severity
+    file: str
+    line: int
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline suppression (line-number free)."""
+        digest = hashlib.sha256(
+            f"{self.rule}|{self.file}|{self.message}".encode("utf-8")
+        )
+        return digest.hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping; inverse of :meth:`from_dict`."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "file": self.file,
+            "line": self.line,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output."""
+        return cls(
+            rule=str(data["rule"]),
+            severity=Severity(str(data["severity"])),
+            file=str(data["file"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            message=str(data["message"]),
+        )
+
+    def render(self) -> str:
+        """One-line ``file:line: severity RULE message`` rendering."""
+        location = self.file if self.line <= 0 else f"{self.file}:{self.line}"
+        return f"{location}: {self.severity.value} {self.rule} {self.message}"
+
+
+def render_text_report(
+    findings: Sequence[Finding], suppressed: int = 0
+) -> str:
+    """Human-readable report: one line per finding plus a summary line."""
+    lines = [finding.render() for finding in sorted(findings)]
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    warnings = len(findings) - errors
+    summary = (
+        f"{len(findings)} finding(s): {errors} error(s), "
+        f"{warnings} warning(s)"
+    )
+    if suppressed:
+        summary += f" ({suppressed} baseline-suppressed)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json_report(
+    findings: Sequence[Finding], suppressed: int = 0
+) -> str:
+    """Machine-readable report; round-trips through :func:`parse_json_report`."""
+    payload = {
+        "version": REPORT_VERSION,
+        "suppressed": suppressed,
+        "findings": [finding.to_dict() for finding in sorted(findings)],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def parse_json_report(text: str) -> List[Finding]:
+    """Parse :func:`render_json_report` output back into findings."""
+    payload = json.loads(text)
+    version = payload.get("version")
+    if version != REPORT_VERSION:
+        raise ValueError(
+            f"unsupported QA report version {version!r}; "
+            f"expected {REPORT_VERSION}"
+        )
+    return [Finding.from_dict(entry) for entry in payload["findings"]]
+
+
+@dataclass
+class Baseline:
+    """A set of suppressed finding fingerprints.
+
+    The workflow: run ``repro-decluster qa --write-baseline`` once to accept
+    the current findings, commit the file, then burn the entries down over
+    time.  Only findings *not* in the baseline ("new" findings) fail the
+    gate.
+    """
+
+    fingerprints: Set[str] = field(default_factory=set)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether this finding is covered by the baseline."""
+        return finding.fingerprint in self.fingerprints
+
+    def split(
+        self, findings: Iterable[Finding]
+    ) -> "tuple[List[Finding], List[Finding]]":
+        """Partition findings into ``(new, suppressed)`` lists."""
+        new: List[Finding] = []
+        suppressed: List[Finding] = []
+        for finding in findings:
+            (suppressed if self.is_suppressed(finding) else new).append(
+                finding
+            )
+        return new, suppressed
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        """Baseline accepting exactly the given findings."""
+        return cls({finding.fingerprint for finding in findings})
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text())
+        version = payload.get("version")
+        if version != REPORT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in {path}; "
+                f"expected {REPORT_VERSION}"
+            )
+        return cls(set(payload.get("suppress", [])))
+
+    def save(
+        self,
+        path: Union[str, Path],
+        findings: Optional[Sequence[Finding]] = None,
+    ) -> None:
+        """Write the baseline; ``findings`` adds context comments per entry."""
+        notes: Dict[str, str] = {}
+        for finding in findings or ():
+            notes[finding.fingerprint] = finding.render()
+        payload = {
+            "version": REPORT_VERSION,
+            "suppress": sorted(self.fingerprints),
+            "notes": {
+                fp: notes[fp] for fp in sorted(notes) if fp in self.fingerprints
+            },
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,135 @@
+"""Lint-rule infrastructure and the built-in rule registry.
+
+A rule is a small class with a stable ``rule_id``, a severity, and either a
+per-module or a project-wide ``check``.  Project-wide rules see every parsed
+module at once — that is what lets repo-specific invariants ("every concrete
+scheme class is registered", "registry names and ``PAPER_LABELS`` agree") be
+checked statically instead of at import time.
+
+Rules register themselves with :func:`register_rule`; :func:`all_rules`
+returns one fresh instance of each, sorted by id.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Type
+
+from repro.qa.diagnostics import Finding, Severity
+
+__all__ = [
+    "LintRule",
+    "ModuleSource",
+    "Project",
+    "all_rules",
+    "dotted_name",
+    "register_rule",
+]
+
+
+@dataclass
+class ModuleSource:
+    """One parsed source file presented to the rules."""
+
+    path: str
+    source: str
+    tree: ast.Module
+
+    @property
+    def is_public(self) -> bool:
+        """Public modules (no leading-underscore basename) need ``__all__``."""
+        basename = self.path.rsplit("/", 1)[-1]
+        return not basename.startswith("_")
+
+
+@dataclass
+class Project:
+    """All modules under analysis, keyed by display path."""
+
+    modules: Dict[str, ModuleSource] = field(default_factory=dict)
+
+    def find(self, suffix: str) -> Optional[ModuleSource]:
+        """The unique module whose path ends with ``suffix``, if any."""
+        matches = [
+            module
+            for path, module in self.modules.items()
+            if path == suffix or path.endswith("/" + suffix)
+        ]
+        return matches[0] if len(matches) == 1 else None
+
+    def __iter__(self) -> Iterator[ModuleSource]:
+        return iter(self.modules.values())
+
+
+class LintRule:
+    """Base class for all lint rules.
+
+    Subclasses set ``rule_id``/``title``/``severity`` and override either
+    :meth:`check_module` (``scope = "module"``) or :meth:`check_project`
+    (``scope = "project"``).
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    severity: Severity = Severity.ERROR
+    scope: str = "module"
+
+    def check_module(
+        self, module: ModuleSource, project: Project
+    ) -> Iterable[Finding]:
+        """Findings for one module (module-scope rules)."""
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        """Findings over the whole project (project-scope rules)."""
+        return ()
+
+    def finding(
+        self, module_path: str, line: int, message: str
+    ) -> Finding:
+        """Construct a finding attributed to this rule."""
+        return Finding(
+            rule=self.rule_id,
+            severity=self.severity,
+            file=module_path,
+            line=line,
+            message=message,
+        )
+
+
+_RULE_CLASSES: List[Type[LintRule]] = []
+
+
+def register_rule(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator adding ``cls`` to the built-in rule registry."""
+    if not cls.rule_id:
+        raise ValueError(f"rule {cls.__name__} has no rule_id")
+    if any(existing.rule_id == cls.rule_id for existing in _RULE_CLASSES):
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _RULE_CLASSES.append(cls)
+    return cls
+
+
+def all_rules() -> List[LintRule]:
+    """Fresh instances of every registered rule, sorted by id."""
+    _load_builtin_rules()
+    return [cls() for cls in sorted(_RULE_CLASSES, key=lambda c: c.rule_id)]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _load_builtin_rules() -> None:
+    # Imported lazily so `import repro.qa.rules` has no side-effect cost;
+    # each module registers its rules on first import.
+    from repro.qa.rules import determinism, schemes, style  # noqa: F401

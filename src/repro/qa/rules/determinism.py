@@ -1,0 +1,141 @@
+"""Reproducibility rules: all randomness must flow through seeded Generators.
+
+An experiment that consumes global PRNG state cannot be replayed, and a
+scheme that draws unseeded randomness breaks the ``disk_of`` determinism
+contract.  The library convention is explicit ``numpy.random.Generator``
+objects built with ``numpy.random.default_rng(seed)``; these rules ban the
+two ways code drifts away from that — the stdlib ``random`` module and
+numpy's legacy global-state API — plus the subtle third (``default_rng()``
+with no seed argument).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.qa.diagnostics import Finding, Severity
+from repro.qa.rules import (
+    LintRule,
+    ModuleSource,
+    Project,
+    dotted_name,
+    register_rule,
+)
+
+__all__ = [
+    "LegacyNumpyRandomRule",
+    "StdlibRandomRule",
+    "UnseededDefaultRngRule",
+]
+
+#: numpy.random attributes that are part of the Generator-based API and
+#: therefore allowed; everything else on ``np.random`` is legacy global state.
+ALLOWED_NP_RANDOM = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+
+@register_rule
+class StdlibRandomRule(LintRule):
+    """QA201: the stdlib ``random`` module is banned in library code."""
+
+    rule_id = "QA201"
+    title = "stdlib random module used"
+    severity = Severity.ERROR
+
+    def check_module(
+        self, module: ModuleSource, project: Project
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith(
+                        "random."
+                    ):
+                        yield self.finding(
+                            module.path,
+                            node.lineno,
+                            "stdlib `random` is unseedable per-callsite; "
+                            "use numpy.random.default_rng(seed)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.finding(
+                        module.path,
+                        node.lineno,
+                        "import from stdlib `random`; use "
+                        "numpy.random.default_rng(seed)",
+                    )
+
+
+@register_rule
+class LegacyNumpyRandomRule(LintRule):
+    """QA202: legacy ``np.random.*`` global-state calls are banned."""
+
+    rule_id = "QA202"
+    title = "legacy numpy.random global-state API"
+    severity = Severity.ERROR
+
+    def check_module(
+        self, module: ModuleSource, project: Project
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Call, ast.Attribute)):
+                continue
+            target = node.func if isinstance(node, ast.Call) else node
+            dotted = dotted_name(target)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            if len(parts) < 3 or parts[-2] != "random":
+                continue
+            if parts[0] not in ("np", "numpy"):
+                continue
+            attr = parts[-1]
+            if attr in ALLOWED_NP_RANDOM:
+                continue
+            # Only flag each site once, at the call when there is one.
+            if isinstance(node, ast.Attribute):
+                continue
+            yield self.finding(
+                module.path,
+                node.lineno,
+                f"numpy legacy global-state call `{dotted}`; draw from an "
+                f"explicit numpy.random.Generator instead",
+            )
+
+
+@register_rule
+class UnseededDefaultRngRule(LintRule):
+    """QA203: ``default_rng()`` must receive an explicit seed/Generator."""
+
+    rule_id = "QA203"
+    title = "unseeded default_rng()"
+    severity = Severity.ERROR
+
+    def check_module(
+        self, module: ModuleSource, project: Project
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            if dotted.split(".")[-1] != "default_rng":
+                continue
+            if not node.args and not node.keywords:
+                yield self.finding(
+                    module.path,
+                    node.lineno,
+                    "default_rng() without a seed draws from OS entropy; "
+                    "pass an explicit seed or Generator",
+                )

@@ -1,0 +1,284 @@
+"""Scheme- and registry-hygiene rules.
+
+These encode the invariants the experiments rely on: every concrete
+:class:`~repro.schemes.base.DeclusteringScheme` subclass carries a non-empty
+``name``, is reachable from the registry, and the registry's literal names
+stay in sync with the ``PAPER_LABELS`` legend used by every report and plot.
+All three are checked statically from the AST — no imports, so a broken
+scheme module cannot crash the linter that is meant to flag it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.qa.diagnostics import Finding
+from repro.qa.rules import (
+    LintRule,
+    ModuleSource,
+    Project,
+    dotted_name,
+    register_rule,
+)
+
+__all__ = [
+    "RegistryLabelSyncRule",
+    "SchemeNameRule",
+    "SchemeRegisteredRule",
+]
+
+#: The root of the scheme class hierarchy, matched by bare class name.
+SCHEME_BASE = "DeclusteringScheme"
+
+#: Module suffix that defines the registry (and the label table).
+REGISTRY_MODULE = "core/registry.py"
+
+
+@dataclass
+class SchemeClass:
+    """One class statically identified as a scheme subclass."""
+
+    module: ModuleSource
+    node: ast.ClassDef
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def is_private(self) -> bool:
+        return self.node.name.startswith("_")
+
+    @property
+    def is_abstract(self) -> bool:
+        """Whether the class body declares any abstract method."""
+        for item in self.node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for decorator in item.decorator_list:
+                    dotted = dotted_name(decorator)
+                    if dotted and dotted.split(".")[-1] == "abstractmethod":
+                        return True
+        return False
+
+
+def _class_index(project: Project) -> Dict[str, Tuple[ModuleSource, ast.ClassDef]]:
+    index: Dict[str, Tuple[ModuleSource, ast.ClassDef]] = {}
+    for module in project:
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                index.setdefault(node.name, (module, node))
+    return index
+
+
+def _base_names(node: ast.ClassDef) -> List[str]:
+    names = []
+    for base in node.bases:
+        dotted = dotted_name(base)
+        if dotted:
+            names.append(dotted.split(".")[-1])
+    return names
+
+
+def scheme_classes(project: Project) -> List[SchemeClass]:
+    """All classes transitively derived from ``DeclusteringScheme``.
+
+    Resolution is by bare class name across the project, which is exact for
+    this repository's layout (one class hierarchy, no name collisions).
+    """
+    index = _class_index(project)
+    scheme_names: Set[str] = {SCHEME_BASE}
+    changed = True
+    while changed:
+        changed = False
+        for name, (_, node) in index.items():
+            if name in scheme_names:
+                continue
+            if any(base in scheme_names for base in _base_names(node)):
+                scheme_names.add(name)
+                changed = True
+    return [
+        SchemeClass(module, node)
+        for name, (module, node) in sorted(index.items())
+        if name in scheme_names and name != SCHEME_BASE
+    ]
+
+
+def _literal_name_attribute(node: ast.ClassDef) -> Optional[ast.expr]:
+    """The value assigned to a class-level ``name`` attribute, if any."""
+    for item in node.body:
+        if isinstance(item, ast.Assign):
+            for target in item.targets:
+                if isinstance(target, ast.Name) and target.id == "name":
+                    return item.value
+        elif isinstance(item, ast.AnnAssign):
+            target = item.target
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "name"
+                and item.value is not None
+            ):
+                return item.value
+    return None
+
+
+def _inherited_name(
+    cls: SchemeClass,
+    index: Dict[str, Tuple[ModuleSource, ast.ClassDef]],
+    seen: Optional[Set[str]] = None,
+) -> Optional[str]:
+    """The nearest statically-resolvable ``name`` literal up the hierarchy."""
+    seen = seen or set()
+    if cls.name in seen:
+        return None
+    seen.add(cls.name)
+    value = _literal_name_attribute(cls.node)
+    if isinstance(value, ast.Constant) and isinstance(value.value, str):
+        return value.value
+    for base in _base_names(cls.node):
+        if base == SCHEME_BASE or base not in index:
+            continue
+        module, node = index[base]
+        result = _inherited_name(SchemeClass(module, node), index, seen)
+        if result is not None:
+            return result
+    return None
+
+
+@register_rule
+class SchemeNameRule(LintRule):
+    """QA101: concrete scheme subclasses must set a non-empty ``name``."""
+
+    rule_id = "QA101"
+    title = "scheme subclass missing non-empty name"
+    scope = "project"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        index = _class_index(project)
+        for cls in scheme_classes(project):
+            if cls.is_private or cls.is_abstract:
+                continue
+            name = _inherited_name(cls, index)
+            if not name:
+                yield self.finding(
+                    cls.module.path,
+                    cls.node.lineno,
+                    f"scheme class {cls.name!r} does not set a non-empty "
+                    f"string `name` (directly or via a base class)",
+                )
+
+
+def registered_class_names(module: ModuleSource) -> Set[str]:
+    """Class identifiers referenced inside ``register_scheme(...)`` calls."""
+    names: Set[str] = set()
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = dotted_name(node.func)
+        if not callee or callee.split(".")[-1] != "register_scheme":
+            continue
+        for arg in node.args[1:] + [kw.value for kw in node.keywords]:
+            for inner in ast.walk(arg):
+                if isinstance(inner, ast.Name):
+                    names.add(inner.id)
+    return names
+
+
+def registered_scheme_names(module: ModuleSource) -> Dict[str, int]:
+    """Literal registry names from ``register_scheme("<name>", ...)`` calls."""
+    names: Dict[str, int] = {}
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = dotted_name(node.func)
+        if not callee or callee.split(".")[-1] != "register_scheme":
+            continue
+        if node.args and isinstance(node.args[0], ast.Constant):
+            value = node.args[0].value
+            if isinstance(value, str):
+                names.setdefault(value, node.lineno)
+    return names
+
+
+@register_rule
+class SchemeRegisteredRule(LintRule):
+    """QA102: every concrete public scheme class is reachable from the registry."""
+
+    rule_id = "QA102"
+    title = "scheme subclass not registered"
+    scope = "project"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        registry = project.find(REGISTRY_MODULE)
+        if registry is None:
+            # Snippet-level lint runs have no registry module; nothing to
+            # compare against.
+            return
+        registered = registered_class_names(registry)
+        for cls in scheme_classes(project):
+            if cls.is_private or cls.is_abstract:
+                continue
+            if cls.name not in registered:
+                yield self.finding(
+                    cls.module.path,
+                    cls.node.lineno,
+                    f"scheme class {cls.name!r} is never referenced by a "
+                    f"register_scheme(...) call in {registry.path}",
+                )
+
+
+def _paper_labels(module: ModuleSource) -> Tuple[Dict[str, int], int]:
+    """``PAPER_LABELS`` literal keys (name -> line) and the assign line."""
+    for node in module.tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "PAPER_LABELS":
+                keys: Dict[str, int] = {}
+                if isinstance(value, ast.Dict):
+                    for key in value.keys:
+                        if isinstance(key, ast.Constant) and isinstance(
+                            key.value, str
+                        ):
+                            keys.setdefault(key.value, key.lineno)
+                return keys, node.lineno
+    return {}, 0
+
+
+@register_rule
+class RegistryLabelSyncRule(LintRule):
+    """QA103: registry names and ``PAPER_LABELS`` must cover each other."""
+
+    rule_id = "QA103"
+    title = "registry / PAPER_LABELS out of sync"
+    scope = "project"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        registry = project.find(REGISTRY_MODULE)
+        if registry is None:
+            return
+        names = registered_scheme_names(registry)
+        labels, labels_line = _paper_labels(registry)
+        for name, line in sorted(names.items()):
+            if name not in labels:
+                yield self.finding(
+                    registry.path,
+                    line,
+                    f"registered scheme {name!r} has no PAPER_LABELS entry",
+                )
+        for label, line in sorted(labels.items()):
+            if label not in names:
+                yield self.finding(
+                    registry.path,
+                    line or labels_line,
+                    f"PAPER_LABELS entry {label!r} does not match any "
+                    f"register_scheme(...) call",
+                )

@@ -1,0 +1,236 @@
+"""Correctness-style rules: float equality, mutable defaults, ``__all__``.
+
+The float-equality rule exists because the response-time pipeline mixes
+integer bucket counts with float means and deviations; an ``==`` against a
+float is exact-representation roulette and has already produced subtly wrong
+"fraction optimal" numbers in other reproductions.  Mutable default
+arguments silently share state across calls — fatal for scheme factories the
+registry is expected to return fresh.  ``__all__`` keeps the public surface
+of each module explicit, which both reviewers and the API docs rely on.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set
+
+from repro.qa.diagnostics import Finding, Severity
+from repro.qa.rules import (
+    LintRule,
+    ModuleSource,
+    Project,
+    dotted_name,
+    register_rule,
+)
+
+__all__ = [
+    "DunderAllDefinedRule",
+    "FloatEqualityRule",
+    "MissingDunderAllRule",
+    "MutableDefaultRule",
+]
+
+
+def _is_floatish(node: ast.expr) -> bool:
+    """Whether ``node`` is statically known to produce a float."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand)
+    if isinstance(node, ast.Call):
+        dotted = dotted_name(node.func)
+        return dotted is not None and dotted.split(".")[-1] == "float"
+    return False
+
+
+@register_rule
+class FloatEqualityRule(LintRule):
+    """QA301: no ``==``/``!=`` against float values."""
+
+    rule_id = "QA301"
+    title = "exact equality against a float"
+    severity = Severity.ERROR
+
+    def check_module(
+        self, module: ModuleSource, project: Project
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(
+                isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+            ):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(_is_floatish(operand) for operand in operands):
+                yield self.finding(
+                    module.path,
+                    node.lineno,
+                    "exact ==/!= against a float; use math.isclose, "
+                    "numpy.isclose, or an integer/ordering comparison",
+                )
+
+
+#: Calls producing a fresh mutable object each evaluation — equally wrong
+#: as a default because the *one* evaluation is shared by every call.
+_MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray", "defaultdict"}
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        dotted = dotted_name(node.func)
+        if dotted is not None:
+            return dotted.split(".")[-1] in _MUTABLE_FACTORIES
+    return False
+
+
+@register_rule
+class MutableDefaultRule(LintRule):
+    """QA302: no mutable default arguments."""
+
+    rule_id = "QA302"
+    title = "mutable default argument"
+    severity = Severity.ERROR
+
+    def check_module(
+        self, module: ModuleSource, project: Project
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    label = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        module.path,
+                        default.lineno,
+                        f"mutable default argument in {label!r}; default to "
+                        f"None and create the object inside the function",
+                    )
+
+
+def _top_level_definitions(tree: ast.Module) -> Set[str]:
+    """Names bound at module top level (defs, classes, assigns, imports)."""
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for inner in ast.walk(target):
+                    if isinstance(inner, ast.Name):
+                        names.add(inner.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name.split(".")[0]
+                names.add(bound)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # One level of conditional definitions (TYPE_CHECKING blocks,
+            # optional-dependency fallbacks) is enough for this codebase.
+            for sub in ast.walk(node):
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.ClassDef)):
+                    names.add(sub.name)
+                elif isinstance(sub, (ast.Import, ast.ImportFrom)):
+                    for alias in sub.names:
+                        if alias.name != "*":
+                            names.add(
+                                alias.asname or alias.name.split(".")[0]
+                            )
+    return names
+
+
+def _dunder_all(tree: ast.Module) -> Optional[ast.Assign]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    return node
+    return None
+
+
+def _has_public_definitions(tree: ast.Module) -> bool:
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            if not node.name.startswith("_"):
+                return True
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and not target.id.startswith(
+                    "_"
+                ):
+                    return True
+    return False
+
+
+@register_rule
+class MissingDunderAllRule(LintRule):
+    """QA303: public modules must declare ``__all__``."""
+
+    rule_id = "QA303"
+    title = "public module without __all__"
+    severity = Severity.ERROR
+
+    def check_module(
+        self, module: ModuleSource, project: Project
+    ) -> Iterable[Finding]:
+        if not module.is_public:
+            return
+        if not _has_public_definitions(module.tree):
+            return
+        if _dunder_all(module.tree) is None:
+            yield self.finding(
+                module.path,
+                1,
+                "public module defines names but no __all__; declare the "
+                "intended public surface explicitly",
+            )
+
+
+@register_rule
+class DunderAllDefinedRule(LintRule):
+    """QA304: every ``__all__`` entry must exist at module top level."""
+
+    rule_id = "QA304"
+    title = "__all__ names an undefined attribute"
+    severity = Severity.ERROR
+
+    def check_module(
+        self, module: ModuleSource, project: Project
+    ) -> Iterable[Finding]:
+        assign = _dunder_all(module.tree)
+        if assign is None:
+            return
+        value = assign.value
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            return
+        entries: List[ast.Constant] = [
+            element
+            for element in value.elts
+            if isinstance(element, ast.Constant)
+            and isinstance(element.value, str)
+        ]
+        defined = _top_level_definitions(module.tree)
+        for entry in entries:
+            if entry.value not in defined:
+                yield self.finding(
+                    module.path,
+                    entry.lineno,
+                    f"__all__ lists {entry.value!r} which is not defined "
+                    f"or imported at module top level",
+                )

@@ -29,6 +29,12 @@ from repro.core.allocation import DiskAllocation
 from repro.core.exceptions import AllocationError, SchemeError
 from repro.core.grid import Grid
 
+__all__ = [
+    "ReplicatedAllocation",
+    "chained_replication",
+    "orthogonal_replication",
+]
+
 
 class ReplicatedAllocation:
     """Two complete copies of the grid, on distinct disks per bucket.

@@ -30,6 +30,14 @@ from repro.core.exceptions import QueryError
 from repro.core.query import RangeQuery
 from repro.replication.allocation import ReplicatedAllocation
 
+__all__ = [
+    "Coords",
+    "QueryPlan",
+    "plan_query",
+    "replicated_response_time",
+    "replication_speedup",
+]
+
 Coords = Tuple[int, ...]
 
 

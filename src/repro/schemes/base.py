@@ -18,8 +18,10 @@ import abc
 from typing import Sequence
 
 from repro.core.allocation import DiskAllocation, allocation_from_function
-from repro.core.exceptions import SchemeError, SchemeNotApplicableError
+from repro.core.exceptions import SchemeError
 from repro.core.grid import Grid
+
+__all__ = ["DeclusteringScheme"]
 
 
 class DeclusteringScheme(abc.ABC):
@@ -34,6 +36,11 @@ class DeclusteringScheme(abc.ABC):
 
     #: Registry identifier; subclasses must override.
     name: str = ""
+
+    #: True when a single ``disk_of`` call is costly (e.g. it re-runs an
+    #: optimizer); the QA contract checker then samples buckets instead of
+    #: sweeping every one.
+    disk_of_is_expensive: bool = False
 
     def check_applicable(self, grid: Grid, num_disks: int) -> None:
         """Raise :class:`SchemeNotApplicableError` if preconditions fail.

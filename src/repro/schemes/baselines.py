@@ -22,6 +22,11 @@ from repro.core.allocation import DiskAllocation
 from repro.core.grid import Grid
 from repro.schemes.base import DeclusteringScheme
 
+__all__ = [
+    "RandomScheme",
+    "RoundRobinScheme",
+]
+
 
 class RandomScheme(DeclusteringScheme):
     """Seeded uniform-random bucket-to-disk assignment."""

@@ -42,6 +42,15 @@ from repro.core.exceptions import SchemeError, SchemeNotApplicableError
 from repro.core.grid import Grid
 from repro.schemes.base import DeclusteringScheme
 
+__all__ = [
+    "CyclicScheme",
+    "GOLDEN_RATIO",
+    "coprime_skips",
+    "exhaustive_skip",
+    "gfib_skip",
+    "rphm_skip",
+]
+
 #: The golden ratio, used by the RPHM default skip.
 GOLDEN_RATIO = (1 + math.sqrt(5)) / 2
 

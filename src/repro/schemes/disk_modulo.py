@@ -27,6 +27,11 @@ from repro.core.exceptions import SchemeError
 from repro.core.grid import Grid
 from repro.schemes.base import DeclusteringScheme
 
+__all__ = [
+    "DiskModuloScheme",
+    "GeneralizedDiskModuloScheme",
+]
+
 
 class DiskModuloScheme(DeclusteringScheme):
     """DM / CMD: disk = (sum of bucket coordinates) mod M."""

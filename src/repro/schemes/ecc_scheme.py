@@ -34,6 +34,8 @@ from repro.ecc.codes import (
 from repro.schemes.base import DeclusteringScheme
 from repro.schemes.fieldwise_xor import concatenate_fields
 
+__all__ = ["ECCScheme"]
+
 
 class ECCScheme(DeclusteringScheme):
     """ECC: disk = syndrome of the bucket's bit-string under a Hamming-like code."""

@@ -33,6 +33,14 @@ from repro.core.exceptions import SchemeError
 from repro.core.grid import Grid
 from repro.schemes.base import DeclusteringScheme
 
+__all__ = [
+    "AutoFXScheme",
+    "ExFXScheme",
+    "FXScheme",
+    "concatenate_fields",
+    "xor_fold",
+]
+
 
 def xor_fold(value: int, total_bits: int, chunk_bits: int) -> int:
     """XOR together the ``chunk_bits``-wide slices of ``value``.

@@ -31,6 +31,12 @@ from repro.sfc.hilbert import hilbert_index
 from repro.sfc.ordering import curve_ranks, enclosing_order
 from repro.sfc.zorder import gray_index, morton_index
 
+__all__ = [
+    "GrayCodeScheme",
+    "HCAMScheme",
+    "ZOrderScheme",
+]
+
 
 class _CurveRoundRobinScheme(DeclusteringScheme):
     """Shared machinery: rank buckets along a curve, assign rank mod M."""

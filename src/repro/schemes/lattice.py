@@ -35,6 +35,12 @@ from repro.core.grid import Grid
 from repro.schemes.base import DeclusteringScheme
 from repro.schemes.cyclic import coprime_skips, rphm_skip
 
+__all__ = [
+    "LatticeScheme",
+    "exhaustive_coefficients",
+    "power_coefficients",
+]
+
 
 def _nearest_coprime(value: int, num_disks: int) -> int:
     """The coprime-to-M value closest to ``value`` (mod M, nonzero)."""

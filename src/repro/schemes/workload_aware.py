@@ -21,6 +21,8 @@ from repro.core.query import RangeQuery, all_placements
 from repro.optimize.annealing import AnnealingConfig, optimize_allocation
 from repro.schemes.base import DeclusteringScheme
 
+__all__ = ["WorkloadAwareScheme"]
+
 
 class WorkloadAwareScheme(DeclusteringScheme):
     """Anneal a seed scheme's allocation against a query workload.
@@ -37,6 +39,9 @@ class WorkloadAwareScheme(DeclusteringScheme):
     """
 
     name = "workload-aware"
+
+    # Each disk_of call re-anneals the full allocation; QA tooling samples.
+    disk_of_is_expensive = True
 
     def __init__(
         self,

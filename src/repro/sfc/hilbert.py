@@ -24,6 +24,13 @@ from typing import List, Sequence, Tuple
 
 from repro.core.exceptions import GridError
 
+__all__ = [
+    "curve_points",
+    "hilbert_coords",
+    "hilbert_index",
+    "hilbert_index_array",
+]
+
 
 def _validate(ndim: int, order: int) -> None:
     if ndim < 1:

@@ -18,6 +18,13 @@ import numpy as np
 
 from repro.core.grid import Grid
 
+__all__ = [
+    "CurveIndexFn",
+    "curve_positions",
+    "curve_ranks",
+    "enclosing_order",
+]
+
 #: A curve maps (coords, order) -> position along the curve.
 CurveIndexFn = Callable[[Sequence[int], int], int]
 

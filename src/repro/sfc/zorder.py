@@ -18,6 +18,17 @@ from typing import Sequence, Tuple
 
 from repro.core.exceptions import GridError
 
+__all__ = [
+    "gray_coords",
+    "gray_decode",
+    "gray_encode",
+    "gray_index",
+    "gray_index_array",
+    "morton_coords",
+    "morton_index",
+    "morton_index_array",
+]
+
 
 def _validate(ndim: int, order: int) -> None:
     if ndim < 1:

@@ -22,6 +22,8 @@ from dataclasses import dataclass
 
 from repro.core.exceptions import SimulationError
 
+__all__ = ["DiskModel"]
+
 
 @dataclass(frozen=True)
 class DiskModel:

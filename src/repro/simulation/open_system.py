@@ -32,6 +32,13 @@ from repro.core.exceptions import SimulationError
 from repro.core.query import RangeQuery
 from repro.simulation.disk import DiskModel
 
+__all__ = [
+    "OpenSystemReport",
+    "OpenSystemSimulator",
+    "poisson_arrivals",
+    "saturation_sweep",
+]
+
 
 def poisson_arrivals(
     count: int, rate_per_second: float, seed=0

@@ -25,6 +25,12 @@ from repro.core.exceptions import SimulationError
 from repro.core.query import RangeQuery
 from repro.simulation.disk import DiskModel
 
+__all__ = [
+    "ParallelIOSimulator",
+    "StreamReport",
+    "query_time_ms",
+]
+
 
 def query_time_ms(
     allocation: DiskAllocation,

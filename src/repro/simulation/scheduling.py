@@ -31,6 +31,12 @@ from repro.core.query import RangeQuery
 from repro.simulation.disk import DiskModel
 from repro.simulation.parallel_io import ParallelIOSimulator
 
+__all__ = [
+    "balanced_order",
+    "compare_orderings",
+    "lpt_order",
+]
+
 
 def _per_disk_work(
     allocation: DiskAllocation,

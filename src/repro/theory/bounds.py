@@ -10,6 +10,14 @@ from __future__ import annotations
 from repro.core.cost import optimal_response_time
 from repro.core.exceptions import QueryError
 
+__all__ = [
+    "dm_small_square_penalty",
+    "dm_square_query_response_time",
+    "max_possible_disks_touched_dm",
+    "response_time_lower_bound",
+    "strictly_optimal_exists",
+]
+
 
 def dm_square_query_response_time(
     height: int, width: int, num_disks: int

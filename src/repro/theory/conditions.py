@@ -29,6 +29,18 @@ from repro.core.grid import Grid
 from repro.core.query import RangeQuery
 from repro.ecc.codes import is_power_of_two
 
+__all__ = [
+    "ConditionRow",
+    "OPTIMALITY_TABLE",
+    "dm_guaranteed_optimal",
+    "ecc_applicable",
+    "fx_applicable",
+    "fx_guaranteed_optimal",
+    "guaranteed_optimal",
+    "render_table",
+    "unspecified_attributes",
+]
+
 
 @dataclass(frozen=True)
 class ConditionRow:

@@ -27,6 +27,13 @@ from repro.core.cost import optimal_response_time, sliding_response_times
 from repro.core.grid import Coords
 from repro.core.query import RangeQuery, query_at
 
+__all__ = [
+    "OptimalityReport",
+    "is_strictly_optimal_for_partial_match",
+    "iter_query_shapes",
+    "verify_strict_optimality",
+]
+
 
 @dataclass(frozen=True)
 class OptimalityReport:

@@ -36,6 +36,15 @@ from repro.core.allocation import DiskAllocation
 from repro.core.exceptions import GridError, SearchBudgetExceeded
 from repro.core.grid import Grid
 
+__all__ = [
+    "SearchResult",
+    "count_strictly_optimal",
+    "enumerate_strictly_optimal",
+    "impossibility_frontier",
+    "minimal_impossible_grid",
+    "search_strictly_optimal",
+]
+
 
 @dataclass(frozen=True)
 class SearchResult:

@@ -22,6 +22,14 @@ import numpy as np
 
 from repro.core.exceptions import WorkloadError
 
+__all__ = [
+    "Dataset",
+    "correlated_dataset",
+    "gaussian_dataset",
+    "uniform_dataset",
+    "zipf_grid_dataset",
+]
+
 
 @dataclass(frozen=True)
 class Dataset:

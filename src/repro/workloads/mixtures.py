@@ -17,6 +17,12 @@ from repro.core.exceptions import WorkloadError
 from repro.core.grid import Grid
 from repro.core.query import RangeQuery
 
+__all__ = [
+    "Component",
+    "ComponentFn",
+    "WorkloadMixture",
+]
+
 #: A component draws ``count`` queries using the supplied rng.
 ComponentFn = Callable[[Grid, int, np.random.Generator], List[RangeQuery]]
 

@@ -29,6 +29,16 @@ from repro.core.query import (
     shapes_with_area,
 )
 
+__all__ = [
+    "aspect_ratio_shapes",
+    "exhaustive_workload",
+    "random_partial_match_queries",
+    "random_queries_of_shape",
+    "random_range_queries",
+    "square_shape",
+    "zipf_placed_queries",
+]
+
 
 def _rng_from(seed_or_rng) -> np.random.Generator:
     if isinstance(seed_or_rng, np.random.Generator):

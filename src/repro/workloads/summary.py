@@ -17,6 +17,12 @@ from repro.core.exceptions import WorkloadError
 from repro.core.grid import Grid
 from repro.core.query import RangeQuery
 
+__all__ = [
+    "WorkloadSummary",
+    "render_summary",
+    "summarize_workload",
+]
+
 
 @dataclass(frozen=True)
 class WorkloadSummary:

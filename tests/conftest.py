@@ -5,6 +5,21 @@ import pytest
 
 from repro.core.allocation import DiskAllocation
 from repro.core.grid import Grid
+from repro.core.registry import registry_snapshot, restore_registry
+
+
+@pytest.fixture(autouse=True)
+def _registry_guard():
+    """Snapshot and restore the scheme registry around every test.
+
+    Tests that call ``register_scheme`` (with or without ``replace=True``)
+    cannot leak schemes — or clobbered builtins — into later tests.
+    """
+    snapshot = registry_snapshot()
+    try:
+        yield
+    finally:
+        restore_registry(snapshot)
 
 
 @pytest.fixture

@@ -8,9 +8,21 @@ from repro.core.registry import (
     available_schemes,
     get_scheme,
     register_scheme,
+    registry_snapshot,
+    restore_registry,
+    scheme_factory,
     scheme_label,
+    temporary_scheme,
+    unregister_scheme,
 )
 from repro.schemes.base import DeclusteringScheme
+
+
+class _Dummy(DeclusteringScheme):
+    name = "dummy-test-scheme"
+
+    def disk_of(self, coords, grid, num_disks):
+        return 0
 
 
 class TestLookup:
@@ -37,34 +49,68 @@ class TestLookup:
 
 class TestRegistration:
     def test_register_and_retrieve(self):
-        class Dummy(DeclusteringScheme):
-            name = "dummy-test-scheme"
-
-            def disk_of(self, coords, grid, num_disks):
-                return 0
-
-        register_scheme("dummy-test-scheme", Dummy)
-        try:
-            assert isinstance(get_scheme("dummy-test-scheme"), Dummy)
-        finally:
-            # Clean up so other tests see only the builtins.
-            from repro.core import registry
-
-            del registry._REGISTRY["dummy-test-scheme"]
+        # The autouse registry guard removes the scheme again afterwards.
+        register_scheme("dummy-test-scheme", _Dummy)
+        assert isinstance(get_scheme("dummy-test-scheme"), _Dummy)
 
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ValueError):
             register_scheme("dm", lambda: None)
 
     def test_replace_allows_override(self):
-        from repro.core import registry
-
-        original = registry._REGISTRY["dm"]
-        try:
-            register_scheme("dm", original, replace=True)
-        finally:
-            registry._REGISTRY["dm"] = original
+        register_scheme("dm", scheme_factory("dm"), replace=True)
 
     def test_empty_name_rejected(self):
         with pytest.raises(ValueError):
             register_scheme("", lambda: None)
+
+
+class TestUnregister:
+    def test_unregister_removes_and_returns_factory(self):
+        register_scheme("dummy-test-scheme", _Dummy)
+        factory = unregister_scheme("dummy-test-scheme")
+        assert factory is _Dummy
+        assert "dummy-test-scheme" not in available_schemes()
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(UnknownSchemeError):
+            unregister_scheme("definitely-not-a-scheme")
+
+
+class TestTemporaryScheme:
+    def test_added_then_removed(self):
+        with temporary_scheme("dummy-test-scheme", _Dummy):
+            assert isinstance(get_scheme("dummy-test-scheme"), _Dummy)
+        assert "dummy-test-scheme" not in available_schemes()
+
+    def test_replace_restores_original(self):
+        original = scheme_factory("dm")
+        with temporary_scheme("dm", _Dummy, replace=True):
+            assert isinstance(get_scheme("dm"), _Dummy)
+        assert scheme_factory("dm") is original
+
+    def test_restores_even_on_error(self):
+        with pytest.raises(RuntimeError):
+            with temporary_scheme("dummy-test-scheme", _Dummy):
+                raise RuntimeError("boom")
+        assert "dummy-test-scheme" not in available_schemes()
+
+    def test_collision_without_replace_raises(self):
+        with pytest.raises(ValueError):
+            with temporary_scheme("dm", _Dummy):
+                pass  # pragma: no cover
+
+
+class TestSnapshotRestore:
+    def test_snapshot_round_trip(self):
+        snapshot = registry_snapshot()
+        register_scheme("dummy-test-scheme", _Dummy)
+        unregister_scheme("dm")
+        restore_registry(snapshot)
+        assert "dummy-test-scheme" not in available_schemes()
+        assert "dm" in available_schemes()
+
+    def test_snapshot_is_a_copy(self):
+        snapshot = registry_snapshot()
+        snapshot["dummy-test-scheme"] = _Dummy
+        assert "dummy-test-scheme" not in available_schemes()

@@ -1,0 +1,92 @@
+"""Findings, reporters, and the baseline: schema round-trips."""
+
+import pytest
+
+from repro.qa.diagnostics import (
+    Baseline,
+    Finding,
+    Severity,
+    parse_json_report,
+    render_json_report,
+    render_text_report,
+)
+
+
+def _finding(line: int = 3, message: str = "bad thing") -> Finding:
+    return Finding(
+        rule="QA999",
+        severity=Severity.ERROR,
+        file="repro/core/cost.py",
+        line=line,
+        message=message,
+    )
+
+
+class TestFinding:
+    def test_dict_round_trip(self):
+        finding = _finding()
+        assert Finding.from_dict(finding.to_dict()) == finding
+
+    def test_fingerprint_ignores_line(self):
+        assert _finding(line=3).fingerprint == _finding(line=99).fingerprint
+
+    def test_fingerprint_depends_on_message(self):
+        assert (
+            _finding(message="a").fingerprint
+            != _finding(message="b").fingerprint
+        )
+
+    def test_render_includes_location_and_rule(self):
+        text = _finding().render()
+        assert "repro/core/cost.py:3" in text
+        assert "QA999" in text
+
+    def test_render_without_line(self):
+        finding = Finding(
+            rule="QA406",
+            severity=Severity.ERROR,
+            file="registry:dm",
+            line=0,
+            message="boom",
+        )
+        assert finding.render().startswith("registry:dm: ")
+
+
+class TestJsonReport:
+    def test_round_trip(self):
+        findings = [_finding(), _finding(message="other")]
+        text = render_json_report(findings)
+        assert sorted(parse_json_report(text)) == sorted(findings)
+
+    def test_empty_round_trip(self):
+        assert parse_json_report(render_json_report([])) == []
+
+    def test_version_checked(self):
+        with pytest.raises(ValueError):
+            parse_json_report('{"version": 99, "findings": []}')
+
+    def test_text_report_summary(self):
+        text = render_text_report([_finding()], suppressed=2)
+        assert "1 finding(s)" in text
+        assert "baseline-suppressed" in text
+
+
+class TestBaseline:
+    def test_split(self):
+        old, new = _finding(message="old"), _finding(message="new")
+        baseline = Baseline.from_findings([old])
+        fresh, suppressed = baseline.split([old, new])
+        assert fresh == [new]
+        assert suppressed == [old]
+
+    def test_save_load_round_trip(self, tmp_path):
+        findings = [_finding(), _finding(message="other")]
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).save(path, findings)
+        loaded = Baseline.load(path)
+        assert all(loaded.is_suppressed(f) for f in findings)
+        assert not loaded.is_suppressed(_finding(message="brand new"))
+
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "nope.json")
+        assert not baseline.is_suppressed(_finding())
