@@ -44,6 +44,9 @@ run_optional_tool ruff ruff check src tests
 run_optional_tool mypy mypy
 run_step "repro qa" python -m repro.qa
 run_step "pytest (tier 1)" python -m pytest -x -q
+# Exercise the parallel experiment runner end to end (quick scale).
+run_step "parallel runner (workers=2)" \
+    python -m repro experiment all --quick --workers 2 --cache-stats
 
 if [ "${failed}" -ne 0 ]; then
     echo "check_all: FAILED" >&2

@@ -130,6 +130,13 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _print_cache_stats(args) -> None:
+    if getattr(args, "cache_stats", False):
+        from repro.core.cache import global_cache
+
+        print(global_cache().stats().render(), file=sys.stderr)
+
+
 def _cmd_experiment(args) -> int:
     from repro.experiments import runner
     from repro.experiments.reporting import render_table
@@ -146,9 +153,14 @@ def _cmd_experiment(args) -> int:
         print(exp_growth.render(rows))
         return 0
     if wanted == "ALL":
-        print(render_all(runner.run_all(quick=args.quick)))
+        print(
+            render_all(
+                runner.run_all(quick=args.quick, workers=args.workers)
+            )
+        )
+        _print_cache_stats(args)
         return 0
-    results = runner.run_all(quick=args.quick)
+    results = runner.run_all(quick=args.quick, workers=args.workers)
     key_map = {"E4": ("E4a", "E4b"), "THM": ("THM",)}
     keys = key_map.get(wanted, (wanted,))
     exportable = []
@@ -197,6 +209,7 @@ def _cmd_experiment(args) -> int:
                 path = args.json + suffix
                 save_result(result, path)
                 print(f"json written to {path}")
+    _print_cache_stats(args)
     return 0
 
 
@@ -368,6 +381,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_exp.add_argument(
         "--json", default=None, help="also write the series as JSON"
+    )
+    p_exp.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan independent experiments over N worker processes",
+    )
+    p_exp.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print allocation-cache hit/miss counters to stderr",
     )
 
     p_profile = sub.add_parser(

@@ -1,0 +1,205 @@
+"""Bounded cross-experiment cache of allocations and their engines.
+
+Every experiment sweep re-materializes the same ``(scheme, grid, M)``
+triples — E1 through E5 alone rebuild the paper's four schemes on the
+default grid a dozen times, and each rebuild also paid a fresh set of
+prefix sums.  Scheme allocation is contractually deterministic (the QA405
+contract rejects nondeterministic ``allocate``), so the triple fully
+determines the table and caching is semantics-free.
+
+The cache is content-addressed one level deeper than the name: the key
+includes the *factory object* currently registered under the scheme name,
+so re-registering a different scheme under an old name (``replace=True``,
+:func:`~repro.core.registry.temporary_scheme`) can never serve a stale
+allocation.  Entries hold the :class:`~repro.core.allocation.DiskAllocation`
+and, built lazily on first shape query, its
+:class:`~repro.core.engine.ResponseTimeEngine`.  Eviction is LRU with a
+bounded entry count; hit/miss/eviction counters are exposed for reports.
+
+A process-wide default cache (:func:`global_cache`) is shared by every
+:class:`~repro.core.evaluator.SchemeEvaluator` unless one is injected.
+Worker processes spawned by the parallel experiment runner each get their
+own instance — module state is rebuilt on import, which keeps the cache
+spawn-safe with zero coordination.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.core.allocation import DiskAllocation
+from repro.core.engine import ResponseTimeEngine
+from repro.core.grid import Grid
+
+__all__ = [
+    "AllocationCache",
+    "CacheStats",
+    "global_cache",
+    "reset_global_cache",
+]
+
+#: Default maximum number of cached (scheme, grid, M) entries.
+DEFAULT_MAXSIZE = 128
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable snapshot of one cache's counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+    maxsize: int
+
+    @property
+    def requests(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """``hits / requests`` (0.0 when the cache was never consulted)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    def render(self) -> str:
+        """One-line human-readable summary for report footers."""
+        return (
+            f"allocation cache: {self.hits} hit(s), {self.misses} miss(es) "
+            f"({self.hit_rate:.0%} hit rate), {self.entries}/{self.maxsize} "
+            f"entries, {self.evictions} eviction(s)"
+        )
+
+
+class _Entry:
+    """One cached allocation with its lazily built engine."""
+
+    __slots__ = ("allocation", "_engine")
+
+    def __init__(self, allocation: DiskAllocation):
+        self.allocation = allocation
+        self._engine: Optional[ResponseTimeEngine] = None
+
+    @property
+    def engine(self) -> ResponseTimeEngine:
+        if self._engine is None:
+            self._engine = ResponseTimeEngine(self.allocation)
+        return self._engine
+
+
+class AllocationCache:
+    """LRU cache of materialized allocations keyed on (scheme, grid, M).
+
+    Examples
+    --------
+    >>> cache = AllocationCache(maxsize=4)
+    >>> a = cache.allocation("dm", Grid((4, 4)), 2)
+    >>> cache.allocation("dm", Grid((4, 4)), 2) is a
+    True
+    >>> cache.stats().hits
+    1
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE):
+        maxsize = int(maxsize)
+        if maxsize <= 0:
+            raise ValueError(f"cache maxsize must be positive: {maxsize}")
+        self._maxsize = maxsize
+        self._entries: "OrderedDict[Tuple[Hashable, ...], _Entry]" = (
+            OrderedDict()
+        )
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def maxsize(self) -> int:
+        """Upper bound on the number of cached entries."""
+        return self._maxsize
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _key(
+        self, scheme_name: str, grid: Grid, num_disks: int
+    ) -> Tuple[Hashable, ...]:
+        from repro.core.registry import scheme_factory
+
+        # The factory object disambiguates same-name re-registrations.
+        return (scheme_name, scheme_factory(scheme_name), grid.dims,
+                int(num_disks))
+
+    def _lookup(
+        self, scheme_name: str, grid: Grid, num_disks: int
+    ) -> _Entry:
+        key = self._key(scheme_name, grid, num_disks)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self._misses += 1
+        from repro.core.registry import get_scheme
+
+        allocation = get_scheme(scheme_name).allocate(grid, int(num_disks))
+        entry = _Entry(allocation)
+        self._entries[key] = entry
+        while len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+        return entry
+
+    def allocation(
+        self, scheme_name: str, grid: Grid, num_disks: int
+    ) -> DiskAllocation:
+        """The (cached) allocation for the triple; materialized on miss."""
+        return self._lookup(scheme_name, grid, num_disks).allocation
+
+    def engine(
+        self, scheme_name: str, grid: Grid, num_disks: int
+    ) -> ResponseTimeEngine:
+        """The (cached) integral-image engine for the triple."""
+        return self._lookup(scheme_name, grid, num_disks).engine
+
+    def stats(self) -> CacheStats:
+        """Current counters as an immutable snapshot."""
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            entries=len(self._entries),
+            maxsize=self._maxsize,
+        )
+
+    def clear(self) -> None:
+        """Drop all entries; counters are preserved."""
+        self._entries.clear()
+
+    def as_report_dict(self) -> Dict[str, float]:
+        """Counters as a plain dict for machine-readable reports."""
+        stats = self.stats()
+        return {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "evictions": stats.evictions,
+            "entries": stats.entries,
+            "maxsize": stats.maxsize,
+            "hit_rate": stats.hit_rate,
+        }
+
+
+_GLOBAL_CACHE = AllocationCache()
+
+
+def global_cache() -> AllocationCache:
+    """The process-wide cache shared by all evaluators by default."""
+    return _GLOBAL_CACHE
+
+
+def reset_global_cache(maxsize: int = DEFAULT_MAXSIZE) -> AllocationCache:
+    """Replace the process-wide cache (counters reset); returns the new one."""
+    global _GLOBAL_CACHE
+    _GLOBAL_CACHE = AllocationCache(maxsize=maxsize)
+    return _GLOBAL_CACHE

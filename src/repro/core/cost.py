@@ -78,6 +78,27 @@ def query_optimal(query: RangeQuery, num_disks: int) -> int:
     return optimal_response_time(query.num_buckets, num_disks)
 
 
+def _effective_optimal(allocation: DiskAllocation, query: RangeQuery) -> int:
+    """OPT of the part of ``query`` inside the grid (0 if fully outside).
+
+    Response times are computed on the clipped query (buckets outside the
+    grid do not exist, so no disk reads them); the deviation metrics must
+    use the same effective bucket count or a query clipped to nothing
+    would divide by zero.
+    """
+    if query.ndim != allocation.grid.ndim:
+        raise QueryError(
+            f"{query.ndim}-d query does not match "
+            f"{allocation.grid.ndim}-d allocation"
+        )
+    if not query.fits_in(allocation.grid):
+        clipped = query.clip_to(allocation.grid)
+        if clipped is None:
+            return 0
+        query = clipped
+    return optimal_response_time(query.num_buckets, allocation.num_disks)
+
+
 def additive_deviation(allocation: DiskAllocation, query: RangeQuery) -> int:
     """``RT - OPT`` for one query; 0 means the scheme was optimal on it."""
     return response_time(allocation, query) - query_optimal(
@@ -86,8 +107,15 @@ def additive_deviation(allocation: DiskAllocation, query: RangeQuery) -> int:
 
 
 def relative_deviation(allocation: DiskAllocation, query: RangeQuery) -> float:
-    """``(RT - OPT) / OPT`` for one query."""
-    opt = query_optimal(query, allocation.num_disks)
+    """``(RT - OPT) / OPT`` for one query (0.0 when it clips to nothing).
+
+    OPT is taken over the query's buckets *inside* the grid, matching the
+    clipping :func:`response_time` applies; a query entirely outside the
+    grid has RT = OPT = 0 and deviates by 0.0 by convention.
+    """
+    opt = _effective_optimal(allocation, query)
+    if opt == 0:
+        return 0.0
     return (response_time(allocation, query) - opt) / opt
 
 
@@ -95,8 +123,11 @@ def response_times(
     allocation: DiskAllocation, queries: Iterable[RangeQuery]
 ) -> np.ndarray:
     """Vector of response times, one per query."""
+    queries = list(queries)
     return np.fromiter(
-        (response_time(allocation, q) for q in queries), dtype=np.int64
+        (response_time(allocation, q) for q in queries),
+        dtype=np.int64,
+        count=len(queries),
     )
 
 
@@ -105,7 +136,9 @@ def optimal_times(
 ) -> np.ndarray:
     """Vector of OPT values, one per query."""
     return np.fromiter(
-        (query_optimal(q, num_disks) for q in queries), dtype=np.int64
+        (query_optimal(q, num_disks) for q in queries),
+        dtype=np.int64,
+        count=len(queries),
     )
 
 
@@ -219,7 +252,7 @@ def per_query_costs(
     rows = []
     for query in queries:
         rt = response_time(allocation, query)
-        opt = query_optimal(query, allocation.num_disks)
+        opt = _effective_optimal(allocation, query)
         rows.append(
             {
                 "query": query,
@@ -227,7 +260,7 @@ def per_query_costs(
                 "response_time": rt,
                 "optimal": opt,
                 "additive_deviation": rt - opt,
-                "relative_deviation": (rt - opt) / opt,
+                "relative_deviation": (rt - opt) / opt if opt else 0.0,
             }
         )
     return rows

@@ -15,16 +15,18 @@ from typing import Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from repro.core.allocation import DiskAllocation
+from repro.core.cache import AllocationCache
 from repro.core.cost import (
     optimal_response_time,
     optimal_times,
     response_times,
     sliding_response_times,
 )
+from repro.core.engine import ResponseTimeEngine
 from repro.core.exceptions import QueryError
 from repro.core.grid import Grid
 from repro.core.query import RangeQuery, shapes_with_area
-from repro.core.registry import get_scheme, scheme_label
+from repro.core.registry import scheme_label
 
 __all__ = [
     "EvaluationResult",
@@ -96,11 +98,15 @@ def evaluate_allocation_on_shapes(
     allocation: DiskAllocation,
     shapes: Sequence[Sequence[int]],
     scheme_name: str = "custom",
+    engine: Optional[ResponseTimeEngine] = None,
 ) -> EvaluationResult:
     """Evaluate shapes over *all* placements (exact, zero-variance means).
 
     Every placement of every shape counts as one query; shapes that do not
-    fit in the grid are rejected.
+    fit in the grid are rejected.  When ``engine`` (an integral-image
+    :class:`~repro.core.engine.ResponseTimeEngine` built on the same
+    allocation) is given, it answers the sliding sweeps; results are
+    bit-identical either way — the scalar path is the reference oracle.
     """
     shapes = [tuple(int(s) for s in shape) for shape in shapes]
     if not shapes:
@@ -108,7 +114,10 @@ def evaluate_allocation_on_shapes(
     all_times: List[np.ndarray] = []
     all_optima: List[np.ndarray] = []
     for shape in shapes:
-        times = sliding_response_times(allocation, shape)
+        if engine is not None:
+            times = engine.sliding_response_times(shape)
+        else:
+            times = sliding_response_times(allocation, shape)
         if times.size == 0:
             raise QueryError(
                 f"shape {shape} does not fit in grid {allocation.grid.dims}"
@@ -132,8 +141,24 @@ def evaluate_allocation_on_shapes(
 class SchemeEvaluator:
     """Evaluates a fixed set of schemes on one grid/disk configuration.
 
-    Allocations are materialized once per scheme and cached, so sweeping many
-    workloads over the same configuration pays the allocation cost once.
+    Allocations (and their integral-image engines) come from a bounded
+    cross-experiment :class:`~repro.core.cache.AllocationCache` — by
+    default the process-wide one — so sweeping many workloads over the
+    same configuration pays the allocation and prefix-sum cost once, even
+    across separate evaluator instances and experiments.
+
+    Parameters
+    ----------
+    grid / num_disks / schemes:
+        The configuration under evaluation (default: the paper's schemes).
+    cache:
+        The allocation cache to draw from; ``None`` means the shared
+        :func:`~repro.core.cache.global_cache`.
+    use_engine:
+        When true (the default) shape sweeps use the
+        :class:`~repro.core.engine.ResponseTimeEngine` fast path; when
+        false they use the scalar reference kernel.  Results are
+        bit-identical either way.
 
     Examples
     --------
@@ -148,13 +173,17 @@ class SchemeEvaluator:
         grid: Grid,
         num_disks: int,
         schemes: Optional[Sequence[str]] = None,
+        cache: Optional[AllocationCache] = None,
+        use_engine: bool = True,
     ):
+        from repro.core.cache import global_cache
         from repro.core.registry import PAPER_SCHEMES
 
         self._grid = grid
         self._num_disks = int(num_disks)
         self._scheme_names = list(schemes or PAPER_SCHEMES)
-        self._allocations: Dict[str, DiskAllocation] = {}
+        self._cache = cache if cache is not None else global_cache()
+        self._use_engine = bool(use_engine)
 
     @property
     def grid(self) -> Grid:
@@ -171,14 +200,20 @@ class SchemeEvaluator:
         """Names of the schemes under evaluation."""
         return list(self._scheme_names)
 
+    @property
+    def cache(self) -> AllocationCache:
+        """The allocation cache this evaluator draws from."""
+        return self._cache
+
     def allocation(self, scheme_name: str) -> DiskAllocation:
         """The (cached) allocation produced by ``scheme_name``."""
-        if scheme_name not in self._allocations:
-            scheme = get_scheme(scheme_name)
-            self._allocations[scheme_name] = scheme.allocate(
-                self._grid, self._num_disks
-            )
-        return self._allocations[scheme_name]
+        return self._cache.allocation(
+            scheme_name, self._grid, self._num_disks
+        )
+
+    def engine(self, scheme_name: str) -> ResponseTimeEngine:
+        """The (cached) integral-image engine for ``scheme_name``."""
+        return self._cache.engine(scheme_name, self._grid, self._num_disks)
 
     def evaluate_queries(
         self, queries: Sequence[RangeQuery]
@@ -198,7 +233,10 @@ class SchemeEvaluator:
         """All schemes against shapes evaluated over all placements."""
         return [
             evaluate_allocation_on_shapes(
-                self.allocation(name), shapes, scheme_name=name
+                self.allocation(name),
+                shapes,
+                scheme_name=name,
+                engine=self.engine(name) if self._use_engine else None,
             )
             for name in self._scheme_names
         ]

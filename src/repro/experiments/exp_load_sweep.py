@@ -18,9 +18,9 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.core.cache import global_cache
 from repro.core.cost import optimal_response_time
 from repro.core.grid import Grid
-from repro.core.registry import get_scheme
 from repro.experiments.common import ExperimentResult
 from repro.simulation.disk import DiskModel
 from repro.simulation.open_system import saturation_sweep
@@ -62,7 +62,7 @@ def run(
     )
     series = {}
     for name in schemes:
-        allocation = get_scheme(name).allocate(grid, num_disks)
+        allocation = global_cache().allocation(name, grid, num_disks)
         reports = saturation_sweep(
             allocation, queries, rates_per_second, disk=disk, seed=seed
         )

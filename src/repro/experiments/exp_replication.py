@@ -17,9 +17,9 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.core.cache import global_cache
 from repro.core.cost import optimal_response_time, response_time
 from repro.core.grid import Grid
-from repro.core.registry import get_scheme
 from repro.core.query import all_placements
 from repro.experiments.common import ExperimentResult
 from repro.replication.allocation import (
@@ -49,8 +49,8 @@ def run(
     evaluated per side to bound the exact planner's work.
     """
     grid = Grid(grid_dims)
-    dm = get_scheme("dm").allocate(grid, num_disks)
-    hcam = get_scheme("hcam").allocate(grid, num_disks)
+    dm = global_cache().allocation("dm", grid, num_disks)
+    hcam = global_cache().allocation("hcam", grid, num_disks)
     chained = chained_replication(dm)
     orthogonal = orthogonal_replication(grid, num_disks, "dm", "hcam")
 

@@ -7,96 +7,167 @@ EXPERIMENTS.md is built from.  ``quick=True`` shrinks the sweeps for
 smoke tests and CI.  (X6, the growth experiment, returns a different
 result type and runs separately via ``repro.experiments.exp_growth`` —
 ``scripts/generate_report.py`` appends it to the full report.)
+
+``run_all(workers=N)`` fans the independent experiment configurations out
+over a spawn-context process pool.  Each worker imports the package
+fresh (so the allocation cache is rebuilt per process — spawn-safe by
+construction) and every experiment is deterministic, so the parallel run
+returns results identical to the serial one, assembled in the same
+canonical key order regardless of completion order.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional
 
-from repro.experiments import (
-    exp_beyond_paper,
-    exp_curve_ablation,
-    exp_db_size,
-    exp_load_sweep,
-    exp_num_attributes,
-    exp_num_disks,
-    exp_partial_match,
-    exp_query_shape,
-    exp_query_size,
-    exp_replication,
-)
 from repro.experiments.exp_num_attributes import deviation_table
 from repro.experiments.reporting import render_table
 from repro.theory.conditions import render_table as render_conditions
-from repro.theory.search import SearchResult, impossibility_frontier
+from repro.theory.search import SearchResult
 
 __all__ = [
+    "EXPERIMENT_KEYS",
     "render_all",
     "render_thm",
     "run_all",
+    "run_experiment",
 ]
 
+#: Independent experiment jobs, in the canonical execution/report order.
+#: ``E4`` expands to the ``E4a``/``E4b`` result pair.
+EXPERIMENT_KEYS = (
+    "E1", "E2", "E3", "E4", "E5", "X1", "EPM", "X3", "X4", "X5", "THM",
+)
 
-def run_all(quick: bool = False) -> Dict[str, object]:
-    """Execute the whole suite; keys match DESIGN.md's experiment index."""
+#: Quick-mode keyword arguments per experiment (paper-scale runs pass none).
+_QUICK_KWARGS: Dict[str, Dict[str, object]] = {
+    "E1": {
+        "grid_dims": (16, 16),
+        "num_disks": 8,
+        "areas": (1, 4, 16, 64, 256),
+    },
+    "E2": {"grid_dims": (16, 16), "num_disks": 8, "area": 16},
+    "E3": {
+        "num_disks": 8,
+        "grid_2d": (16, 16),
+        "grid_3d": (8, 8, 8),
+        "sides_2d": (2, 4, 8, 16),
+        "sides_3d": (2, 4, 8),
+    },
+    "E4": {
+        "grid_dims": (16, 16),
+        "disk_counts": (2, 4, 8, 16),
+        "large_shape": (8, 8),
+    },
+    "E5": {"num_disks": 8, "grid_sides": (8, 16, 32), "shape": (2, 2)},
+    "X1": {"grid_dims": (16, 16), "disk_counts": (5, 7, 8)},
+    "EPM": {"grid_dims": (8, 8, 8), "num_disks": 8},
+    "X3": {"grid_dims": (16, 16), "disk_counts": (4, 8)},
+    "X4": {
+        "grid_dims": (8, 8),
+        "num_disks": 4,
+        "sides": (2, 3),
+        "max_placements": 16,
+    },
+    "X5": {
+        "grid_dims": (16, 16),
+        "num_disks": 4,
+        "num_queries": 100,
+        "rates_per_second": (10.0, 80.0),
+    },
+    "THM": {"max_disks": 6},
+}
+
+_FULL_KWARGS: Dict[str, Dict[str, object]] = {
+    "THM": {"max_disks": 7},
+}
+
+
+def _job_callable(key: str):
+    # Imports stay inside the worker: under the spawn start method each
+    # process resolves the experiment module fresh at execution time.
+    from repro.experiments import (
+        exp_beyond_paper,
+        exp_curve_ablation,
+        exp_db_size,
+        exp_load_sweep,
+        exp_num_attributes,
+        exp_num_disks,
+        exp_partial_match,
+        exp_query_shape,
+        exp_query_size,
+        exp_replication,
+    )
+    from repro.theory.search import impossibility_frontier
+
+    jobs = {
+        "E1": exp_query_size.run,
+        "E2": exp_query_shape.run,
+        "E3": exp_num_attributes.run,
+        "E4": exp_num_disks.run,
+        "E5": exp_db_size.run,
+        "X1": exp_curve_ablation.run,
+        "EPM": exp_partial_match.run,
+        "X3": exp_beyond_paper.run,
+        "X4": exp_replication.run,
+        "X5": exp_load_sweep.run,
+        "THM": impossibility_frontier,
+    }
+    return jobs[key]
+
+
+def run_experiment(key: str, quick: bool = False) -> object:
+    """Run one experiment job by key (``E4`` returns its result pair).
+
+    This is the unit of work the parallel runner ships to worker
+    processes; it must stay a module-level function so it pickles under
+    the spawn start method.
+    """
+    if key not in EXPERIMENT_KEYS:
+        raise KeyError(
+            f"unknown experiment key {key!r}; known: {EXPERIMENT_KEYS}"
+        )
+    kwargs = (_QUICK_KWARGS if quick else _FULL_KWARGS).get(key, {})
+    return _job_callable(key)(**kwargs)
+
+
+def _assemble(raw: Dict[str, object]) -> Dict[str, object]:
+    """Flatten job outputs into the canonical result dict (fixed order)."""
     results: Dict[str, object] = {}
-    if quick:
-        results["E1"] = exp_query_size.run(
-            grid_dims=(16, 16), num_disks=8, areas=(1, 4, 16, 64, 256)
-        )
-        results["E2"] = exp_query_shape.run(
-            grid_dims=(16, 16), num_disks=8, area=16
-        )
-        results["E3"] = exp_num_attributes.run(
-            num_disks=8,
-            grid_2d=(16, 16),
-            grid_3d=(8, 8, 8),
-            sides_2d=(2, 4, 8, 16),
-            sides_3d=(2, 4, 8),
-        )
-        results["E4a"], results["E4b"] = exp_num_disks.run(
-            grid_dims=(16, 16),
-            disk_counts=(2, 4, 8, 16),
-            large_shape=(8, 8),
-        )
-        results["E5"] = exp_db_size.run(
-            num_disks=8, grid_sides=(8, 16, 32), shape=(2, 2)
-        )
-        results["X1"] = exp_curve_ablation.run(
-            grid_dims=(16, 16), disk_counts=(5, 7, 8)
-        )
-        results["EPM"] = exp_partial_match.run(
-            grid_dims=(8, 8, 8), num_disks=8
-        )
-        results["X3"] = exp_beyond_paper.run(
-            grid_dims=(16, 16), disk_counts=(4, 8)
-        )
-        results["X4"] = exp_replication.run(
-            grid_dims=(8, 8),
-            num_disks=4,
-            sides=(2, 3),
-            max_placements=16,
-        )
-        results["X5"] = exp_load_sweep.run(
-            grid_dims=(16, 16),
-            num_disks=4,
-            num_queries=100,
-            rates_per_second=(10.0, 80.0),
-        )
-        results["THM"] = impossibility_frontier(max_disks=6)
-    else:
-        results["E1"] = exp_query_size.run()
-        results["E2"] = exp_query_shape.run()
-        results["E3"] = exp_num_attributes.run()
-        results["E4a"], results["E4b"] = exp_num_disks.run()
-        results["E5"] = exp_db_size.run()
-        results["X1"] = exp_curve_ablation.run()
-        results["EPM"] = exp_partial_match.run()
-        results["X3"] = exp_beyond_paper.run()
-        results["X4"] = exp_replication.run()
-        results["X5"] = exp_load_sweep.run()
-        results["THM"] = impossibility_frontier(max_disks=7)
+    for key in EXPERIMENT_KEYS:
+        if key == "E4":
+            results["E4a"], results["E4b"] = raw[key]  # type: ignore[misc]
+        else:
+            results[key] = raw[key]
     return results
+
+
+def run_all(
+    quick: bool = False, workers: Optional[int] = None
+) -> Dict[str, object]:
+    """Execute the whole suite; keys match DESIGN.md's experiment index.
+
+    ``workers`` > 1 distributes the independent experiments over a
+    spawn-context process pool; results (and their dict ordering) are
+    identical to a serial run.
+    """
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be a positive integer: {workers}")
+    if workers is None or workers == 1:
+        raw = {key: run_experiment(key, quick) for key in EXPERIMENT_KEYS}
+        return _assemble(raw)
+    context = multiprocessing.get_context("spawn")
+    with ProcessPoolExecutor(
+        max_workers=workers, mp_context=context
+    ) as pool:
+        futures = {
+            key: pool.submit(run_experiment, key, quick)
+            for key in EXPERIMENT_KEYS
+        }
+        raw = {key: future.result() for key, future in futures.items()}
+    return _assemble(raw)
 
 
 def render_thm(results: List[SearchResult]) -> str:

@@ -13,10 +13,17 @@ Schemes that declare ``disk_of_is_expensive`` (the annealed workload-aware
 scheme, whose per-bucket rule re-runs the optimizer) are checked on a
 deterministic sample of buckets and a bounded number of grid/disk combos
 instead of exhaustively; the findings note when sampling was used.
+
+A second pass (:func:`check_engine`, QA42x) certifies the integral-image
+response-time engine: on seeded-random allocations over the same small
+grids, :class:`~repro.core.engine.ResponseTimeEngine` must agree
+bucket-for-bucket with the scalar ``sliding_response_times`` kernel and
+with brute-force per-placement ``response_time`` for every fitting shape.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
@@ -29,9 +36,13 @@ from repro.schemes.base import DeclusteringScheme
 
 __all__ = [
     "ContractConfig",
+    "check_engine",
     "check_registry",
     "check_scheme",
 ]
+
+#: Fixed seed for the engine-contract pass (QA2xx: all randomness seeded).
+ENGINE_CONTRACT_SEED = 19940206
 
 
 @dataclass(frozen=True)
@@ -281,6 +292,73 @@ def _check_combo(
                 )
             )
             return findings
+    return findings
+
+
+def check_engine(config: Optional[ContractConfig] = None) -> List[Finding]:
+    """Certify the integral-image engine against its reference oracles.
+
+    For every grid/disk combo in ``config`` a seeded-random allocation is
+    drawn and every fitting query shape is checked two ways:
+
+    * **QA420** — engine ``sliding_response_times`` differs from the
+      scalar :func:`repro.core.cost.sliding_response_times` kernel;
+    * **QA421** — engine result differs from brute-force
+      :func:`repro.core.cost.response_time` evaluated placement by
+      placement (the definitional oracle).
+
+    The combos are small (a few hundred placements each), so the check is
+    exhaustive over shapes rather than sampled.
+    """
+    from repro.core.allocation import DiskAllocation
+    from repro.core.cost import response_time, sliding_response_times
+    from repro.core.engine import ResponseTimeEngine
+    from repro.core.query import all_placements
+
+    config = config or ContractConfig()
+    findings: List[Finding] = []
+    rng = np.random.default_rng(ENGINE_CONTRACT_SEED)
+    for dims in config.grids:
+        grid = Grid(dims)
+        for num_disks in config.disks:
+            table = rng.integers(0, num_disks, size=dims)
+            allocation = DiskAllocation(grid, num_disks, table)
+            engine = ResponseTimeEngine(allocation)
+            where = f"grid={dims}, M={num_disks}"
+            for shape in itertools.product(
+                *(range(1, d + 1) for d in dims)
+            ):
+                reference = sliding_response_times(allocation, shape)
+                computed = engine.sliding_response_times(shape)
+                if not np.array_equal(reference, computed):
+                    findings.append(
+                        _finding(
+                            "response-time-engine",
+                            "QA420",
+                            f"engine disagrees with the scalar sliding "
+                            f"kernel for shape {shape} on a random "
+                            f"allocation ({where}, seed "
+                            f"{ENGINE_CONTRACT_SEED})",
+                        )
+                    )
+                    break
+                brute_ok = all(
+                    computed[tuple(query.lower)]
+                    == response_time(allocation, query)
+                    for query in all_placements(grid, shape)
+                )
+                if not brute_ok:
+                    findings.append(
+                        _finding(
+                            "response-time-engine",
+                            "QA421",
+                            f"engine disagrees with brute-force "
+                            f"response_time for shape {shape} on a random "
+                            f"allocation ({where}, seed "
+                            f"{ENGINE_CONTRACT_SEED})",
+                        )
+                    )
+                    break
     return findings
 
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
-from repro.qa.contracts import ContractConfig, check_registry
+from repro.qa.contracts import ContractConfig, check_engine, check_registry
 from repro.qa.diagnostics import (
     Baseline,
     Finding,
@@ -82,6 +82,7 @@ def run_qa(
         findings.extend(lint_paths(paths, root=root))
     if contracts:
         findings.extend(check_registry(contract_config, names=schemes))
+        findings.extend(check_engine(contract_config))
     findings.sort()
     report = QAReport(findings=findings)
     baseline = baseline or Baseline()

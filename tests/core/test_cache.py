@@ -1,0 +1,156 @@
+"""Unit tests for :mod:`repro.core.cache` — the allocation + SAT cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import (
+    AllocationCache,
+    global_cache,
+    reset_global_cache,
+)
+from repro.core.engine import ResponseTimeEngine
+from repro.core.evaluator import SchemeEvaluator
+from repro.core.grid import Grid
+from repro.core.registry import get_scheme, temporary_scheme
+from repro.schemes.base import DeclusteringScheme
+
+
+class TestHitsAndMisses:
+    def test_hit_returns_identical_allocation(self):
+        cache = AllocationCache(maxsize=8)
+        grid = Grid((8, 8))
+        first = cache.allocation("dm", grid, 4)
+        second = cache.allocation("dm", grid, 4)
+        assert second is first
+        assert first == get_scheme("dm").allocate(grid, 4)
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+
+    def test_distinct_triples_are_distinct_entries(self):
+        cache = AllocationCache(maxsize=8)
+        grid = Grid((8, 8))
+        cache.allocation("dm", grid, 4)
+        cache.allocation("dm", grid, 8)
+        cache.allocation("fx", grid, 4)
+        cache.allocation("dm", Grid((4, 4)), 4)
+        assert len(cache) == 4
+        assert cache.stats().misses == 4
+
+    def test_engine_cached_and_consistent(self):
+        cache = AllocationCache(maxsize=8)
+        grid = Grid((8, 8))
+        engine = cache.engine("dm", grid, 4)
+        assert isinstance(engine, ResponseTimeEngine)
+        assert cache.engine("dm", grid, 4) is engine
+        assert engine.allocation is cache.allocation("dm", grid, 4)
+
+
+class TestEviction:
+    def test_entry_count_stays_bounded(self):
+        cache = AllocationCache(maxsize=3)
+        grid = Grid((8, 8))
+        for disks in (2, 4, 8, 16, 32):
+            cache.allocation("dm", grid, disks)
+        assert len(cache) == 3
+        assert cache.stats().evictions == 2
+
+    def test_lru_order_evicts_oldest(self):
+        cache = AllocationCache(maxsize=2)
+        grid = Grid((8, 8))
+        cache.allocation("dm", grid, 2)
+        cache.allocation("dm", grid, 4)
+        cache.allocation("dm", grid, 2)  # refresh M=2
+        cache.allocation("dm", grid, 8)  # evicts M=4
+        cache.allocation("dm", grid, 2)
+        assert cache.stats().hits == 2
+
+    def test_maxsize_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AllocationCache(maxsize=0)
+
+    def test_clear_preserves_counters(self):
+        cache = AllocationCache(maxsize=4)
+        cache.allocation("dm", Grid((4, 4)), 2)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().misses == 1
+
+
+class TestReRegistrationSafety:
+    def test_same_name_different_factory_misses(self):
+        cache = AllocationCache(maxsize=8)
+        grid = Grid((4, 4))
+        with temporary_scheme("tmp-scheme", lambda: get_scheme("dm")):
+            a = cache.allocation("tmp-scheme", grid, 2)
+        with temporary_scheme("tmp-scheme", lambda: get_scheme("roundrobin")):
+            b = cache.allocation("tmp-scheme", grid, 2)
+        # Two registrations under one name must never share an entry.
+        assert cache.stats().misses == 2
+        assert not np.array_equal(a.table, b.table)
+
+
+class TestStatsRendering:
+    def test_render_mentions_counters(self):
+        cache = AllocationCache(maxsize=4)
+        cache.allocation("dm", Grid((4, 4)), 2)
+        cache.allocation("dm", Grid((4, 4)), 2)
+        text = cache.stats().render()
+        assert "1 hit(s)" in text and "1 miss(es)" in text
+
+    def test_report_dict_fields(self):
+        cache = AllocationCache(maxsize=4)
+        cache.allocation("dm", Grid((4, 4)), 2)
+        report = cache.as_report_dict()
+        assert report["misses"] == 1
+        assert report["hit_rate"] == 0.0
+        assert report["maxsize"] == 4
+
+    def test_hit_rate_zero_when_unused(self):
+        assert AllocationCache().stats().hit_rate == 0.0
+
+
+class TestGlobalCache:
+    def test_evaluators_share_the_global_cache(self):
+        cache = reset_global_cache(maxsize=16)
+        try:
+            grid = Grid((8, 8))
+            first = SchemeEvaluator(grid, 4, ["dm"]).allocation("dm")
+            second = SchemeEvaluator(grid, 4, ["dm"]).allocation("dm")
+            assert second is first
+            assert global_cache().stats().hits == 1
+        finally:
+            reset_global_cache()
+
+    def test_injected_cache_wins(self):
+        private = AllocationCache(maxsize=4)
+        evaluator = SchemeEvaluator(Grid((8, 8)), 4, ["dm"], cache=private)
+        assert evaluator.cache is private
+        evaluator.allocation("dm")
+        assert private.stats().misses == 1
+
+
+class _CountingScheme(DeclusteringScheme):
+    """Scheme that counts allocate calls — for cache-amortization tests."""
+
+    name = "counting"
+    calls = 0
+
+    def disk_of(self, coords, grid, num_disks):
+        return sum(coords) % num_disks
+
+    def allocate(self, grid, num_disks):
+        type(self).calls += 1
+        return super().allocate(grid, num_disks)
+
+
+class TestAmortization:
+    def test_allocation_materialized_once_across_evaluators(self):
+        _CountingScheme.calls = 0
+        cache = AllocationCache(maxsize=8)
+        grid = Grid((4, 4))
+        with temporary_scheme("counting", _CountingScheme):
+            for _ in range(5):
+                SchemeEvaluator(
+                    grid, 2, ["counting"], cache=cache
+                ).evaluate_shapes([(2, 2)])
+        assert _CountingScheme.calls == 1

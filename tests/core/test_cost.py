@@ -177,6 +177,43 @@ class TestPerQueryCosts:
             )
 
 
+class TestEmptyQueryDeviations:
+    """Queries that clip to zero buckets must not divide by zero."""
+
+    def test_relative_deviation_outside_grid_is_zero(
+        self, checkerboard_allocation
+    ):
+        outside = RangeQuery((20, 20), (22, 22))
+        assert relative_deviation(checkerboard_allocation, outside) == 0.0
+
+    def test_per_query_costs_outside_grid(self, checkerboard_allocation):
+        outside = RangeQuery((20, 20), (22, 22))
+        (row,) = per_query_costs(checkerboard_allocation, [outside])
+        assert row["response_time"] == 0
+        assert row["optimal"] == 0
+        assert row["additive_deviation"] == 0
+        assert row["relative_deviation"] == 0.0
+
+    def test_partially_clipped_query_uses_effective_optimal(
+        self, checkerboard_allocation
+    ):
+        # 2x4 rectangle with only a 2x2 corner inside the grid: RT and OPT
+        # must both be computed on the 4 in-grid buckets.
+        overhanging = RangeQuery((6, 6), (7, 9))
+        (row,) = per_query_costs(checkerboard_allocation, [overhanging])
+        assert row["optimal"] == 2
+        assert row["response_time"] == 2
+        assert relative_deviation(
+            checkerboard_allocation, overhanging
+        ) == 0.0
+
+    def test_fitting_queries_unchanged(self, checkerboard_allocation):
+        q = query_at((0, 0), (2, 2))
+        assert relative_deviation(checkerboard_allocation, q) == 0.0
+        (row,) = per_query_costs(checkerboard_allocation, [q])
+        assert row["optimal"] == query_optimal(q, 2)
+
+
 class TestWorstCaseAllocation:
     def test_everything_on_one_disk(self):
         grid = Grid((4, 4))

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.experiments.runner import render_all, render_thm, run_all
+from repro.experiments.runner import (
+    EXPERIMENT_KEYS,
+    render_all,
+    render_thm,
+    run_all,
+    run_experiment,
+)
 
 
 @pytest.fixture(scope="module")
@@ -25,6 +31,38 @@ class TestRunAll:
     def test_thm_results_match_theory(self, results):
         exists = [r.exists for r in results["THM"]]
         assert exists == [True, True, True, False, True, False]
+
+
+class TestParallelRunner:
+    def test_parallel_results_identical_to_serial(self, results):
+        parallel = run_all(quick=True, workers=2)
+        assert list(parallel) == list(results)
+        assert render_all(parallel) == render_all(results)
+        assert parallel["E1"] == results["E1"]
+        assert parallel["E4a"] == results["E4a"]
+
+    def test_run_experiment_unit_matches_suite(self, results):
+        assert run_experiment("E2", quick=True) == results["E2"]
+        e4a, e4b = run_experiment("E4", quick=True)
+        assert (e4a, e4b) == (results["E4a"], results["E4b"])
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("E99", quick=True)
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            run_all(quick=True, workers=0)
+
+    def test_canonical_key_order_is_fixed(self, results):
+        assert EXPERIMENT_KEYS == (
+            "E1", "E2", "E3", "E4", "E5", "X1", "EPM", "X3", "X4", "X5",
+            "THM",
+        )
+        assert list(results) == [
+            "E1", "E2", "E3", "E4a", "E4b", "E5",
+            "X1", "EPM", "X3", "X4", "X5", "THM",
+        ]
 
 
 class TestRenderAll:

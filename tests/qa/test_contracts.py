@@ -265,3 +265,37 @@ class TestConfig:
         findings = check_scheme("qa-oor", OutOfRangeScheme, CONFIG)
         assert all(f.file == "registry:qa-oor" for f in findings)
         assert all(f.line == 0 for f in findings)
+
+
+class TestEngineContract:
+    def test_shipped_engine_is_clean(self):
+        from repro.qa.contracts import check_engine
+
+        assert check_engine(CONFIG) == []
+
+    def test_broken_engine_is_caught(self, monkeypatch):
+        import repro.core.engine as engine_mod
+        from repro.qa.contracts import check_engine
+
+        original = engine_mod.ResponseTimeEngine.sliding_response_times
+
+        def corrupted(self, shape):
+            times = original(self, shape).copy()
+            if times.size:
+                times.flat[0] += 1
+            return times
+
+        monkeypatch.setattr(
+            engine_mod.ResponseTimeEngine,
+            "sliding_response_times",
+            corrupted,
+        )
+        findings = check_engine(CONFIG)
+        assert "QA420" in codes(findings)
+        assert all(f.file == "registry:response-time-engine"
+                   for f in findings)
+
+    def test_findings_are_deterministic(self):
+        from repro.qa.contracts import check_engine
+
+        assert check_engine(CONFIG) == check_engine(CONFIG)
