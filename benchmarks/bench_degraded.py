@@ -1,0 +1,51 @@
+"""X7 — graceful degradation: response time + availability under failures.
+
+Regenerates the failed-disk sweep (X7a response time, X7b availability)
+at paper scale and times the degraded replica planner.  Written to
+``benchmarks/results/X7a.txt`` / ``X7b.txt``.
+"""
+
+from repro.experiments import exp_degraded
+from repro.experiments.reporting import render_table
+
+
+def test_x7_degraded_sweep(benchmark, save_result):
+    rt, avail = benchmark.pedantic(
+        exp_degraded.run, rounds=2, iterations=1
+    )
+    save_result("X7a", render_table(rt))
+    save_result("X7b", render_table(avail))
+    # No failures: everything is fully available.
+    for values in avail.series.values():
+        assert values[0] == 1.0
+    # One failure: every unreplicated scheme loses queries, chained
+    # replication loses none (the acceptance contract).
+    one = avail.x_values.index(1)
+    replicated = exp_degraded.REPLICATED_SERIES
+    for name, values in avail.series.items():
+        if name == replicated:
+            assert values[one] == 1.0
+        else:
+            assert values[one] < 1.0
+    # Serving everything can't beat the shrinking-parallelism bound.
+    assert rt.series[replicated][one] >= rt.optimal[one] - 1e-9
+
+
+def test_x7_degraded_planner_kernel(benchmark):
+    """Isolated timing of one degraded exact plan (4x4 query, 1 failure)."""
+    from repro.core.grid import Grid
+    from repro.core.query import query_at
+    from repro.core.registry import get_scheme
+    from repro.faults.models import FailStop, FaultScenario
+    from repro.replication import chained_replication, plan_query
+
+    replicated = chained_replication(
+        get_scheme("dm").allocate(Grid((16, 16)), 8)
+    )
+    scenario = FaultScenario(8, [FailStop(3)])
+    query = query_at((3, 3), (4, 4))
+    plan = benchmark(
+        lambda: plan_query(replicated, query, "flow", scenario=scenario)
+    )
+    assert plan.is_complete
+    assert plan.loads[3] == 0

@@ -47,6 +47,11 @@ run_step "pytest (tier 1)" python -m pytest -x -q
 # Exercise the parallel experiment runner end to end (quick scale).
 run_step "parallel runner (workers=2)" \
     python -m repro experiment all --quick --workers 2 --cache-stats
+# Degraded-mode smoke: the X7 sweep on a small grid must run clean.
+run_step "degraded mode (quick)" \
+    python -m repro experiment degraded --quick
+# Self-healing smoke: crash -> checkpoint -> --resume, byte-identical.
+run_step "resume round-trip" python scripts/smoke_resume.py
 
 if [ "${failed}" -ne 0 ]; then
     echo "check_all: FAILED" >&2

@@ -137,12 +137,40 @@ def _print_cache_stats(args) -> None:
         print(global_cache().stats().render(), file=sys.stderr)
 
 
+#: Default checkpoint location for ``experiment all --resume``.
+DEFAULT_CHECKPOINT = ".repro-runner-checkpoint.pkl"
+
+
+def _runner_kwargs(args) -> dict:
+    """Self-healing options shared by every ``experiment`` invocation."""
+    from repro.experiments.runner import DEFAULT_BACKOFF, DEFAULT_RETRIES
+
+    checkpoint = args.checkpoint
+    if checkpoint is None and args.resume:
+        checkpoint = DEFAULT_CHECKPOINT
+    return {
+        "quick": args.quick,
+        "workers": args.workers,
+        "timeout": args.timeout,
+        "retries": (
+            DEFAULT_RETRIES if args.retries is None else args.retries
+        ),
+        "backoff": (
+            DEFAULT_BACKOFF if args.backoff is None else args.backoff
+        ),
+        "checkpoint": checkpoint,
+        "resume": args.resume,
+    }
+
+
 def _cmd_experiment(args) -> int:
     from repro.experiments import runner
     from repro.experiments.reporting import render_table
     from repro.experiments.runner import render_all, render_thm
 
     wanted = args.which.upper()
+    if wanted == "DEGRADED":
+        wanted = "X7"
     if wanted == "X6":
         from repro.experiments import exp_growth
 
@@ -153,22 +181,23 @@ def _cmd_experiment(args) -> int:
         print(exp_growth.render(rows))
         return 0
     if wanted == "ALL":
-        print(
-            render_all(
-                runner.run_all(quick=args.quick, workers=args.workers)
-            )
-        )
+        print(render_all(runner.run_all(**_runner_kwargs(args))))
         _print_cache_stats(args)
         return 0
-    results = runner.run_all(quick=args.quick, workers=args.workers)
-    key_map = {"E4": ("E4a", "E4b"), "THM": ("THM",)}
+    results = runner.run_all(**_runner_kwargs(args))
+    key_map = {
+        "E4": ("E4a", "E4b"),
+        "X7": ("X7a", "X7b"),
+        "THM": ("THM",),
+    }
     keys = key_map.get(wanted, (wanted,))
     exportable = []
     for key in keys:
         if key not in results:
             print(
                 f"unknown experiment {args.which!r}; "
-                f"known: E1 E2 E3 E4 E5 X1 EPM X3 X4 X5 X6 THM all",
+                f"known: E1 E2 E3 E4 E5 X1 EPM X3 X4 X5 X6 X7 "
+                f"degraded THM all",
                 file=sys.stderr,
             )
             return 2
@@ -371,7 +400,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser("experiment", help="run a paper experiment")
     p_exp.add_argument(
         "which",
-        help="E1, E2, E3, E4, E5, X1, EPM, X3, X4, X5, THM, or 'all'",
+        help=(
+            "E1, E2, E3, E4, E5, X1, EPM, X3, X4, X5, X7 (alias: "
+            "'degraded'), THM, or 'all'"
+        ),
     )
     p_exp.add_argument(
         "--quick", action="store_true", help="small fast configuration"
@@ -387,6 +419,44 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="fan independent experiments over N worker processes",
+    )
+    p_exp.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help=(
+            "seconds an experiment may run before its worker counts as "
+            "hung and is retried (needs --workers)"
+        ),
+    )
+    p_exp.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="extra attempts per failing experiment (default: 2)",
+    )
+    p_exp.add_argument(
+        "--backoff",
+        type=float,
+        default=None,
+        help="base delay between retry rounds, doubling per round "
+        "(default: 0.5s)",
+    )
+    p_exp.add_argument(
+        "--checkpoint",
+        default=None,
+        help=(
+            "persist completed experiments to this file as they finish "
+            f"(default with --resume: {DEFAULT_CHECKPOINT})"
+        ),
+    )
+    p_exp.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "load the checkpoint and skip already-completed experiments; "
+            "also enables checkpointing for the rest of the run"
+        ),
     )
     p_exp.add_argument(
         "--cache-stats",

@@ -11,9 +11,11 @@ __all__ = [
     "AllocationError",
     "CodeConstructionError",
     "DeclusteringError",
+    "FaultError",
     "GridError",
     "GridFileError",
     "QueryError",
+    "RunnerError",
     "SchemeError",
     "SchemeNotApplicableError",
     "SearchBudgetExceeded",
@@ -73,3 +75,15 @@ class WorkloadError(DeclusteringError):
 
 class GridFileError(DeclusteringError):
     """Invalid grid-file operation (bad record arity, unknown attribute)."""
+
+
+class FaultError(DeclusteringError):
+    """Invalid fault-model specification (bad disk id, factor, scenario)."""
+
+
+class RunnerError(DeclusteringError):
+    """The experiment runner could not complete the suite.
+
+    Raised when an experiment keeps failing after its bounded retries are
+    exhausted, or a checkpoint file cannot be used for the requested run.
+    """

@@ -1,0 +1,111 @@
+"""Crash-safe checkpointing for the experiment runner.
+
+``run_all`` records every completed experiment into a
+:class:`RunCheckpoint` as soon as its result arrives; after a crash (or a
+kill -9) a ``--resume`` run loads the file and only executes what is
+missing.  Because every experiment is deterministic, a resumed run's
+report is byte-identical to an uninterrupted one — the checkpoint stores
+*results*, not partial state.
+
+The file is a single pickle written atomically (temp file + ``os.replace``)
+so a crash mid-write can never leave a truncated checkpoint behind; a
+header records the pickle schema version and the ``quick`` flag so results
+from a different configuration are rejected instead of silently mixed into
+the wrong report.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.core.exceptions import RunnerError
+
+__all__ = [
+    "RunCheckpoint",
+]
+
+#: Bumped whenever the stored layout changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+
+class RunCheckpoint:
+    """Accumulates per-experiment results in an atomically-updated file."""
+
+    def __init__(self, path: Union[str, Path], quick: bool):
+        self._path = Path(path)
+        self._quick = bool(quick)
+        self._completed: Dict[str, object] = {}
+
+    @property
+    def path(self) -> Path:
+        """Where the checkpoint lives."""
+        return self._path
+
+    @property
+    def completed(self) -> Dict[str, object]:
+        """Results recorded so far, keyed by experiment key."""
+        return dict(self._completed)
+
+    def load(self) -> Dict[str, object]:
+        """Adopt a previous run's results; ``{}`` when no file exists.
+
+        Raises :class:`~repro.core.exceptions.RunnerError` when the file
+        is unreadable or was written by a run with a different ``quick``
+        flag — resuming such a file would splice paper-scale and smoke
+        numbers into one report.
+        """
+        if not self._path.exists():
+            return {}
+        try:
+            with open(self._path, "rb") as stream:
+                payload = pickle.load(stream)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError) as exc:
+            raise RunnerError(
+                f"checkpoint {self._path} is unreadable: {exc}"
+            ) from exc
+        if not isinstance(payload, dict) or "results" not in payload:
+            raise RunnerError(
+                f"checkpoint {self._path} has no results payload"
+            )
+        if payload.get("version") != CHECKPOINT_VERSION:
+            raise RunnerError(
+                f"checkpoint {self._path} uses schema version "
+                f"{payload.get('version')!r}, expected {CHECKPOINT_VERSION}"
+            )
+        if bool(payload.get("quick")) != self._quick:
+            raise RunnerError(
+                f"checkpoint {self._path} was written with "
+                f"quick={payload.get('quick')!r}; this run uses "
+                f"quick={self._quick} — delete the file or rerun with the "
+                "matching configuration"
+            )
+        self._completed = dict(payload["results"])
+        return self.completed
+
+    def record(self, key: str, result: object) -> None:
+        """Add one completed experiment and persist atomically."""
+        self._completed[key] = result
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "quick": self._quick,
+            "results": self._completed,
+        }
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        temp = self._path.with_name(self._path.name + ".tmp")
+        with open(temp, "wb") as stream:
+            pickle.dump(payload, stream, protocol=pickle.HIGHEST_PROTOCOL)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(temp, self._path)
+
+    def clear(self) -> None:
+        """Delete the checkpoint file (after a fully successful run)."""
+        self._completed = {}
+        try:
+            self._path.unlink()
+        except FileNotFoundError:
+            pass

@@ -1,8 +1,8 @@
 """Run the full experiment suite (all paper figures/tables) in one call.
 
-``run_all`` executes E1-E5, EPM, X1, X3-X5 and the THM existence search
-with the default (paper-scale) parameters and returns every result keyed
-by experiment id; ``render_all`` turns that into the textual report
+``run_all`` executes E1-E5, EPM, X1, X3-X5, X7 and the THM existence
+search with the default (paper-scale) parameters and returns every result
+keyed by experiment id; ``render_all`` turns that into the textual report
 EXPERIMENTS.md is built from.  ``quick=True`` shrinks the sweeps for
 smoke tests and CI.  (X6, the growth experiment, returns a different
 result type and runs separately via ``repro.experiments.exp_growth`` —
@@ -14,20 +14,37 @@ fresh (so the allocation cache is rebuilt per process — spawn-safe by
 construction) and every experiment is deterministic, so the parallel run
 returns results identical to the serial one, assembled in the same
 canonical key order regardless of completion order.
+
+The runner is also **self-healing**: a worker that crashes, dies without
+a traceback, or hangs past ``timeout`` is retried (``retries`` attempts
+per experiment, exponential ``backoff`` between rounds, a fresh pool each
+round), and with a checkpoint every completed result is persisted
+immediately so ``run_all(..., resume=True)`` — CLI:
+``experiment all --resume`` — skips finished experiments after a crash or
+kill.  Serial, parallel, and resumed runs all produce byte-identical
+reports.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
 
+from repro.core.exceptions import RunnerError
+from repro.experiments.checkpoint import RunCheckpoint
 from repro.experiments.exp_num_attributes import deviation_table
 from repro.experiments.reporting import render_table
+from repro.faults.injection import maybe_inject_runner_fault
 from repro.theory.conditions import render_table as render_conditions
 from repro.theory.search import SearchResult
 
 __all__ = [
+    "DEFAULT_BACKOFF",
+    "DEFAULT_RETRIES",
     "EXPERIMENT_KEYS",
     "render_all",
     "render_thm",
@@ -36,10 +53,24 @@ __all__ = [
 ]
 
 #: Independent experiment jobs, in the canonical execution/report order.
-#: ``E4`` expands to the ``E4a``/``E4b`` result pair.
+#: ``E4`` and ``X7`` each expand to a result pair (``E4a``/``E4b``,
+#: ``X7a``/``X7b``).
 EXPERIMENT_KEYS = (
-    "E1", "E2", "E3", "E4", "E5", "X1", "EPM", "X3", "X4", "X5", "THM",
+    "E1", "E2", "E3", "E4", "E5", "X1", "EPM", "X3", "X4", "X5", "X7",
+    "THM",
 )
+
+#: Jobs whose result is a pair, and the report keys the pair expands to.
+_PAIR_KEYS: Dict[str, Tuple[str, str]] = {
+    "E4": ("E4a", "E4b"),
+    "X7": ("X7a", "X7b"),
+}
+
+#: How many times a failing experiment is retried before the run aborts.
+DEFAULT_RETRIES = 2
+
+#: Base delay (seconds) between retry rounds; doubles per round.
+DEFAULT_BACKOFF = 0.5
 
 #: Quick-mode keyword arguments per experiment (paper-scale runs pass none).
 _QUICK_KWARGS: Dict[str, Dict[str, object]] = {
@@ -77,6 +108,14 @@ _QUICK_KWARGS: Dict[str, Dict[str, object]] = {
         "num_queries": 100,
         "rates_per_second": (10.0, 80.0),
     },
+    "X7": {
+        "grid_dims": (8, 8),
+        "num_disks": 4,
+        "side": 2,
+        "failure_counts": (0, 1, 2),
+        "num_scenarios": 2,
+        "max_placements": 12,
+    },
     "THM": {"max_disks": 6},
 }
 
@@ -92,6 +131,7 @@ def _job_callable(key: str):
         exp_beyond_paper,
         exp_curve_ablation,
         exp_db_size,
+        exp_degraded,
         exp_load_sweep,
         exp_num_attributes,
         exp_num_disks,
@@ -113,22 +153,27 @@ def _job_callable(key: str):
         "X3": exp_beyond_paper.run,
         "X4": exp_replication.run,
         "X5": exp_load_sweep.run,
+        "X7": exp_degraded.run,
         "THM": impossibility_frontier,
     }
     return jobs[key]
 
 
 def run_experiment(key: str, quick: bool = False) -> object:
-    """Run one experiment job by key (``E4`` returns its result pair).
+    """Run one experiment job by key (pair jobs return their result pair).
 
     This is the unit of work the parallel runner ships to worker
     processes; it must stay a module-level function so it pickles under
-    the spawn start method.
+    the spawn start method.  Before doing real work it consults the
+    ``REPRO_RUNNER_FAULTS`` chaos plan (see
+    :mod:`repro.faults.injection`) so the self-healing paths can be
+    exercised end to end.
     """
     if key not in EXPERIMENT_KEYS:
         raise KeyError(
             f"unknown experiment key {key!r}; known: {EXPERIMENT_KEYS}"
         )
+    maybe_inject_runner_fault(key)
     kwargs = (_QUICK_KWARGS if quick else _FULL_KWARGS).get(key, {})
     return _job_callable(key)(**kwargs)
 
@@ -137,37 +182,193 @@ def _assemble(raw: Dict[str, object]) -> Dict[str, object]:
     """Flatten job outputs into the canonical result dict (fixed order)."""
     results: Dict[str, object] = {}
     for key in EXPERIMENT_KEYS:
-        if key == "E4":
-            results["E4a"], results["E4b"] = raw[key]  # type: ignore[misc]
+        if key in _PAIR_KEYS:
+            first, second = _PAIR_KEYS[key]
+            results[first], results[second] = raw[key]  # type: ignore[misc]
         else:
             results[key] = raw[key]
     return results
 
 
+def _retry_round_delay(backoff: float, round_index: int) -> float:
+    """Exponential backoff: ``backoff * 2**round`` seconds, round >= 0."""
+    return backoff * (2.0 ** round_index)
+
+
+def _run_serial(
+    pending: List[str],
+    quick: bool,
+    retries: int,
+    backoff: float,
+    checkpoint: Optional[RunCheckpoint],
+) -> Dict[str, object]:
+    """In-process execution with bounded per-experiment retries."""
+    raw: Dict[str, object] = {}
+    for key in pending:
+        attempt = 0
+        while True:
+            try:
+                result = run_experiment(key, quick)
+            except Exception as exc:
+                attempt += 1
+                if attempt > retries:
+                    raise RunnerError(
+                        f"experiment {key} failed after {attempt} "
+                        f"attempt(s): {exc!r}"
+                    ) from exc
+                time.sleep(_retry_round_delay(backoff, attempt - 1))
+            else:
+                raw[key] = result
+                if checkpoint is not None:
+                    checkpoint.record(key, result)
+                break
+    return raw
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down even when workers are hung or already dead.
+
+    ``shutdown`` alone would join a hung worker forever, so any surviving
+    worker processes are killed first; the private ``_processes`` mapping
+    is the only handle the executor exposes, hence the defensive
+    ``getattr``.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        if process.is_alive():
+            process.terminate()
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _run_parallel(
+    pending: List[str],
+    quick: bool,
+    workers: int,
+    timeout: Optional[float],
+    retries: int,
+    backoff: float,
+    checkpoint: Optional[RunCheckpoint],
+) -> Dict[str, object]:
+    """Pool execution surviving worker crashes, hard exits, and hangs.
+
+    Each round runs every pending experiment in a fresh spawn pool; keys
+    whose future raises (worker exception), breaks the pool (hard exit),
+    or exceeds ``timeout`` are collected and retried next round after an
+    exponential backoff, up to ``retries`` extra attempts per key.
+    """
+    raw: Dict[str, object] = {}
+    attempts: Dict[str, int] = {key: 0 for key in pending}
+    failures: Dict[str, BaseException] = {}
+    round_index = 0
+    while pending:
+        context = multiprocessing.get_context("spawn")
+        pool = ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        )
+        failed: List[str] = []
+        try:
+            futures = {
+                key: pool.submit(run_experiment, key, quick)
+                for key in pending
+            }
+            for key in pending:
+                try:
+                    result = futures[key].result(timeout=timeout)
+                except FutureTimeoutError as exc:
+                    failures[key] = exc
+                    failed.append(key)
+                except Exception as exc:
+                    # Worker exception or BrokenProcessPool after a hard
+                    # worker death; both are retryable.
+                    failures[key] = exc
+                    failed.append(key)
+                else:
+                    raw[key] = result
+                    if checkpoint is not None:
+                        checkpoint.record(key, result)
+        finally:
+            _terminate_pool(pool)
+        for key in failed:
+            attempts[key] += 1
+        exhausted = [key for key in failed if attempts[key] > retries]
+        if exhausted:
+            details = "; ".join(
+                f"{key}: {failures[key]!r}" for key in exhausted
+            )
+            raise RunnerError(
+                f"experiment(s) failed after {retries + 1} attempt(s) — "
+                f"{details}"
+            )
+        pending = failed
+        if pending:
+            time.sleep(_retry_round_delay(backoff, round_index))
+            round_index += 1
+    return raw
+
+
 def run_all(
-    quick: bool = False, workers: Optional[int] = None
+    quick: bool = False,
+    workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = DEFAULT_RETRIES,
+    backoff: float = DEFAULT_BACKOFF,
+    checkpoint: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> Dict[str, object]:
     """Execute the whole suite; keys match DESIGN.md's experiment index.
 
     ``workers`` > 1 distributes the independent experiments over a
     spawn-context process pool; results (and their dict ordering) are
     identical to a serial run.
+
+    Self-healing knobs:
+
+    * ``timeout`` — seconds each experiment may run before its worker is
+      declared hung and retried (pool execution only; the serial path has
+      no one to watch the clock).
+    * ``retries`` / ``backoff`` — extra attempts per failing experiment
+      and the base exponential delay between retry rounds.  When an
+      experiment still fails after its last retry the run raises
+      :class:`~repro.core.exceptions.RunnerError`.
+    * ``checkpoint`` / ``resume`` — persist every completed result to the
+      given file; with ``resume=True`` previously completed experiments
+      are loaded instead of re-run.  The file is deleted after a fully
+      successful run, so a later ``resume`` starts fresh rather than
+      serving stale results.
     """
     if workers is not None and workers < 1:
         raise ValueError(f"workers must be a positive integer: {workers}")
+    if retries < 0:
+        raise ValueError(f"retries must be non-negative: {retries}")
+    if backoff < 0:
+        raise ValueError(f"backoff must be non-negative: {backoff}")
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"timeout must be positive: {timeout}")
+    if resume and checkpoint is None:
+        raise ValueError("resume=True needs a checkpoint path")
+
+    store: Optional[RunCheckpoint] = None
+    raw: Dict[str, object] = {}
+    if checkpoint is not None:
+        store = RunCheckpoint(checkpoint, quick=quick)
+        if resume:
+            raw.update(store.load())
+    pending = [key for key in EXPERIMENT_KEYS if key not in raw]
+
     if workers is None or workers == 1:
-        raw = {key: run_experiment(key, quick) for key in EXPERIMENT_KEYS}
-        return _assemble(raw)
-    context = multiprocessing.get_context("spawn")
-    with ProcessPoolExecutor(
-        max_workers=workers, mp_context=context
-    ) as pool:
-        futures = {
-            key: pool.submit(run_experiment, key, quick)
-            for key in EXPERIMENT_KEYS
-        }
-        raw = {key: future.result() for key, future in futures.items()}
-    return _assemble(raw)
+        raw.update(
+            _run_serial(pending, quick, retries, backoff, store)
+        )
+    else:
+        raw.update(
+            _run_parallel(
+                pending, quick, workers, timeout, retries, backoff, store
+            )
+        )
+    results = _assemble(raw)
+    if store is not None:
+        store.clear()
+    return results
 
 
 def render_thm(results: List[SearchResult]) -> str:
@@ -207,7 +408,8 @@ def render_all(results: Dict[str, object]) -> str:
     ).items():
         lines.append(f"  {scheme:8s} 2-d: {dev2:.4f}   3-d: {dev3:.4f}")
     sections.append("\n".join(lines))
-    for key in ("E4a", "E4b", "E5", "X1", "EPM", "X3", "X4", "X5"):
+    for key in ("E4a", "E4b", "E5", "X1", "EPM", "X3", "X4", "X5",
+                "X7a", "X7b"):
         sections.append(render_table(results[key]))
     sections.append(render_thm(results["THM"]))
     sections.append("[T1] " + render_conditions())

@@ -132,4 +132,9 @@ def dotted_name(node: ast.AST) -> Optional[str]:
 def _load_builtin_rules() -> None:
     # Imported lazily so `import repro.qa.rules` has no side-effect cost;
     # each module registers its rules on first import.
-    from repro.qa.rules import determinism, schemes, style  # noqa: F401
+    from repro.qa.rules import (  # noqa: F401
+        determinism,
+        robustness,
+        schemes,
+        style,
+    )

@@ -1,0 +1,112 @@
+"""Robustness rules: no silent failure swallowing.
+
+With the fault-injection subsystem in place (:mod:`repro.faults`), error
+handling is itself load-bearing correctness logic: a swallowed exception
+in the runner's retry loop, the degraded planner, or a checkpoint write
+turns a recoverable fault into a silently wrong report.  Two rules ban
+the patterns that make failures invisible:
+
+* **QA501** — a bare ``except:`` catches ``KeyboardInterrupt`` and
+  ``SystemExit`` along with everything else; the handler cannot even name
+  what it intercepted.
+* **QA502** — ``except Exception:`` (or ``BaseException``) whose body is
+  only ``pass``/``...`` discards the failure without recording, retrying,
+  or re-raising.  Broad catches are fine — the self-healing runner relies
+  on them — but only when the handler *does* something with the failure.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.qa.diagnostics import Finding, Severity
+from repro.qa.rules import (
+    LintRule,
+    ModuleSource,
+    Project,
+    dotted_name,
+    register_rule,
+)
+
+__all__ = [
+    "BareExceptRule",
+    "SilentBroadExceptRule",
+]
+
+#: Exception names whose silent swallowing is always a hazard.
+_BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+
+
+def _names_broad_exception(node: ast.expr) -> bool:
+    """Whether an ``except`` type expression includes Exception/BaseException."""
+    if isinstance(node, ast.Tuple):
+        return any(_names_broad_exception(element) for element in node.elts)
+    dotted = dotted_name(node)
+    return (
+        dotted is not None
+        and dotted.split(".")[-1] in _BROAD_EXCEPTIONS
+    )
+
+
+def _body_is_silent(body: Iterable[ast.stmt]) -> bool:
+    """Whether a handler body does nothing: only ``pass``, ``...``, docstrings."""
+    for statement in body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(
+            statement.value, ast.Constant
+        ):
+            continue  # bare string/Ellipsis expression
+        return False
+    return True
+
+
+@register_rule
+class BareExceptRule(LintRule):
+    """QA501: no bare ``except:`` clauses."""
+
+    rule_id = "QA501"
+    title = "bare except clause"
+    severity = Severity.ERROR
+
+    def check_module(
+        self, module: ModuleSource, project: Project
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    module.path,
+                    node.lineno,
+                    "bare except catches everything including "
+                    "KeyboardInterrupt/SystemExit; name the exception "
+                    "type(s) being handled",
+                )
+
+
+@register_rule
+class SilentBroadExceptRule(LintRule):
+    """QA502: no ``except Exception: pass`` silent swallowing."""
+
+    rule_id = "QA502"
+    title = "broad exception silently swallowed"
+    severity = Severity.ERROR
+
+    def check_module(
+        self, module: ModuleSource, project: Project
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                continue  # QA501's finding; don't double-report
+            if not _names_broad_exception(node.type):
+                continue
+            if _body_is_silent(node.body):
+                yield self.finding(
+                    module.path,
+                    node.lineno,
+                    "except Exception with an empty body swallows every "
+                    "failure silently; record, retry, re-raise, or narrow "
+                    "the exception type",
+                )

@@ -13,6 +13,7 @@ from repro.replication.allocation import (
 )
 from repro.replication.planner import (
     QueryPlan,
+    degraded_replicated_response_time,
     plan_query,
     replicated_response_time,
     replication_speedup,
@@ -23,6 +24,7 @@ __all__ = [
     "chained_replication",
     "orthogonal_replication",
     "QueryPlan",
+    "degraded_replicated_response_time",
     "plan_query",
     "replicated_response_time",
     "replication_speedup",

@@ -60,6 +60,13 @@ class ReplicatedAllocation:
                 f"copies use different disk counts: "
                 f"{primary.num_disks} vs {backup.num_disks}"
             )
+        if primary.num_disks < 2:
+            # With one disk a backup could never differ from the primary;
+            # fail with the real reason instead of a per-bucket clash.
+            raise AllocationError(
+                "replication needs at least 2 disks, got "
+                f"{primary.num_disks}"
+            )
         clashes = primary.table == backup.table
         if clashes.any():
             where = tuple(

@@ -12,27 +12,40 @@ as few buckets as possible.  Two planners are provided:
   currently less-loaded of their two disks.  Near-optimal in practice and
   what a real executor would run.
 
-The headline fact the tests pin down: with a sensible replica layout the
+Both planners also run in **degraded mode**: pass a
+:class:`~repro.faults.models.FaultScenario` and the planner only considers
+surviving replicas (a bucket with both copies on failed disks is recorded
+as *lost*), while straggler factors turn the objective into the weighted
+completion time ``max_d load_d * factor_d``.  The flow path stays exact by
+binary-searching over the discrete set of achievable completion times and
+translating each candidate ``T`` into per-disk capacities
+``floor(T / factor_d)``.
+
+The headline facts the tests pin down: with a sensible replica layout the
 *planned* response time of the small queries that plague DM collapses to
-(or near) the ``ceil(|Q|/M)`` optimum — replication buys not just
-availability but the paper's missing query-time balance.
+(or near) the ``ceil(|Q|/M)`` optimum, and under any single fail-stop
+every bucket stays reachable with a planned completion time at most twice
+the healthy planned optimum (move the failed disk's assignments to their
+surviving copies).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.cost import optimal_response_time
 from repro.core.exceptions import QueryError
 from repro.core.query import RangeQuery
+from repro.faults.models import FaultScenario
 from repro.replication.allocation import ReplicatedAllocation
 
 __all__ = [
     "Coords",
     "QueryPlan",
+    "degraded_replicated_response_time",
     "plan_query",
     "replicated_response_time",
     "replication_speedup",
@@ -43,21 +56,51 @@ Coords = Tuple[int, ...]
 
 @dataclass(frozen=True)
 class QueryPlan:
-    """A replica choice for every bucket of one query."""
+    """A replica choice for every reachable bucket of one query.
+
+    ``lost`` lists buckets whose every copy sits on a failed disk (always
+    empty for healthy plans and under any single fail-stop); ``factors``
+    carries the scenario's per-disk service-time multipliers when the plan
+    was made in degraded mode.
+    """
 
     query: RangeQuery
     assignment: Dict[Coords, int]
     loads: np.ndarray
+    factors: Optional[np.ndarray] = None
+    lost: Tuple[Coords, ...] = field(default=())
 
     @property
     def response_time(self) -> int:
-        """Busiest disk's bucket count under this plan."""
+        """Busiest disk's bucket count under this plan (unweighted)."""
         return int(self.loads.max()) if self.loads.size else 0
+
+    @property
+    def completion_time(self) -> float:
+        """Weighted finish time ``max_d load_d * factor_d``.
+
+        Equal to :attr:`response_time` when no straggler factors apply.
+        """
+        if not self.loads.size:
+            return 0.0
+        if self.factors is None:
+            return float(self.response_time)
+        return float((self.loads * self.factors).max())
 
     @property
     def num_buckets(self) -> int:
         """Buckets read by the plan."""
         return len(self.assignment)
+
+    @property
+    def num_lost(self) -> int:
+        """Buckets with no surviving copy."""
+        return len(self.lost)
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every bucket of the query could be assigned a disk."""
+        return not self.lost
 
 
 def _query_buckets(
@@ -91,32 +134,34 @@ def _greedy_assignment(
 
 
 def _flow_feasible(
-    pairs: List[Tuple[int, int]], num_disks: int, limit: int
+    choices: Sequence[Tuple[int, ...]],
+    num_disks: int,
+    capacities: Sequence[int],
 ) -> Dict[int, int]:
-    """Assignment with per-disk load <= limit, or {} if infeasible.
+    """Assignment with per-disk load <= capacities[d], or {} if infeasible.
 
-    Max-flow on: source -> bucket_i (cap 1) -> {disk_p, disk_b} (cap 1)
-    -> sink (cap limit).  Feasible iff max flow saturates all buckets.
+    Max-flow on: source -> bucket_i (cap 1) -> its surviving disks (cap 1)
+    -> sink (cap capacities[d]).  Feasible iff the max flow saturates all
+    buckets.
     """
     import networkx as nx
 
     graph = nx.DiGraph()
     source, sink = "s", "t"
-    for i, (primary, backup) in enumerate(pairs):
+    for i, disks in enumerate(choices):
         bucket = ("b", i)
         graph.add_edge(source, bucket, capacity=1)
-        graph.add_edge(bucket, ("d", primary), capacity=1)
-        if backup != primary:
-            graph.add_edge(bucket, ("d", backup), capacity=1)
+        for disk in disks:
+            graph.add_edge(bucket, ("d", disk), capacity=1)
     for disk in range(num_disks):
         node = ("d", disk)
         if graph.has_node(node):
-            graph.add_edge(node, sink, capacity=limit)
+            graph.add_edge(node, sink, capacity=int(capacities[disk]))
     value, flow = nx.maximum_flow(graph, source, sink)
-    if value < len(pairs):
+    if value < len(choices):
         return {}
     assignment = {}
-    for i in range(len(pairs)):
+    for i in range(len(choices)):
         bucket = ("b", i)
         for target, units in flow[bucket].items():
             if units > 0:
@@ -125,59 +170,205 @@ def _flow_feasible(
     return assignment
 
 
+def _plan_healthy(
+    replicated: ReplicatedAllocation,
+    buckets: List[Coords],
+    method: str,
+) -> Dict[Coords, int]:
+    """The original healthy-array planner (unweighted busiest disk)."""
+    num_disks = replicated.num_disks
+    if method == "greedy":
+        return _greedy_assignment(replicated, buckets)
+    pairs = [replicated.disks_of(coords) for coords in buckets]
+    choices = [
+        (primary,) if primary == backup else (primary, backup)
+        for primary, backup in pairs
+    ]
+    greedy = _greedy_assignment(replicated, buckets)
+    upper = int(
+        np.bincount(
+            list(greedy.values()), minlength=num_disks
+        ).max()
+    )
+    lower = optimal_response_time(len(buckets), num_disks)
+    best: Dict[int, int] = {}
+    while lower < upper:
+        middle = (lower + upper) // 2
+        candidate = _flow_feasible(
+            choices, num_disks, [middle] * num_disks
+        )
+        if candidate:
+            best = candidate
+            upper = middle
+        else:
+            lower = middle + 1
+    if best:
+        return {coords: best[i] for i, coords in enumerate(buckets)}
+    return greedy  # greedy already achieved the bound
+
+
+def _surviving_choices(
+    replicated: ReplicatedAllocation,
+    buckets: List[Coords],
+    scenario: FaultScenario,
+) -> Tuple[List[Coords], List[Tuple[int, ...]], List[Coords]]:
+    """Split buckets into (reachable, per-bucket disk choices, lost)."""
+    kept: List[Coords] = []
+    choices: List[Tuple[int, ...]] = []
+    lost: List[Coords] = []
+    for coords in buckets:
+        pair = replicated.disks_of(coords)
+        alive = tuple(
+            dict.fromkeys(
+                d for d in pair if not scenario.is_failed(d)
+            )
+        )
+        if alive:
+            kept.append(coords)
+            choices.append(alive)
+        else:
+            lost.append(coords)
+    return kept, choices, lost
+
+
+def _greedy_weighted(
+    kept: List[Coords],
+    choices: List[Tuple[int, ...]],
+    scenario: FaultScenario,
+    num_disks: int,
+) -> Dict[Coords, int]:
+    """Greedy on weighted finish times; ties prefer the primary copy."""
+    loads = np.zeros(num_disks, dtype=np.int64)
+    assignment: Dict[Coords, int] = {}
+    for coords, alive in zip(kept, choices):
+        best = alive[0]
+        best_cost = (loads[best] + 1) * scenario.factor(best)
+        for disk in alive[1:]:
+            cost = (loads[disk] + 1) * scenario.factor(disk)
+            if cost < best_cost:
+                best, best_cost = disk, cost
+        assignment[coords] = best
+        loads[best] += 1
+    return assignment
+
+
+def _completion_of(
+    assignment: Dict[Coords, int],
+    scenario: FaultScenario,
+    num_disks: int,
+) -> float:
+    loads = np.bincount(
+        list(assignment.values()), minlength=num_disks
+    )
+    return float((loads * scenario.factors).max()) if loads.size else 0.0
+
+
+def _plan_degraded(
+    replicated: ReplicatedAllocation,
+    buckets: List[Coords],
+    scenario: FaultScenario,
+    method: str,
+) -> Tuple[Dict[Coords, int], Tuple[Coords, ...]]:
+    """Planner that avoids failed disks and minimizes weighted finish time."""
+    num_disks = replicated.num_disks
+    kept, choices, lost = _surviving_choices(
+        replicated, buckets, scenario
+    )
+    if not kept:
+        return {}, tuple(lost)
+    greedy = _greedy_weighted(kept, choices, scenario, num_disks)
+    if method == "greedy":
+        return greedy, tuple(lost)
+
+    greedy_time = _completion_of(greedy, scenario, num_disks)
+    used_disks = sorted({d for alive in choices for d in alive})
+    # Achievable completion times are load * factor products; binary-search
+    # the smallest feasible one, translating T into per-disk capacities.
+    candidates = sorted(
+        {
+            load * scenario.factor(disk)
+            for disk in used_disks
+            for load in range(1, len(kept) + 1)
+            if load * scenario.factor(disk) <= greedy_time + 1e-9
+        }
+    )
+    best_assignment: Dict[int, int] = {}
+    lower, upper = 0, len(candidates) - 1
+    while lower < upper:
+        middle = (lower + upper) // 2
+        time = candidates[middle]
+        capacities = [
+            int(time / scenario.factor(disk) + 1e-9)
+            if not scenario.is_failed(disk)
+            else 0
+            for disk in range(num_disks)
+        ]
+        candidate = _flow_feasible(choices, num_disks, capacities)
+        if candidate:
+            best_assignment = candidate
+            upper = middle
+        else:
+            lower = middle + 1
+    if best_assignment:
+        return (
+            {coords: best_assignment[i] for i, coords in enumerate(kept)},
+            tuple(lost),
+        )
+    return greedy, tuple(lost)  # greedy already achieved the bound
+
+
 def plan_query(
     replicated: ReplicatedAllocation,
     query: RangeQuery,
     method: str = "flow",
+    scenario: Optional[FaultScenario] = None,
 ) -> QueryPlan:
     """Choose a replica per bucket minimizing the busiest disk.
 
     ``method="flow"`` is exact; ``method="greedy"`` is the fast heuristic.
+    With a ``scenario`` the planner routes around failed disks (recording
+    unreachable buckets in :attr:`QueryPlan.lost`) and minimizes the
+    weighted completion time under straggler factors.
     """
     if method not in ("flow", "greedy"):
         raise QueryError(
             f"unknown planning method {method!r}; use 'flow' or 'greedy'"
         )
+    if scenario is not None and scenario.num_disks != replicated.num_disks:
+        raise QueryError(
+            f"scenario covers {scenario.num_disks} disks but the "
+            f"allocation uses {replicated.num_disks}"
+        )
     buckets = _query_buckets(replicated, query)
     num_disks = replicated.num_disks
+    degraded = scenario is not None and not scenario.is_healthy
     if not buckets:
         return QueryPlan(
             query=query,
             assignment={},
             loads=np.zeros(num_disks, dtype=np.int64),
+            factors=scenario.factors if degraded else None,
         )
 
-    if method == "greedy":
-        assignment = _greedy_assignment(replicated, buckets)
-    else:
-        pairs = [replicated.disks_of(coords) for coords in buckets]
-        greedy = _greedy_assignment(replicated, buckets)
-        upper = int(
-            np.bincount(
-                list(greedy.values()), minlength=num_disks
-            ).max()
+    lost: Tuple[Coords, ...] = ()
+    if degraded:
+        assert scenario is not None
+        assignment, lost = _plan_degraded(
+            replicated, buckets, scenario, method
         )
-        lower = optimal_response_time(len(buckets), num_disks)
-        best: Dict[int, int] = {}
-        while lower < upper:
-            middle = (lower + upper) // 2
-            candidate = _flow_feasible(pairs, num_disks, middle)
-            if candidate:
-                best = candidate
-                upper = middle
-            else:
-                lower = middle + 1
-        if best:
-            assignment = {
-                coords: best[i] for i, coords in enumerate(buckets)
-            }
-        else:
-            assignment = greedy  # greedy already achieved the bound
+    else:
+        assignment = _plan_healthy(replicated, buckets, method)
 
     loads = np.zeros(num_disks, dtype=np.int64)
     for disk in assignment.values():
         loads[disk] += 1
-    return QueryPlan(query=query, assignment=assignment, loads=loads)
+    return QueryPlan(
+        query=query,
+        assignment=assignment,
+        loads=loads,
+        factors=scenario.factors if degraded else None,
+        lost=lost,
+    )
 
 
 def replicated_response_time(
@@ -187,6 +378,23 @@ def replicated_response_time(
 ) -> int:
     """Response time of a query under optimal (or greedy) replica choice."""
     return plan_query(replicated, query, method=method).response_time
+
+
+def degraded_replicated_response_time(
+    replicated: ReplicatedAllocation,
+    query: RangeQuery,
+    scenario: FaultScenario,
+    method: str = "flow",
+) -> float:
+    """Planned completion time under faults (weighted busiest disk).
+
+    Lost buckets (no surviving copy) do not contribute; check
+    :attr:`QueryPlan.is_complete` or the availability helpers in
+    :mod:`repro.faults.degraded` to detect them.
+    """
+    return plan_query(
+        replicated, query, method=method, scenario=scenario
+    ).completion_time
 
 
 def replication_speedup(

@@ -1,0 +1,135 @@
+"""Tests for X7: degraded-mode response time and availability."""
+
+import pytest
+
+from repro.core.exceptions import WorkloadError
+from repro.core.registry import PAPER_SCHEMES
+from repro.experiments.exp_degraded import REPLICATED_SERIES, run
+
+
+@pytest.fixture(scope="module")
+def results():
+    # The runner's quick configuration: 8x8 grid, 4 disks, 2x2 queries.
+    return run(
+        grid_dims=(8, 8),
+        num_disks=4,
+        side=2,
+        failure_counts=(0, 1, 2),
+        num_scenarios=2,
+        max_placements=12,
+    )
+
+
+class TestStructure:
+    def test_returns_rt_and_availability_pair(self, results):
+        rt, avail = results
+        assert rt.experiment_id == "X7a"
+        assert avail.experiment_id == "X7b"
+        assert rt.x_values == avail.x_values == [0, 1, 2]
+
+    def test_series_cover_schemes_plus_replication(self, results):
+        rt, avail = results
+        expected = set(PAPER_SCHEMES) | {REPLICATED_SERIES}
+        assert set(rt.series) == expected
+        assert set(avail.series) == expected
+
+    def test_optimal_lines(self, results):
+        rt, avail = results
+        # X7a's yardstick grows as parallelism shrinks: 4 buckets on
+        # 4, then 3, then 2 surviving disks.
+        assert rt.optimal == [1.0, 2.0, 2.0]
+        assert avail.optimal == [1.0, 1.0, 1.0]
+
+
+class TestSemantics:
+    def test_everything_healthy_at_zero_failures(self, results):
+        _, avail = results
+        for name, values in avail.series.items():
+            assert values[0] == 1.0, name
+
+    def test_single_failure_availability_contract(self, results):
+        # The acceptance criterion: unreplicated schemes lose queries
+        # under one fail-stop; chained replication masks it entirely.
+        _, avail = results
+        for name in PAPER_SCHEMES:
+            assert avail.series[name][1] < 1.0, name
+        assert avail.series[REPLICATED_SERIES][1] == 1.0
+
+    def test_replicated_rt_at_least_degraded_optimum(self, results):
+        rt, _ = results
+        # Complete service can never beat the shrinking-parallelism
+        # bound; at f=1 the replicated series still serves everything.
+        assert rt.series[REPLICATED_SERIES][1] >= rt.optimal[1] - 1e-9
+
+    def test_flow_never_worse_than_greedy(self):
+        flow_rt, _ = run(
+            grid_dims=(8, 8),
+            num_disks=4,
+            side=2,
+            failure_counts=(1,),
+            num_scenarios=2,
+            max_placements=8,
+            method="flow",
+        )
+        greedy_rt, _ = run(
+            grid_dims=(8, 8),
+            num_disks=4,
+            side=2,
+            failure_counts=(1,),
+            num_scenarios=2,
+            max_placements=8,
+            method="greedy",
+        )
+        assert flow_rt.series[REPLICATED_SERIES][0] <= (
+            greedy_rt.series[REPLICATED_SERIES][0] + 1e-9
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_replays_bit_for_bit(self, results):
+        again = run(
+            grid_dims=(8, 8),
+            num_disks=4,
+            side=2,
+            failure_counts=(0, 1, 2),
+            num_scenarios=2,
+            max_placements=12,
+        )
+        assert again == results
+
+    def test_different_seed_changes_sampled_scenarios(self, results):
+        other = run(
+            grid_dims=(8, 8),
+            num_disks=4,
+            side=2,
+            failure_counts=(0, 1, 2),
+            num_scenarios=2,
+            max_placements=12,
+            seed=99,
+        )
+        assert other != results
+
+
+class TestValidation:
+    def test_failure_counts_must_leave_survivors(self):
+        with pytest.raises(WorkloadError):
+            run(grid_dims=(8, 8), num_disks=4, failure_counts=(0, 4))
+        with pytest.raises(WorkloadError):
+            run(grid_dims=(8, 8), num_disks=4, failure_counts=(-1,))
+
+    def test_query_must_fit_grid(self):
+        with pytest.raises(WorkloadError):
+            run(grid_dims=(4, 4), num_disks=4, side=5)
+
+    def test_scheme_subset_selects_replication_base(self):
+        rt, _ = run(
+            grid_dims=(8, 8),
+            num_disks=4,
+            side=2,
+            failure_counts=(0,),
+            num_scenarios=1,
+            max_placements=8,
+            schemes=("hcam", "dm"),
+        )
+        assert set(rt.series) == {"hcam", "dm", REPLICATED_SERIES}
+        assert rt.config["replicated"] == "hcam+chain"

@@ -20,7 +20,7 @@ class TestRunAll:
     def test_every_experiment_present(self, results):
         assert set(results) == {
             "E1", "E2", "E3", "E4a", "E4b", "E5",
-            "X1", "EPM", "X3", "X4", "X5", "THM",
+            "X1", "EPM", "X3", "X4", "X5", "X7a", "X7b", "THM",
         }
 
     def test_experiment_ids_consistent(self, results):
@@ -57,11 +57,11 @@ class TestParallelRunner:
     def test_canonical_key_order_is_fixed(self, results):
         assert EXPERIMENT_KEYS == (
             "E1", "E2", "E3", "E4", "E5", "X1", "EPM", "X3", "X4", "X5",
-            "THM",
+            "X7", "THM",
         )
         assert list(results) == [
             "E1", "E2", "E3", "E4a", "E4b", "E5",
-            "X1", "EPM", "X3", "X4", "X5", "THM",
+            "X1", "EPM", "X3", "X4", "X5", "X7a", "X7b", "THM",
         ]
 
 
@@ -69,7 +69,7 @@ class TestRenderAll:
     def test_report_mentions_every_section(self, results):
         report = render_all(results)
         for token in ("[E1]", "[E2]", "[E3", "[E4a]", "[E4b]", "[E5]",
-                      "[X1]", "[THM]", "[T1]"):
+                      "[X1]", "[X7a]", "[X7b]", "[THM]", "[T1]"):
             assert token in report
 
     def test_report_has_scheme_labels(self, results):

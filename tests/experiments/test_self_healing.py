@@ -1,0 +1,148 @@
+"""Chaos tests for the self-healing runner and its checkpoint store.
+
+Faults reach worker processes through the ``REPRO_RUNNER_FAULTS``
+environment plan (spawn workers inherit the parent environment), so the
+same injection path covers the serial loop, the process pool, and the
+resume-after-crash flow.  Every healed run must match the no-fault
+report byte for byte.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.exceptions import RunnerError
+from repro.experiments.checkpoint import CHECKPOINT_VERSION, RunCheckpoint
+from repro.experiments.runner import render_all, run_all
+from repro.faults.injection import FAULTS_ENV, FAULTS_STATE_ENV
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_all(quick=True)
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_env(monkeypatch):
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+    monkeypatch.delenv(FAULTS_STATE_ENV, raising=False)
+
+
+def _inject(monkeypatch, tmp_path, spec):
+    monkeypatch.setenv(FAULTS_ENV, spec)
+    monkeypatch.setenv(FAULTS_STATE_ENV, str(tmp_path / "fault-state"))
+
+
+class TestSerialHealing:
+    def test_crash_retried_and_report_identical(
+        self, baseline, monkeypatch, tmp_path
+    ):
+        _inject(monkeypatch, tmp_path, "E2:crash:1")
+        healed = run_all(quick=True, retries=2, backoff=0.0)
+        assert render_all(healed) == render_all(baseline)
+
+    def test_exhausted_retries_raise(self, monkeypatch):
+        # No state directory: the fault fires on every attempt.
+        monkeypatch.setenv(FAULTS_ENV, "E1:crash")
+        with pytest.raises(RunnerError, match="E1"):
+            run_all(quick=True, retries=1, backoff=0.0)
+
+
+class TestParallelHealing:
+    def test_crash_and_hard_exit_healed(
+        self, baseline, monkeypatch, tmp_path
+    ):
+        # E2 raises once; X4 kills its worker outright once (breaking
+        # the pool, which fails every pending future of that round).
+        _inject(monkeypatch, tmp_path, "E2:crash:1;X4:exit:1")
+        healed = run_all(
+            quick=True, workers=2, retries=3, backoff=0.1
+        )
+        assert list(healed) == list(baseline)
+        assert render_all(healed) == render_all(baseline)
+
+    def test_hung_worker_timed_out_and_retried(
+        self, baseline, monkeypatch, tmp_path
+    ):
+        _inject(monkeypatch, tmp_path, "E1:hang:1")
+        healed = run_all(
+            quick=True, workers=2, timeout=5.0, retries=2, backoff=0.0
+        )
+        assert render_all(healed) == render_all(baseline)
+
+    def test_exhausted_retries_raise_with_key(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "E3:crash")
+        with pytest.raises(RunnerError, match="E3"):
+            run_all(quick=True, workers=2, retries=1, backoff=0.0)
+
+
+class TestCheckpointStore:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "ckpt.pkl"
+        writer = RunCheckpoint(path, quick=True)
+        writer.record("E1", {"x": 1})
+        writer.record("E2", [1, 2, 3])
+        reader = RunCheckpoint(path, quick=True)
+        assert reader.load() == {"E1": {"x": 1}, "E2": [1, 2, 3]}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert RunCheckpoint(tmp_path / "none.pkl", quick=True).load() == {}
+
+    def test_quick_flag_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "ckpt.pkl"
+        RunCheckpoint(path, quick=True).record("E1", 1)
+        with pytest.raises(RunnerError, match="quick"):
+            RunCheckpoint(path, quick=False).load()
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "ckpt.pkl"
+        path.write_bytes(b"not a pickle at all")
+        with pytest.raises(RunnerError, match="unreadable"):
+            RunCheckpoint(path, quick=True).load()
+
+    def test_wrong_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "ckpt.pkl"
+        payload = {
+            "version": CHECKPOINT_VERSION + 1,
+            "quick": True,
+            "results": {},
+        }
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(RunnerError, match="version"):
+            RunCheckpoint(path, quick=True).load()
+
+    def test_clear_is_idempotent(self, tmp_path):
+        path = tmp_path / "ckpt.pkl"
+        store = RunCheckpoint(path, quick=True)
+        store.record("E1", 1)
+        store.clear()
+        assert not path.exists()
+        store.clear()  # no file left — still fine
+
+
+class TestResume:
+    def test_resume_requires_checkpoint_path(self):
+        with pytest.raises(ValueError):
+            run_all(quick=True, resume=True)
+
+    def test_crash_then_resume_is_byte_identical(
+        self, baseline, monkeypatch, tmp_path
+    ):
+        path = tmp_path / "ckpt.pkl"
+        # X5 crashes on every attempt: the run dies late, with earlier
+        # experiments already persisted.
+        monkeypatch.setenv(FAULTS_ENV, "X5:crash")
+        with pytest.raises(RunnerError):
+            run_all(quick=True, retries=0, checkpoint=path)
+        completed = RunCheckpoint(path, quick=True).load()
+        assert "E1" in completed and "X5" not in completed
+
+        # Resume with a plan that would crash E1 forever: it must be
+        # served from the checkpoint, never re-run.
+        monkeypatch.setenv(FAULTS_ENV, "E1:crash")
+        resumed = run_all(
+            quick=True, checkpoint=path, resume=True, retries=0
+        )
+        assert render_all(resumed) == render_all(baseline)
+        # A fully successful run clears its checkpoint.
+        assert not path.exists()

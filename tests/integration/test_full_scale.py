@@ -21,7 +21,7 @@ class TestFullScaleSuite:
     def test_all_experiments_present(self, results):
         assert set(results) == {
             "E1", "E2", "E3", "E4a", "E4b", "E5",
-            "X1", "EPM", "X3", "X4", "X5", "THM",
+            "X1", "EPM", "X3", "X4", "X5", "X7a", "X7b", "THM",
         }
 
     def test_e1_uses_paper_configuration(self, results):
@@ -54,6 +54,15 @@ class TestFullScaleSuite:
                 for rt, opt in zip(result.series[name], result.optimal):
                     assert rt >= opt - 1e-9, (key, name)
 
+    def test_x7_single_failure_availability_contract(self, results):
+        # The robustness headline at paper scale: one failed disk loses
+        # queries on every unreplicated scheme, none with chaining.
+        avail = results["X7b"]
+        index = avail.x_values.index(1)
+        assert avail.series["dm+chain"][index] == 1.0
+        for name in ("dm", "fx-auto", "ecc", "hcam"):
+            assert avail.series[name][index] < 1.0
+
     def test_thm_matches_paper_and_refinement(self, results):
         exists = [r.exists for r in results["THM"]]
         assert exists == [
@@ -63,7 +72,8 @@ class TestFullScaleSuite:
     def test_report_renders_completely(self, results):
         report = render_all(results)
         for token in ("[E1]", "[E2]", "[E4a]", "[E4b]", "[E5]", "[X1]",
-                      "[EPM]", "[X3]", "[X4]", "[X5]", "[THM]", "[T1]"):
+                      "[EPM]", "[X3]", "[X4]", "[X5]", "[X7a]", "[X7b]",
+                      "[THM]", "[T1]"):
             assert token in report
 
     def test_report_is_deterministic(self, results):

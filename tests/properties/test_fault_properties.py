@@ -1,0 +1,161 @@
+"""Property-based tests for degraded-mode declustering.
+
+The headline robustness contract, checked per scheme over randomized
+range queries and failures: chained replication masks *any* single
+fail-stop completely (availability 1.0) and its planned degraded
+response time never exceeds twice the healthy planned optimum — the
+failed disk's share moves to the surviving replicas, nothing more.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grid import Grid
+from repro.core.query import query_at
+from repro.core.registry import PAPER_SCHEMES, get_scheme
+from repro.faults.degraded import (
+    degraded_optimal_response_time,
+    degraded_response_time,
+    query_is_available,
+    replicated_query_is_available,
+)
+from repro.faults.models import FailStop, FaultInjector, FaultScenario
+from repro.replication.allocation import chained_replication
+from repro.replication.planner import plan_query
+
+GRID_SIDE = 8
+NUM_DISKS = 4
+
+
+def _replicated(scheme):
+    grid = Grid((GRID_SIDE, GRID_SIDE))
+    return chained_replication(
+        get_scheme(scheme).allocate(grid, NUM_DISKS)
+    )
+
+
+def _random_query(data):
+    rows = data.draw(st.integers(1, GRID_SIDE), label="rows")
+    cols = data.draw(st.integers(1, GRID_SIDE), label="cols")
+    row = data.draw(st.integers(0, GRID_SIDE - rows), label="row")
+    col = data.draw(st.integers(0, GRID_SIDE - cols), label="col")
+    return query_at((row, col), (rows, cols))
+
+
+class TestSingleFailureContract:
+    @given(
+        scheme=st.sampled_from(sorted(PAPER_SCHEMES)),
+        failed=st.integers(0, NUM_DISKS - 1),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_chained_replication_masks_any_single_failstop(
+        self, scheme, failed, data
+    ):
+        replicated = _replicated(scheme)
+        scenario = FaultScenario(NUM_DISKS, [FailStop(failed)])
+        query = _random_query(data)
+        # Availability: both copies never share a disk, so one failure
+        # always leaves a surviving replica of every bucket.
+        assert replicated_query_is_available(
+            replicated, query, scenario
+        )
+        healthy = plan_query(replicated, query, method="flow")
+        degraded = plan_query(
+            replicated, query, method="flow", scenario=scenario
+        )
+        assert degraded.is_complete
+        assert degraded.loads[failed] == 0
+        # The 2x bound: any healthy plan with time T can shed the failed
+        # disk's <= T buckets onto their alternates, each gaining <= T.
+        assert degraded.completion_time <= (
+            2 * healthy.response_time + 1e-9
+        )
+
+    @given(
+        scheme=st.sampled_from(sorted(PAPER_SCHEMES)),
+        failed=st.integers(0, NUM_DISKS - 1),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_unreplicated_layout_loses_exactly_touching_queries(
+        self, scheme, failed, data
+    ):
+        grid = Grid((GRID_SIDE, GRID_SIDE))
+        allocation = get_scheme(scheme).allocate(grid, NUM_DISKS)
+        scenario = FaultScenario(NUM_DISKS, [FailStop(failed)])
+        query = _random_query(data)
+        touches = any(
+            allocation.disk_of(coords) == failed
+            for coords in query.iter_buckets()
+        )
+        assert query_is_available(
+            allocation, query, scenario
+        ) == (not touches)
+
+    @given(
+        scheme=st.sampled_from(sorted(PAPER_SCHEMES)),
+        failed=st.integers(0, NUM_DISKS - 1),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_flow_beats_greedy_and_respects_lower_bound(
+        self, scheme, failed, data
+    ):
+        replicated = _replicated(scheme)
+        scenario = FaultScenario(NUM_DISKS, [FailStop(failed)])
+        query = _random_query(data)
+        flow = plan_query(
+            replicated, query, method="flow", scenario=scenario
+        )
+        greedy = plan_query(
+            replicated, query, method="greedy", scenario=scenario
+        )
+        assert flow.completion_time <= greedy.completion_time + 1e-9
+        assert flow.completion_time >= degraded_optimal_response_time(
+            query.num_buckets, scenario
+        ) - 1e-9
+
+
+class TestDegradedCostProperties:
+    @given(
+        scheme=st.sampled_from(sorted(PAPER_SCHEMES)),
+        seed=st.integers(0, 1000),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_injected_scenarios_keep_costs_consistent(
+        self, scheme, seed, data
+    ):
+        grid = Grid((GRID_SIDE, GRID_SIDE))
+        allocation = get_scheme(scheme).allocate(grid, NUM_DISKS)
+        scenario = FaultInjector(seed).fail_stop(
+            NUM_DISKS, data.draw(st.integers(0, NUM_DISKS - 1))
+        )
+        query = _random_query(data)
+        degraded = degraded_response_time(allocation, query, scenario)
+        healthy = degraded_response_time(
+            allocation, query, FaultScenario.healthy(NUM_DISKS)
+        )
+        # Dropping failed disks can only remove work per disk.
+        assert 0.0 <= degraded <= healthy + 1e-9
+        if query_is_available(allocation, query, scenario):
+            assert degraded == healthy
+
+    @given(
+        failures=st.integers(0, NUM_DISKS - 2),
+        buckets=st.integers(0, 64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_degraded_optimum_monotone_in_failures(
+        self, failures, buckets
+    ):
+        injector = FaultInjector(seed=failures)
+        fewer = injector.fail_stop(NUM_DISKS, failures)
+        more = FaultScenario(
+            NUM_DISKS,
+            [FailStop(range(failures + 1))],
+        )
+        assert degraded_optimal_response_time(
+            buckets, more
+        ) >= degraded_optimal_response_time(buckets, fewer)

@@ -1,0 +1,135 @@
+"""QA501/QA502: the no-silent-failure lint rules."""
+
+import textwrap
+
+from repro.qa.linter import lint_source
+
+
+def codes(findings):
+    return {finding.rule for finding in findings}
+
+
+def lint(source):
+    return lint_source(textwrap.dedent(source))
+
+
+class TestBareExceptRule:
+    def test_bare_except_flagged(self):
+        findings = lint(
+            """
+            try:
+                risky()
+            except:
+                recover()
+            """
+        )
+        assert "QA501" in codes(findings)
+
+    def test_named_exception_clean(self):
+        findings = lint(
+            """
+            try:
+                risky()
+            except ValueError:
+                recover()
+            """
+        )
+        assert "QA501" not in codes(findings)
+
+    def test_finding_points_at_the_handler_line(self):
+        findings = lint("try:\n    x()\nexcept:\n    y()\n")
+        finding = next(f for f in findings if f.rule == "QA501")
+        assert finding.line == 3
+
+
+class TestSilentBroadExceptRule:
+    def test_swallowed_exception_flagged(self):
+        findings = lint(
+            """
+            try:
+                risky()
+            except Exception:
+                pass
+            """
+        )
+        assert "QA502" in codes(findings)
+
+    def test_swallowed_base_exception_flagged(self):
+        findings = lint(
+            """
+            try:
+                risky()
+            except BaseException:
+                ...
+            """
+        )
+        assert "QA502" in codes(findings)
+
+    def test_broad_member_of_tuple_flagged(self):
+        findings = lint(
+            """
+            try:
+                risky()
+            except (ValueError, Exception):
+                pass
+            """
+        )
+        assert "QA502" in codes(findings)
+
+    def test_docstring_only_body_still_silent(self):
+        findings = lint(
+            '''
+            try:
+                risky()
+            except Exception:
+                """Deliberately ignored."""
+            '''
+        )
+        assert "QA502" in codes(findings)
+
+    def test_broad_catch_that_acts_is_allowed(self):
+        # The self-healing runner's pattern: broad, but the failure is
+        # recorded and retried — that must stay legal.
+        findings = lint(
+            """
+            try:
+                risky()
+            except Exception as exc:
+                failures.append(exc)
+            """
+        )
+        assert "QA502" not in codes(findings)
+
+    def test_narrow_silent_catch_is_allowed(self):
+        findings = lint(
+            """
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+            """
+        )
+        assert codes(findings) & {"QA501", "QA502"} == set()
+
+    def test_dotted_exception_name_recognized(self):
+        findings = lint(
+            """
+            try:
+                risky()
+            except builtins.Exception:
+                pass
+            """
+        )
+        assert "QA502" in codes(findings)
+
+    def test_bare_except_not_double_reported(self):
+        findings = lint(
+            """
+            try:
+                risky()
+            except:
+                pass
+            """
+        )
+        assert "QA501" in codes(findings)
+        assert "QA502" not in codes(findings)

@@ -48,6 +48,15 @@ class TestConstruction:
         with pytest.raises(AllocationError):
             ReplicatedAllocation(primary, other)
 
+    def test_single_disk_replication_names_the_real_problem(self, grid):
+        # With M = 1 every backup necessarily lands on the primary's
+        # disk; the error must say "too few disks", not report a
+        # per-bucket copy clash.
+        primary = get_scheme("dm").allocate(grid, 1)
+        backup = get_scheme("fx").allocate(grid, 1)
+        with pytest.raises(AllocationError, match="at least 2 disks"):
+            ReplicatedAllocation(primary, backup)
+
 
 class TestChained:
     def test_offset_applies_modulo(self, grid):

@@ -8,8 +8,11 @@ from repro.core.exceptions import QueryError
 from repro.core.grid import Grid
 from repro.core.query import RangeQuery, all_placements, query_at
 from repro.core.registry import get_scheme
+from repro.faults.degraded import degraded_optimal_response_time
+from repro.faults.models import FailStop, FaultScenario, Slowdown
 from repro.replication import (
     chained_replication,
+    degraded_replicated_response_time,
     orthogonal_replication,
     plan_query,
     replicated_response_time,
@@ -197,3 +200,137 @@ class TestOrthogonalPlanning:
         assert replicated_response_time(
             replicated, row, "flow"
         ) == optimal_response_time(16, 8)
+
+
+class TestDegradedPlanning:
+    """plan_query with a FaultScenario: routing around failures."""
+
+    @pytest.fixture
+    def chained_small(self):
+        grid = Grid((6, 6))
+        return chained_replication(get_scheme("dm").allocate(grid, 3))
+
+    @pytest.mark.parametrize("method", ["flow", "greedy"])
+    def test_failed_disk_never_assigned(self, chained_dm, method):
+        scenario = FaultScenario(8, [FailStop(3)])
+        for query in all_placements(chained_dm.grid, (3, 3)):
+            plan = plan_query(
+                chained_dm, query, method=method, scenario=scenario
+            )
+            assert 3 not in plan.assignment.values()
+            assert plan.loads[3] == 0
+
+    def test_single_failure_keeps_plans_complete(self, chained_dm):
+        scenario = FaultScenario(8, [FailStop(5)])
+        for query in all_placements(chained_dm.grid, (4, 4)):
+            plan = plan_query(chained_dm, query, scenario=scenario)
+            assert plan.is_complete
+            assert plan.num_lost == 0
+            assert plan.loads.sum() == query.num_buckets
+
+    def test_healthy_scenario_takes_the_healthy_path(self, chained_dm):
+        query = query_at((2, 3), (3, 3))
+        plain = plan_query(chained_dm, query)
+        via_scenario = plan_query(
+            chained_dm, query, scenario=FaultScenario.healthy(8)
+        )
+        assert via_scenario.assignment == plain.assignment
+        assert via_scenario.factors is None
+        assert via_scenario.completion_time == plain.response_time
+
+    def test_lost_buckets_recorded(self, chained_small):
+        # Adjacent failures {0, 1} on offset-1 chaining kill every
+        # bucket whose copies are exactly (0, 1).
+        scenario = FaultScenario(3, [FailStop([0, 1])])
+        query = query_at((0, 0), (3, 3))
+        plan = plan_query(chained_small, query, scenario=scenario)
+        expected_lost = {
+            coords
+            for coords in query.iter_buckets()
+            if chained_small.disks_of(coords) == (0, 1)
+        }
+        assert set(plan.lost) == expected_lost
+        assert plan.num_lost == len(expected_lost)
+        assert not plan.is_complete
+        assert plan.loads.sum() == query.num_buckets - plan.num_lost
+
+    def test_completion_time_is_weighted_busiest_disk(self, chained_dm):
+        scenario = FaultScenario(
+            8, [FailStop(0), Slowdown(1, 2.5)]
+        )
+        plan = plan_query(
+            chained_dm, query_at((1, 1), (4, 4)), scenario=scenario
+        )
+        expected = (plan.loads * scenario.factors).max()
+        assert plan.completion_time == pytest.approx(expected)
+
+    def test_flow_never_worse_than_greedy_degraded(self, chained_small):
+        scenario = FaultScenario(3, [FailStop(2), Slowdown(0, 2.0)])
+        for query in all_placements(chained_small.grid, (2, 3)):
+            flow = degraded_replicated_response_time(
+                chained_small, query, scenario, "flow"
+            )
+            greedy = degraded_replicated_response_time(
+                chained_small, query, scenario, "greedy"
+            )
+            assert flow <= greedy + 1e-9
+
+    def test_flow_never_below_degraded_optimum(self, chained_dm):
+        scenario = FaultScenario(8, [FailStop([2, 6])])
+        for query in all_placements(chained_dm.grid, (4, 2)):
+            plan = plan_query(chained_dm, query, scenario=scenario)
+            served = query.num_buckets - plan.num_lost
+            assert plan.completion_time >= degraded_optimal_response_time(
+                served, scenario
+            ) - 1e-9
+
+    def test_degraded_flow_exactness_by_brute_force(self, chained_small):
+        # Exhaustively check every surviving replica choice, including
+        # straggler weighting, against the flow planner's completion.
+        import itertools
+
+        scenario = FaultScenario(
+            3, [FailStop(1), Slowdown(2, 2.0)]
+        )
+        for query in [
+            query_at((0, 0), (2, 2)),
+            query_at((1, 2), (2, 3)),
+            query_at((3, 0), (3, 2)),
+        ]:
+            choices = []
+            for coords in query.iter_buckets():
+                alive = [
+                    d
+                    for d in chained_small.disks_of(coords)
+                    if not scenario.is_failed(d)
+                ]
+                choices.append(alive)
+            best = None
+            for picks in itertools.product(*choices):
+                loads = np.zeros(3, dtype=np.int64)
+                for disk in picks:
+                    loads[disk] += 1
+                cost = float((loads * scenario.factors).max())
+                best = cost if best is None else min(best, cost)
+            planned = degraded_replicated_response_time(
+                chained_small, query, scenario, "flow"
+            )
+            assert planned == pytest.approx(best)
+
+    def test_scenario_disk_count_must_match(self, chained_dm):
+        with pytest.raises(QueryError):
+            plan_query(
+                chained_dm,
+                query_at((0, 0), (2, 2)),
+                scenario=FaultScenario.healthy(4),
+            )
+
+    def test_empty_degraded_plan(self, chained_dm):
+        plan = plan_query(
+            chained_dm,
+            RangeQuery((40, 40), (42, 42)),
+            scenario=FaultScenario(8, [FailStop(0)]),
+        )
+        assert plan.num_buckets == 0
+        assert plan.completion_time == 0.0
+        assert plan.is_complete
