@@ -10,9 +10,13 @@ the many-shapes sweep that motivated the engine (every shape of every
 area on a 64x64 grid, M=16) through the legacy scalar kernel and the
 :class:`~repro.core.engine.ResponseTimeEngine`, and writes the numbers —
 including the measured speedup — to
-``benchmarks/results/BENCH_kernels.json``::
+``benchmarks/results/BENCH_kernels.json``; it also times batches of
+random rectangles (4096 queries, 2-d and 3-d grids) through the legacy
+per-query loop and ``batch_response_times``, written to
+``benchmarks/results/BENCH_batch.json``::
 
-    PYTHONPATH=src python benchmarks/bench_kernels.py [output.json]
+    PYTHONPATH=src python benchmarks/bench_kernels.py \
+        [kernels.json] [batch.json]
 """
 
 import json
@@ -22,10 +26,10 @@ import time
 
 import pytest
 
-from repro.core.cost import sliding_response_times
+from repro.core.cost import response_time, sliding_response_times
 from repro.core.engine import ResponseTimeEngine
 from repro.core.grid import Grid
-from repro.core.query import shapes_with_area
+from repro.core.query import RangeQuery, shapes_with_area
 from repro.core.registry import get_scheme
 from repro.sfc.hilbert import hilbert_index
 
@@ -38,8 +42,16 @@ SWEEP_GRID = (64, 64)
 SWEEP_DISKS = 16
 SWEEP_SCHEME = "fx"
 
+#: Configuration of the scripted batch-query sweep.
+BATCH_NUM_QUERIES = 4096
+BATCH_GRIDS = ((64, 64), (32, 32, 32))
+BATCH_SEED = 413
+
 DEFAULT_JSON = (
     pathlib.Path(__file__).parent / "results" / "BENCH_kernels.json"
+)
+DEFAULT_BATCH_JSON = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_batch.json"
 )
 
 
@@ -91,6 +103,30 @@ def test_large_grid_allocation(benchmark):
         lambda: get_scheme("hcam").allocate(grid, 32)
     )
     assert allocation.is_storage_balanced()
+
+
+def _random_queries(grid: Grid, count: int, seed: int):
+    """``count`` seeded-random rectangles, arbitrary position and extent."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    dims = np.asarray(grid.dims, dtype=np.int64)
+    lower = rng.integers(0, dims, size=(count, grid.ndim))
+    upper = rng.integers(lower, dims, size=(count, grid.ndim))
+    return [
+        RangeQuery(tuple(lo), tuple(hi))
+        for lo, hi in zip(lower, upper)
+    ]
+
+
+def test_engine_batch_queries(benchmark):
+    # Amortized batch cost: SAT precomputed outside the timed region,
+    # as in real sweeps via the allocation cache.
+    allocation = get_scheme("dm").allocate(GRID, DISKS)
+    engine = ResponseTimeEngine(allocation)
+    queries = _random_queries(GRID, 1024, BATCH_SEED)
+    times = benchmark(lambda: engine.batch_response_times(queries))
+    assert times.shape == (1024,)
 
 
 def _all_shapes(grid: Grid):
@@ -150,14 +186,89 @@ def run_speedup_bench(
     }
 
 
+def run_batch_bench(
+    num_queries=BATCH_NUM_QUERIES,
+    grids=BATCH_GRIDS,
+    num_disks=SWEEP_DISKS,
+    scheme=SWEEP_SCHEME,
+    seed=BATCH_SEED,
+) -> dict:
+    """Time random-rectangle batches through both query paths.
+
+    Per grid: ``num_queries`` seeded-random rectangles evaluated by the
+    legacy per-query loop (:func:`repro.core.cost.response_time` one
+    query at a time) and by one
+    :meth:`~repro.core.engine.ResponseTimeEngine.batch_response_times`
+    call, with a bit-identity sanity check between the two.
+    """
+    import numpy as np
+
+    records = []
+    for grid_dims in grids:
+        grid = Grid(grid_dims)
+        allocation = get_scheme(scheme).allocate(grid, num_disks)
+        queries = _random_queries(grid, num_queries, seed)
+
+        start = time.perf_counter()
+        legacy = np.array(
+            [response_time(allocation, query) for query in queries],
+            dtype=np.int64,
+        )
+        legacy_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        engine = ResponseTimeEngine(allocation)
+        build_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        batched = engine.batch_response_times(queries)
+        batch_seconds = time.perf_counter() - start
+
+        assert np.array_equal(legacy, batched)
+
+        total_batch = build_seconds + batch_seconds
+        records.append(
+            {
+                "grid": list(grid_dims),
+                "num_disks": num_disks,
+                "scheme": scheme,
+                "num_queries": num_queries,
+                "seed": seed,
+                "legacy_seconds": round(legacy_seconds, 6),
+                "engine_build_seconds": round(build_seconds, 6),
+                "batch_seconds": round(batch_seconds, 6),
+                "legacy_us_per_query": round(
+                    1e6 * legacy_seconds / num_queries, 3
+                ),
+                "batch_us_per_query": round(
+                    1e6 * batch_seconds / num_queries, 3
+                ),
+                "speedup_amortized": round(
+                    legacy_seconds / batch_seconds, 2
+                ),
+                "speedup_including_build": round(
+                    legacy_seconds / total_batch, 2
+                ),
+            }
+        )
+    return {"benchmark": "batch_queries", "grids": records}
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     target = pathlib.Path(argv[0]) if argv else DEFAULT_JSON
+    batch_target = (
+        pathlib.Path(argv[1]) if len(argv) > 1 else DEFAULT_BATCH_JSON
+    )
     record = run_speedup_bench()
     target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(json.dumps(record, indent=2) + "\n")
     print(json.dumps(record, indent=2))
     print(f"[written to {target}]", file=sys.stderr)
+    batch_record = run_batch_bench()
+    batch_target.parent.mkdir(parents=True, exist_ok=True)
+    batch_target.write_text(json.dumps(batch_record, indent=2) + "\n")
+    print(json.dumps(batch_record, indent=2))
+    print(f"[written to {batch_target}]", file=sys.stderr)
     return 0
 
 

@@ -52,6 +52,10 @@ run_step "degraded mode (quick)" \
     python -m repro experiment degraded --quick
 # Self-healing smoke: crash -> checkpoint -> --resume, byte-identical.
 run_step "resume round-trip" python scripts/smoke_resume.py
+# Zero-copy workers must unlink every shared-memory segment they create.
+run_step "shm leak check" python scripts/check_shm_leaks.py
+# The batch query engine must stay >=5x faster than the per-query loop.
+run_step "batch bench gate" python scripts/check_bench_gate.py
 
 if [ "${failed}" -ne 0 ]; then
     echo "check_all: FAILED" >&2

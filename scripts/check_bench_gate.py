@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""CI regression gate for the batched query engine.
+
+Re-times the random-rectangle batch benchmark
+(:func:`benchmarks.bench_kernels.run_batch_bench`) live and fails when
+the amortized speedup of ``batch_response_times`` over the legacy
+per-query loop drops below the floor on any grid — the regression the
+batch path exists to prevent.  The floor is 5x by default
+(``REPRO_BENCH_MIN_SPEEDUP`` overrides it, e.g. on very noisy runners).
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_bench_gate.py
+"""
+
+import json
+import os
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "benchmarks"))
+
+from bench_kernels import run_batch_bench  # noqa: E402
+
+
+def main() -> int:
+    floor = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "5"))
+    record = run_batch_bench()
+    print(json.dumps(record, indent=2))
+    failures = []
+    for grid_record in record["grids"]:
+        speedup = grid_record["speedup_amortized"]
+        grid = "x".join(str(d) for d in grid_record["grid"])
+        if speedup < floor:
+            failures.append(
+                f"grid {grid}: amortized speedup {speedup}x < {floor}x"
+            )
+        else:
+            print(f"bench gate: grid {grid} at {speedup}x (floor {floor}x)")
+    if failures:
+        for failure in failures:
+            print(f"bench gate: FAILED — {failure}", file=sys.stderr)
+        return 1
+    print("bench gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

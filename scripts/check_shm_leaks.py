@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""CI gate: the parallel runner must not leak shared-memory segments.
+
+Runs the quick suite with two workers — which shares every allocation
+table over ``multiprocessing.shared_memory`` — and then asserts that no
+``repro-shm-*`` segment survives in ``/dev/shm``.  Segments present
+before the run (e.g. from a concurrent developer session) are tolerated
+and reported, but anything newly created by this run must be gone:
+:class:`repro.core.shm.SharedAllocationArena` owns deterministic
+teardown, and this gate is its end-to-end proof.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_shm_leaks.py
+"""
+
+import sys
+
+from repro.core.shm import stray_segments
+from repro.experiments.runner import run_all
+
+
+def main() -> int:
+    before = set(stray_segments())
+    if before:
+        print(
+            f"shm leak check: {len(before)} pre-existing segment(s) "
+            f"(tolerated): {sorted(before)}"
+        )
+    results = run_all(quick=True, workers=2)
+    if len(results) == 0:
+        print("shm leak check: runner returned no results", file=sys.stderr)
+        return 1
+    leaked = sorted(set(stray_segments()) - before)
+    if leaked:
+        print(
+            f"shm leak check: FAILED — {len(leaked)} leaked segment(s): "
+            f"{leaked}",
+            file=sys.stderr,
+        )
+        return 1
+    print("shm leak check: ok — no stray /dev/shm segments after run_all")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -134,7 +134,22 @@ def _print_cache_stats(args) -> None:
     if getattr(args, "cache_stats", False):
         from repro.core.cache import global_cache
 
-        print(global_cache().stats().render(), file=sys.stderr)
+        cache = global_cache()
+        print(cache.stats().render(), file=sys.stderr)
+        for entry in cache.entry_report():
+            dims = "x".join(str(d) for d in entry["dims"])
+            engine = (
+                f"engine={entry['engine_nbytes']}B"
+                if entry["engine_built"]
+                else "engine=unbuilt"
+            )
+            residency = "shared" if entry["shared"] else "private"
+            print(
+                f"  {entry['scheme']:10s} grid={dims} M={entry['num_disks']} "
+                f"dtype={entry['table_dtype']} "
+                f"table={entry['table_nbytes']}B {engine} {residency}",
+                file=sys.stderr,
+            )
 
 
 #: Default checkpoint location for ``experiment all --resume``.
@@ -461,7 +476,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument(
         "--cache-stats",
         action="store_true",
-        help="print allocation-cache hit/miss counters to stderr",
+        help=(
+            "print allocation-cache counters plus per-entry table dtype, "
+            "sizes, and shared-memory residency to stderr"
+        ),
     )
 
     p_profile = sub.add_parser(

@@ -22,7 +22,25 @@ from repro.core.grid import Coords, Grid
 __all__ = [
     "DiskAllocation",
     "allocation_from_function",
+    "table_dtype",
 ]
+
+
+def table_dtype(num_disks: int) -> np.dtype:
+    """Smallest unsigned dtype that can hold disk ids ``0 .. M-1``.
+
+    ``uint8`` covers every configuration the paper evaluates (M <= 256);
+    the compact dtype is what makes allocation tables cheap to cache and
+    to place in shared memory for the parallel runner.
+    """
+    if num_disks <= 0:
+        raise AllocationError(
+            f"number of disks must be positive, got {num_disks}"
+        )
+    for candidate in (np.uint8, np.uint16, np.uint32):
+        if num_disks - 1 <= np.iinfo(candidate).max:
+            return np.dtype(candidate)
+    return np.dtype(np.uint64)
 
 
 class DiskAllocation:
@@ -72,11 +90,51 @@ class DiskAllocation:
             )
         self._grid = grid
         self._num_disks = num_disks
-        # Private copy (always — never alias the caller's array) in a
-        # compact dtype; the table is immutable from here.
-        table = np.array(table, dtype=np.int64, copy=True, order="C")
+        # Private copy (always — never alias the caller's array) in the
+        # smallest sufficient unsigned dtype; the table is immutable from
+        # here.
+        table = np.array(
+            table, dtype=table_dtype(num_disks), copy=True, order="C"
+        )
         table.setflags(write=False)
         self._table = table
+
+    @classmethod
+    def from_buffer(
+        cls, grid: Grid, num_disks: int, table: np.ndarray
+    ) -> "DiskAllocation":
+        """Wrap an existing array *without copying* (shared-memory attach).
+
+        The caller guarantees ``table`` is C-contiguous, already in
+        :func:`table_dtype` for ``num_disks``, and will stay alive and
+        unmodified for the allocation's lifetime — exactly what
+        :mod:`repro.core.shm` arranges for tables backed by
+        ``multiprocessing.shared_memory``.  The array is marked read-only
+        in this process; values are validated like the copying path.
+        """
+        num_disks = int(num_disks)
+        expected = table_dtype(num_disks)
+        if table.dtype != expected:
+            raise AllocationError(
+                f"zero-copy table must use dtype {expected}, got "
+                f"{table.dtype}"
+            )
+        if table.shape != grid.dims:
+            raise AllocationError(
+                f"table shape {table.shape} does not match grid {grid.dims}"
+            )
+        if table.size and table.max() >= num_disks:
+            raise AllocationError(
+                "table contains disk ids outside "
+                f"[0, {num_disks}): max={table.max()}"
+            )
+        allocation = cls.__new__(cls)
+        table = table.view()
+        table.setflags(write=False)
+        allocation._grid = grid
+        allocation._num_disks = num_disks
+        allocation._table = table
+        return allocation
 
     @property
     def grid(self) -> Grid:
@@ -92,6 +150,11 @@ class DiskAllocation:
     def table(self) -> np.ndarray:
         """The (read-only) disk-id array, shaped like the grid."""
         return self._table
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the table, in bytes (compact dtype)."""
+        return int(self._table.nbytes)
 
     def disk_of(self, coords: Sequence[int]) -> int:
         """Disk id holding the bucket at ``coords``."""

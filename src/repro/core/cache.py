@@ -20,18 +20,28 @@ A process-wide default cache (:func:`global_cache`) is shared by every
 :class:`~repro.core.evaluator.SchemeEvaluator` unless one is injected.
 Worker processes spawned by the parallel experiment runner each get their
 own instance — module state is rebuilt on import, which keeps the cache
-spawn-safe with zero coordination.
+spawn-safe with zero coordination.  The parallel runner additionally
+installs a :class:`~repro.core.shm.SharedAllocationBroker` into each
+worker's global cache (:meth:`AllocationCache.set_broker`): a miss then
+first tries a zero-copy attach of a table another worker already built
+and published over ``multiprocessing.shared_memory``, and only builds —
+then publishes — when no worker has.  Sharing is semantics-free because
+allocation is deterministic (QA405); it only removes duplicate work and
+duplicate resident memory.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.allocation import DiskAllocation
 from repro.core.engine import ResponseTimeEngine
 from repro.core.grid import Grid
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.shm import SharedAllocationBroker
 
 __all__ = [
     "AllocationCache",
@@ -53,6 +63,12 @@ class CacheStats:
     evictions: int
     entries: int
     maxsize: int
+    #: Misses satisfied by a zero-copy attach from the shared-memory
+    #: broker (0 when no broker is installed, so the defaults keep old
+    #: call sites and serialized snapshots valid).
+    shared_hits: int = 0
+    #: Freshly built allocations published to the broker.
+    publishes: int = 0
 
     @property
     def requests(self) -> int:
@@ -66,20 +82,28 @@ class CacheStats:
 
     def render(self) -> str:
         """One-line human-readable summary for report footers."""
-        return (
+        line = (
             f"allocation cache: {self.hits} hit(s), {self.misses} miss(es) "
             f"({self.hit_rate:.0%} hit rate), {self.entries}/{self.maxsize} "
             f"entries, {self.evictions} eviction(s)"
         )
+        if self.shared_hits or self.publishes:
+            line += (
+                f", {self.shared_hits} shared-memory attach(es), "
+                f"{self.publishes} publish(es)"
+            )
+        return line
 
 
 class _Entry:
     """One cached allocation with its lazily built engine."""
 
-    __slots__ = ("allocation", "_engine")
+    __slots__ = ("allocation", "shared", "_engine")
 
-    def __init__(self, allocation: DiskAllocation):
+    def __init__(self, allocation: DiskAllocation, shared: bool = False):
         self.allocation = allocation
+        #: True when ``allocation.table`` views a shared-memory segment.
+        self.shared = shared
         self._engine: Optional[ResponseTimeEngine] = None
 
     @property
@@ -87,6 +111,10 @@ class _Entry:
         if self._engine is None:
             self._engine = ResponseTimeEngine(self.allocation)
         return self._engine
+
+    @property
+    def engine_built(self) -> bool:
+        return self._engine is not None
 
 
 class AllocationCache:
@@ -102,7 +130,11 @@ class AllocationCache:
     1
     """
 
-    def __init__(self, maxsize: int = DEFAULT_MAXSIZE):
+    def __init__(
+        self,
+        maxsize: int = DEFAULT_MAXSIZE,
+        broker: Optional["SharedAllocationBroker"] = None,
+    ):
         maxsize = int(maxsize)
         if maxsize <= 0:
             raise ValueError(f"cache maxsize must be positive: {maxsize}")
@@ -113,6 +145,25 @@ class AllocationCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._shared_hits = 0
+        self._publishes = 0
+        self._broker = broker
+
+    def set_broker(
+        self, broker: Optional["SharedAllocationBroker"]
+    ) -> None:
+        """Install (or remove, with None) a shared-memory broker.
+
+        The broker keys on the scheme *name*, so only install one in
+        processes whose registry holds the default schemes — the
+        parallel runner's spawn workers by construction.
+        """
+        self._broker = broker
+
+    @property
+    def broker(self) -> Optional["SharedAllocationBroker"]:
+        """The installed shared-memory broker, if any."""
+        return self._broker
 
     @property
     def maxsize(self) -> int:
@@ -141,10 +192,32 @@ class AllocationCache:
             self._entries.move_to_end(key)
             return entry
         self._misses += 1
-        from repro.core.registry import get_scheme
+        allocation = None
+        shared = False
+        if self._broker is not None:
+            allocation = self._broker.get(scheme_name, grid, int(num_disks))
+            if allocation is not None:
+                shared = True
+                self._shared_hits += 1
+        if allocation is None:
+            from repro.core.registry import get_scheme
 
-        allocation = get_scheme(scheme_name).allocate(grid, int(num_disks))
-        entry = _Entry(allocation)
+            allocation = get_scheme(scheme_name).allocate(
+                grid, int(num_disks)
+            )
+            if self._broker is not None:
+                # publish returns a zero-copy view onto the shared
+                # segment, so this process's resident copy is dropped
+                # too (first writer wins; losers attach the winner's).
+                try:
+                    allocation = self._broker.publish(
+                        scheme_name, grid, int(num_disks), allocation
+                    )
+                    shared = True
+                    self._publishes += 1
+                except Exception:
+                    shared = False
+        entry = _Entry(allocation, shared=shared)
         self._entries[key] = entry
         while len(self._entries) > self._maxsize:
             self._entries.popitem(last=False)
@@ -171,7 +244,37 @@ class AllocationCache:
             evictions=self._evictions,
             entries=len(self._entries),
             maxsize=self._maxsize,
+            shared_hits=self._shared_hits,
+            publishes=self._publishes,
         )
+
+    def entry_report(self) -> List[Dict[str, object]]:
+        """Per-entry details for ``--cache-stats`` diagnostics.
+
+        One dict per cached entry, in LRU order (least recent first):
+        scheme name, grid dims, disk count, table dtype and bytes,
+        whether the integral-image engine has been built (and its
+        bytes), and whether the table resides in shared memory.
+        """
+        report: List[Dict[str, object]] = []
+        for key, entry in self._entries.items():
+            scheme_name, _factory, dims, num_disks = key
+            allocation = entry.allocation
+            report.append(
+                {
+                    "scheme": scheme_name,
+                    "dims": dims,
+                    "num_disks": num_disks,
+                    "table_dtype": str(allocation.table.dtype),
+                    "table_nbytes": allocation.nbytes,
+                    "engine_built": entry.engine_built,
+                    "engine_nbytes": (
+                        entry.engine.nbytes() if entry.engine_built else 0
+                    ),
+                    "shared": entry.shared,
+                }
+            )
+        return report
 
     def clear(self) -> None:
         """Drop all entries; counters are preserved."""
@@ -187,6 +290,8 @@ class AllocationCache:
             "entries": stats.entries,
             "maxsize": stats.maxsize,
             "hit_rate": stats.hit_rate,
+            "shared_hits": stats.shared_hits,
+            "publishes": stats.publishes,
         }
 
 

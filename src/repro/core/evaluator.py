@@ -77,12 +77,18 @@ def evaluate_allocation_on_queries(
     allocation: DiskAllocation,
     queries: Sequence[RangeQuery],
     scheme_name: str = "custom",
+    engine: Optional[ResponseTimeEngine] = None,
 ) -> EvaluationResult:
-    """Evaluate an explicit query list against one allocation."""
+    """Evaluate an explicit query list against one allocation.
+
+    When ``engine`` is given the whole batch is answered through the
+    integral-image :meth:`~repro.core.engine.ResponseTimeEngine.batch_response_times`
+    path; results are bit-identical to the scalar per-query loop.
+    """
     queries = list(queries)
     if not queries:
         raise QueryError("workload contains no queries")
-    times = response_times(allocation, queries)
+    times = response_times(allocation, queries, engine=engine)
     optima = optimal_times(queries, allocation.num_disks)
     return EvaluationResult(
         scheme=scheme_name,
@@ -218,11 +224,18 @@ class SchemeEvaluator:
     def evaluate_queries(
         self, queries: Sequence[RangeQuery]
     ) -> List[EvaluationResult]:
-        """All schemes against an explicit query list."""
+        """All schemes against an explicit query list.
+
+        Uses the cached engine's batch path (one fancy-indexing gather
+        per SAT corner for the whole list) unless ``use_engine=False``.
+        """
         queries = list(queries)
         return [
             evaluate_allocation_on_queries(
-                self.allocation(name), queries, scheme_name=name
+                self.allocation(name),
+                queries,
+                scheme_name=name,
+                engine=self.engine(name) if self._use_engine else None,
             )
             for name in self._scheme_names
         ]

@@ -1,0 +1,380 @@
+"""Zero-copy allocation sharing over ``multiprocessing.shared_memory``.
+
+The parallel experiment runner fans independent experiments out over a
+spawn-context process pool.  Each worker imports the package fresh, so
+without coordination every worker re-materializes the same
+``(scheme, grid, M)`` allocations the others already built — the exact
+duplication the in-process :class:`~repro.core.cache.AllocationCache`
+eliminates within one process.  This module extends that cache across
+processes:
+
+* :func:`share_allocation` copies an allocation's (compact-dtype) table
+  into a named ``SharedMemory`` segment and returns a tiny picklable
+  :class:`SharedTableHandle`;
+* :func:`attach_allocation` maps a handle back into a read-only
+  :class:`~repro.core.allocation.DiskAllocation` **without copying** —
+  the numpy table is a view straight onto the shared segment;
+* :class:`SharedAllocationBroker` is the cross-process registry the
+  cache consults on a miss: the first process to build a triple
+  publishes it, every other process attaches zero-copy;
+* :class:`SharedAllocationArena` is the parent-side owner: it hosts the
+  broker's managed state and guarantees **deterministic teardown** —
+  every segment ever reserved is unlinked in :meth:`~SharedAllocationArena.close`,
+  even segments whose publishing worker crashed mid-write.
+
+Correctness notes.  Scheme allocation is contractually deterministic
+(QA405), so a table attached from another process is bit-identical to
+the one the attaching process would have built — sharing is
+semantics-free, it only moves time and memory around.  The broker keys
+on the *scheme name* alone (handles must be picklable); it is therefore
+only installed by the parallel runner, whose spawn workers see the
+pristine default registry — never share a broker across processes that
+re-register scheme names.
+
+Resource-tracker note.  Python's ``resource_tracker`` would unlink a
+segment as soon as *any* tracked process exits, which is exactly wrong
+for segments whose lifetime the arena owns.  Every ``SharedMemory``
+opened here is immediately untracked (``track=False`` on 3.13+, manual
+unregister before that); the arena's name ledger is the single source
+of truth for teardown.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import os
+import secrets
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.allocation import DiskAllocation, table_dtype
+from repro.core.grid import Grid
+
+__all__ = [
+    "SHM_NAME_PREFIX",
+    "SharedAllocationArena",
+    "SharedAllocationBroker",
+    "SharedTableHandle",
+    "attach_allocation",
+    "share_allocation",
+    "stray_segments",
+]
+
+#: Every segment this module creates starts with this prefix, which is
+#: what the leak check greps /dev/shm for.
+SHM_NAME_PREFIX = "repro-shm"
+
+
+@contextlib.contextmanager
+def _tracker_silenced():
+    """Suppress resource-tracker traffic for the enclosed shm calls.
+
+    Pre-3.13 ``SharedMemory`` registers every open (attach included)
+    with the resource tracker and unregisters inside ``unlink()``.  The
+    tracker's registry is a *set* shared by all processes of a spawn
+    tree, so concurrent opens of one segment from two workers collapse
+    to a single entry and the second unregister crashes the tracker
+    loop with a KeyError.  Since the arena owns segment lifetime
+    outright, the clean semantics are 3.13's ``track=False``: no
+    tracker traffic at all — which this shim retrofits by no-opping
+    the module hooks around the stdlib call.
+    """
+    from multiprocessing import resource_tracker
+
+    original_register = resource_tracker.register
+    original_unregister = resource_tracker.unregister
+    resource_tracker.register = lambda name, rtype: None
+    resource_tracker.unregister = lambda name, rtype: None
+    try:
+        yield
+    finally:
+        resource_tracker.register = original_register
+        resource_tracker.unregister = original_unregister
+
+
+def _open_segment(name: str, create: bool = False, size: int = 0):
+    """Open a ``SharedMemory`` segment outside resource-tracker custody."""
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(
+            name=name, create=create, size=size, track=False
+        )
+    except TypeError:  # Python < 3.13: no track parameter
+        with _tracker_silenced():
+            return shared_memory.SharedMemory(
+                name=name, create=create, size=size
+            )
+
+
+@dataclass(frozen=True)
+class SharedTableHandle:
+    """Everything needed to re-open a shared allocation table.
+
+    Small and picklable — this is what crosses process boundaries in
+    place of the table itself.
+    """
+
+    name: str
+    dims: Tuple[int, ...]
+    num_disks: int
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the shared table in bytes."""
+        size = 1
+        for extent in self.dims:
+            size *= int(extent)
+        return size * table_dtype(self.num_disks).itemsize
+
+
+#: Segments this process has attached, kept alive for the lifetime of
+#: the numpy views handed out (closing a SharedMemory invalidates its
+#: buffer).  Keyed by segment name; attach is idempotent per process.
+_ATTACHED: Dict[str, object] = {}
+
+
+def share_allocation(
+    allocation: DiskAllocation, name: Optional[str] = None
+) -> SharedTableHandle:
+    """Copy an allocation's table into a named shared-memory segment.
+
+    Returns the handle; the segment stays alive until someone unlinks it
+    (the arena's job).  ``name`` defaults to a fresh unique name under
+    :data:`SHM_NAME_PREFIX`.
+    """
+    if name is None:
+        name = f"{SHM_NAME_PREFIX}-{os.getpid()}-{secrets.token_hex(4)}"
+    table = allocation.table
+    segment = _open_segment(name, create=True, size=table.nbytes)
+    try:
+        view = np.ndarray(
+            table.shape, dtype=table.dtype, buffer=segment.buf
+        )
+        view[...] = table
+    finally:
+        # The data is in the kernel object; this process-local mapping
+        # can close (attach_allocation re-opens it when needed).
+        segment.close()
+    return SharedTableHandle(
+        name=name,
+        dims=allocation.grid.dims,
+        num_disks=allocation.num_disks,
+    )
+
+
+def attach_allocation(handle: SharedTableHandle) -> DiskAllocation:
+    """Map a shared table back into a zero-copy ``DiskAllocation``.
+
+    Raises ``FileNotFoundError`` if the segment no longer exists (e.g.
+    the run that published it already tore down) — callers treat that as
+    a cache miss.
+    """
+    segment = _ATTACHED.get(handle.name)
+    if segment is None:
+        segment = _open_segment(handle.name)
+        _ATTACHED[handle.name] = segment
+    table = np.ndarray(
+        handle.dims,
+        dtype=table_dtype(handle.num_disks),
+        buffer=segment.buf,  # type: ignore[attr-defined]
+    )
+    return DiskAllocation.from_buffer(
+        Grid(handle.dims), handle.num_disks, table
+    )
+
+
+def detach_all() -> int:
+    """Close every segment this process attached; returns the count.
+
+    Only safe when no live ``DiskAllocation`` still views the buffers —
+    used by tests and at deliberate teardown points.
+    """
+    count = 0
+    for name in list(_ATTACHED):
+        segment = _ATTACHED.pop(name)
+        try:
+            segment.close()
+        except OSError:
+            pass  # mapping already invalidated; nothing left to release
+        count += 1
+    return count
+
+
+def unlink_segment(name: str) -> bool:
+    """Best-effort unlink of one segment; True if it existed."""
+    try:
+        segment = _ATTACHED.pop(name, None) or _open_segment(name)
+    except FileNotFoundError:
+        return False
+    try:
+        with _tracker_silenced():
+            segment.unlink()
+    except FileNotFoundError:
+        return False
+    finally:
+        try:
+            segment.close()
+        except OSError:
+            pass  # already closed or mapping gone; unlink happened
+    return True
+
+
+def stray_segments(prefix: str = SHM_NAME_PREFIX) -> list:
+    """Names of live shared-memory segments under ``prefix``.
+
+    Reads ``/dev/shm`` where available (Linux); elsewhere returns an
+    empty list.  The CI leak gate asserts this is empty after a full
+    parallel run.
+    """
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):
+        return []
+    return sorted(
+        entry
+        for entry in os.listdir(shm_dir)
+        if entry.startswith(prefix)
+    )
+
+
+class SharedAllocationBroker:
+    """Cross-process publish/attach registry for allocation tables.
+
+    Holds only picklable manager proxies, so the whole broker travels to
+    spawn workers via the pool initializer.  Workers call :meth:`get` on
+    a cache miss and :meth:`publish` after building — the first writer
+    wins, later writers discard their duplicate segment and attach the
+    winner's.
+    """
+
+    def __init__(self, registry, ledger, prefix: str):
+        self._registry = registry  # key -> SharedTableHandle
+        self._ledger = ledger  # every segment name ever reserved
+        self._prefix = prefix
+        self._counter = itertools.count()
+
+    @staticmethod
+    def _key(scheme_name: str, grid: Grid, num_disks: int) -> str:
+        return f"{scheme_name}|{grid.dims}|{int(num_disks)}"
+
+    def _reserve_name(self) -> str:
+        # The name goes on the ledger *before* the segment exists, so a
+        # crash between reservation and creation leaks nothing the
+        # arena's teardown cannot find.
+        name = (
+            f"{self._prefix}-{os.getpid()}-{next(self._counter)}"
+        )
+        self._ledger.append(name)
+        return name
+
+    def get(
+        self, scheme_name: str, grid: Grid, num_disks: int
+    ) -> Optional[DiskAllocation]:
+        """Zero-copy attach of a previously published triple, or None."""
+        handle = self._registry.get(self._key(scheme_name, grid, num_disks))
+        if handle is None:
+            return None
+        try:
+            return attach_allocation(handle)
+        except FileNotFoundError:
+            return None
+
+    def publish(
+        self,
+        scheme_name: str,
+        grid: Grid,
+        num_disks: int,
+        allocation: DiskAllocation,
+    ) -> DiskAllocation:
+        """Publish a freshly built allocation; returns the shared copy.
+
+        The returned allocation views shared memory (so even the
+        publishing process drops its private table once the entry is
+        cached).  On a publish race the duplicate segment is unlinked
+        and the winner's table attached instead.
+        """
+        key = self._key(scheme_name, grid, num_disks)
+        name = self._reserve_name()
+        handle = share_allocation(allocation, name=name)
+        try:
+            winner = self._registry.setdefault(key, handle)
+        except Exception:
+            # Manager connection gone (teardown raced us): fall back to
+            # the private allocation; the ledger still covers the
+            # segment.
+            return allocation
+        if winner.name != handle.name:
+            unlink_segment(handle.name)
+            attached = self.get(scheme_name, grid, num_disks)
+            if attached is not None:
+                return attached
+            return allocation
+        return attach_allocation(handle)
+
+    def segment_names(self) -> list:
+        """Every segment name ever reserved through this broker."""
+        return list(self._ledger)
+
+    def unlink_all(self) -> int:
+        """Unlink every reserved segment; returns how many existed."""
+        count = 0
+        for name in self.segment_names():
+            if unlink_segment(name):
+                count += 1
+        return count
+
+
+class SharedAllocationArena:
+    """Parent-side owner of a broker and its manager process.
+
+    Usage (what the parallel runner does)::
+
+        arena = SharedAllocationArena.try_create()
+        try:
+            ...  # hand arena.broker to worker initializers
+        finally:
+            if arena is not None:
+                arena.close()
+
+    ``close`` unlinks every segment on the ledger and shuts the manager
+    down — after it returns, ``stray_segments()`` sees nothing from this
+    run even if workers crashed or hung mid-publish.
+    """
+
+    def __init__(self, manager, broker: SharedAllocationBroker):
+        self._manager = manager
+        self.broker = broker
+
+    @classmethod
+    def try_create(cls) -> Optional["SharedAllocationArena"]:
+        """Build an arena, or None where managers/shm are unavailable."""
+        if os.environ.get("REPRO_DISABLE_SHM") == "1":
+            return None
+        try:
+            import multiprocessing
+
+            manager = multiprocessing.Manager()
+            broker = SharedAllocationBroker(
+                manager.dict(),
+                manager.list(),
+                prefix=f"{SHM_NAME_PREFIX}-{secrets.token_hex(4)}",
+            )
+        except Exception:
+            return None
+        return cls(manager, broker)
+
+    def close(self) -> None:
+        """Unlink all segments, then stop the manager (idempotent)."""
+        if self._manager is None:
+            return
+        try:
+            self.broker.unlink_all()
+        finally:
+            try:
+                self._manager.shutdown()
+            except (OSError, EOFError):
+                pass  # manager process already gone; nothing to stop
+            self._manager = None

@@ -13,7 +13,15 @@ over a spawn-context process pool.  Each worker imports the package
 fresh (so the allocation cache is rebuilt per process — spawn-safe by
 construction) and every experiment is deterministic, so the parallel run
 returns results identical to the serial one, assembled in the same
-canonical key order regardless of completion order.
+canonical key order regardless of completion order.  Workers do not
+rebuild allocations redundantly: the pool initializer installs a
+:class:`~repro.core.shm.SharedAllocationBroker` into each worker's
+global allocation cache, so the first worker to materialize a
+``(scheme, grid, M)`` table publishes it to a
+``multiprocessing.shared_memory`` segment and every other worker
+attaches it zero-copy instead of re-deriving (or re-pickling) it.  The
+parent owns teardown: every segment is unlinked when the run finishes,
+succeeds, fails, or is retried — workers crashing mid-publish included.
 
 The runner is also **self-healing**: a worker that crashes, dies without
 a traceback, or hangs past ``timeout`` is retried (``retries`` attempts
@@ -225,6 +233,18 @@ def _run_serial(
     return raw
 
 
+def _init_worker_broker(broker) -> None:
+    """Pool initializer: point this worker's global cache at the broker.
+
+    Runs in the worker before any experiment; module-level so it pickles
+    under spawn.  Workers hold the pristine default scheme registry, so
+    the broker's name-keyed registry is unambiguous here.
+    """
+    from repro.core.cache import global_cache
+
+    global_cache().set_broker(broker)
+
+
 def _terminate_pool(pool: ProcessPoolExecutor) -> None:
     """Tear a pool down even when workers are hung or already dead.
 
@@ -256,53 +276,69 @@ def _run_parallel(
     or exceeds ``timeout`` are collected and retried next round after an
     exponential backoff, up to ``retries`` extra attempts per key.
     """
+    from repro.core.shm import SharedAllocationArena
+
     raw: Dict[str, object] = {}
     attempts: Dict[str, int] = {key: 0 for key in pending}
     failures: Dict[str, BaseException] = {}
     round_index = 0
-    while pending:
-        context = multiprocessing.get_context("spawn")
-        pool = ProcessPoolExecutor(
-            max_workers=workers, mp_context=context
-        )
-        failed: List[str] = []
-        try:
-            futures = {
-                key: pool.submit(run_experiment, key, quick)
-                for key in pending
-            }
-            for key in pending:
-                try:
-                    result = futures[key].result(timeout=timeout)
-                except FutureTimeoutError as exc:
-                    failures[key] = exc
-                    failed.append(key)
-                except Exception as exc:
-                    # Worker exception or BrokenProcessPool after a hard
-                    # worker death; both are retryable.
-                    failures[key] = exc
-                    failed.append(key)
-                else:
-                    raw[key] = result
-                    if checkpoint is not None:
-                        checkpoint.record(key, result)
-        finally:
-            _terminate_pool(pool)
-        for key in failed:
-            attempts[key] += 1
-        exhausted = [key for key in failed if attempts[key] > retries]
-        if exhausted:
-            details = "; ".join(
-                f"{key}: {failures[key]!r}" for key in exhausted
+    # One arena for the whole run (all retry rounds): allocations built
+    # in a crashed round stay attachable in the next, and the single
+    # ``finally`` below guarantees every segment is unlinked exactly once.
+    arena = SharedAllocationArena.try_create()
+    initargs = {}
+    if arena is not None:
+        initargs = {
+            "initializer": _init_worker_broker,
+            "initargs": (arena.broker,),
+        }
+    try:
+        while pending:
+            context = multiprocessing.get_context("spawn")
+            pool = ProcessPoolExecutor(
+                max_workers=workers, mp_context=context, **initargs
             )
-            raise RunnerError(
-                f"experiment(s) failed after {retries + 1} attempt(s) — "
-                f"{details}"
-            )
-        pending = failed
-        if pending:
-            time.sleep(_retry_round_delay(backoff, round_index))
-            round_index += 1
+            failed: List[str] = []
+            try:
+                futures = {
+                    key: pool.submit(run_experiment, key, quick)
+                    for key in pending
+                }
+                for key in pending:
+                    try:
+                        result = futures[key].result(timeout=timeout)
+                    except FutureTimeoutError as exc:
+                        failures[key] = exc
+                        failed.append(key)
+                    except Exception as exc:
+                        # Worker exception or BrokenProcessPool after a
+                        # hard worker death; both are retryable.
+                        failures[key] = exc
+                        failed.append(key)
+                    else:
+                        raw[key] = result
+                        if checkpoint is not None:
+                            checkpoint.record(key, result)
+            finally:
+                _terminate_pool(pool)
+            for key in failed:
+                attempts[key] += 1
+            exhausted = [key for key in failed if attempts[key] > retries]
+            if exhausted:
+                details = "; ".join(
+                    f"{key}: {failures[key]!r}" for key in exhausted
+                )
+                raise RunnerError(
+                    f"experiment(s) failed after {retries + 1} "
+                    f"attempt(s) — {details}"
+                )
+            pending = failed
+            if pending:
+                time.sleep(_retry_round_delay(backoff, round_index))
+                round_index += 1
+    finally:
+        if arena is not None:
+            arena.close()
     return raw
 
 

@@ -34,6 +34,8 @@ from repro.replication.allocation import ReplicatedAllocation
 
 __all__ = [
     "availability",
+    "batch_degraded_response_times",
+    "batch_query_availability",
     "degraded_buckets_per_disk",
     "degraded_optimal_response_time",
     "degraded_response_time",
@@ -83,6 +85,43 @@ def degraded_response_time(
     if not counts.size:
         return 0.0
     return float((counts * scenario.factors).max())
+
+
+def batch_degraded_response_times(
+    counts: np.ndarray, scenario: FaultScenario
+) -> np.ndarray:
+    """Degraded completion times for a whole query batch, ``shape (N,)``.
+
+    ``counts`` is the ``(N, M)`` per-query per-disk bucket matrix from
+    :meth:`repro.core.engine.ResponseTimeEngine.batch_disk_counts`; the
+    same matrix serves every scenario, which is what makes the
+    degraded-mode sweeps cheap.  Entry ``i`` equals
+    :func:`degraded_response_time` for query ``i`` exactly: failed
+    columns are zeroed and the straggler-weighted row maximum taken with
+    the same int64*float64 arithmetic as the scalar path.
+    """
+    _check_scenario(counts.shape[1], scenario)
+    if scenario.failed:
+        counts = counts.copy()
+        counts[:, sorted(scenario.failed)] = 0
+    if not counts.size:
+        return np.zeros(counts.shape[0], dtype=np.float64)
+    return (counts * scenario.factors).max(axis=1)
+
+
+def batch_query_availability(
+    counts: np.ndarray, scenario: FaultScenario
+) -> np.ndarray:
+    """Boolean availability per query of a batch, ``shape (N,)``.
+
+    ``counts`` as in :func:`batch_degraded_response_times`; entry ``i``
+    equals :func:`query_is_available` for query ``i`` (no touched bucket
+    lives on a failed disk).
+    """
+    _check_scenario(counts.shape[1], scenario)
+    if not scenario.failed:
+        return np.ones(counts.shape[0], dtype=bool)
+    return ~(counts[:, sorted(scenario.failed)] > 0).any(axis=1)
 
 
 def query_is_available(

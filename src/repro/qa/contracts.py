@@ -18,7 +18,14 @@ A second pass (:func:`check_engine`, QA42x) certifies the integral-image
 response-time engine: on seeded-random allocations over the same small
 grids, :class:`~repro.core.engine.ResponseTimeEngine` must agree
 bucket-for-bucket with the scalar ``sliding_response_times`` kernel and
-with brute-force per-placement ``response_time`` for every fitting shape.
+with brute-force per-placement ``response_time`` for every fitting shape,
+and its batched path (QA422) with the scalar per-query functions on
+mixed in-grid/clipped/outside batches.
+
+The scheme pass also certifies the vectorized allocation kernels
+(QA430/QA431): every scheme's ``disk_array`` must be callable on each
+applicable combo and agree with the scalar ``disk_of`` rule on the same
+(possibly sampled) buckets.
 """
 
 from __future__ import annotations
@@ -242,6 +249,8 @@ def _check_combo(
         if sampled
         else ""
     )
+
+    scalar_values = {}
     for coords in coords_list:
         values = []
         for _ in range(max(2, config.repeats)):
@@ -292,6 +301,54 @@ def _check_combo(
                 )
             )
             return findings
+        scalar_values[tuple(coords)] = int(value)
+    # The scalar rule held everywhere sampled; now certify the
+    # vectorized kernel against it (QA430: callable and well-shaped,
+    # QA431: bucket-for-bucket agreement on the same sample).  An
+    # expensive scheme without a vectorized override has nothing to
+    # certify — the base fallback *is* the scalar loop, and running it
+    # would defeat the sampling cap.
+    if (
+        sample_limit is not None
+        and type(scheme).disk_array is DeclusteringScheme.disk_array
+    ):
+        return findings
+    try:
+        disk_array = scheme.disk_array(grid, num_disks)
+    except Exception as exc:
+        findings.append(
+            _finding(
+                name,
+                "QA430",
+                f"disk_array({where}) raised {type(exc).__name__} after "
+                f"check_applicable accepted the configuration: {exc}",
+            )
+        )
+        return findings
+    if tuple(disk_array.shape) != grid.dims:
+        findings.append(
+            _finding(
+                name,
+                "QA430",
+                f"disk_array({where}) returned shape "
+                f"{tuple(disk_array.shape)}, expected {grid.dims}",
+            )
+        )
+        return findings
+    for coords in coords_list:
+        expected = scalar_values[tuple(coords)]
+        if int(disk_array[tuple(coords)]) != expected:
+            findings.append(
+                _finding(
+                    name,
+                    "QA431",
+                    f"disk_array({where}) assigns bucket {coords} to disk "
+                    f"{int(disk_array[tuple(coords)])} but disk_of returns "
+                    f"{expected} — the vectorized kernel disagrees with "
+                    f"the scalar per-bucket rule{suffix}",
+                )
+            )
+            return findings
     return findings
 
 
@@ -305,15 +362,23 @@ def check_engine(config: Optional[ContractConfig] = None) -> List[Finding]:
       scalar :func:`repro.core.cost.sliding_response_times` kernel;
     * **QA421** — engine result differs from brute-force
       :func:`repro.core.cost.response_time` evaluated placement by
-      placement (the definitional oracle).
+      placement (the definitional oracle);
+    * **QA422** — the batched path (``batch_response_times`` /
+      ``batch_deviations``) differs from the scalar per-query functions
+      on a mixed batch of in-grid, boundary-clipped, and fully-outside
+      queries.
 
     The combos are small (a few hundred placements each), so the check is
     exhaustive over shapes rather than sampled.
     """
     from repro.core.allocation import DiskAllocation
-    from repro.core.cost import response_time, sliding_response_times
+    from repro.core.cost import (
+        relative_deviation,
+        response_time,
+        sliding_response_times,
+    )
     from repro.core.engine import ResponseTimeEngine
-    from repro.core.query import all_placements
+    from repro.core.query import RangeQuery, all_placements
 
     config = config or ContractConfig()
     findings: List[Finding] = []
@@ -359,7 +424,64 @@ def check_engine(config: Optional[ContractConfig] = None) -> List[Finding]:
                         )
                     )
                     break
+            findings.extend(
+                _check_batch_engine(engine, allocation, grid, where)
+            )
     return findings
+
+
+def _check_batch_engine(engine, allocation, grid: Grid, where: str):
+    """QA422: the batched engine path vs the scalar per-query oracles."""
+    from repro.core.cost import relative_deviation, response_time
+    from repro.core.query import RangeQuery, all_placements
+
+    dims = grid.dims
+    ndim = grid.ndim
+    queries = []
+    shapes = {
+        (1,) * ndim,
+        tuple(max(1, d // 2) for d in dims),
+        dims,
+    }
+    for shape in sorted(shapes):
+        queries.extend(all_placements(grid, shape))
+    # Boundary-clipped and fully-outside rectangles exercise the
+    # zero-bucket clipping semantics (_effective_optimal).
+    queries.append(
+        RangeQuery((0,) * ndim, tuple(2 * d for d in dims))
+    )
+    queries.append(
+        RangeQuery(
+            tuple(d // 2 for d in dims), tuple(d + 2 for d in dims)
+        )
+    )
+    queries.append(
+        RangeQuery(tuple(dims), tuple(d + 1 for d in dims))
+    )
+    batch_rts = engine.batch_response_times(queries)
+    batch_devs = engine.batch_deviations(queries)
+    for index, query in enumerate(queries):
+        scalar_rt = response_time(allocation, query)
+        scalar_dev = relative_deviation(allocation, query)
+        # Bit-identity is the contract, so the deviations are compared
+        # by their float64 byte patterns, not approximately.
+        if (
+            int(batch_rts[index]) != int(scalar_rt)
+            or np.float64(batch_devs[index]).tobytes()
+            != np.float64(scalar_dev).tobytes()
+        ):
+            return [
+                _finding(
+                    "response-time-engine",
+                    "QA422",
+                    f"batched engine path disagrees with the scalar "
+                    f"per-query oracle on {query!r} ({where}, seed "
+                    f"{ENGINE_CONTRACT_SEED}): batch RT/dev "
+                    f"{int(batch_rts[index])}/{float(batch_devs[index])!r}"
+                    f" vs scalar {int(scalar_rt)}/{float(scalar_dev)!r}",
+                )
+            ]
+    return []
 
 
 def check_registry(

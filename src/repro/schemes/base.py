@@ -5,11 +5,13 @@ stateless with respect to any particular grid: calling
 :meth:`DeclusteringScheme.allocate` materializes the rule over a grid into a
 :class:`~repro.core.allocation.DiskAllocation` that the cost model evaluates.
 
-Subclasses implement either :meth:`disk_of` (per-bucket rule; the base class
-materializes it bucket by bucket) or override :meth:`allocate` directly with
-a vectorized computation.  Schemes with preconditions (e.g. ECC needs ``M``
-to be a power of two) raise :class:`SchemeNotApplicableError` from
-:meth:`check_applicable`.
+Subclasses implement :meth:`disk_of` (per-bucket rule; always the reference
+oracle) and, when the rule has a whole-grid array form, override
+:meth:`disk_array` — the vectorized kernel :meth:`allocate` materializes
+tables from.  The base :meth:`disk_array` falls back to the scalar
+``disk_of`` loop, so a per-bucket rule alone is always enough.  Schemes
+with preconditions (e.g. ECC needs ``M`` to be a power of two) raise
+:class:`SchemeNotApplicableError` from :meth:`check_applicable`.
 """
 
 from __future__ import annotations
@@ -17,7 +19,9 @@ from __future__ import annotations
 import abc
 from typing import Sequence
 
-from repro.core.allocation import DiskAllocation, allocation_from_function
+import numpy as np
+
+from repro.core.allocation import DiskAllocation
 from repro.core.exceptions import SchemeError
 from repro.core.grid import Grid
 
@@ -56,13 +60,25 @@ class DeclusteringScheme(abc.ABC):
     def disk_of(self, coords: Sequence[int], grid: Grid, num_disks: int) -> int:
         """Disk id for the bucket at ``coords`` (the scheme's defining rule)."""
 
+    def disk_array(self, grid: Grid, num_disks: int) -> np.ndarray:
+        """Disk id of *every* bucket as a grid-shaped integer array.
+
+        Subclasses with a whole-grid form override this with vectorized
+        ``np.indices``/``coordinate_arrays`` arithmetic; the base
+        implementation is the scalar fallback — one ``disk_of`` call per
+        bucket.  The QA contract checker (QA43x) asserts the two agree
+        bucket for bucket for every registered scheme.
+        """
+        table = np.empty(grid.dims, dtype=np.int64)
+        for coords in grid.iter_buckets():
+            table[coords] = self.disk_of(coords, grid, num_disks)
+        return table
+
     def allocate(self, grid: Grid, num_disks: int) -> DiskAllocation:
         """Materialize the rule over ``grid`` into a full allocation table."""
         self.check_applicable(grid, num_disks)
-        return allocation_from_function(
-            grid,
-            num_disks,
-            lambda coords: self.disk_of(coords, grid, num_disks),
+        return DiskAllocation(
+            grid, num_disks, self.disk_array(grid, num_disks)
         )
 
     def describe(self) -> str:

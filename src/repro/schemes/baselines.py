@@ -18,7 +18,6 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.allocation import DiskAllocation
 from repro.core.grid import Grid
 from repro.schemes.base import DeclusteringScheme
 
@@ -50,9 +49,8 @@ class RandomScheme(DeclusteringScheme):
         rng = np.random.default_rng(self._seed)
         return rng.integers(0, num_disks, size=grid.dims, dtype=np.int64)
 
-    def allocate(self, grid: Grid, num_disks: int) -> DiskAllocation:
-        self.check_applicable(grid, num_disks)
-        return DiskAllocation(grid, num_disks, self._table(grid, num_disks))
+    def disk_array(self, grid: Grid, num_disks: int) -> np.ndarray:
+        return self._table(grid, num_disks)
 
     def __repr__(self) -> str:
         return f"RandomScheme(seed={self._seed})"
@@ -66,9 +64,7 @@ class RoundRobinScheme(DeclusteringScheme):
     def disk_of(self, coords: Sequence[int], grid: Grid, num_disks: int) -> int:
         return grid.linear_index(coords) % num_disks
 
-    def allocate(self, grid: Grid, num_disks: int) -> DiskAllocation:
-        self.check_applicable(grid, num_disks)
-        table = (
+    def disk_array(self, grid: Grid, num_disks: int) -> np.ndarray:
+        return (
             np.arange(grid.num_buckets, dtype=np.int64) % num_disks
         ).reshape(grid.dims)
-        return DiskAllocation(grid, num_disks, table)

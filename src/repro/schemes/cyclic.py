@@ -187,11 +187,9 @@ class CyclicScheme(DeclusteringScheme):
         skip = self.skip_for(grid, num_disks)
         return (int(coords[0]) + skip * int(coords[1])) % num_disks
 
-    def allocate(self, grid: Grid, num_disks: int) -> DiskAllocation:
+    def disk_array(self, grid: Grid, num_disks: int) -> np.ndarray:
         skip = self.skip_for(grid, num_disks)
-        return DiskAllocation(
-            grid, num_disks, _cyclic_table(grid, num_disks, skip)
-        )
+        return _cyclic_table(grid, num_disks, skip)
 
     def __repr__(self) -> str:
         return (

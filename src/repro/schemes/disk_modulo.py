@@ -22,7 +22,6 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.allocation import DiskAllocation
 from repro.core.exceptions import SchemeError
 from repro.core.grid import Grid
 from repro.schemes.base import DeclusteringScheme
@@ -41,12 +40,11 @@ class DiskModuloScheme(DeclusteringScheme):
     def disk_of(self, coords: Sequence[int], grid: Grid, num_disks: int) -> int:
         return sum(int(c) for c in coords) % num_disks
 
-    def allocate(self, grid: Grid, num_disks: int) -> DiskAllocation:
-        self.check_applicable(grid, num_disks)
+    def disk_array(self, grid: Grid, num_disks: int) -> np.ndarray:
         total = np.zeros(grid.dims, dtype=np.int64)
         for axis_coords in grid.coordinate_arrays():
             total += axis_coords
-        return DiskAllocation(grid, num_disks, total % num_disks)
+        return total % num_disks
 
 
 class GeneralizedDiskModuloScheme(DeclusteringScheme):
@@ -89,13 +87,12 @@ class GeneralizedDiskModuloScheme(DeclusteringScheme):
         coeffs = self._coeffs_for(grid)
         return sum(c * int(i) for c, i in zip(coeffs, coords)) % num_disks
 
-    def allocate(self, grid: Grid, num_disks: int) -> DiskAllocation:
-        self.check_applicable(grid, num_disks)
+    def disk_array(self, grid: Grid, num_disks: int) -> np.ndarray:
         coeffs = self._coeffs_for(grid)
         total = np.zeros(grid.dims, dtype=np.int64)
         for coeff, axis_coords in zip(coeffs, grid.coordinate_arrays()):
             total += coeff * axis_coords
-        return DiskAllocation(grid, num_disks, total % num_disks)
+        return total % num_disks
 
     def __repr__(self) -> str:
         return (

@@ -23,7 +23,6 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.allocation import DiskAllocation
 from repro.core.exceptions import SchemeNotApplicableError
 from repro.core.grid import Grid
 from repro.ecc.codes import (
@@ -84,12 +83,9 @@ class ECCScheme(DeclusteringScheme):
         )
         return code.syndrome(word)
 
-    def allocate(self, grid: Grid, num_disks: int) -> DiskAllocation:
-        self.check_applicable(grid, num_disks)
+    def disk_array(self, grid: Grid, num_disks: int) -> np.ndarray:
         if num_disks == 1:
-            return DiskAllocation(
-                grid, 1, np.zeros(grid.dims, dtype=np.int64)
-            )
+            return np.zeros(grid.dims, dtype=np.int64)
         code = self.code_for(grid, num_disks)
         widths = grid.bits_per_axis()
         packed = np.zeros(grid.dims, dtype=np.int64)
@@ -101,5 +97,4 @@ class ECCScheme(DeclusteringScheme):
         words = np.zeros((flat.size, code.length), dtype=np.uint8)
         for bit in range(code.length):
             words[:, bit] = (flat >> bit) & 1
-        table = code.syndromes(words).reshape(grid.dims)
-        return DiskAllocation(grid, num_disks, table)
+        return code.syndromes(words).reshape(grid.dims)

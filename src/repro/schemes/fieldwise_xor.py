@@ -28,7 +28,6 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.allocation import DiskAllocation
 from repro.core.exceptions import SchemeError
 from repro.core.grid import Grid
 from repro.schemes.base import DeclusteringScheme
@@ -82,12 +81,11 @@ class FXScheme(DeclusteringScheme):
     def disk_of(self, coords: Sequence[int], grid: Grid, num_disks: int) -> int:
         return reduce(lambda a, b: a ^ b, (int(c) for c in coords)) % num_disks
 
-    def allocate(self, grid: Grid, num_disks: int) -> DiskAllocation:
-        self.check_applicable(grid, num_disks)
+    def disk_array(self, grid: Grid, num_disks: int) -> np.ndarray:
         table = np.zeros(grid.dims, dtype=np.int64)
         for axis_coords in grid.coordinate_arrays():
             np.bitwise_xor(table, axis_coords, out=table)
-        return DiskAllocation(grid, num_disks, table % num_disks)
+        return table % num_disks
 
 
 class ExFXScheme(DeclusteringScheme):
@@ -100,6 +98,26 @@ class ExFXScheme(DeclusteringScheme):
         chunk = max(1, (num_disks - 1).bit_length())
         packed = concatenate_fields(coords, widths)
         folded = xor_fold(packed, sum(widths), chunk)
+        return folded % num_disks
+
+    def disk_array(self, grid: Grid, num_disks: int) -> np.ndarray:
+        # Whole-grid form of concatenate_fields + xor_fold: pack every
+        # bucket's fields LSB-first into one int64, then XOR the
+        # chunk-wide slices — the same chunk walk as the scalar rule.
+        widths = grid.bits_per_axis()
+        chunk = max(1, (num_disks - 1).bit_length())
+        total_bits = sum(widths)
+        packed = np.zeros(grid.dims, dtype=np.int64)
+        shift = 0
+        for width, axis_coords in zip(widths, grid.coordinate_arrays()):
+            packed |= axis_coords << shift
+            shift += width
+        mask = (1 << chunk) - 1
+        folded = np.zeros(grid.dims, dtype=np.int64)
+        consumed = 0
+        while consumed < max(total_bits, 1):
+            np.bitwise_xor(folded, (packed >> consumed) & mask, out=folded)
+            consumed += chunk
         return folded % num_disks
 
 
@@ -124,8 +142,10 @@ class AutoFXScheme(DeclusteringScheme):
         )
         return inner.disk_of(coords, grid, num_disks)
 
-    def allocate(self, grid: Grid, num_disks: int) -> DiskAllocation:
-        self.check_applicable(grid, num_disks)
-        if self.chooses_extended(grid, num_disks):
-            return self._exfx.allocate(grid, num_disks)
-        return self._fx.allocate(grid, num_disks)
+    def disk_array(self, grid: Grid, num_disks: int) -> np.ndarray:
+        inner = (
+            self._exfx
+            if self.chooses_extended(grid, num_disks)
+            else self._fx
+        )
+        return inner.disk_array(grid, num_disks)

@@ -24,7 +24,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.core.allocation import DiskAllocation
+import numpy as np
+
 from repro.core.grid import Grid
 from repro.schemes.base import DeclusteringScheme
 from repro.sfc.hilbert import hilbert_index
@@ -52,9 +53,10 @@ class _CurveRoundRobinScheme(DeclusteringScheme):
         coords = grid.validate_coords(coords)
         return int(self.ranks(grid)[coords]) % num_disks
 
-    def allocate(self, grid: Grid, num_disks: int) -> DiskAllocation:
-        self.check_applicable(grid, num_disks)
-        return DiskAllocation(grid, num_disks, self.ranks(grid) % num_disks)
+    def disk_array(self, grid: Grid, num_disks: int) -> np.ndarray:
+        # curve_ranks dispatches to the vectorized index transform
+        # (hilbert_index_array & co) — whole-grid np.indices arithmetic.
+        return self.ranks(grid) % num_disks
 
 
 class HCAMScheme(_CurveRoundRobinScheme):

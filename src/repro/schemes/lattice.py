@@ -178,14 +178,14 @@ class LatticeScheme(DeclusteringScheme):
             c * int(i) for c, i in zip(coefficients, coords)
         ) % num_disks
 
-    def allocate(self, grid: Grid, num_disks: int) -> DiskAllocation:
+    def disk_array(self, grid: Grid, num_disks: int) -> np.ndarray:
         coefficients = self.coefficients_for(grid, num_disks)
         table = np.zeros(grid.dims, dtype=np.int64)
         for coefficient, axis in zip(
             coefficients, grid.coordinate_arrays()
         ):
             table += coefficient * axis
-        return DiskAllocation(grid, num_disks, table % num_disks)
+        return table % num_disks
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,225 @@
+"""Bit-identity tests for the batched query path of the engine.
+
+The contract: every batch method must agree query-for-query with the
+scalar per-query functions — including boundary-clipped, zero-bucket
+(fully outside), and point queries — on every registered scheme and on
+seeded-random allocations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import DiskAllocation
+from repro.core.cost import (
+    BATCH_THRESHOLD,
+    relative_deviation,
+    response_time,
+    response_times,
+)
+from repro.core.engine import ResponseTimeEngine
+from repro.core.exceptions import QueryError
+from repro.core.grid import Grid
+from repro.core.query import RangeQuery, all_placements
+from repro.core.registry import available_schemes, get_scheme
+from repro.faults.degraded import (
+    batch_degraded_response_times,
+    batch_query_availability,
+    degraded_response_time,
+    query_is_available,
+)
+from repro.faults.models import FaultInjector
+
+
+def _mixed_queries(grid: Grid):
+    """In-grid, clipped, and fully-outside rectangles for ``grid``."""
+    dims = grid.dims
+    ndim = grid.ndim
+    queries = list(all_placements(grid, (2,) * ndim))
+    queries.append(RangeQuery((0,) * ndim, tuple(d - 1 for d in dims)))
+    queries.append(RangeQuery((0,) * ndim, (0,) * ndim))
+    # Clips to a boundary sliver.
+    queries.append(
+        RangeQuery(tuple(d - 1 for d in dims), tuple(d + 3 for d in dims))
+    )
+    # Clips to the full grid.
+    queries.append(RangeQuery((0,) * ndim, tuple(2 * d for d in dims)))
+    # Fully outside: zero buckets, RT 0, deviation 0.0.
+    queries.append(RangeQuery(tuple(dims), tuple(d + 2 for d in dims)))
+    return queries
+
+
+@pytest.fixture
+def random_allocation() -> DiskAllocation:
+    grid = Grid((6, 7))
+    rng = np.random.default_rng(7)
+    return DiskAllocation(grid, 4, rng.integers(0, 4, size=grid.dims))
+
+
+class TestBatchVsScalar:
+    def test_random_allocation_mixed_batch(self, random_allocation):
+        engine = ResponseTimeEngine(random_allocation)
+        queries = _mixed_queries(random_allocation.grid)
+        times = engine.batch_response_times(queries)
+        devs = engine.batch_deviations(queries)
+        assert times.dtype == np.int64
+        assert devs.dtype == np.float64
+        for index, query in enumerate(queries):
+            assert int(times[index]) == response_time(
+                random_allocation, query
+            )
+            scalar_dev = relative_deviation(random_allocation, query)
+            assert (
+                np.float64(devs[index]).tobytes()
+                == np.float64(scalar_dev).tobytes()
+            )
+
+    @pytest.mark.parametrize("name", sorted(available_schemes()))
+    def test_every_registered_scheme(self, name):
+        grid = Grid((8, 8))
+        num_disks = 4
+        scheme = get_scheme(name)
+        try:
+            scheme.check_applicable(grid, num_disks)
+        except Exception:
+            pytest.skip(f"{name} not applicable to 8x8/M=4")
+        allocation = scheme.allocate(grid, num_disks)
+        engine = ResponseTimeEngine(allocation)
+        queries = _mixed_queries(grid)
+        times = engine.batch_response_times(queries)
+        for index, query in enumerate(queries):
+            assert int(times[index]) == response_time(allocation, query)
+
+    def test_3d_grid(self):
+        grid = Grid((4, 5, 3))
+        rng = np.random.default_rng(11)
+        allocation = DiskAllocation(
+            grid, 5, rng.integers(0, 5, size=grid.dims)
+        )
+        engine = ResponseTimeEngine(allocation)
+        queries = _mixed_queries(grid)
+        times = engine.batch_response_times(queries)
+        counts = engine.batch_disk_counts(queries)
+        for index, query in enumerate(queries):
+            assert int(times[index]) == response_time(allocation, query)
+        assert np.array_equal(times, counts.max(axis=1))
+
+    def test_property_random_rectangles(self):
+        rng = np.random.default_rng(1994)
+        for _ in range(5):
+            dims = tuple(int(d) for d in rng.integers(2, 9, size=2))
+            grid = Grid(dims)
+            num_disks = int(rng.integers(2, 7))
+            allocation = DiskAllocation(
+                grid, num_disks,
+                rng.integers(0, num_disks, size=dims),
+            )
+            engine = ResponseTimeEngine(allocation)
+            lower = rng.integers(0, np.array(dims) + 3, size=(64, 2))
+            upper = rng.integers(lower, np.array(dims) + 5)
+            queries = [
+                RangeQuery(tuple(lo), tuple(hi))
+                for lo, hi in zip(lower, upper)
+            ]
+            times = engine.batch_response_times(queries)
+            devs = engine.batch_deviations(queries)
+            for index, query in enumerate(queries):
+                assert int(times[index]) == response_time(
+                    allocation, query
+                )
+                scalar_dev = relative_deviation(allocation, query)
+                assert (
+                    np.float64(devs[index]).tobytes()
+                    == np.float64(scalar_dev).tobytes()
+                )
+
+
+class TestBatchEdgeCases:
+    def test_empty_batch(self, random_allocation):
+        engine = ResponseTimeEngine(random_allocation)
+        assert engine.batch_response_times([]).shape == (0,)
+        assert engine.batch_disk_counts([]).shape == (
+            0,
+            random_allocation.num_disks,
+        )
+        assert engine.batch_optimal([]).shape == (0,)
+        assert engine.batch_deviations([]).shape == (0,)
+
+    def test_ndim_mismatch_raises(self, random_allocation):
+        engine = ResponseTimeEngine(random_allocation)
+        with pytest.raises(QueryError):
+            engine.batch_response_times(
+                [RangeQuery((0, 0, 0), (1, 1, 1))]
+            )
+
+    def test_outside_query_is_zero(self, random_allocation):
+        engine = ResponseTimeEngine(random_allocation)
+        dims = random_allocation.grid.dims
+        outside = RangeQuery(tuple(dims), tuple(d + 1 for d in dims))
+        assert int(engine.batch_response_times([outside])[0]) == 0
+        assert int(engine.batch_optimal([outside])[0]) == 0
+        assert float(engine.batch_deviations([outside])[0]) == 0
+
+    def test_batch_optimal_uses_clipped_area(self, random_allocation):
+        engine = ResponseTimeEngine(random_allocation)
+        dims = random_allocation.grid.dims
+        # Clips from 4x4 down to a 1x1 sliver at the far corner.
+        query = RangeQuery(
+            tuple(d - 1 for d in dims), tuple(d + 2 for d in dims)
+        )
+        assert int(engine.batch_optimal([query])[0]) == 1
+
+
+class TestResponseTimesDispatch:
+    def test_small_batch_matches_large_batch(self, random_allocation):
+        queries = list(
+            all_placements(random_allocation.grid, (2, 2))
+        )
+        assert len(queries) >= BATCH_THRESHOLD
+        auto = response_times(random_allocation, queries)
+        few = response_times(random_allocation, queries[:2])
+        assert np.array_equal(auto[:2], few)
+        for index, query in enumerate(queries):
+            assert int(auto[index]) == response_time(
+                random_allocation, query
+            )
+
+    def test_explicit_engine_is_used(self, random_allocation):
+        engine = ResponseTimeEngine(random_allocation)
+        queries = list(
+            all_placements(random_allocation.grid, (3, 2))
+        )[:4]
+        via_engine = response_times(
+            random_allocation, queries, engine=engine
+        )
+        assert np.array_equal(
+            via_engine,
+            np.array(
+                [response_time(random_allocation, q) for q in queries]
+            ),
+        )
+
+
+class TestDegradedBatchHelpers:
+    def test_matches_scalar_degraded_path(self, random_allocation):
+        engine = ResponseTimeEngine(random_allocation)
+        queries = list(
+            all_placements(random_allocation.grid, (2, 2))
+        )[:12]
+        counts = engine.batch_disk_counts(queries)
+        injector = FaultInjector(3)
+        for scenario in injector.scenarios(
+            random_allocation.num_disks, 2, 3
+        ):
+            times = batch_degraded_response_times(counts, scenario)
+            avail = batch_query_availability(counts, scenario)
+            for index, query in enumerate(queries):
+                scalar_rt = degraded_response_time(
+                    random_allocation, query, scenario
+                )
+                assert (
+                    np.float64(times[index]).tobytes()
+                    == np.float64(scalar_rt).tobytes()
+                )
+                assert bool(avail[index]) == query_is_available(
+                    random_allocation, query, scenario
+                )

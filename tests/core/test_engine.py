@@ -95,8 +95,8 @@ class TestEdgeCases:
         engine = ResponseTimeEngine(random_allocation)
         assert engine.allocation is random_allocation
         assert engine.num_disks == 4
-        # SAT: (M, d1+1, d2+1) int64.
-        assert engine.nbytes() == 4 * 7 * 8 * 8
+        # SAT: (M, d1+1, d2+1) int32 (int64 only past 2^31 buckets).
+        assert engine.nbytes() == 4 * 7 * 8 * 4
 
 
 class TestEvaluatorIntegration:

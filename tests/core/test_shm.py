@@ -1,0 +1,181 @@
+"""Tests for zero-copy allocation sharing (:mod:`repro.core.shm`)."""
+
+import numpy as np
+import pytest
+
+from repro.core import shm
+from repro.core.allocation import DiskAllocation, table_dtype
+from repro.core.cache import AllocationCache
+from repro.core.grid import Grid
+from repro.core.registry import get_scheme
+
+
+@pytest.fixture
+def arena():
+    arena = shm.SharedAllocationArena.try_create()
+    if arena is None:
+        pytest.skip("shared memory / managers unavailable here")
+    yield arena
+    arena.close()
+    shm.detach_all()
+
+
+@pytest.fixture
+def allocation() -> DiskAllocation:
+    return get_scheme("hcam").allocate(Grid((8, 8)), 5)
+
+
+class TestShareAttach:
+    def test_round_trip_is_bit_identical(self, allocation):
+        handle = shm.share_allocation(allocation)
+        try:
+            attached = shm.attach_allocation(handle)
+            assert np.array_equal(attached.table, allocation.table)
+            assert attached.table.dtype == table_dtype(5)
+            assert attached.grid.dims == allocation.grid.dims
+            assert attached.num_disks == allocation.num_disks
+        finally:
+            del attached
+            assert shm.unlink_segment(handle.name)
+
+    def test_attached_table_is_read_only_view(self, allocation):
+        handle = shm.share_allocation(allocation)
+        try:
+            attached = shm.attach_allocation(handle)
+            assert not attached.table.flags.writeable
+            assert not attached.table.flags.owndata
+        finally:
+            del attached
+            shm.unlink_segment(handle.name)
+
+    def test_handle_reports_table_bytes(self, allocation):
+        handle = shm.share_allocation(allocation)
+        try:
+            assert handle.nbytes == allocation.nbytes == 64
+        finally:
+            shm.unlink_segment(handle.name)
+
+    def test_attach_missing_segment_raises(self):
+        handle = shm.SharedTableHandle(
+            name="repro-shm-test-nonexistent", dims=(4, 4), num_disks=2
+        )
+        with pytest.raises(FileNotFoundError):
+            shm.attach_allocation(handle)
+
+    def test_unlink_missing_segment_is_false(self):
+        assert not shm.unlink_segment("repro-shm-test-nonexistent")
+
+    def test_segments_show_up_as_strays_until_unlinked(self, allocation):
+        handle = shm.share_allocation(allocation)
+        try:
+            assert handle.name in shm.stray_segments()
+        finally:
+            shm.unlink_segment(handle.name)
+        assert handle.name not in shm.stray_segments()
+
+
+class TestBroker:
+    def test_get_before_publish_is_none(self, arena):
+        assert arena.broker.get("dm", Grid((4, 4)), 2) is None
+
+    def test_publish_then_get(self, arena, allocation):
+        grid = allocation.grid
+        published = arena.broker.publish("hcam", grid, 5, allocation)
+        assert np.array_equal(published.table, allocation.table)
+        fetched = arena.broker.get("hcam", grid, 5)
+        assert fetched is not None
+        assert np.array_equal(fetched.table, allocation.table)
+
+    def test_keys_are_per_configuration(self, arena, allocation):
+        grid = allocation.grid
+        arena.broker.publish("hcam", grid, 5, allocation)
+        assert arena.broker.get("hcam", grid, 4) is None
+        assert arena.broker.get("dm", grid, 5) is None
+        assert arena.broker.get("hcam", Grid((8, 4)), 5) is None
+
+    def test_duplicate_publish_keeps_first_and_unlinks_loser(
+        self, arena, allocation
+    ):
+        grid = allocation.grid
+        first = arena.broker.publish("hcam", grid, 5, allocation)
+        names_after_first = set(shm.stray_segments())
+        second = arena.broker.publish("hcam", grid, 5, allocation)
+        assert np.array_equal(first.table, second.table)
+        # The loser's duplicate segment did not survive.
+        assert set(shm.stray_segments()) == names_after_first
+
+    def test_close_unlinks_everything(self, allocation):
+        arena = shm.SharedAllocationArena.try_create()
+        if arena is None:
+            pytest.skip("shared memory / managers unavailable here")
+        arena.broker.publish("hcam", allocation.grid, 5, allocation)
+        names = arena.broker.segment_names()
+        assert names
+        shm.detach_all()
+        arena.close()
+        for name in names:
+            assert name not in shm.stray_segments()
+        # close is idempotent.
+        arena.close()
+
+
+class TestCacheIntegration:
+    def test_miss_publishes_then_peer_attaches(self, arena):
+        grid = Grid((8, 8))
+        first = AllocationCache(broker=arena.broker)
+        second = AllocationCache(broker=arena.broker)
+        built = first.allocation("fx", grid, 4)
+        attached = second.allocation("fx", grid, 4)
+        assert np.array_equal(built.table, attached.table)
+        assert first.stats().publishes == 1
+        assert first.stats().shared_hits == 0
+        assert second.stats().shared_hits == 1
+        assert second.stats().publishes == 0
+        # Both entries report shared residency.
+        assert all(
+            entry["shared"] for entry in first.entry_report()
+        )
+        assert all(
+            entry["shared"] for entry in second.entry_report()
+        )
+
+    def test_shared_table_matches_direct_allocate(self, arena):
+        grid = Grid((8, 8))
+        cache = AllocationCache(broker=arena.broker)
+        via_cache = cache.allocation("ecc", grid, 4)
+        direct = get_scheme("ecc").allocate(grid, 4)
+        assert np.array_equal(via_cache.table, direct.table)
+
+    def test_engine_builds_on_shared_table(self, arena):
+        grid = Grid((8, 8))
+        cache = AllocationCache(broker=arena.broker)
+        engine = cache.engine("dm", grid, 4)
+        reference = get_scheme("dm").allocate(grid, 4)
+        ref_engine_times = engine.sliding_response_times((2, 2))
+        from repro.core.cost import sliding_response_times
+
+        assert np.array_equal(
+            ref_engine_times, sliding_response_times(reference, (2, 2))
+        )
+        (entry,) = cache.entry_report()
+        assert entry["engine_built"]
+        assert isinstance(entry["engine_nbytes"], int)
+        assert entry["engine_nbytes"] > 0
+
+    def test_without_broker_nothing_is_shared(self):
+        cache = AllocationCache()
+        cache.allocation("dm", Grid((4, 4)), 2)
+        stats = cache.stats()
+        assert stats.shared_hits == 0
+        assert stats.publishes == 0
+        assert not any(
+            entry["shared"] for entry in cache.entry_report()
+        )
+
+    def test_render_mentions_sharing_only_when_used(self, arena):
+        plain = AllocationCache()
+        plain.allocation("dm", Grid((4, 4)), 2)
+        assert "shared" not in plain.stats().render()
+        shared = AllocationCache(broker=arena.broker)
+        shared.allocation("dm", Grid((4, 4)), 2)
+        assert "publish(es)" in shared.stats().render()

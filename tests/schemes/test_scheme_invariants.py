@@ -136,6 +136,57 @@ class TestStorageBalance:
         assert not allocation.is_storage_balanced()
 
 
+@pytest.mark.parametrize("grid,num_disks", CONFIGS)
+class TestVectorizedAllocation:
+    """``disk_array`` (whole-grid kernel) must agree with ``disk_of``.
+
+    The vectorized fast paths rebuild the mapping from index arithmetic;
+    the scalar rule is the ground truth.  Expensive schemes with no
+    override fall back to the scalar loop inside ``disk_array`` — there
+    is nothing vectorized to certify, so they are skipped.
+    """
+
+    def test_disk_array_matches_disk_of(
+        self, scheme_name, grid, num_disks
+    ):
+        scheme = get_scheme(scheme_name)
+        try:
+            scheme.check_applicable(grid, num_disks)
+        except SchemeNotApplicableError as exc:
+            pytest.skip(f"{scheme_name} not applicable: {exc}")
+        from repro.schemes.base import DeclusteringScheme
+
+        if getattr(scheme, "disk_of_is_expensive", False) and (
+            type(scheme).disk_array is DeclusteringScheme.disk_array
+        ):
+            pytest.skip(
+                f"{scheme_name}: expensive rule with no vectorized "
+                "override — the fallback IS the scalar loop"
+            )
+        coords_list = [tuple(c) for c in np.ndindex(*grid.dims)]
+        table = scheme.disk_array(grid, num_disks)
+        assert tuple(table.shape) == grid.dims
+        assert int(table.min()) >= 0
+        assert int(table.max()) < num_disks
+        for coords in coords_list:
+            assert int(table[coords]) == int(
+                scheme.disk_of(coords, grid, num_disks)
+            )
+
+    def test_disk_array_matches_allocate(
+        self, scheme_name, grid, num_disks
+    ):
+        scheme = get_scheme(scheme_name)
+        try:
+            allocation = scheme.allocate(grid, num_disks)
+        except SchemeNotApplicableError as exc:
+            pytest.skip(f"{scheme_name} not applicable: {exc}")
+        if getattr(scheme, "disk_of_is_expensive", False):
+            pytest.skip(f"{scheme_name}: allocation is not rule-derived")
+        table = scheme.disk_array(grid, num_disks)
+        assert np.array_equal(table, allocation.table)
+
+
 class TestSingleDisk:
     def test_one_disk_means_disk_zero(self, scheme_name):
         grid = Grid((4, 4))
