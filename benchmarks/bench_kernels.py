@@ -253,6 +253,51 @@ def run_batch_bench(
     return {"benchmark": "batch_queries", "grids": records}
 
 
+#: Iterations of the disabled-tracer micro-benchmark.
+OBS_OVERHEAD_ITERATIONS = 200_000
+
+
+def run_obs_overhead_bench(iterations=OBS_OVERHEAD_ITERATIONS) -> dict:
+    """Measure the cost of a *disabled* tracer span on the hot path.
+
+    The observability layer's contract is zero measurable overhead when
+    off: instrumented hot paths (``engine.sliding_response_times``,
+    ``batch_response_times``) call :func:`repro.obs.trace.trace`
+    unconditionally, so the disabled path must stay allocation-free and
+    nanosecond-scale.  This times ``iterations`` disabled no-op spans
+    against an empty loop and reports the net cost per span —
+    ``scripts/check_bench_gate.py`` asserts the bound in CI.
+    """
+    from repro.obs.trace import global_tracer, trace
+
+    tracer = global_tracer()
+    was_enabled = tracer.enabled
+    tracer.disable()
+    try:
+        start = time.perf_counter()
+        for _ in range(iterations):
+            with trace("bench.noop"):
+                pass
+        with_spans = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for _ in range(iterations):
+            pass
+        bare = time.perf_counter() - start
+    finally:
+        if was_enabled:
+            tracer.enable()
+
+    net_ns = max(1e9 * (with_spans - bare) / iterations, 0.0)
+    return {
+        "benchmark": "obs_disabled_overhead",
+        "iterations": iterations,
+        "loop_with_disabled_spans_seconds": round(with_spans, 6),
+        "bare_loop_seconds": round(bare, 6),
+        "ns_per_disabled_span": round(net_ns, 1),
+    }
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     target = pathlib.Path(argv[0]) if argv else DEFAULT_JSON
@@ -269,6 +314,7 @@ def main(argv=None) -> int:
     batch_target.write_text(json.dumps(batch_record, indent=2) + "\n")
     print(json.dumps(batch_record, indent=2))
     print(f"[written to {batch_target}]", file=sys.stderr)
+    print(json.dumps(run_obs_overhead_bench(), indent=2))
     return 0
 
 

@@ -54,8 +54,23 @@ run_step "degraded mode (quick)" \
 run_step "resume round-trip" python scripts/smoke_resume.py
 # Zero-copy workers must unlink every shared-memory segment they create.
 run_step "shm leak check" python scripts/check_shm_leaks.py
-# The batch query engine must stay >=5x faster than the per-query loop.
+# The batch query engine must stay >=5x faster than the per-query loop;
+# a disabled tracer span must stay effectively free.
 run_step "batch bench gate" python scripts/check_bench_gate.py
+# Observability smoke: a fully instrumented 2-worker run with one
+# injected crash must export a valid trace + metrics pair that records
+# every experiment, the aggregate cache counters, and the retry.
+obs_tmp="$(mktemp -d)"
+run_step "obs smoke (instrumented run + injected retry)" \
+    env REPRO_RUNNER_FAULTS="E2:crash:1" \
+        REPRO_RUNNER_FAULTS_STATE="${obs_tmp}/faults" \
+    python -m repro experiment all --quick --workers 2 \
+        --trace "${obs_tmp}/trace.jsonl" \
+        --metrics-out "${obs_tmp}/metrics.json"
+run_step "obs output check" \
+    python scripts/check_obs_output.py \
+        "${obs_tmp}/trace.jsonl" "${obs_tmp}/metrics.json" --expect-retry
+rm -rf "${obs_tmp}"
 
 if [ "${failed}" -ne 0 ]; then
     echo "check_all: FAILED" >&2

@@ -8,6 +8,13 @@ per-query loop drops below the floor on any grid — the regression the
 batch path exists to prevent.  The floor is 5x by default
 (``REPRO_BENCH_MIN_SPEEDUP`` overrides it, e.g. on very noisy runners).
 
+Also asserts the observability layer's disabled-path contract: a
+:func:`repro.obs.trace.trace` span on a hot path must cost effectively
+nothing while tracing is off.  The bound is 2000 ns per disabled span by
+default — over an order of magnitude above the measured cost, tight
+enough to catch an accidental allocation or lock on the disabled path
+(``REPRO_OBS_MAX_NS_PER_SPAN`` overrides it).
+
 Usage::
 
     PYTHONPATH=src python scripts/check_bench_gate.py
@@ -20,11 +27,14 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "benchmarks"))
 
-from bench_kernels import run_batch_bench  # noqa: E402
+from bench_kernels import run_batch_bench, run_obs_overhead_bench  # noqa: E402
 
 
 def main() -> int:
     floor = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "5"))
+    obs_ceiling = float(
+        os.environ.get("REPRO_OBS_MAX_NS_PER_SPAN", "2000")
+    )
     record = run_batch_bench()
     print(json.dumps(record, indent=2))
     failures = []
@@ -37,6 +47,19 @@ def main() -> int:
             )
         else:
             print(f"bench gate: grid {grid} at {speedup}x (floor {floor}x)")
+    obs_record = run_obs_overhead_bench()
+    print(json.dumps(obs_record, indent=2))
+    ns_per_span = obs_record["ns_per_disabled_span"]
+    if ns_per_span > obs_ceiling:
+        failures.append(
+            f"disabled tracer span costs {ns_per_span}ns "
+            f"> {obs_ceiling}ns ceiling"
+        )
+    else:
+        print(
+            f"bench gate: disabled span at {ns_per_span}ns "
+            f"(ceiling {obs_ceiling}ns)"
+        )
     if failures:
         for failure in failures:
             print(f"bench gate: FAILED — {failure}", file=sys.stderr)

@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""CI validator for the observability exports of an instrumented run.
+
+Checks that a ``--trace`` JSONL file and a ``--metrics-out`` JSON file
+written by ``repro-decluster experiment`` are well-formed:
+
+* every JSONL line is a JSON object carrying exactly the span schema
+  (:data:`repro.obs.trace.SPAN_FIELDS`), with sane types and
+  non-negative durations;
+* a ``runner.experiment`` span exists for **every** experiment key —
+  an instrumented run that silently skips an experiment is a bug;
+* parent/child span ids are consistent (every non-null ``parent_id``
+  names a span from the same process);
+* the metrics document has the aggregate/parent/processes layout and
+  covers the allocation-cache counters;
+* with ``--expect-retry``, at least one ``runner.retry`` event and a
+  nonzero ``runner.retries`` counter are present — the mode CI uses
+  after injecting a crash via ``REPRO_RUNNER_FAULTS``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_obs_output.py \
+        trace.jsonl metrics.json [--expect-retry]
+"""
+
+import argparse
+import json
+import sys
+
+from repro.experiments.runner import EXPERIMENT_KEYS
+from repro.obs.summary import load_metrics, load_trace
+from repro.obs.trace import SPAN_FIELDS, TRACE_SCHEMA_VERSION
+
+#: Field -> accepted types, for every JSONL line.
+_FIELD_TYPES = {
+    "schema": (int,),
+    "kind": (str,),
+    "name": (str,),
+    "span_id": (str,),
+    "parent_id": (str, type(None)),
+    "pid": (int,),
+    "wall_start": (int, float),
+    "duration_s": (int, float),
+    "attrs": (dict,),
+}
+
+
+def check_trace(path, errors, expect_retry):
+    spans = load_trace(path)
+    if not spans:
+        errors.append(f"{path}: empty trace")
+        return
+    ids_by_pid = {}
+    for index, span in enumerate(spans, start=1):
+        where = f"{path}: span {index}"
+        extra = set(span) - set(SPAN_FIELDS)
+        missing = set(SPAN_FIELDS) - set(span)
+        if extra or missing:
+            errors.append(
+                f"{where}: bad fields (missing={sorted(missing)}, "
+                f"extra={sorted(extra)})"
+            )
+            continue
+        for field, types in _FIELD_TYPES.items():
+            if not isinstance(span[field], types):
+                errors.append(
+                    f"{where}: field {field!r} has type "
+                    f"{type(span[field]).__name__}"
+                )
+        if span["schema"] != TRACE_SCHEMA_VERSION:
+            errors.append(f"{where}: schema {span['schema']}")
+        if span["kind"] not in ("span", "event"):
+            errors.append(f"{where}: kind {span['kind']!r}")
+        if isinstance(span["duration_s"], (int, float)):
+            if span["duration_s"] < 0:
+                errors.append(f"{where}: negative duration")
+        ids_by_pid.setdefault(span["pid"], set()).add(span["span_id"])
+
+    for index, span in enumerate(spans, start=1):
+        parent = span.get("parent_id")
+        if parent and parent not in ids_by_pid.get(span.get("pid"), ()):
+            errors.append(
+                f"{path}: span {index}: parent_id {parent!r} names no "
+                f"span from pid {span.get('pid')}"
+            )
+
+    traced_keys = {
+        span["attrs"].get("key")
+        for span in spans
+        if span.get("name") == "runner.experiment"
+    }
+    missing_keys = [
+        key for key in EXPERIMENT_KEYS if key not in traced_keys
+    ]
+    if missing_keys:
+        errors.append(
+            f"{path}: no runner.experiment span for {missing_keys}"
+        )
+    if expect_retry:
+        retries = [
+            span for span in spans if span.get("name") == "runner.retry"
+        ]
+        if not retries:
+            errors.append(f"{path}: expected a runner.retry event")
+    print(
+        f"obs check: {path}: {len(spans)} span(s), "
+        f"{len(ids_by_pid)} process(es), experiments "
+        f"{sorted(k for k in traced_keys if k)}"
+    )
+
+
+def check_metrics(path, errors, expect_retry):
+    document = load_metrics(path)
+    for section in ("aggregate", "parent", "processes"):
+        if section not in document:
+            errors.append(f"{path}: missing section {section!r}")
+            return
+    counters = document["aggregate"].get("counters", {})
+    for name in ("cache.hits", "cache.misses"):
+        if name not in counters:
+            errors.append(f"{path}: aggregate counter {name!r} missing")
+    histograms = document["aggregate"].get("histograms", {})
+    timed = [
+        name
+        for name in histograms
+        if name.startswith("experiment.") and name.endswith(".seconds")
+    ]
+    if not timed:
+        errors.append(f"{path}: no experiment.*.seconds histograms")
+    if expect_retry and counters.get("runner.retries", 0) < 1:
+        errors.append(
+            f"{path}: expected runner.retries >= 1, got "
+            f"{counters.get('runner.retries', 0)}"
+        )
+    print(
+        f"obs check: {path}: {len(counters)} aggregate counter(s), "
+        f"{len(document['processes'])} worker payload(s), "
+        f"{len(timed)} experiment timing histogram(s)"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="JSONL file written by --trace")
+    parser.add_argument(
+        "metrics", help="JSON file written by --metrics-out"
+    )
+    parser.add_argument(
+        "--expect-retry",
+        action="store_true",
+        help="require an injected retry to be visible in both files",
+    )
+    args = parser.parse_args(argv)
+
+    errors = []
+    try:
+        check_trace(args.trace, errors, args.expect_retry)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        errors.append(f"{args.trace}: {exc}")
+    try:
+        check_metrics(args.metrics, errors, args.expect_retry)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        errors.append(f"{args.metrics}: {exc}")
+
+    if errors:
+        for error in errors:
+            print(f"obs check: FAILED — {error}", file=sys.stderr)
+        return 1
+    print("obs check: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,10 @@ Subcommands
 ``qa``
     Quality gate: repo-specific AST lint rules plus the scheme-contract
     checker; exits nonzero on findings outside the baseline.
+``obs``
+    Observability tools: ``obs summary`` renders the metrics/trace files
+    an instrumented run exported (``experiment ... --trace FILE
+    --metrics-out FILE --log-level LEVEL``).
 
 Examples
 --------
@@ -130,12 +134,86 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _setup_obs(args) -> None:
+    """Apply the observability flags before an experiment run."""
+    if getattr(args, "log_level", None):
+        from repro.obs.log import configure_logging
+
+        configure_logging(args.log_level)
+    if getattr(args, "trace", None):
+        from repro.obs.trace import global_tracer
+
+        global_tracer().enable()
+
+
+def _finish_obs(args) -> None:
+    """Export the trace/metrics files an instrumented run produced."""
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics_out", None)
+    if trace_path:
+        from repro.obs.trace import global_tracer
+
+        count = global_tracer().write_jsonl(trace_path)
+        print(
+            f"trace: {count} span(s) written to {trace_path}",
+            file=sys.stderr,
+        )
+    if metrics_path:
+        from repro.core.cache import global_cache
+        from repro.obs.metrics import global_registry
+
+        registry = global_registry()
+        global_cache().publish_metrics(registry)
+        registry.write_json(metrics_path)
+        print(f"metrics written to {metrics_path}", file=sys.stderr)
+
+
 def _print_cache_stats(args) -> None:
     if getattr(args, "cache_stats", False):
-        from repro.core.cache import global_cache
+        from repro.core.cache import CacheStats, global_cache
+        from repro.obs.metrics import global_registry
 
         cache = global_cache()
-        print(cache.stats().render(), file=sys.stderr)
+        registry = global_registry()
+        worker_pids = [
+            pid
+            for pid in registry.process_pids()
+            if "cache.hits" in registry.process_counters(pid)
+        ]
+        if worker_pids:
+            # Parallel run: the parent's counters alone would silently
+            # omit all worker activity, so label and aggregate.
+            def _stats_from(counters) -> CacheStats:
+                return CacheStats(
+                    hits=counters.get("cache.hits", 0),
+                    misses=counters.get("cache.misses", 0),
+                    evictions=counters.get("cache.evictions", 0),
+                    entries=counters.get("cache.entries", 0),
+                    maxsize=counters.get("cache.maxsize", 0),
+                    shared_hits=counters.get("cache.shared_hits", 0),
+                    publishes=counters.get("cache.publishes", 0),
+                )
+
+            cache.publish_metrics(registry)
+            aggregate = _stats_from(registry.aggregate_counters())
+            print(
+                "aggregate (parent + "
+                f"{len(worker_pids)} worker process(es)): "
+                + aggregate.render(),
+                file=sys.stderr,
+            )
+            for pid in worker_pids:
+                worker = _stats_from(registry.process_counters(pid))
+                print(
+                    f"  worker pid {pid}: " + worker.render(),
+                    file=sys.stderr,
+                )
+            print(
+                "parent process: " + cache.stats().render(),
+                file=sys.stderr,
+            )
+        else:
+            print(cache.stats().render(), file=sys.stderr)
         for entry in cache.entry_report():
             dims = "x".join(str(d) for d in entry["dims"])
             engine = (
@@ -186,6 +264,7 @@ def _cmd_experiment(args) -> int:
     wanted = args.which.upper()
     if wanted == "DEGRADED":
         wanted = "X7"
+    _setup_obs(args)
     if wanted == "X6":
         from repro.experiments import exp_growth
 
@@ -194,12 +273,15 @@ def _cmd_experiment(args) -> int:
             bucket_capacity=16,
         )
         print(exp_growth.render(rows))
+        _finish_obs(args)
         return 0
     if wanted == "ALL":
         print(render_all(runner.run_all(**_runner_kwargs(args))))
+        _finish_obs(args)
         _print_cache_stats(args)
         return 0
     results = runner.run_all(**_runner_kwargs(args))
+    _finish_obs(args)
     key_map = {
         "E4": ("E4a", "E4b"),
         "X7": ("X7a", "X7b"),
@@ -350,6 +432,27 @@ def _cmd_advise(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    from repro.obs.summary import render_summary_files
+
+    if args.metrics is None and args.trace is None:
+        print(
+            "obs summary: provide --metrics and/or --trace",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        print(
+            render_summary_files(
+                metrics_path=args.metrics, trace_path=args.trace
+            )
+        )
+    except ValueError as exc:
+        print(f"obs summary: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_qa(args) -> int:
     from repro.qa.runner import run_from_args
 
@@ -478,7 +581,35 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "print allocation-cache counters plus per-entry table dtype, "
-            "sizes, and shared-memory residency to stderr"
+            "sizes, and shared-memory residency to stderr; with "
+            "--workers, worker activity is aggregated and labeled"
+        ),
+    )
+    p_exp.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help=(
+            "record spans (experiments, engine, shared memory, retries) "
+            "and write them as JSONL to FILE"
+        ),
+    )
+    p_exp.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write counters and histograms (aggregated across worker "
+            "processes) as JSON to FILE"
+        ),
+    )
+    p_exp.add_argument(
+        "--log-level",
+        default=None,
+        metavar="LEVEL",
+        help=(
+            "emit library logs (shm teardown, runner retries, ...) to "
+            "stderr at LEVEL (debug, info, warning, ...)"
         ),
     )
 
@@ -532,6 +663,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_qa_arguments(p_qa)
 
+    p_obs = sub.add_parser(
+        "obs", help="observability: summarize trace/metrics exports"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_obs_summary = obs_sub.add_parser(
+        "summary",
+        help="render a run's --metrics-out / --trace files",
+    )
+    p_obs_summary.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="metrics JSON written by --metrics-out",
+    )
+    p_obs_summary.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="span JSONL written by --trace",
+    )
+
     p_theory = sub.add_parser("theory", help="strict-optimality tools")
     theory_sub = p_theory.add_subparsers(
         dest="theory_command", required=True
@@ -571,6 +723,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "advise": _cmd_advise,
         "theory": _cmd_theory,
         "qa": _cmd_qa,
+        "obs": _cmd_obs,
     }
     try:
         return handlers[args.command](args)

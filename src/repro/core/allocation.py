@@ -31,16 +31,24 @@ def table_dtype(num_disks: int) -> np.dtype:
 
     ``uint8`` covers every configuration the paper evaluates (M <= 256);
     the compact dtype is what makes allocation tables cheap to cache and
-    to place in shared memory for the parallel runner.
+    to place in shared memory for the parallel runner.  Raises
+    :class:`~repro.core.exceptions.AllocationError` for non-positive M
+    and for M whose largest disk id would not even fit in ``uint64`` —
+    silently falling off the dtype ladder would wrap ids and corrupt the
+    table.
     """
     if num_disks <= 0:
         raise AllocationError(
             f"number of disks must be positive, got {num_disks}"
         )
-    for candidate in (np.uint8, np.uint16, np.uint32):
+    for candidate in (np.uint8, np.uint16, np.uint32, np.uint64):
         if num_disks - 1 <= np.iinfo(candidate).max:
             return np.dtype(candidate)
-    return np.dtype(np.uint64)
+    raise AllocationError(
+        f"number of disks {num_disks} is not representable: the largest "
+        f"disk id {num_disks - 1} exceeds uint64 "
+        f"({np.iinfo(np.uint64).max})"
+    )
 
 
 class DiskAllocation:

@@ -276,6 +276,27 @@ class AllocationCache:
             )
         return report
 
+    def publish_metrics(self, registry) -> None:
+        """Export the counters into an obs metrics registry.
+
+        Sets the ``cache.*`` counters to the cache's *cumulative* values
+        (rather than incrementing), matching the cumulative-snapshot
+        semantics of :meth:`repro.obs.metrics.MetricsRegistry.payload` —
+        this is the channel through which parallel workers report their
+        cache activity back to the parent, fixing the parent-only
+        ``--cache-stats`` blind spot.  Called at publication points
+        (end of a worker job, end of a CLI run), never on the lookup hot
+        path, so instrumentation stays free when unused.
+        """
+        stats = self.stats()
+        registry.set_counter("cache.hits", stats.hits)
+        registry.set_counter("cache.misses", stats.misses)
+        registry.set_counter("cache.evictions", stats.evictions)
+        registry.set_counter("cache.shared_hits", stats.shared_hits)
+        registry.set_counter("cache.publishes", stats.publishes)
+        registry.set_counter("cache.entries", stats.entries)
+        registry.set_counter("cache.maxsize", stats.maxsize)
+
     def clear(self) -> None:
         """Drop all entries; counters are preserved."""
         self._entries.clear()

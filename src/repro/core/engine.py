@@ -37,6 +37,7 @@ import numpy as np
 from repro.core.allocation import DiskAllocation
 from repro.core.exceptions import QueryError
 from repro.core.query import RangeQuery
+from repro.obs.trace import trace
 
 __all__ = [
     "ResponseTimeEngine",
@@ -65,6 +66,14 @@ class ResponseTimeEngine:
     __slots__ = ("_allocation", "_sat")
 
     def __init__(self, allocation: DiskAllocation):
+        with trace(
+            "engine.build",
+            dims=list(allocation.grid.dims),
+            num_disks=allocation.num_disks,
+        ):
+            self._build(allocation)
+
+    def _build(self, allocation: DiskAllocation) -> None:
         self._allocation = allocation
         table = allocation.table
         num_disks = allocation.num_disks
@@ -164,7 +173,10 @@ class ResponseTimeEngine:
         allocation (all-integer arithmetic, no rounding), but amortizes the
         prefix-sum work across every shape asked of this engine.
         """
-        return self.disk_window_counts(shape).max(axis=0)
+        # Hot path: the span carries no attrs so the disabled tracer
+        # costs one call and no allocation (see the obs overhead gate).
+        with trace("engine.sliding_response_times"):
+            return self.disk_window_counts(shape).max(axis=0)
 
     def _batch_bounds(
         self, queries: Sequence[RangeQuery]
@@ -236,10 +248,11 @@ class ResponseTimeEngine:
         inclusion–exclusion, same clipping), with no per-query Python
         loop.
         """
-        counts = self.batch_disk_counts(queries)
-        if counts.shape[0] == 0:
-            return np.zeros(0, dtype=np.int64)
-        return counts.max(axis=1)
+        with trace("engine.batch_response_times", num_queries=len(queries)):
+            counts = self.batch_disk_counts(queries)
+            if counts.shape[0] == 0:
+                return np.zeros(0, dtype=np.int64)
+            return counts.max(axis=1)
 
     def batch_optimal(self, queries: Sequence[RangeQuery]) -> np.ndarray:
         """Effective OPT per query, shape ``(N,)``.

@@ -52,6 +52,11 @@ import numpy as np
 
 from repro.core.allocation import DiskAllocation, table_dtype
 from repro.core.grid import Grid
+from repro.obs.log import get_logger
+from repro.obs.metrics import global_registry
+from repro.obs.trace import trace
+
+_LOG = get_logger("repro.core.shm")
 
 __all__ = [
     "SHM_NAME_PREFIX",
@@ -149,16 +154,19 @@ def share_allocation(
     if name is None:
         name = f"{SHM_NAME_PREFIX}-{os.getpid()}-{secrets.token_hex(4)}"
     table = allocation.table
-    segment = _open_segment(name, create=True, size=table.nbytes)
-    try:
-        view = np.ndarray(
-            table.shape, dtype=table.dtype, buffer=segment.buf
-        )
-        view[...] = table
-    finally:
-        # The data is in the kernel object; this process-local mapping
-        # can close (attach_allocation re-opens it when needed).
-        segment.close()
+    with trace("shm.share", segment=name, nbytes=int(table.nbytes)):
+        segment = _open_segment(name, create=True, size=table.nbytes)
+        try:
+            view = np.ndarray(
+                table.shape, dtype=table.dtype, buffer=segment.buf
+            )
+            view[...] = table
+        finally:
+            # The data is in the kernel object; this process-local
+            # mapping can close (attach_allocation re-opens it when
+            # needed).
+            segment.close()
+    global_registry().inc("shm.shares")
     return SharedTableHandle(
         name=name,
         dims=allocation.grid.dims,
@@ -175,8 +183,10 @@ def attach_allocation(handle: SharedTableHandle) -> DiskAllocation:
     """
     segment = _ATTACHED.get(handle.name)
     if segment is None:
-        segment = _open_segment(handle.name)
+        with trace("shm.attach", segment=handle.name):
+            segment = _open_segment(handle.name)
         _ATTACHED[handle.name] = segment
+        global_registry().inc("shm.attaches")
     table = np.ndarray(
         handle.dims,
         dtype=table_dtype(handle.num_disks),
@@ -198,8 +208,11 @@ def detach_all() -> int:
         segment = _ATTACHED.pop(name)
         try:
             segment.close()
-        except OSError:
-            pass  # mapping already invalidated; nothing left to release
+        except OSError as exc:
+            # Mapping already invalidated; nothing left to release, but
+            # record the cause so leaked segments stay diagnosable.
+            _LOG.debug("detach of segment %s failed: %r", name, exc)
+            global_registry().inc("shm.detach_errors")
         count += 1
     return count
 
@@ -218,8 +231,12 @@ def unlink_segment(name: str) -> bool:
     finally:
         try:
             segment.close()
-        except OSError:
-            pass  # already closed or mapping gone; unlink happened
+        except OSError as exc:
+            # Already closed or mapping gone; the unlink itself
+            # happened, but leave a trace of the close failure.
+            _LOG.debug("close after unlink of %s failed: %r", name, exc)
+            global_registry().inc("shm.close_errors")
+    global_registry().inc("shm.unlinked_segments")
     return True
 
 
@@ -301,10 +318,16 @@ class SharedAllocationBroker:
         handle = share_allocation(allocation, name=name)
         try:
             winner = self._registry.setdefault(key, handle)
-        except Exception:
+        except Exception as exc:  # qa502: allow — logged and counted, private fallback is correct
             # Manager connection gone (teardown raced us): fall back to
             # the private allocation; the ledger still covers the
-            # segment.
+            # segment.  Previously swallowed silently — now logged and
+            # counted so broker outages are diagnosable.
+            _LOG.warning(
+                "shm publish of %s fell back to a private table "
+                "(broker registry unreachable): %r", key, exc,
+            )
+            global_registry().inc("shm.publish_fallbacks")
             return allocation
         if winner.name != handle.name:
             unlink_segment(handle.name)
@@ -362,7 +385,16 @@ class SharedAllocationArena:
                 manager.list(),
                 prefix=f"{SHM_NAME_PREFIX}-{secrets.token_hex(4)}",
             )
-        except Exception:
+        except Exception as exc:  # qa502: allow — logged and counted, None disables sharing
+            # No manager / no shm on this platform: the parallel runner
+            # degrades to per-worker private tables.  Previously
+            # swallowed silently — now logged and counted so "why is
+            # nothing shared?" has an answer.
+            _LOG.warning(
+                "shared-memory arena unavailable, running without "
+                "zero-copy sharing: %r", exc,
+            )
+            global_registry().inc("shm.arena_failures")
             return None
         return cls(manager, broker)
 
@@ -371,10 +403,16 @@ class SharedAllocationArena:
         if self._manager is None:
             return
         try:
-            self.broker.unlink_all()
+            with trace("shm.teardown"):
+                unlinked = self.broker.unlink_all()
+            _LOG.debug("arena teardown unlinked %d segment(s)", unlinked)
         finally:
             try:
                 self._manager.shutdown()
-            except (OSError, EOFError):
-                pass  # manager process already gone; nothing to stop
+            except (OSError, EOFError) as exc:
+                # Manager process already gone; nothing to stop, but
+                # record it — a dead manager mid-run is how segments
+                # used to leak without a trace.
+                _LOG.warning("arena manager shutdown failed: %r", exc)
+                global_registry().inc("shm.teardown_errors")
             self._manager = None

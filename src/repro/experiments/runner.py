@@ -47,8 +47,13 @@ from repro.experiments.checkpoint import RunCheckpoint
 from repro.experiments.exp_num_attributes import deviation_table
 from repro.experiments.reporting import render_table
 from repro.faults.injection import maybe_inject_runner_fault
+from repro.obs.log import get_logger
+from repro.obs.metrics import global_registry
+from repro.obs.trace import global_tracer, trace, trace_event
 from repro.theory.conditions import render_table as render_conditions
 from repro.theory.search import SearchResult
+
+_LOG = get_logger("repro.experiments.runner")
 
 __all__ = [
     "DEFAULT_BACKOFF",
@@ -183,7 +188,13 @@ def run_experiment(key: str, quick: bool = False) -> object:
         )
     maybe_inject_runner_fault(key)
     kwargs = (_QUICK_KWARGS if quick else _FULL_KWARGS).get(key, {})
-    return _job_callable(key)(**kwargs)
+    with trace("runner.experiment", key=key, quick=quick):
+        start = time.perf_counter()
+        result = _job_callable(key)(**kwargs)
+        global_registry().observe(
+            f"experiment.{key}.seconds", time.perf_counter() - start
+        )
+        return result
 
 
 def _assemble(raw: Dict[str, object]) -> Dict[str, object]:
@@ -224,13 +235,80 @@ def _run_serial(
                         f"experiment {key} failed after {attempt} "
                         f"attempt(s): {exc!r}"
                     ) from exc
-                time.sleep(_retry_round_delay(backoff, attempt - 1))
+                delay = _retry_round_delay(backoff, attempt - 1)
+                _record_retry(key, attempt, exc, delay)
+                time.sleep(delay)
             else:
                 raw[key] = result
                 if checkpoint is not None:
                     checkpoint.record(key, result)
                 break
     return raw
+
+
+def _record_retry(
+    key: str, attempt: int, exc: BaseException, delay: float
+) -> None:
+    """Make one retry visible: log line, counter, trace event."""
+    _LOG.warning(
+        "experiment %s attempt %d failed (%r); retrying in %.2fs",
+        key, attempt, exc, delay,
+    )
+    global_registry().inc("runner.retries")
+    trace_event(
+        "runner.retry",
+        key=key, attempt=attempt, delay_s=delay, error=repr(exc),
+    )
+
+
+def _record_timeout(key: str, timeout: Optional[float]) -> None:
+    """Make one hung-worker timeout visible alongside the retry."""
+    _LOG.warning(
+        "experiment %s exceeded its %.1fs timeout; worker counted as hung",
+        key, timeout or 0.0,
+    )
+    global_registry().inc("runner.timeouts")
+    trace_event("runner.timeout", key=key, timeout_s=timeout)
+
+
+def _run_experiment_job(
+    key: str, quick: bool, collect_spans: bool
+) -> Tuple[object, Dict[str, object]]:
+    """Pool unit of work: run one experiment and ship its obs payload.
+
+    Runs in a spawn worker, so it reads the *worker's* global tracer,
+    metrics registry, and allocation cache.  The payload carries the
+    worker's spans (when the parent asked for them) plus a cumulative
+    metrics snapshot including the worker's cache counters — the channel
+    through which parallel runs report aggregate observability numbers
+    instead of parent-only ones.  Results stay untouched: the parent
+    strips the payload before assembling/checkpointing, so parallel runs
+    remain byte-identical to serial ones.
+    """
+    import os
+
+    from repro.core.cache import global_cache
+
+    tracer = global_tracer()
+    if collect_spans:
+        tracer.enable()
+    result = run_experiment(key, quick)
+    registry = global_registry()
+    global_cache().publish_metrics(registry)
+    return result, {
+        "pid": os.getpid(),
+        "spans": tracer.drain() if collect_spans else [],
+        "metrics": registry.payload(),
+    }
+
+
+def _ingest_job_payload(payload: Dict[str, object]) -> None:
+    """Merge one worker payload into the parent's tracer and registry."""
+    tracer = global_tracer()
+    if tracer.enabled:
+        for span in payload.get("spans", []):  # type: ignore[union-attr]
+            tracer.record(span)
+    global_registry().ingest(payload["metrics"])  # type: ignore[arg-type]
 
 
 def _init_worker_broker(broker) -> None:
@@ -299,15 +377,21 @@ def _run_parallel(
                 max_workers=workers, mp_context=context, **initargs
             )
             failed: List[str] = []
+            collect_spans = global_tracer().enabled
             try:
                 futures = {
-                    key: pool.submit(run_experiment, key, quick)
+                    key: pool.submit(
+                        _run_experiment_job, key, quick, collect_spans
+                    )
                     for key in pending
                 }
                 for key in pending:
                     try:
-                        result = futures[key].result(timeout=timeout)
+                        result, payload = futures[key].result(
+                            timeout=timeout
+                        )
                     except FutureTimeoutError as exc:
+                        _record_timeout(key, timeout)
                         failures[key] = exc
                         failed.append(key)
                     except Exception as exc:
@@ -316,6 +400,7 @@ def _run_parallel(
                         failures[key] = exc
                         failed.append(key)
                     else:
+                        _ingest_job_payload(payload)
                         raw[key] = result
                         if checkpoint is not None:
                             checkpoint.record(key, result)
@@ -334,7 +419,10 @@ def _run_parallel(
                 )
             pending = failed
             if pending:
-                time.sleep(_retry_round_delay(backoff, round_index))
+                delay = _retry_round_delay(backoff, round_index)
+                for key in pending:
+                    _record_retry(key, attempts[key], failures[key], delay)
+                time.sleep(delay)
                 round_index += 1
     finally:
         if arena is not None:

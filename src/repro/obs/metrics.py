@@ -1,0 +1,235 @@
+"""Process-safe counters and histograms with cross-worker aggregation.
+
+The metrics registry is the "how often / how big" half of
+:mod:`repro.obs`.  It holds two kinds of series:
+
+* **counters** — monotonically increasing integers
+  (``registry.inc("cache.hits")``), or cumulative gauges published
+  wholesale from an existing counter source
+  (:meth:`MetricsRegistry.set_counter`);
+* **histograms** — lists of float observations
+  (``registry.observe("experiment.E1.seconds", dt)``) summarized as
+  count/sum/mean/p50/p95/max.
+
+Process model.  Each process owns exactly one registry
+(:func:`global_registry`); nothing is shared *live* across processes.
+Instead a worker serializes its registry to a plain-dict *payload*
+(:meth:`MetricsRegistry.payload`) that travels back to the parent with
+the experiment result, and the parent stores it per-pid
+(:meth:`MetricsRegistry.ingest`).  Payloads are **cumulative snapshots**:
+a later payload from the same pid replaces the earlier one rather than
+adding to it, so a pool worker that runs five experiments reports each
+counter once, not five times.  Aggregation is then a straight sum of the
+parent's own series plus the latest payload per worker pid — this is
+what makes ``--cache-stats`` under ``--workers N`` report *all* activity
+instead of the parent's alone.
+
+All increments are plain dict operations on process-local state: no
+locks on the hot path, nothing to configure, and nothing measurable when
+the numbers are never read.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+__all__ = [
+    "METRICS_SCHEMA_VERSION",
+    "MetricsRegistry",
+    "global_registry",
+    "histogram_summary",
+    "reset_global_registry",
+]
+
+#: Bumped when the payload / JSON layout changes incompatibly.
+METRICS_SCHEMA_VERSION = 1
+
+
+def _percentile(ordered: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted non-empty list."""
+    rank = max(int(len(ordered) * fraction + 0.5), 1)
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def histogram_summary(values: List[float]) -> Dict[str, float]:
+    """count/sum/mean/p50/p95/max of a list of observations."""
+    if not values:
+        return {
+            "count": 0, "sum": 0.0, "mean": 0.0,
+            "p50": 0.0, "p95": 0.0, "max": 0.0,
+        }
+    ordered = sorted(values)
+    total = float(sum(ordered))
+    return {
+        "count": len(ordered),
+        "sum": total,
+        "mean": total / len(ordered),
+        "p50": _percentile(ordered, 0.50),
+        "p95": _percentile(ordered, 0.95),
+        "max": ordered[-1],
+    }
+
+
+class MetricsRegistry:
+    """Counters + histograms for one process, plus ingested worker payloads.
+
+    Examples
+    --------
+    >>> registry = MetricsRegistry()
+    >>> registry.inc("cache.hits", 3)
+    >>> registry.observe("experiment.E1.seconds", 0.25)
+    >>> registry.counter("cache.hits")
+    3
+    >>> registry.ingest({"pid": 999, "counters": {"cache.hits": 4},
+    ...                  "histograms": {}})
+    >>> registry.aggregate_counters()["cache.hits"]
+    7
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._histograms: Dict[str, List[float]] = {}
+        self._process_payloads: Dict[int, Dict[str, Any]] = {}
+
+    # -- local series -------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created at 0)."""
+        self._counters[name] = self._counters.get(name, 0) + int(amount)
+
+    def set_counter(self, name: str, value: int) -> None:
+        """Publish a cumulative value wholesale (e.g. cache stats)."""
+        self._counters[name] = int(value)
+
+    def counter(self, name: str) -> int:
+        """Current local value of counter ``name`` (0 if never touched)."""
+        return self._counters.get(name, 0)
+
+    def observe(self, name: str, value: float) -> None:
+        """Append one observation to histogram ``name``."""
+        self._histograms.setdefault(name, []).append(float(value))
+
+    def clear(self) -> None:
+        """Drop all local series and every ingested payload."""
+        self._counters = {}
+        self._histograms = {}
+        self._process_payloads = {}
+
+    # -- cross-process payloads ---------------------------------------
+
+    def payload(self) -> Dict[str, Any]:
+        """This process's series as a picklable cumulative snapshot."""
+        return {
+            "schema": METRICS_SCHEMA_VERSION,
+            "pid": os.getpid(),
+            "counters": dict(self._counters),
+            "histograms": {
+                name: list(values)
+                for name, values in self._histograms.items()
+            },
+        }
+
+    def ingest(self, payload: Dict[str, Any]) -> None:
+        """Store a worker payload, replacing any earlier one for its pid.
+
+        Payloads are cumulative, so replacement (not addition) is what
+        keeps a long-lived pool worker from being counted once per job.
+        """
+        pid = int(payload["pid"])
+        self._process_payloads[pid] = {
+            "counters": dict(payload.get("counters", {})),
+            "histograms": {
+                name: list(values)
+                for name, values in payload.get("histograms", {}).items()
+            },
+        }
+
+    def process_pids(self) -> List[int]:
+        """Pids of every worker whose payload has been ingested."""
+        return sorted(self._process_payloads)
+
+    def process_counters(self, pid: int) -> Dict[str, int]:
+        """The latest counter snapshot ingested from ``pid``."""
+        return dict(self._process_payloads[pid]["counters"])
+
+    # -- aggregation --------------------------------------------------
+
+    def aggregate_counters(self) -> Dict[str, int]:
+        """Own counters plus the latest snapshot per worker, summed."""
+        totals = dict(self._counters)
+        for payload in self._process_payloads.values():
+            for name, value in payload["counters"].items():
+                totals[name] = totals.get(name, 0) + int(value)
+        return totals
+
+    def aggregate_histograms(self) -> Dict[str, Dict[str, float]]:
+        """Summaries over own plus every worker's observations."""
+        merged: Dict[str, List[float]] = {
+            name: list(values)
+            for name, values in self._histograms.items()
+        }
+        for payload in self._process_payloads.values():
+            for name, values in payload["histograms"].items():
+                merged.setdefault(name, []).extend(values)
+        return {
+            name: histogram_summary(values)
+            for name, values in sorted(merged.items())
+        }
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """The full registry as the JSON document ``--metrics-out`` writes."""
+        return {
+            "schema": METRICS_SCHEMA_VERSION,
+            "parent_pid": os.getpid(),
+            "aggregate": {
+                "counters": dict(sorted(self.aggregate_counters().items())),
+                "histograms": self.aggregate_histograms(),
+            },
+            "parent": {
+                "counters": dict(sorted(self._counters.items())),
+                "histograms": {
+                    name: histogram_summary(values)
+                    for name, values in sorted(self._histograms.items())
+                },
+            },
+            "processes": {
+                str(pid): {
+                    "counters": dict(
+                        sorted(payload["counters"].items())
+                    ),
+                    "histograms": {
+                        name: histogram_summary(values)
+                        for name, values in sorted(
+                            payload["histograms"].items()
+                        )
+                    },
+                }
+                for pid, payload in sorted(
+                    self._process_payloads.items()
+                )
+            },
+        }
+
+    def write_json(self, path: Union[str, Path]) -> None:
+        """Serialize :meth:`to_json_dict` to ``path`` (pretty-printed)."""
+        Path(path).write_text(
+            json.dumps(self.to_json_dict(), indent=2) + "\n"
+        )
+
+
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide registry used by all library instrumentation."""
+    return _GLOBAL_REGISTRY
+
+
+def reset_global_registry() -> MetricsRegistry:
+    """Replace the process-wide registry with a fresh one; returns it."""
+    global _GLOBAL_REGISTRY
+    _GLOBAL_REGISTRY = MetricsRegistry()
+    return _GLOBAL_REGISTRY

@@ -13,11 +13,23 @@ the patterns that make failures invisible:
   only ``pass``/``...`` discards the failure without recording, retrying,
   or re-raising.  Broad catches are fine — the self-healing runner relies
   on them — but only when the handler *does* something with the failure.
+
+QA502 supports an **explicit whitelist pragma** for the rare handler
+whose swallowing is deliberate and audited (e.g. the shared-memory
+broker's publish fallback, which logs and counts through
+:mod:`repro.obs`): a comment on the ``except`` line of the form ::
+
+    except Exception as exc:  # qa502: allow — <reason>
+
+suppresses the finding, but only when a non-empty reason follows the
+``allow``.  A bare ``# qa502: allow`` is itself reported — the whole
+point is that the waiver documents *why*.
 """
 
 from __future__ import annotations
 
 import ast
+import re
 from typing import Iterable
 
 from repro.qa.diagnostics import Finding, Severity
@@ -36,6 +48,29 @@ __all__ = [
 
 #: Exception names whose silent swallowing is always a hazard.
 _BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+
+#: ``# qa502: allow — reason`` / ``# qa502: allow - reason`` on the
+#: ``except`` line itself; the reason group must be non-empty to count.
+_ALLOW_PRAGMA = re.compile(
+    r"#\s*qa502:\s*allow(?:\s*[—–-]+\s*(?P<reason>\S.*))?",
+    re.IGNORECASE,
+)
+
+
+def _allow_pragma_reason(module: ModuleSource, lineno: int):
+    """The pragma's reason on source line ``lineno``, if a pragma exists.
+
+    Returns ``None`` when there is no pragma at all, and the (possibly
+    empty) reason string when there is one.
+    """
+    lines = module.source.splitlines()
+    if not 1 <= lineno <= len(lines):
+        return None
+    match = _ALLOW_PRAGMA.search(lines[lineno - 1])
+    if match is None:
+        return None
+    reason = match.group("reason")
+    return reason.strip() if reason else ""
 
 
 def _names_broad_exception(node: ast.expr) -> bool:
@@ -102,6 +137,17 @@ class SilentBroadExceptRule(LintRule):
                 continue  # QA501's finding; don't double-report
             if not _names_broad_exception(node.type):
                 continue
+            reason = _allow_pragma_reason(module, node.lineno)
+            if reason == "":
+                yield self.finding(
+                    module.path,
+                    node.lineno,
+                    "qa502 allow pragma without a reason; write "
+                    "'# qa502: allow — <why this swallow is safe>'",
+                )
+                continue
+            if reason is not None:
+                continue  # explicitly whitelisted, with a reason
             if _body_is_silent(node.body):
                 yield self.finding(
                     module.path,

@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.core.allocation import DiskAllocation, allocation_from_function
+from repro.core.allocation import (
+    DiskAllocation,
+    allocation_from_function,
+    table_dtype,
+)
 from repro.core.exceptions import AllocationError
 from repro.core.grid import Grid
 
@@ -175,3 +179,43 @@ class TestFromFunction:
     def test_rule_returning_bad_disk_rejected(self):
         with pytest.raises(AllocationError):
             allocation_from_function(Grid((2, 2)), 2, lambda c: 5)
+
+
+class TestTableDtype:
+    """Regression: the dtype ladder at every unsigned-width boundary.
+
+    Disk ids run 0..M-1, so M itself must fit *M - 1*: M = 256 still
+    fits uint8, M = 257 needs uint16, and so on.  Above uint64 there is
+    no representable id table — that used to silently hand back a
+    wrapping uint64 table; now it is a clear AllocationError.
+    """
+
+    @pytest.mark.parametrize(
+        "num_disks,expected",
+        [
+            (1, np.uint8),
+            (256, np.uint8),
+            (257, np.uint16),
+            (65536, np.uint16),
+            (65537, np.uint32),
+            (2**32 - 1, np.uint32),
+            (2**32, np.uint32),
+            (2**32 + 1, np.uint64),
+            (2**64, np.uint64),
+        ],
+    )
+    def test_boundaries(self, num_disks, expected):
+        assert table_dtype(num_disks) == np.dtype(expected)
+
+    def test_max_disk_id_fits_the_chosen_dtype(self):
+        for num_disks in (256, 257, 65536, 65537, 2**32, 2**32 + 1):
+            dtype = table_dtype(num_disks)
+            assert np.iinfo(dtype).max >= num_disks - 1
+
+    def test_beyond_uint64_raises_not_wraps(self):
+        with pytest.raises(AllocationError, match="uint64"):
+            table_dtype(2**64 + 1)
+
+    def test_nonpositive_disks_rejected(self):
+        with pytest.raises(AllocationError):
+            table_dtype(0)

@@ -179,3 +179,91 @@ class TestCacheIntegration:
         shared = AllocationCache(broker=arena.broker)
         shared.allocation("dm", Grid((4, 4)), 2)
         assert "publish(es)" in shared.stats().render()
+
+
+class _ExplodingRegistry(dict):
+    """A broker registry whose manager connection is gone."""
+
+    def setdefault(self, key, value):  # noqa: ARG002
+        raise ConnectionRefusedError("manager process is gone")
+
+
+class _DeadManager:
+    def shutdown(self):
+        raise OSError("manager already dead")
+
+
+@pytest.fixture
+def obs_registry():
+    from repro.obs.metrics import reset_global_registry
+
+    registry = reset_global_registry()
+    yield registry
+    reset_global_registry()
+
+
+class TestObservableFailures:
+    """Regression: shm failure swallows are logged and counted.
+
+    ``broker.publish`` falling back to a private table and
+    ``SharedAllocationArena.try_create`` returning None used to be
+    silent ``except Exception: pass`` blocks — invisible both to logs
+    and to metrics.  They now route through :mod:`repro.obs`.
+    """
+
+    def test_publish_fallback_logged_and_counted(
+        self, allocation, obs_registry, caplog
+    ):
+        import logging
+
+        broker = shm.SharedAllocationBroker(
+            _ExplodingRegistry(), [],
+            prefix=f"{shm.SHM_NAME_PREFIX}-obstest-{id(self)}",
+        )
+        try:
+            with caplog.at_level(logging.WARNING, logger="repro.core.shm"):
+                published = broker.publish(
+                    "hcam", allocation.grid, 5, allocation
+                )
+            # The private allocation is the documented fallback result.
+            assert published is allocation
+            assert obs_registry.counter("shm.publish_fallbacks") == 1
+            assert any(
+                "fell back to a private table" in record.message
+                for record in caplog.records
+            )
+        finally:
+            broker.unlink_all()
+            shm.detach_all()
+
+    def test_arena_failure_logged_and_counted(
+        self, obs_registry, monkeypatch, caplog
+    ):
+        import logging
+        import multiprocessing
+
+        def refuse():
+            raise RuntimeError("no managers on this platform")
+
+        monkeypatch.setattr(multiprocessing, "Manager", refuse)
+        with caplog.at_level(logging.WARNING, logger="repro.core.shm"):
+            arena = shm.SharedAllocationArena.try_create()
+        assert arena is None
+        assert obs_registry.counter("shm.arena_failures") == 1
+        assert "arena unavailable" in caplog.text
+
+    def test_teardown_error_logged_counted_once(
+        self, obs_registry, caplog
+    ):
+        import logging
+
+        broker = shm.SharedAllocationBroker(
+            {}, [], prefix=f"{shm.SHM_NAME_PREFIX}-obstest-{id(self)}"
+        )
+        arena = shm.SharedAllocationArena(_DeadManager(), broker)
+        with caplog.at_level(logging.WARNING, logger="repro.core.shm"):
+            arena.close()
+        assert obs_registry.counter("shm.teardown_errors") == 1
+        assert "manager shutdown failed" in caplog.text
+        arena.close()  # idempotent: the dead manager is not re-counted
+        assert obs_registry.counter("shm.teardown_errors") == 1

@@ -1,0 +1,75 @@
+"""Cross-process aggregation through a real 2-worker suite run.
+
+The regression this guards: ``--cache-stats`` under ``--workers N`` used
+to report only the parent process's cache counters (all zeros — the
+parent builds nothing when the pool does the work).  Workers now ship
+their metrics/spans back with each result and the parent aggregates
+them.
+"""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENT_KEYS, run_all
+from repro.obs.metrics import global_registry, reset_global_registry
+from repro.obs.trace import global_tracer
+
+
+@pytest.fixture
+def clean_obs():
+    reset_global_registry()
+    tracer = global_tracer()
+    was_enabled = tracer.enabled
+    tracer.clear()
+    yield tracer
+    tracer.disable()
+    tracer.clear()
+    if was_enabled:
+        tracer.enable()
+    reset_global_registry()
+
+
+class TestTwoWorkerAggregation:
+    def test_worker_counters_and_spans_reach_the_parent(self, clean_obs):
+        clean_obs.enable()
+        results = run_all(quick=True, workers=2)
+        assert results
+
+        registry = global_registry()
+        worker_pids = registry.process_pids()
+        assert worker_pids, "no worker payloads were ingested"
+
+        # The parent did no allocation work, so the aggregate cache
+        # activity must come from the ingested worker snapshots.
+        aggregate = registry.aggregate_counters()
+        parent_hits = registry.counter("cache.hits")
+        worker_hits = sum(
+            registry.process_counters(pid).get("cache.hits", 0)
+            for pid in worker_pids
+        )
+        assert worker_hits > 0
+        assert aggregate["cache.hits"] == parent_hits + worker_hits
+
+        # Every experiment timed exactly once, across all processes.
+        histograms = registry.aggregate_histograms()
+        for key in EXPERIMENT_KEYS:
+            assert histograms[f"experiment.{key}.seconds"]["count"] == 1
+
+        # Worker spans were re-recorded into the parent tracer: every
+        # experiment has its runner.experiment span, from >1 process.
+        spans = clean_obs.spans()
+        traced = {
+            span["attrs"].get("key"): span
+            for span in spans
+            if span["name"] == "runner.experiment"
+        }
+        assert set(EXPERIMENT_KEYS) <= set(traced)
+        assert len({span["pid"] for span in spans}) > 1
+
+    def test_disabled_tracer_still_aggregates_metrics(self, clean_obs):
+        # Metrics flow even without --trace; spans do not.
+        results = run_all(quick=True, workers=2)
+        assert results
+        registry = global_registry()
+        assert registry.process_pids()
+        assert registry.aggregate_counters().get("cache.hits", 0) > 0
+        assert clean_obs.spans() == []

@@ -133,3 +133,79 @@ class TestSilentBroadExceptRule:
         )
         assert "QA501" in codes(findings)
         assert "QA502" not in codes(findings)
+
+
+class TestQA502AllowPragma:
+    def test_pragma_with_reason_suppresses(self):
+        findings = lint(
+            """
+            try:
+                risky()
+            except Exception:  # qa502: allow — deliberate, logged upstream
+                pass
+            """
+        )
+        assert "QA502" not in codes(findings)
+
+    def test_pragma_with_ascii_dash_reason_suppresses(self):
+        findings = lint(
+            """
+            try:
+                risky()
+            except Exception:  # qa502: allow - counted via obs metrics
+                pass
+            """
+        )
+        assert "QA502" not in codes(findings)
+
+    def test_pragma_without_reason_is_itself_a_finding(self):
+        findings = lint(
+            """
+            try:
+                risky()
+            except Exception:  # qa502: allow
+                handle()
+            """
+        )
+        finding = next(f for f in findings if f.rule == "QA502")
+        assert "without a reason" in finding.message
+
+    def test_pragma_applies_to_its_handler_only(self):
+        findings = lint(
+            """
+            try:
+                risky()
+            except Exception:  # qa502: allow — first handler is audited
+                pass
+
+            try:
+                risky()
+            except Exception:
+                pass
+            """
+        )
+        qa502 = [f for f in findings if f.rule == "QA502"]
+        assert len(qa502) == 1
+        assert qa502[0].line == 9
+
+    def test_pragma_on_acting_handler_is_harmless(self):
+        findings = lint(
+            """
+            try:
+                risky()
+            except Exception as exc:  # qa502: allow — belt and braces
+                log(exc)
+            """
+        )
+        assert "QA502" not in codes(findings)
+
+    def test_pragma_is_case_insensitive(self):
+        findings = lint(
+            """
+            try:
+                risky()
+            except Exception:  # QA502: Allow — shouting is still a waiver
+                pass
+            """
+        )
+        assert "QA502" not in codes(findings)
