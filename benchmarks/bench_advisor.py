@@ -12,6 +12,14 @@ from repro.optimize.annealing import AnnealingConfig, optimize_allocation
 from repro.core.registry import get_scheme
 from repro.workloads.mixtures import WorkloadMixture
 
+__all__ = [
+    'DISKS',
+    'GRID',
+    'test_advise_cost',
+    'test_annealing_cost',
+    'test_dominance_matrix_cost',
+]
+
 GRID = Grid((32, 32))
 DISKS = 16
 

@@ -11,6 +11,8 @@ from repro.experiments.reporting import render_table
 from repro.analysis.advisor import advise, render_recommendations
 from repro.workloads.queries import random_queries_of_shape
 
+__all__ = ['test_x3_beyond_paper']
+
 
 def test_x3_beyond_paper(benchmark, save_result):
     result = benchmark.pedantic(

@@ -18,6 +18,8 @@ from repro.theory.conditions import (
     render_table,
 )
 
+__all__ = ['test_t1_conditions_table']
+
 
 def _audit(grid: Grid, num_disks: int):
     """Count guaranteed-vs-verified PM queries for DM and FX."""

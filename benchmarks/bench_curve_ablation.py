@@ -9,6 +9,8 @@ Written to ``benchmarks/results/X1.txt``.
 from repro.experiments import exp_curve_ablation
 from repro.experiments.reporting import render_table
 
+__all__ = ['test_x1_curve_ablation']
+
 
 def test_x1_curve_ablation(benchmark, save_result):
     result = benchmark.pedantic(

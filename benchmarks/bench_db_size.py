@@ -8,6 +8,8 @@ Paper setting: 16 disks, fixed absolute query shape, database grown from
 from repro.experiments import exp_db_size
 from repro.experiments.reporting import render_table
 
+__all__ = ['test_e5_database_size_sweep']
+
 
 def test_e5_database_size_sweep(benchmark, save_result):
     result = benchmark.pedantic(

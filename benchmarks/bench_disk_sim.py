@@ -14,6 +14,8 @@ from repro.simulation.disk import DiskModel
 from repro.simulation.parallel_io import ParallelIOSimulator, query_time_ms
 from repro.workloads.queries import random_queries_of_shape
 
+__all__ = ['DISKS', 'GRID', 'test_x2_physical_disk_simulation']
+
 GRID = Grid((32, 32))
 DISKS = 16
 

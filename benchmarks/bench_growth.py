@@ -6,6 +6,8 @@ and times one full growth run.  Written to ``benchmarks/results/X6.txt``.
 
 from repro.experiments import exp_growth
 
+__all__ = ['test_x6_growth_migration']
+
 
 def test_x6_growth_migration(benchmark, save_result):
     rows = benchmark.pedantic(

@@ -33,6 +33,31 @@ from repro.core.query import RangeQuery, shapes_with_area
 from repro.core.registry import get_scheme
 from repro.sfc.hilbert import hilbert_index
 
+__all__ = [
+    'BATCH_GRIDS',
+    'BATCH_NUM_QUERIES',
+    'BATCH_SEED',
+    'DEFAULT_BATCH_JSON',
+    'DEFAULT_JSON',
+    'DISKS',
+    'GRID',
+    'OBS_OVERHEAD_ITERATIONS',
+    'SWEEP_DISKS',
+    'SWEEP_GRID',
+    'SWEEP_SCHEME',
+    'main',
+    'run_batch_bench',
+    'run_obs_overhead_bench',
+    'run_speedup_bench',
+    'test_allocation_construction',
+    'test_engine_batch_queries',
+    'test_engine_build',
+    'test_engine_sliding_kernel',
+    'test_hilbert_index_kernel',
+    'test_large_grid_allocation',
+    'test_sliding_window_kernel',
+]
+
 GRID = Grid((32, 32))
 DISKS = 16
 

@@ -8,6 +8,8 @@ as the system saturates.  Written to ``benchmarks/results/X5.txt``.
 from repro.experiments import exp_load_sweep
 from repro.experiments.reporting import render_table
 
+__all__ = ['test_x5_load_sweep']
+
 
 def test_x5_load_sweep(benchmark, save_result):
     result = benchmark.pedantic(

@@ -10,6 +10,8 @@ from repro.experiments import exp_num_attributes
 from repro.experiments.exp_num_attributes import deviation_table
 from repro.experiments.reporting import render_table
 
+__all__ = ['test_e3_attribute_count']
+
 
 def test_e3_attribute_count(benchmark, save_result):
     comparison = benchmark.pedantic(

@@ -8,6 +8,8 @@ to ``benchmarks/results/E4.txt``.
 from repro.experiments import exp_num_disks
 from repro.experiments.reporting import render_table
 
+__all__ = ['test_e4_disk_count_sweep']
+
 
 def test_e4_disk_count_sweep(benchmark, save_result):
     small, large = benchmark.pedantic(

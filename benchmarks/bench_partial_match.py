@@ -12,6 +12,8 @@ import pytest
 from repro.experiments import exp_partial_match
 from repro.experiments.reporting import render_table
 
+__all__ = ['test_epm_partial_match']
+
 
 def test_epm_partial_match(benchmark, save_result):
     result = benchmark.pedantic(

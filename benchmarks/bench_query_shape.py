@@ -9,6 +9,8 @@ sides of the size divide.
 from repro.experiments import exp_query_shape
 from repro.experiments.reporting import render_table
 
+__all__ = ['test_e2_query_shape_sweep']
+
 
 def test_e2_query_shape_sweep(benchmark, save_result):
     result = benchmark.pedantic(

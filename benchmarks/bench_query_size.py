@@ -9,6 +9,8 @@ written to ``benchmarks/results/E1.txt``.
 from repro.experiments import exp_query_size
 from repro.experiments.reporting import render_deviation_table, render_table
 
+__all__ = ['test_e1_query_size_sweep']
+
 
 def test_e1_query_size_sweep(benchmark, save_result):
     result = benchmark.pedantic(

@@ -8,6 +8,8 @@ planning, and times the planner itself.  Written to
 from repro.experiments import exp_replication
 from repro.experiments.reporting import render_table
 
+__all__ = ['test_x4_flow_planner_kernel', 'test_x4_replication_sweep']
+
 
 def test_x4_replication_sweep(benchmark, save_result):
     result = benchmark.pedantic(

@@ -42,7 +42,11 @@ run_optional_tool() {
 
 run_optional_tool ruff ruff check src tests
 run_optional_tool mypy mypy
-run_step "repro qa" python -m repro.qa
+# Full qa pass (lint + flow analysis + contracts) gated against the
+# committed baseline; the SARIF log is what CI uploads as an artifact.
+QA_SARIF="${QA_SARIF:-qa.sarif}"
+run_step "repro qa (flow + baseline gate)" \
+    python -m repro.qa --baseline qa_baseline.json --sarif "${QA_SARIF}"
 run_step "pytest (tier 1)" python -m pytest -x -q
 # Exercise the parallel experiment runner end to end (quick scale).
 run_step "parallel runner (workers=2)" \

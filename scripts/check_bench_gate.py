@@ -15,6 +15,13 @@ default — over an order of magnitude above the measured cost, tight
 enough to catch an accidental allocation or lock on the disabled path
 (``REPRO_OBS_MAX_NS_PER_SPAN`` overrides it).
 
+Finally, the qa gate itself is held to a wall-clock budget: a full
+``repro.qa`` run (lint + flow analysis + contracts over src/repro,
+scripts/ and benchmarks/) must complete within
+``REPRO_QA_MAX_SECONDS`` (default 60).  The whole-project flow pass is
+rebuilt from scratch on every run, so this is what keeps the analyzer
+cheap enough to sit in every CI job and pre-commit hook.
+
 Usage::
 
     PYTHONPATH=src python scripts/check_bench_gate.py
@@ -24,10 +31,15 @@ import json
 import os
 import pathlib
 import sys
+import time
 
-sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "benchmarks"))
+_REPO = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(_REPO / "benchmarks"))
+sys.path.insert(0, str(_REPO / "src"))
 
 from bench_kernels import run_batch_bench, run_obs_overhead_bench  # noqa: E402
+
+__all__ = ['main']
 
 
 def main() -> int:
@@ -59,6 +71,23 @@ def main() -> int:
         print(
             f"bench gate: disabled span at {ns_per_span}ns "
             f"(ceiling {obs_ceiling}ns)"
+        )
+    qa_budget = float(os.environ.get("REPRO_QA_MAX_SECONDS", "60"))
+    from repro.qa.diagnostics import Baseline
+    from repro.qa.runner import run_qa
+
+    start = time.perf_counter()
+    report = run_qa(baseline=Baseline.load(_REPO / "qa_baseline.json"))
+    qa_elapsed = time.perf_counter() - start
+    if qa_elapsed > qa_budget:
+        failures.append(
+            f"full qa run took {qa_elapsed:.1f}s "
+            f"> {qa_budget:.0f}s budget"
+        )
+    else:
+        print(
+            f"bench gate: full qa run ({len(report.findings)} finding(s) "
+            f"pre-baseline) in {qa_elapsed:.1f}s (budget {qa_budget:.0f}s)"
         )
     if failures:
         for failure in failures:

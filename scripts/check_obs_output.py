@@ -31,6 +31,8 @@ from repro.experiments.runner import EXPERIMENT_KEYS
 from repro.obs.summary import load_metrics, load_trace
 from repro.obs.trace import SPAN_FIELDS, TRACE_SCHEMA_VERSION
 
+__all__ = ['check_metrics', 'check_trace', 'main']
+
 #: Field -> accepted types, for every JSONL line.
 _FIELD_TYPES = {
     "schema": (int,),

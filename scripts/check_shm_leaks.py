@@ -19,6 +19,8 @@ import sys
 from repro.core.shm import stray_segments
 from repro.experiments.runner import run_all
 
+__all__ = ['main']
+
 
 def main() -> int:
     before = set(stray_segments())

@@ -18,6 +18,8 @@ import pathlib
 import sys
 import time
 
+__all__ = ['DEFAULT_TARGET', 'main']
+
 DEFAULT_TARGET = (
     pathlib.Path(__file__).parent.parent
     / "benchmarks"

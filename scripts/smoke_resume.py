@@ -22,6 +22,8 @@ import subprocess
 import sys
 import tempfile
 
+__all__ = ['CLI', 'REPO', 'fail', 'main', 'run_cli']
+
 REPO = pathlib.Path(__file__).resolve().parent.parent
 CLI = [sys.executable, "-m", "repro", "experiment", "all", "--quick"]
 

@@ -185,7 +185,9 @@ def attach_allocation(handle: SharedTableHandle) -> DiskAllocation:
     if segment is None:
         with trace("shm.attach", segment=handle.name):
             segment = _open_segment(handle.name)
-        _ATTACHED[handle.name] = segment
+        # _ATTACHED is deliberately per-process: each worker ledgers
+        # only its own mappings and detach_all() closes exactly those.
+        _ATTACHED[handle.name] = segment  # qa601: allow — per-process segment ledger by design
         global_registry().inc("shm.attaches")
     table = np.ndarray(
         handle.dims,
@@ -220,7 +222,7 @@ def detach_all() -> int:
 def unlink_segment(name: str) -> bool:
     """Best-effort unlink of one segment; True if it existed."""
     try:
-        segment = _ATTACHED.pop(name, None) or _open_segment(name)
+        segment = _ATTACHED.pop(name, None) or _open_segment(name)  # qa601: allow — removes only this process's ledger entry
     except FileNotFoundError:
         return False
     try:
@@ -315,7 +317,7 @@ class SharedAllocationBroker:
         """
         key = self._key(scheme_name, grid, num_disks)
         name = self._reserve_name()
-        handle = share_allocation(allocation, name=name)
+        handle = share_allocation(allocation, name=name)  # qa602: allow — name pre-reserved in the broker ledger, which owns teardown
         try:
             winner = self._registry.setdefault(key, handle)
         except Exception as exc:  # qa502: allow — logged and counted, private fallback is correct

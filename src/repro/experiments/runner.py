@@ -228,7 +228,7 @@ def _run_serial(
         while True:
             try:
                 result = run_experiment(key, quick)
-            except Exception as exc:
+            except Exception as exc:  # qa502: allow — every failure is retried, then re-raised as RunnerError
                 attempt += 1
                 if attempt > retries:
                     raise RunnerError(
@@ -394,7 +394,7 @@ def _run_parallel(
                         _record_timeout(key, timeout)
                         failures[key] = exc
                         failed.append(key)
-                    except Exception as exc:
+                    except Exception as exc:  # qa502: allow — recorded and retried; exhausted keys raise below
                         # Worker exception or BrokenProcessPool after a
                         # hard worker death; both are retryable.
                         failures[key] = exc

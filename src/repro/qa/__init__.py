@@ -9,6 +9,11 @@ It has three parts:
 * :mod:`repro.qa.linter` + :mod:`repro.qa.rules` — an AST linter with rules
   specific to this reproduction (scheme/registry hygiene, seeded randomness,
   float comparisons in response-time code, ``__all__`` coverage).
+* :mod:`repro.qa.flow` — a whole-project symbol table, reference graph,
+  and worker-reachability marking; the QA6xx concurrency-safety and
+  QA7xx vectorization rule families are built on it, and
+  :mod:`repro.qa.sarif` renders any run as a SARIF 2.1.0 log for
+  code-scanning UIs.
 * :mod:`repro.qa.contracts` — a runtime checker that verifies, for every
   registered declustering scheme, the ``disk_of``/``allocate`` contract the
   paper's results depend on: total, deterministic, in ``[0, M)``, and
@@ -30,6 +35,7 @@ from repro.qa.diagnostics import (
 )
 from repro.qa.linter import lint_paths, lint_source
 from repro.qa.runner import main, run_qa
+from repro.qa.sarif import render_sarif, write_sarif
 
 __all__ = [
     "Baseline",
@@ -43,6 +49,8 @@ __all__ = [
     "main",
     "parse_json_report",
     "render_json_report",
+    "render_sarif",
     "render_text_report",
     "run_qa",
+    "write_sarif",
 ]

@@ -1,0 +1,562 @@
+"""Whole-project flow analysis: symbols, reference graph, worker marking.
+
+PRs 2-5 turned the reproduction into a parallel system — spawn pools,
+``/dev/shm`` allocation sharing, process-safe metrics — and the bug
+classes that bit those PRs are *cross-module*: a worker-submitted
+function three calls away from a module-global write, an shm handle
+acquired in one function and (not) released in another.  The
+single-module AST rules (QA1xx-QA5xx) cannot see those chains.  This
+module builds the project-wide structures the QA6xx/QA7xx rule families
+(:mod:`repro.qa.rules.concurrency`, :mod:`repro.qa.rules.vectorization`)
+consume:
+
+* a **symbol table** over every parsed module — module-level function
+  defs, class methods, module-level globals, and each module's import
+  aliases (``import numpy as np``, ``from repro.core import shm``,
+  relative intra-package forms included);
+* a **reference graph**: caller → callee edges for every resolvable
+  function *reference* (not just call sites — a function stored in a
+  dispatch dict or passed to ``pool.submit`` counts, which is exactly
+  how the experiment runner fans work out);
+* **worker-reachable marking**: a BFS from the pool seeds — functions
+  passed to ``.submit(...)`` / ``.map(...)`` / ``apply_async`` /
+  ``Process(target=...)`` and ``initializer=`` keywords (the
+  ``runner._run_parallel`` pool initializer is found this way, not by
+  name) — so a rule can ask "can this statement execute inside a spawn
+  worker?".
+
+Resolution is deliberately *static and approximate*.  Names and
+module-attribute chains resolve exactly through the import table;
+method calls (``obj.method(...)``) resolve only when at most
+:data:`METHOD_CANDIDATE_LIMIT` classes in the project define that method
+name and the name is not a ubiquitous container verb
+(:data:`METHOD_NAME_STOPLIST`).  References to a class mark every method
+of the class (constructing an object hands the callee all of its
+behavior).  The result over-approximates mildly and under-approximates
+where Python is genuinely dynamic; both directions are acceptable for a
+lint gate with a pragma/baseline escape hatch.
+
+Everything here is pure AST work — nothing is imported or executed, so
+a module with a concurrency bug cannot crash the analyzer meant to flag
+it.  Build cost over the whole package is tens of milliseconds; the
+graph is memoized per :class:`~repro.qa.rules.Project` via
+:func:`get_flow`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.qa.rules import ModuleSource, Project, dotted_name
+
+__all__ = [
+    "FunctionInfo",
+    "GlobalVar",
+    "ModuleFlow",
+    "ProjectFlow",
+    "get_flow",
+    "module_dotted_name",
+]
+
+#: Method names too generic to resolve by name alone — edges through
+#: them would mostly point at dict/list/set look-alikes, not project
+#: methods.
+METHOD_NAME_STOPLIST = frozenset(
+    {
+        "add", "append", "clear", "close", "copy", "count", "extend",
+        "format", "get", "index", "insert", "items", "join", "keys",
+        "load", "open", "pop", "read", "remove", "save", "setdefault",
+        "sort", "split", "strip", "update", "values", "write",
+    }
+)
+
+#: A method reference resolves only when this few classes define the name.
+METHOD_CANDIDATE_LIMIT = 3
+
+#: Attribute-call names that submit their first positional argument to a
+#: worker pool.
+_SUBMIT_METHODS = frozenset(
+    {"submit", "map", "apply_async", "starmap", "imap", "imap_unordered"}
+)
+
+#: Callee names whose ``target=`` / ``initializer=`` keyword runs in a
+#: child process (or a pool worker).
+_WORKER_KEYWORD_CALLEES = frozenset(
+    {"Process", "ProcessPoolExecutor", "Pool", "ThreadPoolExecutor",
+     "Thread"}
+)
+_WORKER_KEYWORDS = frozenset({"initializer", "target"})
+
+#: Call results treated as freshly built mutable containers when they
+#: initialize a module-level global.
+_MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "OrderedDict",
+     "deque", "Counter"}
+)
+
+
+def module_dotted_name(path: str) -> str:
+    """Dotted module name for a display path.
+
+    ``src/repro/core/shm.py`` → ``repro.core.shm``;
+    ``repro/qa/__init__.py`` → ``repro.qa``; a bare ``snippet.py`` →
+    ``snippet``.  Standalone files (``scripts/foo.py``) keep their
+    directory as a pseudo-package, which is harmless — resolution only
+    ever compares these names with each other.
+    """
+    name = path[:-3] if path.endswith(".py") else path
+    if name.startswith("src/"):
+        name = name[len("src/"):]
+    name = name.replace("/", ".")
+    if name.endswith(".__init__"):
+        name = name[: -len(".__init__")]
+    return name
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    fq: str
+    module: ModuleSource
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    cls: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name  # type: ignore[attr-defined]
+
+    @property
+    def display(self) -> str:
+        """Short human label: ``func`` or ``Class.method``."""
+        return f"{self.cls}.{self.name}" if self.cls else self.name
+
+
+@dataclass
+class GlobalVar:
+    """One module-level binding (candidate shared state)."""
+
+    name: str
+    module: ModuleSource
+    lineno: int
+    mutable: bool
+
+
+def _is_mutable_initializer(value: ast.expr) -> bool:
+    if isinstance(
+        value,
+        (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+         ast.SetComp),
+    ):
+        return True
+    if isinstance(value, ast.Call):
+        dotted = dotted_name(value.func)
+        if dotted is not None:
+            return dotted.split(".")[-1] in _MUTABLE_FACTORIES
+    return False
+
+
+def _bind_import(imports: Dict[str, str], node: ast.Import) -> None:
+    for alias in node.names:
+        if alias.asname:
+            imports[alias.asname] = alias.name
+        else:
+            # ``import a.b.c`` binds ``a``; chains through it resolve to
+            # the full dotted path naturally.
+            root = alias.name.split(".")[0]
+            imports[root] = root
+
+
+def _bind_import_from(
+    imports: Dict[str, str], node: ast.ImportFrom, dotted: str,
+    is_package: bool,
+) -> None:
+    if node.level == 0:
+        base = node.module or ""
+    else:
+        parts = dotted.split(".")
+        if not is_package:
+            parts = parts[:-1]
+        drop = node.level - 1
+        parts = parts[: len(parts) - drop] if drop else parts
+        base = ".".join(parts)
+        if node.module:
+            base = f"{base}.{node.module}" if base else node.module
+    for alias in node.names:
+        if alias.name == "*":
+            continue
+        bound = alias.asname or alias.name
+        imports[bound] = f"{base}.{alias.name}" if base else alias.name
+
+
+@dataclass
+class ModuleFlow:
+    """Symbols of one module: imports, functions, classes, globals."""
+
+    module: ModuleSource
+    dotted: str
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: class name -> method FunctionInfos (methods keyed separately in
+    #: the project-wide table).
+    classes: Dict[str, List[FunctionInfo]] = field(default_factory=dict)
+    globals: Dict[str, GlobalVar] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, module: ModuleSource) -> "ModuleFlow":
+        dotted = module_dotted_name(module.path)
+        is_package = module.path.rsplit("/", 1)[-1] == "__init__.py"
+        flow = cls(module=module, dotted=dotted)
+        for node in module.tree.body:
+            if isinstance(node, ast.Import):
+                _bind_import(flow.imports, node)
+            elif isinstance(node, ast.ImportFrom):
+                _bind_import_from(flow.imports, node, dotted, is_package)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(
+                    fq=f"{dotted}.{node.name}", module=module, node=node
+                )
+                flow.functions[node.name] = info
+            elif isinstance(node, ast.ClassDef):
+                methods = []
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        methods.append(
+                            FunctionInfo(
+                                fq=f"{dotted}.{node.name}.{item.name}",
+                                module=module,
+                                node=item,
+                                cls=node.name,
+                            )
+                        )
+                flow.classes[node.name] = methods
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        flow.globals[target.id] = GlobalVar(
+                            name=target.id,
+                            module=module,
+                            lineno=node.lineno,
+                            mutable=_is_mutable_initializer(node.value),
+                        )
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name):
+                    flow.globals[node.target.id] = GlobalVar(
+                        name=node.target.id,
+                        module=module,
+                        lineno=node.lineno,
+                        mutable=(
+                            node.value is not None
+                            and _is_mutable_initializer(node.value)
+                        ),
+                    )
+        return flow
+
+
+def _local_names(func: ast.AST) -> Set[str]:
+    """Names bound locally inside a function (params, assigns, targets)."""
+    names: Set[str] = set()
+    args = func.args  # type: ignore[attr-defined]
+    for arg in (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    ):
+        names.add(arg.arg)
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    declared_global: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            declared_global.update(node.names)
+        elif isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            names.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node is not func:
+                names.add(node.name)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+    return names - declared_global
+
+
+def _scope_imports(
+    base: Dict[str, str], func: ast.AST, dotted: str, is_package: bool
+) -> Dict[str, str]:
+    """Module imports overlaid with any imports local to ``func``."""
+    overlay: Optional[Dict[str, str]] = None
+    for node in ast.walk(func):
+        if isinstance(node, ast.Import):
+            overlay = dict(base) if overlay is None else overlay
+            _bind_import(overlay, node)
+        elif isinstance(node, ast.ImportFrom):
+            overlay = dict(base) if overlay is None else overlay
+            _bind_import_from(overlay, node, dotted, is_package)
+    return overlay if overlay is not None else base
+
+
+class ProjectFlow:
+    """The project-wide symbol table, reference graph, and worker set."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleFlow] = {}
+        #: fully-qualified name -> FunctionInfo (functions and methods).
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: bare method name -> fq names of every class method so named.
+        self.methods_by_name: Dict[str, List[str]] = {}
+        #: dotted class fq -> method fq list.
+        self.class_methods: Dict[str, List[str]] = {}
+        self.edges: Dict[str, Set[str]] = {}
+        #: worker entry points: fq -> description of the seeding site.
+        self.seeds: Dict[str, str] = {}
+        #: worker-reachable fq -> predecessor fq (None for seeds).
+        self._reached: Dict[str, Optional[str]] = {}
+        self._module_name_cache: Dict[str, Optional[ModuleFlow]] = {}
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def build(cls, project: Project) -> "ProjectFlow":
+        flow = cls()
+        for module in project:
+            mf = ModuleFlow.build(module)
+            flow.modules[module.path] = mf
+            for info in mf.functions.values():
+                flow.functions[info.fq] = info
+            for class_name, methods in mf.classes.items():
+                class_fq = f"{mf.dotted}.{class_name}"
+                flow.class_methods[class_fq] = [m.fq for m in methods]
+                for info in methods:
+                    flow.functions[info.fq] = info
+                    flow.methods_by_name.setdefault(
+                        info.name, []
+                    ).append(info.fq)
+        for mf in flow.modules.values():
+            for info in list(mf.functions.values()) + [
+                m for ms in mf.classes.values() for m in ms
+            ]:
+                flow._analyze_function(mf, info)
+        flow._mark_workers()
+        return flow
+
+    def _resolve_chain(
+        self, mf: ModuleFlow, imports: Dict[str, str], chain: str
+    ) -> List[str]:
+        """Function fqs a dotted reference resolves to (possibly empty).
+
+        A chain resolving to a *class* yields every method of the class:
+        a reference to the class constructs (or passes around) instances,
+        which makes the whole behavior of the class reachable.
+        """
+        parts = chain.split(".")
+        root = parts[0]
+        candidates: List[str] = []
+        if root in imports:
+            candidates.append(".".join([imports[root]] + parts[1:]))
+        if len(parts) == 1:
+            if root in mf.functions:
+                return [mf.functions[root].fq]
+            if root in mf.classes:
+                candidates.append(f"{mf.dotted}.{root}")
+        elif parts[0] in mf.classes:
+            candidates.append(f"{mf.dotted}.{chain}")
+        resolved: List[str] = []
+        for target in candidates:
+            resolved.extend(self._resolve_candidate(target))
+        return resolved
+
+    def _module_named(self, dotted: str) -> Optional[ModuleFlow]:
+        """The unique module whose dotted name is (or ends with) ``dotted``."""
+        if dotted not in self._module_name_cache:
+            matches = [
+                mf
+                for mf in self.modules.values()
+                if mf.dotted == dotted
+                or mf.dotted.endswith("." + dotted)
+            ]
+            self._module_name_cache[dotted] = (
+                matches[0] if len(matches) == 1 else None
+            )
+        return self._module_name_cache[dotted]
+
+    def _resolve_candidate(self, target: str) -> List[str]:
+        """Function fqs for one dotted candidate.
+
+        Exact lookup first; when display paths do not mirror the import
+        layout (linting an ad-hoc directory, absolute paths), fall back
+        to locating the *module* by dotted-name suffix and rebasing the
+        remainder of the chain onto it.
+        """
+        if target in self.functions:
+            return [target]
+        if target in self.class_methods:
+            return list(self.class_methods[target])
+        parts = target.split(".")
+        for split in range(len(parts) - 1, 0, -1):
+            mf = self._module_named(".".join(parts[:split]))
+            if mf is None:
+                continue
+            rebased = ".".join([mf.dotted] + parts[split:])
+            if rebased == target:
+                return []  # already tried exactly this
+            if rebased in self.functions:
+                return [rebased]
+            if rebased in self.class_methods:
+                return list(self.class_methods[rebased])
+            return []  # the module matched; the attribute does not exist
+        return []
+
+    def _analyze_function(self, mf: ModuleFlow, info: FunctionInfo) -> None:
+        func = info.node
+        is_package = mf.module.path.rsplit("/", 1)[-1] == "__init__.py"
+        imports = _scope_imports(
+            mf.imports, func, mf.dotted, is_package
+        )
+        locals_ = _local_names(func)
+        edges = self.edges.setdefault(info.fq, set())
+
+        def resolve_expr(expr: ast.expr) -> List[str]:
+            chain = dotted_name(expr)
+            if chain is None:
+                return []
+            if chain.split(".")[0] in locals_:
+                return []
+            return self._resolve_chain(mf, imports, chain)
+
+        class Visitor(ast.NodeVisitor):
+            def visit_Name(visitor, node: ast.Name) -> None:  # noqa: N805
+                if isinstance(node.ctx, ast.Load):
+                    edges.update(resolve_expr(node))
+
+            def visit_Attribute(
+                visitor, node: ast.Attribute  # noqa: N805
+            ) -> None:
+                resolved = resolve_expr(node)
+                if resolved:
+                    edges.update(resolved)
+                    return  # the whole chain matched; don't re-walk it
+                visitor.generic_visit(node)
+
+            def visit_Call(visitor, node: ast.Call) -> None:  # noqa: N805
+                visitor._method_fallback(node)
+                visitor._collect_seeds(node)
+                visitor.generic_visit(node)
+
+            def _method_fallback(visitor, node: ast.Call) -> None:  # noqa: N805
+                """``obj.method(...)`` where obj is opaque: match by name."""
+                func_expr = node.func
+                if not isinstance(func_expr, ast.Attribute):
+                    return
+                if dotted_name(func_expr) is not None and resolve_expr(
+                    func_expr
+                ):
+                    return  # already resolved exactly
+                name = func_expr.attr
+                if name.startswith("__") or name in METHOD_NAME_STOPLIST:
+                    return
+                candidates = self.methods_by_name.get(name, ())
+                if 1 <= len(candidates) <= METHOD_CANDIDATE_LIMIT:
+                    edges.update(candidates)
+
+            def _collect_seeds(visitor, node: ast.Call) -> None:  # noqa: N805
+                callee = dotted_name(node.func)
+                last = callee.split(".")[-1] if callee else None
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _SUBMIT_METHODS
+                    and node.args
+                ):
+                    for fq in resolve_expr(node.args[0]):
+                        self.seeds.setdefault(
+                            fq,
+                            f"{mf.module.path}:{node.lineno} "
+                            f".{node.func.attr}(...)",
+                        )
+                if last in _WORKER_KEYWORD_CALLEES:
+                    for keyword in node.keywords:
+                        if keyword.arg in _WORKER_KEYWORDS:
+                            for fq in resolve_expr(keyword.value):
+                                self.seeds.setdefault(
+                                    fq,
+                                    f"{mf.module.path}:{node.lineno} "
+                                    f"{last}({keyword.arg}=...)",
+                                )
+
+        visitor = Visitor()
+        for statement in func.body:  # type: ignore[attr-defined]
+            visitor.visit(statement)
+
+    def _mark_workers(self) -> None:
+        queue: List[str] = []
+        for fq in sorted(self.seeds):
+            self._reached[fq] = None
+            queue.append(fq)
+        while queue:
+            current = queue.pop()
+            for callee in sorted(self.edges.get(current, ())):
+                if callee not in self._reached:
+                    self._reached[callee] = current
+                    queue.append(callee)
+
+    # -- queries --------------------------------------------------------
+
+    def function_at(
+        self, module: ModuleSource, node: ast.AST
+    ) -> Optional[FunctionInfo]:
+        """The FunctionInfo whose def node is ``node``, if indexed."""
+        mf = self.modules.get(module.path)
+        if mf is None:
+            return None
+        for info in mf.functions.values():
+            if info.node is node:
+                return info
+        for methods in mf.classes.values():
+            for info in methods:
+                if info.node is node:
+                    return info
+        return None
+
+    def is_worker_reachable(self, fq: str) -> bool:
+        """Whether ``fq`` can execute inside a pool worker."""
+        return fq in self._reached
+
+    def worker_chain(self, fq: str) -> List[str]:
+        """Seed-to-``fq`` path justifying reachability (empty if none)."""
+        if fq not in self._reached:
+            return []
+        chain = [fq]
+        seen = {fq}
+        current: Optional[str] = fq
+        while current is not None:
+            current = self._reached.get(current)
+            if current is None or current in seen:
+                break
+            seen.add(current)
+            chain.append(current)
+        return list(reversed(chain))
+
+    def worker_seed_of(self, fq: str) -> Optional[str]:
+        """The seed fq from which ``fq`` was reached, if any."""
+        chain = self.worker_chain(fq)
+        return chain[0] if chain else None
+
+    def worker_functions(self) -> Iterable[Tuple[str, FunctionInfo]]:
+        """All worker-reachable (fq, info) pairs, sorted by fq."""
+        for fq in sorted(self._reached):
+            info = self.functions.get(fq)
+            if info is not None:
+                yield fq, info
+
+
+def get_flow(project: Project) -> ProjectFlow:
+    """The memoized :class:`ProjectFlow` for a parsed project."""
+    flow = project.analysis.get("flow")
+    if not isinstance(flow, ProjectFlow):
+        flow = ProjectFlow.build(project)
+        project.analysis["flow"] = flow
+    return flow

@@ -13,6 +13,8 @@ returns one fresh instance of each, sorted by id.
 from __future__ import annotations
 
 import ast
+import enum
+import re
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Type
 
@@ -21,9 +23,11 @@ from repro.qa.diagnostics import Finding, Severity
 __all__ = [
     "LintRule",
     "ModuleSource",
+    "PragmaStatus",
     "Project",
     "all_rules",
     "dotted_name",
+    "pragma_status",
     "register_rule",
 ]
 
@@ -48,6 +52,9 @@ class Project:
     """All modules under analysis, keyed by display path."""
 
     modules: Dict[str, ModuleSource] = field(default_factory=dict)
+    #: Scratch space for cross-rule analyses (the flow graph lives here,
+    #: built once per project by :func:`repro.qa.flow.get_flow`).
+    analysis: Dict[str, object] = field(default_factory=dict)
 
     def find(self, suffix: str) -> Optional[ModuleSource]:
         """The unique module whose path ends with ``suffix``, if any."""
@@ -62,18 +69,67 @@ class Project:
         return iter(self.modules.values())
 
 
+class PragmaStatus(enum.Enum):
+    """How a source line relates to a rule's ``allow`` pragma."""
+
+    NONE = "none"  #: no pragma on the line
+    ALLOWED = "allowed"  #: pragma with a non-empty reason — suppressed
+    REASONLESS = "reasonless"  #: pragma with no reason — itself a finding
+
+
+_PRAGMA_CACHE: Dict[str, "re.Pattern[str]"] = {}
+
+
+def _pragma_pattern(rule_id: str) -> "re.Pattern[str]":
+    pattern = _PRAGMA_CACHE.get(rule_id)
+    if pattern is None:
+        pattern = re.compile(
+            rf"#\s*{re.escape(rule_id.lower())}:\s*allow"
+            r"(?:\s*[—–-]+\s*(?P<reason>\S.*))?",
+            re.IGNORECASE,
+        )
+        _PRAGMA_CACHE[rule_id] = pattern
+    return pattern
+
+
+def pragma_status(
+    module: ModuleSource, lineno: int, rule_id: str
+) -> PragmaStatus:
+    """Inspect line ``lineno`` for ``# qaNNN: allow — <reason>``.
+
+    The waiver convention introduced for QA502 generalizes to every rule
+    that opts in: a pragma comment on the flagged line suppresses the
+    finding, but only when a non-empty reason follows the ``allow`` —
+    the whole point is that the waiver documents *why*.  A reasonless
+    pragma is reported by the rule itself.
+    """
+    lines = module.source.splitlines()
+    if not 1 <= lineno <= len(lines):
+        return PragmaStatus.NONE
+    match = _pragma_pattern(rule_id).search(lines[lineno - 1])
+    if match is None:
+        return PragmaStatus.NONE
+    reason = match.group("reason")
+    if reason and reason.strip():
+        return PragmaStatus.ALLOWED
+    return PragmaStatus.REASONLESS
+
+
 class LintRule:
     """Base class for all lint rules.
 
     Subclasses set ``rule_id``/``title``/``severity`` and override either
     :meth:`check_module` (``scope = "module"``) or :meth:`check_project`
-    (``scope = "project"``).
+    (``scope = "project"``).  Rules that consume the whole-project flow
+    graph set ``uses_flow = True`` so the driver can exclude the family
+    (``--no-flow``) without a hard-coded id list.
     """
 
     rule_id: str = ""
     title: str = ""
     severity: Severity = Severity.ERROR
     scope: str = "module"
+    uses_flow: bool = False
 
     def check_module(
         self, module: ModuleSource, project: Project
@@ -96,6 +152,28 @@ class LintRule:
             line=line,
             message=message,
         )
+
+    def pragma_gate(
+        self, module: ModuleSource, lineno: int
+    ) -> "tuple[bool, Optional[Finding]]":
+        """``(suppressed, replacement)`` for this rule's pragma on a line.
+
+        ``suppressed`` is True when a pragma is present (with or without
+        a reason); ``replacement`` is the reasonless-pragma finding to
+        emit instead of the original when the reason is missing.
+        """
+        status = pragma_status(module, lineno, self.rule_id)
+        if status is PragmaStatus.ALLOWED:
+            return True, None
+        if status is PragmaStatus.REASONLESS:
+            rid = self.rule_id.lower()
+            return True, self.finding(
+                module.path,
+                lineno,
+                f"{rid} allow pragma without a reason; write "
+                f"'# {rid}: allow — <why this is safe>'",
+            )
+        return False, None
 
 
 _RULE_CLASSES: List[Type[LintRule]] = []
@@ -133,8 +211,10 @@ def _load_builtin_rules() -> None:
     # Imported lazily so `import repro.qa.rules` has no side-effect cost;
     # each module registers its rules on first import.
     from repro.qa.rules import (  # noqa: F401
+        concurrency,
         determinism,
         robustness,
         schemes,
         style,
+        vectorization,
     )

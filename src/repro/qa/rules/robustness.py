@@ -23,13 +23,14 @@ broker's publish fallback, which logs and counts through
 
 suppresses the finding, but only when a non-empty reason follows the
 ``allow``.  A bare ``# qa502: allow`` is itself reported — the whole
-point is that the waiver documents *why*.
+point is that the waiver documents *why*.  The same mechanism (shared
+via :func:`repro.qa.rules.pragma_status`) backs the QA6xx/QA7xx flow
+rules.
 """
 
 from __future__ import annotations
 
 import ast
-import re
 from typing import Iterable
 
 from repro.qa.diagnostics import Finding, Severity
@@ -48,29 +49,6 @@ __all__ = [
 
 #: Exception names whose silent swallowing is always a hazard.
 _BROAD_EXCEPTIONS = {"Exception", "BaseException"}
-
-#: ``# qa502: allow — reason`` / ``# qa502: allow - reason`` on the
-#: ``except`` line itself; the reason group must be non-empty to count.
-_ALLOW_PRAGMA = re.compile(
-    r"#\s*qa502:\s*allow(?:\s*[—–-]+\s*(?P<reason>\S.*))?",
-    re.IGNORECASE,
-)
-
-
-def _allow_pragma_reason(module: ModuleSource, lineno: int):
-    """The pragma's reason on source line ``lineno``, if a pragma exists.
-
-    Returns ``None`` when there is no pragma at all, and the (possibly
-    empty) reason string when there is one.
-    """
-    lines = module.source.splitlines()
-    if not 1 <= lineno <= len(lines):
-        return None
-    match = _ALLOW_PRAGMA.search(lines[lineno - 1])
-    if match is None:
-        return None
-    reason = match.group("reason")
-    return reason.strip() if reason else ""
 
 
 def _names_broad_exception(node: ast.expr) -> bool:
@@ -137,16 +115,13 @@ class SilentBroadExceptRule(LintRule):
                 continue  # QA501's finding; don't double-report
             if not _names_broad_exception(node.type):
                 continue
-            reason = _allow_pragma_reason(module, node.lineno)
-            if reason == "":
-                yield self.finding(
-                    module.path,
-                    node.lineno,
-                    "qa502 allow pragma without a reason; write "
-                    "'# qa502: allow — <why this swallow is safe>'",
-                )
+            suppressed, replacement = self.pragma_gate(
+                module, node.lineno
+            )
+            if replacement is not None:
+                yield replacement
                 continue
-            if reason is not None:
+            if suppressed:
                 continue  # explicitly whitelisted, with a reason
             if _body_is_silent(node.body):
                 yield self.finding(

@@ -191,6 +191,8 @@ class MissingDunderAllRule(LintRule):
     ) -> Iterable[Finding]:
         if not module.is_public:
             return
+        if module.path.rsplit("/", 1)[-1] == "conftest.py":
+            return  # pytest collects fixtures by decorator, not __all__
         if not _has_public_definitions(module.tree):
             return
         if _dunder_all(module.tree) is None:

@@ -22,25 +22,51 @@ from repro.qa.diagnostics import (
     render_text_report,
 )
 from repro.qa.linter import lint_paths
-from repro.qa.rules import all_rules
+from repro.qa.rules import LintRule, all_rules
+from repro.qa.sarif import write_sarif
 
 __all__ = [
     "QAReport",
     "add_qa_arguments",
+    "default_lint_targets",
     "main",
     "run_from_args",
     "run_qa",
 ]
 
 #: Default baseline filename, resolved against the working directory.
-DEFAULT_BASELINE = ".qa-baseline.json"
+#: Committed at the repository root; pre-existing waived findings live
+#: there, new findings fail the gate.
+DEFAULT_BASELINE = "qa_baseline.json"
 
 
 def default_lint_target() -> Path:
-    """The installed ``repro`` package directory — what ``qa`` lints."""
+    """The installed ``repro`` package directory — the core lint target."""
     import repro
 
     return Path(repro.__file__).resolve().parent
+
+
+def default_lint_targets() -> "tuple[List[Path], Path]":
+    """``(paths, root)`` that ``qa`` lints when no paths are given.
+
+    Always the ``repro`` package; when it is a checkout (``src/repro``
+    with sibling ``scripts/``/``benchmarks/`` directories), those ride
+    along and the repository root becomes the display root — finding
+    fingerprints then read ``src/repro/...``/``scripts/...`` on every
+    machine, which is what keeps the committed baseline portable.
+    """
+    package = default_lint_target()
+    if package.parent.name == "src":
+        repo_root = package.parent.parent
+        extras = [
+            repo_root / name
+            for name in ("scripts", "benchmarks")
+            if (repo_root / name).is_dir()
+        ]
+        if extras:
+            return [package, *extras], repo_root
+    return [package], package.parent
 
 
 @dataclass
@@ -71,15 +97,23 @@ def run_qa(
     schemes: Optional[Sequence[str]] = None,
     contract_config: Optional[ContractConfig] = None,
     baseline: Optional[Baseline] = None,
+    flow: bool = True,
 ) -> QAReport:
-    """Run the requested passes and partition findings against the baseline."""
+    """Run the requested passes and partition findings against the baseline.
+
+    ``flow=False`` drops the rules that build the whole-project flow
+    graph (the QA6xx reachability family) — useful when linting isolated
+    snippets where cross-module reachability is meaningless.
+    """
     findings: List[Finding] = []
     if lint:
         if paths is None:
-            target = default_lint_target()
-            paths = [target]
-            root = root if root is not None else target.parent
-        findings.extend(lint_paths(paths, root=root))
+            paths, default_root = default_lint_targets()
+            root = root if root is not None else default_root
+        rules: Optional[List[LintRule]] = None
+        if not flow:
+            rules = [rule for rule in all_rules() if not rule.uses_flow]
+        findings.extend(lint_paths(paths, root=root, rules=rules))
     if contracts:
         findings.extend(check_registry(contract_config, names=schemes))
         findings.extend(check_engine(contract_config))
@@ -96,7 +130,8 @@ def add_qa_arguments(parser: argparse.ArgumentParser) -> None:
         "paths",
         nargs="*",
         default=None,
-        help="files/directories to lint (default: the repro package)",
+        help="files/directories to lint (default: the repro package, "
+        "plus scripts/ and benchmarks/ when run from a checkout)",
     )
     parser.add_argument(
         "--json", action="store_true", help="emit a JSON report"
@@ -112,7 +147,20 @@ def add_qa_arguments(parser: argparse.ArgumentParser) -> None:
         help="accept current findings into the baseline file and exit 0",
     )
     parser.add_argument(
+        "--sarif",
+        default=None,
+        metavar="OUT.json",
+        help="also write a SARIF 2.1.0 log (baseline-suppressed findings "
+        "are included with suppression records)",
+    )
+    parser.add_argument(
         "--no-lint", action="store_true", help="skip the AST linter"
+    )
+    parser.add_argument(
+        "--no-flow",
+        action="store_true",
+        help="skip the whole-project flow analysis rules (QA6xx "
+        "reachability family)",
     )
     parser.add_argument(
         "--no-contracts",
@@ -165,10 +213,13 @@ def run_from_args(args: argparse.Namespace) -> int:
             schemes=schemes,
             contract_config=config,
             baseline=baseline,
+            flow=not args.no_flow,
         )
     except OSError as exc:
         print(f"qa: error: {exc}", file=sys.stderr)
         return 2
+    if args.sarif:
+        write_sarif(args.sarif, report.findings, baseline)
     if args.write_baseline:
         accepted = Baseline.from_findings(report.findings)
         accepted.save(baseline_path, report.findings)

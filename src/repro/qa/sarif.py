@@ -1,0 +1,144 @@
+"""SARIF 2.1.0 emission for QA findings.
+
+SARIF (Static Analysis Results Interchange Format) is what code-scanning
+UIs ingest — GitHub's security tab renders it inline on pull requests.
+The emitter here maps the :class:`~repro.qa.diagnostics.Finding`
+vocabulary onto a single-run SARIF log:
+
+* every registered lint rule (and any rule id that only appears in the
+  findings, e.g. the contract checker's QA4xx) becomes a ``rules`` entry
+  on the tool driver;
+* each finding becomes a ``result`` with a physical location and the
+  same line-number-free fingerprint the baseline uses, published under
+  ``partialFingerprints`` so scanning UIs track findings across edits
+  exactly as the baseline gate does;
+* baseline-suppressed findings are still emitted, but carry a
+  ``suppressions`` entry — SARIF viewers show them greyed out instead of
+  silently dropping the history.
+
+Pure JSON construction; no third-party SARIF library is involved.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.qa.diagnostics import Baseline, Finding, Severity
+
+__all__ = [
+    "SARIF_SCHEMA",
+    "SARIF_VERSION",
+    "render_sarif",
+    "write_sarif",
+]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: Key under which the baseline fingerprint is published.
+_FINGERPRINT_KEY = "reproQa/v1"
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _rule_metadata(findings: Sequence[Finding]) -> List[Dict[str, object]]:
+    """SARIF ``rules`` entries for every rule that could appear."""
+    from repro.qa.linter import SYNTAX_RULE_ID
+    from repro.qa.rules import all_rules
+
+    entries: Dict[str, Dict[str, object]] = {
+        SYNTAX_RULE_ID: {
+            "id": SYNTAX_RULE_ID,
+            "shortDescription": {"text": "file fails to parse"},
+            "defaultConfiguration": {"level": "error"},
+        }
+    }
+    for rule in all_rules():
+        entries[rule.rule_id] = {
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.title},
+            "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+        }
+    for finding in findings:
+        entries.setdefault(
+            finding.rule,
+            {
+                "id": finding.rule,
+                "shortDescription": {"text": finding.rule},
+                "defaultConfiguration": {
+                    "level": _LEVELS[finding.severity]
+                },
+            },
+        )
+    return [entries[rule_id] for rule_id in sorted(entries)]
+
+
+def _result(
+    finding: Finding, index: Dict[str, int], baseline: Baseline
+) -> Dict[str, object]:
+    result: Dict[str, object] = {
+        "ruleId": finding.rule,
+        "ruleIndex": index[finding.rule],
+        "level": _LEVELS[finding.severity],
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.file},
+                    "region": {"startLine": max(finding.line, 1)},
+                }
+            }
+        ],
+        "partialFingerprints": {_FINGERPRINT_KEY: finding.fingerprint},
+    }
+    if baseline.is_suppressed(finding):
+        result["suppressions"] = [
+            {
+                "kind": "external",
+                "justification": "accepted in the committed QA baseline",
+            }
+        ]
+    return result
+
+
+def render_sarif(
+    findings: Iterable[Finding],
+    baseline: Optional[Baseline] = None,
+) -> str:
+    """The SARIF log (a JSON string) for one QA run."""
+    findings = sorted(findings)
+    baseline = baseline or Baseline()
+    rules = _rule_metadata(findings)
+    index = {
+        str(entry["id"]): position for position, entry in enumerate(rules)
+    }
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-qa",
+                        "rules": rules,
+                    }
+                },
+                "results": [
+                    _result(finding, index, baseline)
+                    for finding in findings
+                ],
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)
+
+
+def write_sarif(
+    path: Union[str, Path],
+    findings: Iterable[Finding],
+    baseline: Optional[Baseline] = None,
+) -> None:
+    """Write :func:`render_sarif` output to ``path``."""
+    Path(path).write_text(render_sarif(findings, baseline) + "\n")

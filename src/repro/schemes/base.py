@@ -71,7 +71,7 @@ class DeclusteringScheme(abc.ABC):
         """
         table = np.empty(grid.dims, dtype=np.int64)
         for coords in grid.iter_buckets():
-            table[coords] = self.disk_of(coords, grid, num_disks)
+            table[coords] = self.disk_of(coords, grid, num_disks)  # qa704: allow — scalar fallback by contract; fast schemes override disk_array
         return table
 
     def allocate(self, grid: Grid, num_disks: int) -> DiskAllocation:

@@ -1,0 +1,20 @@
+"""QA604 bad: fork-only multiprocessing assumptions."""
+
+import multiprocessing
+import os
+
+__all__ = ["fork_worker", "pin_fork", "pool_via_fork"]
+
+
+def fork_worker():
+    pid = os.fork()
+    return pid
+
+
+def pool_via_fork():
+    context = multiprocessing.get_context("fork")
+    return context.Pool(2)
+
+
+def pin_fork():
+    multiprocessing.set_start_method("fork")

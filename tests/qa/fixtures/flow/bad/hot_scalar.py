@@ -1,0 +1,39 @@
+"""QA701-QA704 bad: scalar python patterns in marked hot kernels."""
+
+import numpy as np
+
+__all__ = [
+    "accumulate_objects",
+    "gather_elementwise",
+    "sum_buckets",
+    "untyped_build",
+]
+
+
+def sum_buckets(table):  # qa7: hot
+    table = np.asarray(table)
+    total = 0
+    for value in table:
+        total += value
+    for position, value in enumerate(table):
+        total += position * value
+    return total
+
+
+def untyped_build(values):  # qa7: hot
+    counts = np.fromiter((value * 2 for value in values))
+    flat = np.array(values)
+    return counts, flat
+
+
+def accumulate_objects(rows):
+    # QA703 fires outside hot regions too: object dtype is never fast.
+    return np.array(rows, dtype=object)
+
+
+def gather_elementwise(table, indices):  # qa7: hot
+    table = np.asarray(table)
+    picked = []
+    for index in range(len(indices)):
+        picked.append(table[index] * 2)
+    return picked

@@ -1,0 +1,17 @@
+"""Seeds for the QA601 fixture: submits ``worker_state`` functions."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import worker_state
+
+__all__ = ["run_all"]
+
+
+def run_all(jobs):
+    with ProcessPoolExecutor(
+        initializer=worker_state.init_cache, initargs=(8,)
+    ) as pool:
+        futures = [
+            pool.submit(worker_state.run_job, job) for job in jobs
+        ]
+    return [future.result() for future in futures]

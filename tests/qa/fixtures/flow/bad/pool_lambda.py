@@ -1,0 +1,26 @@
+"""QA603 bad: unpicklable callables handed to process pools."""
+
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import Process
+
+__all__ = ["run_inline", "run_nested", "spawn_child"]
+
+
+def run_inline(jobs):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        futures = [pool.submit(lambda job=job: job * 2) for job in jobs]
+    return [future.result() for future in futures]
+
+
+def run_nested(jobs):
+    def crunch(job):
+        return job * 2
+
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(crunch, jobs))
+
+
+def spawn_child():
+    child = Process(target=lambda: None)
+    child.start()
+    return child

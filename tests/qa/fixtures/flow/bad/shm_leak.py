@@ -1,0 +1,25 @@
+"""QA602 bad: shm resources acquired without guaranteed teardown."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+from repro.core.shm import attach_allocation, share_allocation
+
+__all__ = ["checksum_shared", "publish_unguarded", "scratch_segment"]
+
+
+def publish_unguarded(allocation):
+    handle = share_allocation(allocation)
+    # An exception between here and the caller leaks the segment: the
+    # handle is neither closed, returned, nor recorded anywhere.
+    return handle.name
+
+
+def checksum_shared(handle):
+    allocation = attach_allocation(handle)
+    return int(allocation.table.sum())
+
+
+def scratch_segment(num_bytes):
+    segment = SharedMemory(create=True, size=num_bytes)
+    segment.buf[:1] = b"\x00"
+    return num_bytes

@@ -1,0 +1,30 @@
+"""QA601 bad: worker-reachable code mutates module-level state.
+
+``run_job`` is submitted to a process pool and ``init_cache`` is the
+pool initializer (see the sibling ``pool_driver`` fixture); under spawn
+each worker rebuilds this module, so the writes below land in
+per-process copies the parent never sees.
+"""
+
+__all__ = ["init_cache", "run_job"]
+
+RESULTS = {}
+CACHE = {}
+COUNTER = 0
+
+
+def init_cache(limit):
+    CACHE["limit"] = limit
+
+
+def run_job(job_id):
+    global COUNTER
+    COUNTER += 1
+    RESULTS[job_id] = _double(job_id)
+    return job_id
+
+
+def _double(job_id):
+    # Reached transitively (run_job -> _double): still worker code.
+    RESULTS.setdefault("calls", 0)
+    return job_id * 2

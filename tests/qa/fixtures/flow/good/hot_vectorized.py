@@ -1,0 +1,36 @@
+"""QA701-QA704 good: the batched forms of the bad hot kernels."""
+
+import numpy as np
+
+__all__ = [
+    "accumulate_rows",
+    "gather_batched",
+    "sum_buckets",
+    "typed_build",
+]
+
+
+def sum_buckets(table):  # qa7: hot
+    table = np.asarray(table)
+    weights = np.arange(table.size, dtype=np.int64)
+    return int(table.sum() + (weights * table).sum())
+
+
+def typed_build(values):  # qa7: hot
+    counts = np.fromiter(
+        (value * 2 for value in values),
+        dtype=np.int64,
+        count=len(values),
+    )
+    flat = np.array(values, dtype=np.float64)
+    return counts, flat
+
+
+def accumulate_rows(rows):
+    return np.array(rows, dtype=np.float64)
+
+
+def gather_batched(table, indices):  # qa7: hot
+    table = np.asarray(table)
+    indices = np.asarray(indices, dtype=np.intp)
+    return table[indices] * 2

@@ -1,0 +1,31 @@
+"""QA603/QA604 good: module-level callables, spawn start method."""
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import Process
+
+__all__ = ["crunch", "idle", "run_all", "spawn_child", "spawn_pool"]
+
+
+def crunch(job):
+    return job * 2
+
+
+def idle():
+    return None
+
+
+def run_all(jobs):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(crunch, jobs))
+
+
+def spawn_child():
+    child = Process(target=idle)
+    child.start()
+    return child
+
+
+def spawn_pool():
+    context = multiprocessing.get_context("spawn")
+    return context.Pool(2)

@@ -1,0 +1,48 @@
+"""QA602 good: every acquisition has deterministic teardown or an owner."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+from repro.core.shm import attach_allocation, share_allocation
+
+__all__ = [
+    "checksum_shared",
+    "publish_guarded",
+    "publish_handle",
+    "register_segment",
+    "scratch_segment",
+]
+
+_LEDGER = {}
+
+
+def publish_guarded(allocation):
+    handle = share_allocation(allocation)
+    try:
+        return handle.name
+    finally:
+        handle.close()
+
+
+def publish_handle(allocation):
+    # Ownership transfer: the caller receives the live handle.
+    return share_allocation(allocation)
+
+
+def checksum_shared(handle):
+    allocation = attach_allocation(handle)
+    try:
+        return int(allocation.table.sum())
+    finally:
+        allocation.close()
+
+
+def scratch_segment(num_bytes):
+    with SharedMemory(create=True, size=num_bytes) as segment:
+        segment.buf[:1] = b"\x00"
+        return num_bytes
+
+
+def register_segment(name, num_bytes):
+    # Recording the handle in a module-level ledger is ownership too.
+    _LEDGER[name] = SharedMemory(create=True, size=num_bytes)
+    return _LEDGER[name]

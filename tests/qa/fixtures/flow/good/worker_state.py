@@ -1,0 +1,28 @@
+"""QA601 good: workers return results; only the parent aggregates.
+
+Same shape as the bad fixture, but ``run_job`` is pure and the module
+dict is only written by ``collect`` — which nothing submits to a pool,
+so it always runs in the parent process.
+"""
+
+RESULTS = {}
+
+__all__ = ["collect", "init_cache", "run_job"]
+
+
+def init_cache(limit):
+    return {"limit": limit}
+
+
+def run_job(job_id):
+    return job_id, _double(job_id)
+
+
+def _double(job_id):
+    return job_id * 2
+
+
+def collect(pairs):
+    for job_id, value in pairs:
+        RESULTS[job_id] = value
+    return RESULTS

@@ -1,0 +1,4 @@
+"""QA001 fixture: this file does not parse."""
+
+def half_finished(:
+    return

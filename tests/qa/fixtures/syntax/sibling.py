@@ -1,0 +1,11 @@
+"""Sibling of the broken fixture: its findings must still surface."""
+
+from multiprocessing import Process
+
+__all__ = ["launch"]
+
+
+def launch():
+    child = Process(target=lambda: None)
+    child.start()
+    return child

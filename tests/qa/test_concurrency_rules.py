@@ -1,0 +1,452 @@
+"""QA601-QA604: the concurrency-safety rule family."""
+
+import textwrap
+
+from repro.qa.linter import lint_source
+
+
+def codes(findings):
+    return {finding.rule for finding in findings}
+
+
+def lint(source, **kwargs):
+    return lint_source(textwrap.dedent(source), **kwargs)
+
+
+POOL_DRIVER = textwrap.dedent(
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    import worker
+
+    def run(jobs):
+        with ProcessPoolExecutor(
+            initializer=worker.init_worker
+        ) as pool:
+            return [pool.submit(worker.job, j) for j in jobs]
+    """
+)
+
+
+def lint_worker(worker_source):
+    return lint_source(
+        textwrap.dedent(worker_source),
+        path="worker.py",
+        extra_modules={"driver.py": POOL_DRIVER},
+    )
+
+
+class TestWorkerGlobalWriteRule:
+    def test_submitted_function_writing_global_flagged(self):
+        findings = lint_worker(
+            """
+            RESULTS = {}
+
+            def init_worker():
+                return None
+
+            def job(n):
+                RESULTS[n] = n * 2
+                return n
+            """
+        )
+        qa601 = [f for f in findings if f.rule == "QA601"]
+        assert len(qa601) == 1
+        assert qa601[0].file == "worker.py"
+        assert "RESULTS" in qa601[0].message
+        assert "worker.job" in qa601[0].message  # names the seed
+
+    def test_transitive_callee_flagged(self):
+        findings = lint_worker(
+            """
+            COUNTER = 0
+
+            def init_worker():
+                return None
+
+            def job(n):
+                return helper(n)
+
+            def helper(n):
+                global COUNTER
+                COUNTER += 1
+                return n
+            """
+        )
+        assert "QA601" in codes(findings)
+
+    def test_initializer_chain_flagged(self):
+        findings = lint_worker(
+            """
+            CACHE = {}
+
+            def init_worker():
+                CACHE.update(limit=8)
+
+            def job(n):
+                return n
+            """
+        )
+        qa601 = [f for f in findings if f.rule == "QA601"]
+        assert len(qa601) == 1
+        assert "CACHE" in qa601[0].message
+
+    def test_pure_worker_clean(self):
+        findings = lint_worker(
+            """
+            RESULTS = {}
+
+            def init_worker():
+                return None
+
+            def job(n):
+                return n * 2
+
+            def collect(pairs):
+                RESULTS.update(pairs)
+                return RESULTS
+            """
+        )
+        assert "QA601" not in codes(findings)
+
+    def test_local_shadow_not_flagged(self):
+        findings = lint_worker(
+            """
+            TABLE = {}
+
+            def init_worker():
+                return None
+
+            def job(n):
+                TABLE = {}
+                TABLE[n] = n
+                return TABLE
+            """
+        )
+        assert "QA601" not in codes(findings)
+
+    def test_pragma_with_reason_suppresses(self):
+        findings = lint_worker(
+            """
+            LEDGER = {}
+
+            def init_worker():
+                return None
+
+            def job(n):
+                LEDGER[n] = n  # qa601: allow — per-process ledger by design
+                return n
+            """
+        )
+        assert "QA601" not in codes(findings)
+
+    def test_reasonless_pragma_is_a_finding(self):
+        findings = lint_worker(
+            """
+            LEDGER = {}
+
+            def init_worker():
+                return None
+
+            def job(n):
+                LEDGER[n] = n  # qa601: allow
+                return n
+            """
+        )
+        qa601 = [f for f in findings if f.rule == "QA601"]
+        assert len(qa601) == 1
+        assert "without a reason" in qa601[0].message
+
+
+class TestShmTeardownRule:
+    def test_unguarded_acquisition_flagged(self):
+        findings = lint(
+            """
+            from repro.core.shm import share_allocation
+
+            def publish(allocation):
+                handle = share_allocation(allocation)
+                return handle.name
+            """
+        )
+        assert "QA602" in codes(findings)
+
+    def test_shared_memory_create_flagged(self):
+        findings = lint(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def scratch(n):
+                segment = SharedMemory(create=True, size=n)
+                return n
+            """
+        )
+        assert "QA602" in codes(findings)
+
+    def test_shared_memory_attach_only_not_flagged(self):
+        # Without create=True this opens an existing segment; the
+        # creator owns the teardown story.
+        findings = lint(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def peek(name):
+                segment = SharedMemory(name=name)
+                return bytes(segment.buf[:4])
+            """
+        )
+        assert "QA602" not in codes(findings)
+
+    def test_try_finally_close_clean(self):
+        findings = lint(
+            """
+            from repro.core.shm import share_allocation
+
+            def publish(allocation):
+                handle = share_allocation(allocation)
+                try:
+                    return handle.name
+                finally:
+                    handle.close()
+            """
+        )
+        assert "QA602" not in codes(findings)
+
+    def test_acquired_inside_try_with_finally_clean(self):
+        findings = lint(
+            """
+            from repro.core.shm import share_allocation, unlink_segment
+
+            def publish(allocation):
+                name = None
+                try:
+                    handle = share_allocation(allocation)
+                    name = handle.name
+                    return name
+                finally:
+                    unlink_segment(name)
+            """
+        )
+        assert "QA602" not in codes(findings)
+
+    def test_context_manager_clean(self):
+        findings = lint(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def scratch(n):
+                with SharedMemory(create=True, size=n) as segment:
+                    return bytes(segment.buf[:1])
+            """
+        )
+        assert "QA602" not in codes(findings)
+
+    def test_trace_with_block_does_not_protect(self):
+        # A `with` around the *use* is not a with on the acquirer.
+        findings = lint(
+            """
+            from repro.core.shm import share_allocation
+            from repro.obs import trace
+
+            def publish(allocation):
+                with trace("shm.share"):
+                    handle = share_allocation(allocation)
+                return handle.name
+            """
+        )
+        assert "QA602" in codes(findings)
+
+    def test_returned_handle_is_ownership_transfer(self):
+        findings = lint(
+            """
+            from repro.core.shm import share_allocation
+
+            def publish(allocation):
+                handle = share_allocation(allocation)
+                return handle
+            """
+        )
+        assert "QA602" not in codes(findings)
+
+    def test_returning_only_an_attribute_still_leaks(self):
+        findings = lint(
+            """
+            from repro.core.shm import attach_allocation
+
+            def checksum(handle):
+                allocation = attach_allocation(handle)
+                return int(allocation.table.sum())
+            """
+        )
+        assert "QA602" in codes(findings)
+
+    def test_module_ledger_store_is_ownership_transfer(self):
+        findings = lint(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            _LEDGER = {}
+
+            def register(name, n):
+                _LEDGER[name] = SharedMemory(create=True, size=n)
+                return _LEDGER[name]
+            """
+        )
+        assert "QA602" not in codes(findings)
+
+    def test_pragma_with_reason_suppresses(self):
+        findings = lint(
+            """
+            from repro.core.shm import share_allocation
+
+            def publish(allocation):
+                handle = share_allocation(allocation)  # qa602: allow — ledger owns teardown
+                return handle.name
+            """
+        )
+        assert "QA602" not in codes(findings)
+
+
+class TestUnpicklableSubmissionRule:
+    def test_lambda_submission_flagged(self):
+        findings = lint(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def run(jobs):
+                with ProcessPoolExecutor() as pool:
+                    return [pool.submit(lambda j=j: j * 2) for j in jobs]
+            """
+        )
+        assert "QA603" in codes(findings)
+
+    def test_nested_function_submission_flagged(self):
+        findings = lint(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def run(jobs):
+                def crunch(job):
+                    return job * 2
+
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(crunch, jobs))
+            """
+        )
+        qa603 = [f for f in findings if f.rule == "QA603"]
+        assert len(qa603) == 1
+        assert "crunch" in qa603[0].message
+
+    def test_process_target_lambda_flagged(self):
+        findings = lint(
+            """
+            from multiprocessing import Process
+
+            def launch():
+                child = Process(target=lambda: None)
+                child.start()
+                return child
+            """
+        )
+        assert "QA603" in codes(findings)
+
+    def test_partial_over_lambda_flagged(self):
+        findings = lint(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+            from functools import partial
+
+            def run(jobs):
+                with ProcessPoolExecutor() as pool:
+                    return [
+                        pool.submit(partial(lambda j: j, j))
+                        for j in jobs
+                    ]
+            """
+        )
+        assert "QA603" in codes(findings)
+
+    def test_module_level_callable_clean(self):
+        findings = lint(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def crunch(job):
+                return job * 2
+
+            def run(jobs):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(crunch, jobs))
+            """
+        )
+        assert "QA603" not in codes(findings)
+
+    def test_pragma_with_reason_suppresses(self):
+        findings = lint(
+            """
+            from multiprocessing import Process
+
+            def launch():
+                child = Process(target=lambda: None)  # qa603: allow — fork-context test double
+                child.start()
+                return child
+            """
+        )
+        assert "QA603" not in codes(findings)
+
+
+class TestForkAssumptionRule:
+    def test_os_fork_flagged(self):
+        findings = lint(
+            """
+            import os
+
+            def daemonize():
+                return os.fork()
+            """
+        )
+        assert "QA604" in codes(findings)
+
+    def test_fork_context_flagged(self):
+        findings = lint(
+            """
+            import multiprocessing
+
+            def pool():
+                return multiprocessing.get_context("fork").Pool(2)
+            """
+        )
+        assert "QA604" in codes(findings)
+
+    def test_set_start_method_fork_flagged(self):
+        findings = lint(
+            """
+            import multiprocessing
+
+            def pin():
+                multiprocessing.set_start_method("fork")
+            """
+        )
+        assert "QA604" in codes(findings)
+
+    def test_spawn_context_clean(self):
+        findings = lint(
+            """
+            import multiprocessing
+
+            def pool():
+                return multiprocessing.get_context("spawn").Pool(2)
+            """
+        )
+        assert "QA604" not in codes(findings)
+
+    def test_pragma_with_reason_suppresses(self):
+        findings = lint(
+            """
+            import os
+
+            def daemonize():
+                return os.fork()  # qa604: allow — unix daemon helper, not a worker
+            """
+        )
+        assert "QA604" not in codes(findings)

@@ -1,0 +1,253 @@
+"""repro.qa.flow: symbol table, reference graph, worker reachability."""
+
+import ast
+import textwrap
+
+from repro.qa.flow import (
+    ProjectFlow,
+    get_flow,
+    module_dotted_name,
+)
+from repro.qa.rules import ModuleSource, Project
+
+
+def project_from(sources):
+    project = Project()
+    for path, text in sources.items():
+        text = textwrap.dedent(text)
+        project.modules[path] = ModuleSource(
+            path=path, source=text, tree=ast.parse(text)
+        )
+    return project
+
+
+def flow_from(sources):
+    return ProjectFlow.build(project_from(sources))
+
+
+class TestModuleDottedName:
+    def test_src_prefix_stripped(self):
+        assert module_dotted_name("src/repro/core/shm.py") == (
+            "repro.core.shm"
+        )
+
+    def test_package_init_names_the_package(self):
+        assert module_dotted_name("src/repro/qa/__init__.py") == "repro.qa"
+
+    def test_bare_file(self):
+        assert module_dotted_name("snippet.py") == "snippet"
+
+
+class TestSymbolTable:
+    def test_functions_and_methods_indexed(self):
+        flow = flow_from(
+            {
+                "pkg/mod.py": """
+                def top():
+                    return 1
+
+                class Box:
+                    def get_value(self):
+                        return 2
+                """
+            }
+        )
+        assert "pkg.mod.top" in flow.functions
+        assert "pkg.mod.Box.get_value" in flow.functions
+        assert flow.functions["pkg.mod.Box.get_value"].cls == "Box"
+
+    def test_module_globals_with_mutability(self):
+        flow = flow_from(
+            {"pkg/mod.py": "TABLE = {}\nLIMIT = 7\nNAMES = list()\n"}
+        )
+        globals_ = flow.modules["pkg/mod.py"].globals
+        assert globals_["TABLE"].mutable
+        assert globals_["NAMES"].mutable
+        assert not globals_["LIMIT"].mutable
+
+
+class TestReferenceEdges:
+    def test_direct_call_edge(self):
+        flow = flow_from(
+            {
+                "pkg/mod.py": """
+                def callee():
+                    return 1
+
+                def caller():
+                    return callee()
+                """
+            }
+        )
+        assert "pkg.mod.callee" in flow.edges["pkg.mod.caller"]
+
+    def test_cross_module_attribute_call(self):
+        flow = flow_from(
+            {
+                "pkg/util.py": "def helper():\n    return 1\n",
+                "pkg/mod.py": """
+                from pkg import util
+
+                def caller():
+                    return util.helper()
+                """,
+            }
+        )
+        assert "pkg.util.helper" in flow.edges["pkg.mod.caller"]
+
+    def test_relative_import_resolves(self):
+        flow = flow_from(
+            {
+                "pkg/util.py": "def helper():\n    return 1\n",
+                "pkg/mod.py": """
+                from .util import helper
+
+                def caller():
+                    return helper()
+                """,
+            }
+        )
+        assert "pkg.util.helper" in flow.edges["pkg.mod.caller"]
+
+    def test_reference_without_call_is_an_edge(self):
+        # Dispatch-dict style: the function is named, never called here.
+        flow = flow_from(
+            {
+                "pkg/mod.py": """
+                def job():
+                    return 1
+
+                def table():
+                    return {"job": job}
+                """
+            }
+        )
+        assert "pkg.mod.job" in flow.edges["pkg.mod.table"]
+
+    def test_local_shadowing_blocks_resolution(self):
+        flow = flow_from(
+            {
+                "pkg/mod.py": """
+                def job():
+                    return 1
+
+                def caller(job):
+                    return job()
+                """
+            }
+        )
+        assert "pkg.mod.job" not in flow.edges["pkg.mod.caller"]
+
+    def test_class_reference_marks_all_methods(self):
+        flow = flow_from(
+            {
+                "pkg/mod.py": """
+                class Worker:
+                    def run_once(self):
+                        return 1
+
+                def build():
+                    return Worker()
+                """
+            }
+        )
+        assert "pkg.mod.Worker.run_once" in flow.edges["pkg.mod.build"]
+
+    def test_method_fallback_bounded_by_candidates(self):
+        flow = flow_from(
+            {
+                "pkg/mod.py": """
+                class Only:
+                    def frobnicate(self):
+                        return 1
+
+                def caller(thing):
+                    return thing.frobnicate()
+                """
+            }
+        )
+        assert "pkg.mod.Only.frobnicate" in flow.edges["pkg.mod.caller"]
+
+    def test_stoplisted_method_names_skipped(self):
+        flow = flow_from(
+            {
+                "pkg/mod.py": """
+                class Store:
+                    def get(self):
+                        return 1
+
+                def caller(mapping):
+                    return mapping.get()
+                """
+            }
+        )
+        assert "pkg.mod.Store.get" not in flow.edges["pkg.mod.caller"]
+
+
+class TestWorkerMarking:
+    SOURCES = {
+        "pkg/worker.py": """
+        def init_worker():
+            prime()
+
+        def job(n):
+            return helper(n)
+
+        def helper(n):
+            return n * 2
+
+        def prime():
+            return None
+
+        def untouched():
+            return None
+        """,
+        "pkg/runner.py": """
+        from concurrent.futures import ProcessPoolExecutor
+
+        from pkg import worker
+
+        def run(jobs):
+            with ProcessPoolExecutor(
+                initializer=worker.init_worker
+            ) as pool:
+                return [pool.submit(worker.job, j) for j in jobs]
+        """,
+    }
+
+    def test_submitted_function_is_a_seed(self):
+        flow = flow_from(self.SOURCES)
+        assert "pkg.worker.job" in flow.seeds
+        assert flow.is_worker_reachable("pkg.worker.job")
+
+    def test_initializer_keyword_is_a_seed(self):
+        flow = flow_from(self.SOURCES)
+        assert "pkg.worker.init_worker" in flow.seeds
+        assert flow.is_worker_reachable("pkg.worker.prime")
+
+    def test_transitive_reachability_and_chain(self):
+        flow = flow_from(self.SOURCES)
+        assert flow.is_worker_reachable("pkg.worker.helper")
+        chain = flow.worker_chain("pkg.worker.helper")
+        assert chain == ["pkg.worker.job", "pkg.worker.helper"]
+        assert flow.worker_seed_of("pkg.worker.helper") == "pkg.worker.job"
+
+    def test_unreferenced_function_not_reachable(self):
+        flow = flow_from(self.SOURCES)
+        assert not flow.is_worker_reachable("pkg.worker.untouched")
+        assert not flow.is_worker_reachable("pkg.runner.run")
+
+    def test_worker_functions_sorted(self):
+        flow = flow_from(self.SOURCES)
+        names = [fq for fq, _ in flow.worker_functions()]
+        assert names == sorted(names)
+
+
+class TestGetFlowMemoization:
+    def test_flow_cached_on_the_project(self):
+        project = project_from(
+            {"pkg/mod.py": "def solo():\n    return 1\n"}
+        )
+        first = get_flow(project)
+        assert get_flow(project) is first
+        assert project.analysis["flow"] is first

@@ -1,0 +1,133 @@
+"""The fixture corpus: every QA6xx/QA7xx rule fires on its known-bad
+snippet and stays silent on the corrected version, plus the QA001
+isolation and the QA602 removed-teardown acceptance checks."""
+
+import ast
+import pathlib
+
+from repro.qa.linter import lint_paths, lint_source
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+FLOW_RULES = (
+    "QA601", "QA602", "QA603", "QA604",
+    "QA701", "QA702", "QA703", "QA704",
+)
+
+
+def corpus_findings(subdir):
+    base = FIXTURES / "flow" / subdir
+    return [
+        finding
+        for finding in lint_paths([base], root=base)
+        if finding.rule in FLOW_RULES
+    ]
+
+
+class TestBadCorpus:
+    EXPECTED = {
+        "worker_state.py": {"QA601"},
+        "shm_leak.py": {"QA602"},
+        "pool_lambda.py": {"QA603"},
+        "fork_use.py": {"QA604"},
+        "hot_scalar.py": {"QA701", "QA702", "QA703", "QA704"},
+    }
+
+    def test_every_rule_fires_where_expected(self):
+        by_file = {}
+        for finding in corpus_findings("bad"):
+            by_file.setdefault(finding.file, set()).add(finding.rule)
+        for name, rules in self.EXPECTED.items():
+            assert by_file.get(name, set()) == rules, (
+                f"{name}: expected {sorted(rules)}, "
+                f"got {sorted(by_file.get(name, set()))}"
+            )
+
+    def test_every_flow_rule_is_covered(self):
+        fired = {finding.rule for finding in corpus_findings("bad")}
+        assert fired == set(FLOW_RULES)
+
+    def test_qa601_names_the_cross_module_seed(self):
+        qa601 = [
+            f for f in corpus_findings("bad") if f.rule == "QA601"
+        ]
+        assert qa601
+        for finding in qa601:
+            # Seeded from pool_driver.py's submissions, two modules away.
+            assert "worker-reachable" in finding.message
+            assert "worker_state." in finding.message
+
+
+class TestGoodCorpus:
+    def test_corrected_versions_are_silent(self):
+        findings = corpus_findings("good")
+        assert findings == [], "\n".join(
+            finding.render() for finding in findings
+        )
+
+
+class TestSyntaxErrorIsolation:
+    def test_broken_file_yields_qa001(self):
+        base = FIXTURES / "syntax"
+        findings = lint_paths([base], root=base)
+        qa001 = [f for f in findings if f.rule == "QA001"]
+        assert len(qa001) == 1
+        assert qa001[0].file == "broken.py"
+        assert "syntax error" in qa001[0].message
+
+    def test_sibling_findings_still_reported(self):
+        base = FIXTURES / "syntax"
+        findings = lint_paths([base], root=base)
+        sibling = {f.rule for f in findings if f.file == "sibling.py"}
+        assert "QA603" in sibling  # the lambda Process target
+
+
+class TestQA602CatchesRemovedTeardown:
+    """Acceptance check: deleting the try/finally around the segment
+    copy in a scratch copy of the real ``shm.py`` is caught."""
+
+    @staticmethod
+    def _shm_source():
+        import repro.core.shm as shm_module
+
+        return pathlib.Path(shm_module.__file__).read_text()
+
+    @staticmethod
+    def _qa602_messages(source):
+        findings = lint_source(source, path="src/repro/core/shm.py")
+        return [f.message for f in findings if f.rule == "QA602"]
+
+    def test_scratch_copy_without_try_finally_is_flagged(self):
+        source = self._shm_source()
+
+        tree = ast.parse(source)
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.FunctionDef)
+                and node.name == "share_allocation"
+            ):
+                share = node
+                break
+        else:
+            raise AssertionError("share_allocation not found")
+
+        class StripTryFinally(ast.NodeTransformer):
+            def visit_Try(self, node):
+                self.generic_visit(node)
+                if node.finalbody:
+                    return node.body  # drop handlers and the finally
+                return node
+
+        StripTryFinally().visit(share)
+        ast.fix_missing_locations(tree)
+        mutated = ast.unparse(tree)
+        # Unparsing strips comments, so waiver pragmas disappear from
+        # BOTH versions — compare against the unparsed pristine source
+        # to isolate the effect of removing the teardown.
+        pristine = ast.unparse(ast.parse(source))
+
+        before = self._qa602_messages(pristine)
+        after = self._qa602_messages(mutated)
+        assert len(after) == len(before) + 1
+        new = [m for m in after if "_open_segment" in m]
+        assert new, "expected the unguarded _open_segment to be flagged"
+        assert not any("_open_segment" in m for m in before)
