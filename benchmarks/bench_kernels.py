@@ -13,10 +13,14 @@ including the measured speedup — to
 ``benchmarks/results/BENCH_kernels.json``; it also times batches of
 random rectangles (4096 queries, 2-d and 3-d grids) through the legacy
 per-query loop and ``batch_response_times``, written to
-``benchmarks/results/BENCH_batch.json``::
+``benchmarks/results/BENCH_batch.json``; and it times every available
+kernel backend (numpy reference, compiled cnative/numba) on prebuilt
+query bounds plus a beyond-RAM chunked summed-area-table build smoke,
+written to ``benchmarks/results/BENCH_native.json``
+(``REPRO_NATIVE_SMOKE_GRID`` shrinks the smoke grid, e.g. in CI)::
 
     PYTHONPATH=src python benchmarks/bench_kernels.py \
-        [kernels.json] [batch.json]
+        [kernels.json] [batch.json] [native.json]
 """
 
 import json
@@ -36,17 +40,27 @@ from repro.sfc.hilbert import hilbert_index
 __all__ = [
     'BATCH_GRIDS',
     'BATCH_NUM_QUERIES',
+    'BATCH_REPETITIONS',
     'BATCH_SEED',
     'DEFAULT_BATCH_JSON',
     'DEFAULT_JSON',
+    'DEFAULT_NATIVE_JSON',
     'DISKS',
     'GRID',
+    'NATIVE_GRID',
+    'NATIVE_REPETITIONS',
+    'NATIVE_SMOKE_DISKS',
+    'NATIVE_SMOKE_GRID',
+    'NATIVE_SMOKE_GRID_ENV',
     'OBS_OVERHEAD_ITERATIONS',
     'SWEEP_DISKS',
     'SWEEP_GRID',
     'SWEEP_SCHEME',
     'main',
     'run_batch_bench',
+    'run_chunked_smoke',
+    'run_native_bench',
+    'run_native_report',
     'run_obs_overhead_bench',
     'run_speedup_bench',
     'test_allocation_construction',
@@ -211,22 +225,36 @@ def run_speedup_bench(
     }
 
 
+#: Repetitions of the cached batch call; the first (cold) call pays the
+#: engine build, the rest measure steady-state through the cache.
+BATCH_REPETITIONS = 5
+
+
 def run_batch_bench(
     num_queries=BATCH_NUM_QUERIES,
     grids=BATCH_GRIDS,
     num_disks=SWEEP_DISKS,
     scheme=SWEEP_SCHEME,
     seed=BATCH_SEED,
+    repetitions=BATCH_REPETITIONS,
 ) -> dict:
     """Time random-rectangle batches through both query paths.
 
     Per grid: ``num_queries`` seeded-random rectangles evaluated by the
     legacy per-query loop (:func:`repro.core.cost.response_time` one
-    query at a time) and by one
+    query at a time) and by repeated
     :meth:`~repro.core.engine.ResponseTimeEngine.batch_response_times`
-    call, with a bit-identity sanity check between the two.
+    calls through an :class:`~repro.core.cache.AllocationCache`, with a
+    bit-identity sanity check between the two.  The engine build is paid
+    once (the cache miss) and every later repetition reuses it, exactly
+    as real sweeps do — so ``batch_seconds`` is a steady-state number
+    and the one-time build cost is reported as explicit amortization
+    fields (``speedup_first_call``, ``build_break_even_queries``)
+    instead of silently deflating the speedup.
     """
     import numpy as np
+
+    from repro.core.cache import AllocationCache
 
     records = []
     for grid_dims in grids:
@@ -241,16 +269,28 @@ def run_batch_bench(
         )
         legacy_seconds = time.perf_counter() - start
 
+        cache = AllocationCache()
         start = time.perf_counter()
-        engine = ResponseTimeEngine(allocation)
+        engine = cache.engine(scheme, grid, num_disks)
         build_seconds = time.perf_counter() - start
-        start = time.perf_counter()
-        batched = engine.batch_response_times(queries)
-        batch_seconds = time.perf_counter() - start
+        rep_seconds = []
+        for _ in range(repetitions):
+            start = time.perf_counter()
+            engine = cache.engine(scheme, grid, num_disks)
+            batched = engine.batch_response_times(queries)
+            rep_seconds.append(time.perf_counter() - start)
+        batch_seconds = min(rep_seconds)
 
         assert np.array_equal(legacy, batched)
 
-        total_batch = build_seconds + batch_seconds
+        legacy_per_query = legacy_seconds / num_queries
+        batch_per_query = batch_seconds / num_queries
+        saved_per_query = legacy_per_query - batch_per_query
+        break_even = (
+            int(-(-build_seconds // saved_per_query))
+            if saved_per_query > 0
+            else None
+        )
         records.append(
             {
                 "grid": list(grid_dims),
@@ -258,24 +298,262 @@ def run_batch_bench(
                 "scheme": scheme,
                 "num_queries": num_queries,
                 "seed": seed,
+                "repetitions": repetitions,
                 "legacy_seconds": round(legacy_seconds, 6),
                 "engine_build_seconds": round(build_seconds, 6),
                 "batch_seconds": round(batch_seconds, 6),
-                "legacy_us_per_query": round(
-                    1e6 * legacy_seconds / num_queries, 3
-                ),
-                "batch_us_per_query": round(
-                    1e6 * batch_seconds / num_queries, 3
-                ),
+                "batch_seconds_per_rep": [
+                    round(s, 6) for s in rep_seconds
+                ],
+                "legacy_us_per_query": round(1e6 * legacy_per_query, 3),
+                "batch_us_per_query": round(1e6 * batch_per_query, 3),
                 "speedup_amortized": round(
                     legacy_seconds / batch_seconds, 2
                 ),
-                "speedup_including_build": round(
-                    legacy_seconds / total_batch, 2
+                # Cold-start view: one batch paying the full engine
+                # build.  Kept for visibility but *not* gated — the
+                # cache makes it a once-per-(scheme, grid, M) cost.
+                "speedup_first_call": round(
+                    legacy_seconds / (build_seconds + batch_seconds), 2
                 ),
+                # Queries after which the engine (build included) beats
+                # the legacy loop outright.
+                "build_break_even_queries": break_even,
             }
         )
     return {"benchmark": "batch_queries", "grids": records}
+
+
+#: Configuration of the backend (native-kernel) section.
+NATIVE_GRID = (32, 32, 32)
+NATIVE_REPETITIONS = 5
+
+#: Environment variable overriding the chunked-smoke grid (``AxBxC``);
+#: CI shrinks it, the committed artifact records the full default.
+NATIVE_SMOKE_GRID_ENV = "REPRO_NATIVE_SMOKE_GRID"
+NATIVE_SMOKE_GRID = (1024, 1024, 1024)
+NATIVE_SMOKE_DISKS = 2
+
+DEFAULT_NATIVE_JSON = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_native.json"
+)
+
+
+def run_native_bench(
+    num_queries=BATCH_NUM_QUERIES,
+    grid_dims=NATIVE_GRID,
+    num_disks=SWEEP_DISKS,
+    scheme=SWEEP_SCHEME,
+    seed=BATCH_SEED,
+    repetitions=NATIVE_REPETITIONS,
+) -> dict:
+    """Time every available backend's kernels against the numpy reference.
+
+    Isolates the *kernel*: query bounds are prebuilt once as a
+    :class:`~repro.core.query.QueryBatch` (the ``RangeQuery`` → array
+    conversion costs as much as the numpy gather itself at this size)
+    and the summed-area table is built outside the timed region.  Per
+    backend the batched 2^k-corner gather and the sliding-window sweep
+    are timed over ``repetitions`` calls (best-of, after a warm-up call
+    that also pays any one-time native compilation), with bit-identity
+    asserted against numpy on every path.
+    """
+    import numpy as np
+
+    from repro.core.backends import all_backends, get_backend
+    from repro.core.query import QueryBatch
+
+    grid = Grid(grid_dims)
+    allocation = get_scheme(scheme).allocate(grid, num_disks)
+    engine = ResponseTimeEngine(allocation)
+    sat = engine.sat
+    queries = _random_queries(grid, num_queries, seed)
+    batch = QueryBatch.from_queries(queries, grid)
+    window_shape = tuple(min(4, d) for d in grid_dims)
+
+    def best_of(call):
+        call()  # warm-up: native compile, disk-last layout build
+        best = float("inf")
+        result = None
+        for _ in range(repetitions):
+            start = time.perf_counter()
+            result = call()
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    reference = get_backend("numpy")
+    numpy_batch_seconds, numpy_times = best_of(
+        lambda: reference.batch_response_times(sat, batch.lo, batch.hi)
+    )
+    numpy_window_seconds, numpy_window = best_of(
+        lambda: reference.window_response_times(sat, window_shape)
+    )
+
+    backends = []
+    for backend in all_backends():
+        entry = {
+            "backend": backend.name,
+            "available": backend.available(),
+        }
+        if not backend.available():
+            entry["unavailable_reason"] = backend.unavailable_reason()
+            backends.append(entry)
+            continue
+        if backend.name == "numpy":
+            batch_seconds, window_seconds = (
+                numpy_batch_seconds,
+                numpy_window_seconds,
+            )
+        else:
+            batch_seconds, times = best_of(
+                lambda b=backend: b.batch_response_times(
+                    sat, batch.lo, batch.hi
+                )
+            )
+            window_seconds, window = best_of(
+                lambda b=backend: b.window_response_times(
+                    sat, window_shape
+                )
+            )
+            assert np.array_equal(times, numpy_times)
+            assert np.array_equal(window, numpy_window)
+            entry["bit_identical"] = True
+        entry.update(
+            {
+                "batch_seconds": round(batch_seconds, 6),
+                "batch_us_per_query": round(
+                    1e6 * batch_seconds / num_queries, 3
+                ),
+                "batch_speedup_vs_numpy": round(
+                    numpy_batch_seconds / batch_seconds, 2
+                ),
+                "window_seconds": round(window_seconds, 6),
+                "window_speedup_vs_numpy": round(
+                    numpy_window_seconds / window_seconds, 2
+                ),
+            }
+        )
+        backends.append(entry)
+    return {
+        "benchmark": "backend_kernels",
+        "grid": list(grid_dims),
+        "num_disks": num_disks,
+        "scheme": scheme,
+        "num_queries": num_queries,
+        "seed": seed,
+        "repetitions": repetitions,
+        "window_shape": list(window_shape),
+        "backends": backends,
+    }
+
+
+def _smoke_grid_dims():
+    """The chunked-smoke grid: ``REPRO_NATIVE_SMOKE_GRID`` or 1024³."""
+    import os
+
+    raw = os.environ.get(NATIVE_SMOKE_GRID_ENV)
+    if not raw:
+        return NATIVE_SMOKE_GRID
+    return tuple(int(part) for part in raw.lower().split("x"))
+
+
+def run_chunked_smoke(
+    grid_dims=None,
+    num_disks=NATIVE_SMOKE_DISKS,
+    scheme="dm",
+    byte_budget=None,
+    num_check_queries=8,
+    seed=BATCH_SEED,
+) -> dict:
+    """Build a beyond-RAM chunked SAT and verify it end to end.
+
+    Builds the summed-area table for ``grid_dims`` (default 1024³ — over
+    a billion buckets, ~8.6 GB on disk at M=2) tile by tile under the
+    configured byte budget, then checks the result three ways: the
+    per-query disk counts of random rectangles must sum to the clipped
+    query volume, a tiny corner query is brute-forced against
+    ``scheme.disk_of`` bucket by bucket, and the tile working set must
+    fit the budget.  The spilled file is removed afterwards.
+    """
+    import os
+
+    import numpy as np
+
+    from repro.core.engine import ResponseTimeEngine
+    from repro.core.query import QueryBatch
+    from repro.core.sat import SummedAreaTable, sat_byte_budget
+
+    grid_dims = grid_dims or _smoke_grid_dims()
+    budget = sat_byte_budget(byte_budget)
+    grid = Grid(grid_dims)
+    scheme_obj = get_scheme(scheme)
+    rows = SummedAreaTable.tile_rows(grid, num_disks, budget)
+    working_set = SummedAreaTable.tile_working_set(
+        grid, num_disks, rows
+    )
+    # rows is floored at 1, so a single-row tile may legitimately
+    # overshoot a tiny budget; that is the only allowed excess.
+    within_budget = working_set <= budget or rows == 1
+
+    start = time.perf_counter()
+    sat = SummedAreaTable.build_chunked(
+        scheme_obj, grid, num_disks, byte_budget=budget
+    )
+    build_seconds = time.perf_counter() - start
+    try:
+        sat_file_bytes = os.path.getsize(sat.path)
+        engine = ResponseTimeEngine.from_sat(sat)
+
+        queries = _random_queries(grid, num_check_queries, seed)
+        batch = QueryBatch.from_queries(queries, grid)
+        counts = engine.batch_disk_counts(batch)
+        volumes = (batch.hi - batch.lo).prod(axis=1)
+        volume_ok = bool(
+            np.array_equal(counts.sum(axis=1), volumes)
+        )
+
+        # Brute-force a tiny corner query bucket by bucket.
+        tiny_extent = tuple(min(2, d) for d in grid_dims)
+        tiny = RangeQuery(
+            (0,) * grid.ndim, tuple(e - 1 for e in tiny_extent)
+        )
+        tiny_counts = engine.batch_disk_counts([tiny])[0]
+        expected = np.zeros(num_disks, dtype=np.int64)
+        for coords in np.ndindex(*tiny_extent):
+            expected[scheme_obj.disk_of(coords, grid, num_disks)] += 1
+        brute_force_ok = bool(np.array_equal(tiny_counts, expected))
+    finally:
+        path = sat.path
+        sat.close()
+        os.unlink(path)
+
+    return {
+        "benchmark": "chunked_sat_smoke",
+        "grid": list(grid_dims),
+        "num_buckets": grid.num_buckets,
+        "num_disks": num_disks,
+        "scheme": scheme,
+        "byte_budget": budget,
+        "tile_rows": rows,
+        "tile_working_set_bytes": working_set,
+        "within_budget": within_budget,
+        "sat_file_bytes": sat_file_bytes,
+        "build_seconds": round(build_seconds, 3),
+        "num_check_queries": num_check_queries,
+        "volume_invariant_ok": volume_ok,
+        "brute_force_ok": brute_force_ok,
+        "completed": bool(
+            within_budget and volume_ok and brute_force_ok
+        ),
+    }
+
+
+def run_native_report() -> dict:
+    """The full ``BENCH_native.json`` record: backends + chunked smoke."""
+    return {
+        "backend_kernels": run_native_bench(),
+        "chunked_smoke": run_chunked_smoke(),
+    }
 
 
 #: Iterations of the disabled-tracer micro-benchmark.
@@ -329,6 +607,9 @@ def main(argv=None) -> int:
     batch_target = (
         pathlib.Path(argv[1]) if len(argv) > 1 else DEFAULT_BATCH_JSON
     )
+    native_target = (
+        pathlib.Path(argv[2]) if len(argv) > 2 else DEFAULT_NATIVE_JSON
+    )
     record = run_speedup_bench()
     target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(json.dumps(record, indent=2) + "\n")
@@ -339,6 +620,11 @@ def main(argv=None) -> int:
     batch_target.write_text(json.dumps(batch_record, indent=2) + "\n")
     print(json.dumps(batch_record, indent=2))
     print(f"[written to {batch_target}]", file=sys.stderr)
+    native_record = run_native_report()
+    native_target.parent.mkdir(parents=True, exist_ok=True)
+    native_target.write_text(json.dumps(native_record, indent=2) + "\n")
+    print(json.dumps(native_record, indent=2))
+    print(f"[written to {native_target}]", file=sys.stderr)
     print(json.dumps(run_obs_overhead_bench(), indent=2))
     return 0
 

@@ -8,6 +8,15 @@ per-query loop drops below the floor on any grid — the regression the
 batch path exists to prevent.  The floor is 5x by default
 (``REPRO_BENCH_MIN_SPEEDUP`` overrides it, e.g. on very noisy runners).
 
+The native-backend leg re-times every registered kernel backend on the
+32³/M=16 sweep: the best non-numpy backend must clear
+``REPRO_NATIVE_MIN_SPEEDUP`` (default 3x) over the numpy batch kernel,
+skipped with a warning when no compiled backend is available.  A live
+chunked summed-area-table build (``REPRO_NATIVE_SMOKE_GRID``, default
+96x96x96 under a 4 MiB budget) exercises the tiled beyond-RAM path, and
+the committed ``BENCH_native.json`` must record a completed full-scale
+1024³ smoke within its byte budget.
+
 Also asserts the observability layer's disabled-path contract: a
 :func:`repro.obs.trace.trace` span on a hot path must cost effectively
 nothing while tracing is off.  The bound is 2000 ns per disabled span by
@@ -37,9 +46,108 @@ _REPO = pathlib.Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(_REPO / "benchmarks"))
 sys.path.insert(0, str(_REPO / "src"))
 
-from bench_kernels import run_batch_bench, run_obs_overhead_bench  # noqa: E402
+from bench_kernels import (  # noqa: E402
+    DEFAULT_NATIVE_JSON,
+    NATIVE_SMOKE_GRID,
+    NATIVE_SMOKE_GRID_ENV,
+    run_batch_bench,
+    run_chunked_smoke,
+    run_native_bench,
+    run_obs_overhead_bench,
+)
 
 __all__ = ['main']
+
+
+def _check_native(floor_env: str) -> "list[str]":
+    """The native-backend leg: live kernel floor + chunked-smoke checks.
+
+    Re-times every available backend on the 32³/M=16 sweep and requires
+    the best non-numpy backend to clear the floor (default 3x over the
+    numpy batch kernel; ``REPRO_NATIVE_MIN_SPEEDUP`` overrides).  When
+    only numpy is available (e.g. no compiler and no numba on the
+    runner) the floor is skipped with a warning instead of failing —
+    the numpy reference is always correct, just slower.  A live chunked
+    build then runs on a CI-sized grid (``REPRO_NATIVE_SMOKE_GRID``,
+    default 96x96x96 here) under a deliberately tiny budget so the tiled
+    path is actually exercised, and the committed ``BENCH_native.json``
+    is checked for a completed full-scale (1024³ by default) smoke.
+    """
+    failures = []
+    floor = float(os.environ.get(floor_env, "3"))
+    record = run_native_bench()
+    print(json.dumps(record, indent=2))
+    native = [
+        entry
+        for entry in record["backends"]
+        if entry["available"] and entry["backend"] != "numpy"
+    ]
+    if not native:
+        reasons = "; ".join(
+            f"{e['backend']}: {e.get('unavailable_reason', '?')}"
+            for e in record["backends"]
+            if not e["available"]
+        )
+        print(
+            "bench gate: WARNING — no non-numpy backend available, "
+            f"native floor skipped ({reasons})",
+            file=sys.stderr,
+        )
+    else:
+        best = max(native, key=lambda e: e["batch_speedup_vs_numpy"])
+        speedup = best["batch_speedup_vs_numpy"]
+        if speedup < floor:
+            failures.append(
+                f"backend {best['backend']}: batch speedup {speedup}x "
+                f"< {floor}x floor over numpy"
+            )
+        else:
+            print(
+                f"bench gate: backend {best['backend']} at {speedup}x "
+                f"over numpy (floor {floor}x)"
+            )
+    smoke_grid = os.environ.get(NATIVE_SMOKE_GRID_ENV, "96x96x96")
+    dims = tuple(int(part) for part in smoke_grid.lower().split("x"))
+    smoke = run_chunked_smoke(grid_dims=dims, byte_budget=4 << 20)
+    print(json.dumps(smoke, indent=2))
+    if not smoke["completed"]:
+        failures.append(
+            f"live chunked smoke on {smoke_grid} failed: "
+            f"within_budget={smoke['within_budget']} "
+            f"volume_ok={smoke['volume_invariant_ok']} "
+            f"brute_force_ok={smoke['brute_force_ok']}"
+        )
+    else:
+        print(
+            f"bench gate: live chunked smoke on {smoke_grid} ok "
+            f"({smoke['tile_rows']}-row tiles, "
+            f"{smoke['build_seconds']}s)"
+        )
+    if DEFAULT_NATIVE_JSON.exists():
+        committed = json.loads(DEFAULT_NATIVE_JSON.read_text())
+        full = committed.get("chunked_smoke", {})
+        expected = list(NATIVE_SMOKE_GRID)
+        if full.get("grid") != expected or not full.get("completed"):
+            failures.append(
+                f"committed {DEFAULT_NATIVE_JSON.name} lacks a "
+                f"completed {'x'.join(map(str, expected))} chunked "
+                f"smoke (got grid={full.get('grid')}, "
+                f"completed={full.get('completed')})"
+            )
+        else:
+            print(
+                "bench gate: committed full-scale chunked smoke ok "
+                f"({full['sat_file_bytes']} bytes in "
+                f"{full['build_seconds']}s under "
+                f"{full['byte_budget']}-byte budget)"
+            )
+    else:
+        print(
+            f"bench gate: WARNING — {DEFAULT_NATIVE_JSON} missing, "
+            "committed smoke check skipped",
+            file=sys.stderr,
+        )
+    return failures
 
 
 def main() -> int:
@@ -59,6 +167,7 @@ def main() -> int:
             )
         else:
             print(f"bench gate: grid {grid} at {speedup}x (floor {floor}x)")
+    failures.extend(_check_native(floor_env="REPRO_NATIVE_MIN_SPEEDUP"))
     obs_record = run_obs_overhead_bench()
     print(json.dumps(obs_record, indent=2))
     ns_per_span = obs_record["ns_per_disabled_span"]

@@ -491,6 +491,25 @@ def build_parser() -> argparse.ArgumentParser:
             "the ICDE'94 evaluation"
         ),
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help=(
+            "kernel backend for hot loops: numpy, cnative, numba, or "
+            "native (numba with cnative fallback); default: $REPRO_BACKEND "
+            "or numpy"
+        ),
+    )
+    parser.add_argument(
+        "--sat-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help=(
+            "working-memory byte budget for chunked summed-area-table "
+            "builds (default: $REPRO_SAT_BUDGET or 256 MiB)"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("schemes", help="list declustering schemes")
@@ -714,6 +733,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.sat_budget is not None:
+        import os
+
+        from repro.core.sat import BYTE_BUDGET_ENV
+
+        if args.sat_budget <= 0:
+            print("error: --sat-budget must be positive", file=sys.stderr)
+            return 1
+        # Env rather than plumbing: worker-pool initializers re-read it,
+        # so the budget survives into spawned processes.
+        os.environ[BYTE_BUDGET_ENV] = str(args.sat_budget)
     handlers = {
         "schemes": _cmd_schemes,
         "allocate": _cmd_allocate,
@@ -726,6 +756,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "obs": _cmd_obs,
     }
     try:
+        if args.backend is not None:
+            from repro.core.backends import set_backend
+
+            # Eager: an unknown/unavailable backend fails here with a
+            # one-line error instead of mid-experiment.
+            set_backend(args.backend)
         return handlers[args.command](args)
     except DeclusteringError as exc:
         print(f"error: {exc}", file=sys.stderr)

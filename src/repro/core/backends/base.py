@@ -1,0 +1,131 @@
+"""The kernel-backend interface: the three hot loops, swappable.
+
+A :class:`KernelBackend` implements the library's hot kernels —
+
+1. the batched 2^k-corner query gather behind
+   :meth:`~repro.core.engine.ResponseTimeEngine.batch_response_times`,
+2. the sliding-window shape sweep behind
+   :func:`repro.core.cost.sliding_response_times`, and
+3. the whole-grid allocation-table kernels the arithmetic schemes
+   (``dm``/``gdm``/``fx``) build their ``disk_array`` from —
+
+against a shared, backend-neutral data model: clipped half-open bounds
+arrays and :class:`~repro.core.sat.SummedAreaTable` objects.  The numpy
+implementation is the **bit-identical reference**; every other backend
+is certified against it by the QA423 contract rule, so swapping
+backends can only move time around, never results.
+
+Backends declare availability at runtime (``numba`` needs the numba
+package, ``cnative`` needs a C compiler); unavailable backends stay
+registered so ``--backend``/``REPRO_BACKEND`` can fail loudly with the
+reason instead of silently running something else.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.sat import SummedAreaTable
+
+__all__ = ["KernelBackend"]
+
+
+class KernelBackend(abc.ABC):
+    """One implementation of the hot kernels.
+
+    Attributes
+    ----------
+    name:
+        Registry identifier (``"numpy"``, ``"numba"``, ``"cnative"``).
+    """
+
+    #: Registry identifier; subclasses must override.
+    name: str = ""
+
+    def available(self) -> bool:
+        """Whether the backend can run in this process (deps, compiler)."""
+        return self.unavailable_reason() is None
+
+    def unavailable_reason(self) -> Optional[str]:
+        """Why the backend cannot run, or None when it can."""
+        return None
+
+    # -- 1. batched rectangle queries ----------------------------------
+
+    @abc.abstractmethod
+    def batch_disk_counts(
+        self, sat: SummedAreaTable, lo: np.ndarray, hi: np.ndarray
+    ) -> np.ndarray:
+        """Per-query per-disk bucket counts, shape ``(N, M)`` int64.
+
+        ``lo``/``hi`` are the clipped half-open bounds ``(N, k)`` the
+        engine computes; zero-extent boxes (fully clipped queries) must
+        produce all-zero rows.
+        """
+
+    def batch_response_times(
+        self, sat: SummedAreaTable, lo: np.ndarray, hi: np.ndarray
+    ) -> np.ndarray:
+        """Busiest-disk count per query, shape ``(N,)`` int64.
+
+        Default: max-reduce :meth:`batch_disk_counts`; fused backends
+        override to skip the ``(N, M)`` intermediate entirely.
+        """
+        counts = self.batch_disk_counts(sat, lo, hi)
+        if counts.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
+        return counts.max(axis=1)
+
+    # -- 2. sliding-window shape sweep ---------------------------------
+
+    @abc.abstractmethod
+    def window_response_times(
+        self, sat: SummedAreaTable, shape: Sequence[int]
+    ) -> np.ndarray:
+        """RT of ``shape`` at every placement, from a prebuilt SAT.
+
+        Output shape ``(d_1 - s_1 + 1, ..., d_k - s_k + 1)`` int64; the
+        caller guarantees the shape fits the grid.
+        """
+
+    @abc.abstractmethod
+    def sliding_response_times(
+        self,
+        table: np.ndarray,
+        num_disks: int,
+        shape: Sequence[int],
+    ) -> np.ndarray:
+        """RT of ``shape`` at every placement, from a raw allocation table.
+
+        The one-shot (no engine) path of
+        :func:`repro.core.cost.sliding_response_times`; the caller
+        guarantees the shape fits.
+        """
+
+    # -- 3. whole-grid allocation-table kernels ------------------------
+
+    @abc.abstractmethod
+    def linear_mod_table(
+        self,
+        dims: Tuple[int, ...],
+        coefficients: Tuple[int, ...],
+        num_disks: int,
+    ) -> np.ndarray:
+        """``(sum_j c_j · i_j) mod M`` over every bucket, int64.
+
+        The DM/GDM family's whole-grid kernel; the modulo follows
+        python semantics (result in ``[0, M)`` for negative
+        coefficients too).
+        """
+
+    @abc.abstractmethod
+    def xor_mod_table(
+        self, dims: Tuple[int, ...], num_disks: int
+    ) -> np.ndarray:
+        """``(i_1 XOR ... XOR i_k) mod M`` over every bucket, int64 (FX)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,528 @@
+"""``cnative``: the hot kernels as a tiny C extension, built on demand.
+
+The C source below is compiled once per machine (``cc -O3`` into a
+shared library cached under ``REPRO_NATIVE_CACHE`` or the system temp
+dir, keyed by a hash of the source) and loaded through ``ctypes`` — no
+build step, no new dependency beyond a C compiler.  When no compiler is
+present the backend reports itself unavailable and selection fails
+loudly; nothing silently falls back.
+
+Why it wins: the numpy batch path runs one fancy-index gather per SAT
+corner and materializes an ``(M, N)`` intermediate per corner plus the
+``(N, M)`` count matrix.  The C kernel consumes the **disk-last** SAT
+layout (:meth:`repro.core.sat.SummedAreaTable.disk_last`), where one
+corner's ``M`` per-disk counts are a single contiguous vector — for the
+paper-scale ``M = 16`` exactly one cache line — and fuses the 2^k-corner
+accumulation with the max-over-disks reduction, so a query is answered
+in ``2^k`` cache-line reads with no intermediates at all.  Memory-mapped
+(beyond-RAM) SATs have no disk-last copy by design; those delegate to
+the streamed numpy gather.
+
+Bit-identity with the numpy reference is certified by QA423 and the
+backend property tests; the speedup floor is gated by
+``scripts/check_bench_gate.py`` (BENCH_native.json).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.backends.base import KernelBackend
+from repro.core.backends.numpy_backend import NumpyBackend
+from repro.core.sat import SummedAreaTable, sat_dtype
+
+__all__ = ["CNativeBackend"]
+
+#: Hard cap on query/grid arity the C kernels accept (2^k corner tables
+#: are stack-allocated).
+_MAX_NDIM = 16
+
+_KERNEL_TEMPLATE = r"""
+#include <stdint.h>
+
+/* Batched rectangle queries against a disk-last SAT
+   (spatial-major, disk id fastest).  strides are in ELEMENTS and
+   already include the factor M, so satT[off + m] is disk m's count at
+   the spatial corner `off`. */
+
+void batch_rt_{suffix}(
+    const {ctype} *satT, const int64_t *strides,
+    int32_t num_disks, int32_t ndim,
+    const int64_t *lo, const int64_t *hi, int64_t num_queries,
+    int64_t *out)
+{{
+    int32_t ncorners = 1 << ndim;
+    int64_t offs[1 << {max_ndim}];
+    int32_t signs[1 << {max_ndim}];
+    int64_t acc[{max_disks}];
+    for (int64_t q = 0; q < num_queries; q++) {{
+        const int64_t *qlo = lo + (size_t)q * ndim;
+        const int64_t *qhi = hi + (size_t)q * ndim;
+        for (int32_t c = 0; c < ncorners; c++) {{
+            int64_t off = 0;
+            int32_t parity = 0;
+            for (int32_t a = 0; a < ndim; a++) {{
+                if ((c >> a) & 1) {{
+                    off += qlo[a] * strides[a];
+                    parity ^= 1;
+                }} else {{
+                    off += qhi[a] * strides[a];
+                }}
+            }}
+            offs[c] = off;
+            signs[c] = parity ? -1 : 1;
+        }}
+        for (int32_t m = 0; m < num_disks; m++) acc[m] = 0;
+        for (int32_t c = 0; c < ncorners; c++) {{
+            const {ctype} *v = satT + offs[c];
+            if (signs[c] < 0) {{
+                for (int32_t m = 0; m < num_disks; m++)
+                    acc[m] -= (int64_t)v[m];
+            }} else {{
+                for (int32_t m = 0; m < num_disks; m++)
+                    acc[m] += (int64_t)v[m];
+            }}
+        }}
+        int64_t best = acc[0];
+        for (int32_t m = 1; m < num_disks; m++)
+            if (acc[m] > best) best = acc[m];
+        out[q] = best;
+    }}
+}}
+
+void batch_counts_{suffix}(
+    const {ctype} *satT, const int64_t *strides,
+    int32_t num_disks, int32_t ndim,
+    const int64_t *lo, const int64_t *hi, int64_t num_queries,
+    int64_t *out)
+{{
+    int32_t ncorners = 1 << ndim;
+    for (int64_t q = 0; q < num_queries; q++) {{
+        const int64_t *qlo = lo + (size_t)q * ndim;
+        const int64_t *qhi = hi + (size_t)q * ndim;
+        int64_t *row = out + (size_t)q * num_disks;
+        for (int32_t m = 0; m < num_disks; m++) row[m] = 0;
+        for (int32_t c = 0; c < ncorners; c++) {{
+            int64_t off = 0;
+            int32_t parity = 0;
+            for (int32_t a = 0; a < ndim; a++) {{
+                if ((c >> a) & 1) {{
+                    off += qlo[a] * strides[a];
+                    parity ^= 1;
+                }} else {{
+                    off += qhi[a] * strides[a];
+                }}
+            }}
+            const {ctype} *v = satT + off;
+            if (parity) {{
+                for (int32_t m = 0; m < num_disks; m++)
+                    row[m] -= (int64_t)v[m];
+            }} else {{
+                for (int32_t m = 0; m < num_disks; m++)
+                    row[m] += (int64_t)v[m];
+            }}
+        }}
+    }}
+}}
+
+/* Sliding shape sweep: RT at every placement origin, fused max over
+   disks, from the same disk-last SAT.  Corner offsets relative to the
+   origin are constant for a fixed shape, so each origin costs 2^k
+   contiguous M-vector reads. */
+
+void window_rt_{suffix}(
+    const {ctype} *satT, const int64_t *strides,
+    int32_t num_disks, int32_t ndim,
+    const int64_t *shape, const int64_t *out_dims,
+    int64_t *out)
+{{
+    int32_t ncorners = 1 << ndim;
+    int64_t deltas[1 << {max_ndim}];
+    int32_t signs[1 << {max_ndim}];
+    int64_t coords[{max_ndim}];
+    int64_t acc[{max_disks}];
+    int64_t total = 1;
+    for (int32_t a = 0; a < ndim; a++) {{
+        coords[a] = 0;
+        total *= out_dims[a];
+    }}
+    for (int32_t c = 0; c < ncorners; c++) {{
+        int64_t delta = 0;
+        int32_t parity = 0;
+        for (int32_t a = 0; a < ndim; a++) {{
+            if ((c >> a) & 1) parity ^= 1;     /* low corner: origin */
+            else delta += shape[a] * strides[a]; /* high: origin + s */
+        }}
+        deltas[c] = delta;
+        signs[c] = parity ? -1 : 1;
+    }}
+    for (int64_t i = 0; i < total; i++) {{
+        int64_t base = 0;
+        for (int32_t a = 0; a < ndim; a++)
+            base += coords[a] * strides[a];
+        for (int32_t m = 0; m < num_disks; m++) acc[m] = 0;
+        for (int32_t c = 0; c < ncorners; c++) {{
+            const {ctype} *v = satT + base + deltas[c];
+            if (signs[c] < 0) {{
+                for (int32_t m = 0; m < num_disks; m++)
+                    acc[m] -= (int64_t)v[m];
+            }} else {{
+                for (int32_t m = 0; m < num_disks; m++)
+                    acc[m] += (int64_t)v[m];
+            }}
+        }}
+        int64_t best = acc[0];
+        for (int32_t m = 1; m < num_disks; m++)
+            if (acc[m] > best) best = acc[m];
+        out[i] = best;
+        for (int32_t a = ndim - 1; a >= 0; a--) {{
+            if (++coords[a] < out_dims[a]) break;
+            coords[a] = 0;
+        }}
+    }}
+}}
+"""
+
+_TABLE_KERNELS = r"""
+/* Whole-grid allocation-table kernels (row-major, python modulo). */
+
+void linear_mod_table(
+    const int64_t *dims, const int64_t *coeffs,
+    int32_t ndim, int64_t num_disks, int64_t *out)
+{
+    int64_t coords[64];
+    int64_t total = 1;
+    for (int32_t a = 0; a < ndim; a++) {
+        coords[a] = 0;
+        total *= dims[a];
+    }
+    for (int64_t i = 0; i < total; i++) {
+        int64_t value = 0;
+        for (int32_t a = 0; a < ndim; a++)
+            value += coeffs[a] * coords[a];
+        int64_t disk = value % num_disks;
+        if (disk < 0) disk += num_disks;
+        out[i] = disk;
+        for (int32_t a = ndim - 1; a >= 0; a--) {
+            if (++coords[a] < dims[a]) break;
+            coords[a] = 0;
+        }
+    }
+}
+
+void xor_mod_table(
+    const int64_t *dims, int32_t ndim, int64_t num_disks, int64_t *out)
+{
+    int64_t coords[64];
+    int64_t total = 1;
+    for (int32_t a = 0; a < ndim; a++) {
+        coords[a] = 0;
+        total *= dims[a];
+    }
+    for (int64_t i = 0; i < total; i++) {
+        int64_t value = 0;
+        for (int32_t a = 0; a < ndim; a++)
+            value ^= coords[a];
+        out[i] = value % num_disks;
+        for (int32_t a = ndim - 1; a >= 0; a--) {
+            if (++coords[a] < dims[a]) break;
+            coords[a] = 0;
+        }
+    }
+}
+"""
+
+#: Disk counts beyond this fall back to numpy (the accumulator is
+#: stack-allocated in the C kernels).
+_MAX_DISKS = 4096
+
+
+def _kernel_source() -> str:
+    parts = ["#include <stddef.h>\n"]
+    for suffix, ctype in (("i32", "int32_t"), ("i64", "int64_t")):
+        parts.append(
+            _KERNEL_TEMPLATE.format(
+                suffix=suffix,
+                ctype=ctype,
+                max_ndim=_MAX_NDIM,
+                max_disks=_MAX_DISKS,
+            )
+        )
+    parts.append(_TABLE_KERNELS)
+    return "\n".join(parts)
+
+
+def _find_compiler() -> Optional[str]:
+    for candidate in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if candidate and shutil.which(candidate):
+            return candidate
+    return None
+
+
+def _cache_dir() -> str:
+    configured = os.environ.get("REPRO_NATIVE_CACHE")
+    if configured:
+        return configured
+    return os.path.join(
+        tempfile.gettempdir(), f"repro-native-{os.getuid()}"
+    )
+
+
+def _compile_library(source: str) -> str:
+    """Compile the kernel source into a cached shared library; return path.
+
+    Raises ``subprocess.CalledProcessError``/``OSError`` on failure —
+    the backend turns those into an unavailability reason.
+    """
+    digest = hashlib.sha256(source.encode()).hexdigest()[:16]
+    directory = _cache_dir()
+    os.makedirs(directory, exist_ok=True)
+    lib_path = os.path.join(directory, f"reprokern-{digest}.so")
+    if os.path.exists(lib_path):
+        return lib_path
+    compiler = _find_compiler()
+    if compiler is None:
+        raise OSError("no C compiler (cc/gcc/clang) on PATH")
+    src_path = os.path.join(directory, f"reprokern-{digest}.c")
+    with open(src_path, "w") as handle:
+        handle.write(source)
+    tmp_path = f"{lib_path}.{os.getpid()}.tmp"
+    base_cmd = [compiler, "-O3", "-fPIC", "-shared", src_path, "-o",
+                tmp_path]
+    try:
+        subprocess.run(
+            base_cmd[:1] + ["-march=native"] + base_cmd[1:],
+            check=True,
+            capture_output=True,
+        )
+    except subprocess.CalledProcessError:
+        # Portable fallback: some toolchains reject -march=native.
+        subprocess.run(base_cmd, check=True, capture_output=True)
+    os.replace(tmp_path, lib_path)  # atomic: concurrent builds race safely
+    return lib_path
+
+
+_PTR_I64 = ctypes.POINTER(ctypes.c_int64)
+
+
+class CNativeBackend(KernelBackend):
+    """Fused C kernels over the disk-last SAT layout (see module docs)."""
+
+    name = "cnative"
+
+    def __init__(self) -> None:
+        self._lib: Optional[ctypes.CDLL] = None
+        self._load_error: Optional[str] = None
+        self._reference = NumpyBackend()
+
+    # -- loading -------------------------------------------------------
+
+    def _library(self) -> Optional[ctypes.CDLL]:
+        if self._lib is None and self._load_error is None:
+            try:
+                self._lib = ctypes.CDLL(
+                    _compile_library(_kernel_source())
+                )
+            except Exception as exc:
+                detail = ""
+                stderr = getattr(exc, "stderr", None)
+                if stderr:
+                    detail = f": {stderr.decode(errors='replace')[:200]}"
+                self._load_error = (
+                    f"C kernel build failed ({type(exc).__name__}: "
+                    f"{exc}{detail})"
+                )
+        return self._lib
+
+    def unavailable_reason(self) -> Optional[str]:
+        self._library()
+        return self._load_error
+
+    # -- shared plumbing -----------------------------------------------
+
+    def _sat_call_args(self, sat: SummedAreaTable):
+        """(fn-suffix, satT pointer, element strides) for a SAT, or None.
+
+        Returns None when the SAT has no disk-last layout (mmap) or the
+        configuration exceeds the compiled kernels' static bounds — the
+        caller then delegates to the numpy reference.
+        """
+        if sat.is_mmap:
+            return None
+        if sat.ndim > _MAX_NDIM or sat.num_disks > _MAX_DISKS:
+            return None
+        disk_last = sat.disk_last()
+        if disk_last.dtype == np.int32:
+            suffix, ctype = "i32", ctypes.c_int32
+        elif disk_last.dtype == np.int64:
+            suffix, ctype = "i64", ctypes.c_int64
+        else:
+            return None
+        itemsize = disk_last.itemsize
+        strides = np.array(
+            [s // itemsize for s in disk_last.strides[:-1]],
+            dtype=np.int64,
+        )
+        pointer = disk_last.ctypes.data_as(ctypes.POINTER(ctype))
+        return suffix, pointer, strides
+
+    @staticmethod
+    def _bounds_c(lo: np.ndarray, hi: np.ndarray):
+        lo = np.ascontiguousarray(lo, dtype=np.int64)
+        hi = np.ascontiguousarray(hi, dtype=np.int64)
+        return lo, hi
+
+    # -- batched rectangle queries -------------------------------------
+
+    def batch_response_times(
+        self, sat: SummedAreaTable, lo: np.ndarray, hi: np.ndarray
+    ) -> np.ndarray:
+        prepared = self._sat_call_args(sat)
+        library = self._library()
+        if prepared is None or library is None:
+            return self._reference.batch_response_times(sat, lo, hi)
+        num_queries = lo.shape[0]
+        out = np.zeros(num_queries, dtype=np.int64)
+        if num_queries == 0:
+            return out
+        suffix, pointer, strides = prepared
+        lo, hi = self._bounds_c(lo, hi)
+        getattr(library, f"batch_rt_{suffix}")(
+            pointer,
+            strides.ctypes.data_as(_PTR_I64),
+            ctypes.c_int32(sat.num_disks),
+            ctypes.c_int32(sat.ndim),
+            lo.ctypes.data_as(_PTR_I64),
+            hi.ctypes.data_as(_PTR_I64),
+            ctypes.c_int64(num_queries),
+            out.ctypes.data_as(_PTR_I64),
+        )
+        return out
+
+    def batch_disk_counts(
+        self, sat: SummedAreaTable, lo: np.ndarray, hi: np.ndarray
+    ) -> np.ndarray:
+        prepared = self._sat_call_args(sat)
+        library = self._library()
+        if prepared is None or library is None:
+            return self._reference.batch_disk_counts(sat, lo, hi)
+        num_queries = lo.shape[0]
+        out = np.zeros((num_queries, sat.num_disks), dtype=np.int64)
+        if num_queries == 0:
+            return out
+        suffix, pointer, strides = prepared
+        lo, hi = self._bounds_c(lo, hi)
+        getattr(library, f"batch_counts_{suffix}")(
+            pointer,
+            strides.ctypes.data_as(_PTR_I64),
+            ctypes.c_int32(sat.num_disks),
+            ctypes.c_int32(sat.ndim),
+            lo.ctypes.data_as(_PTR_I64),
+            hi.ctypes.data_as(_PTR_I64),
+            ctypes.c_int64(num_queries),
+            out.ctypes.data_as(_PTR_I64),
+        )
+        return out
+
+    # -- sliding-window shape sweep ------------------------------------
+
+    def window_response_times(
+        self, sat: SummedAreaTable, shape: Sequence[int]
+    ) -> np.ndarray:
+        prepared = self._sat_call_args(sat)
+        library = self._library()
+        if prepared is None or library is None:
+            return self._reference.window_response_times(sat, shape)
+        shape = tuple(int(s) for s in shape)
+        out_dims = np.array(
+            [d - s + 1 for s, d in zip(shape, sat.dims)],
+            dtype=np.int64,
+        )
+        out = np.zeros(int(out_dims.prod()), dtype=np.int64)
+        suffix, pointer, strides = prepared
+        shape_arr = np.array(shape, dtype=np.int64)
+        getattr(library, f"window_rt_{suffix}")(
+            pointer,
+            strides.ctypes.data_as(_PTR_I64),
+            ctypes.c_int32(sat.num_disks),
+            ctypes.c_int32(sat.ndim),
+            shape_arr.ctypes.data_as(_PTR_I64),
+            out_dims.ctypes.data_as(_PTR_I64),
+            out.ctypes.data_as(_PTR_I64),
+        )
+        return out.reshape(tuple(int(d) for d in out_dims))
+
+    def sliding_response_times(
+        self,
+        table: np.ndarray,
+        num_disks: int,
+        shape: Sequence[int],
+    ) -> np.ndarray:
+        # One-shot path: build the SAT (numpy cumsums — same O(M·buckets)
+        # cost as a single legacy pass), then run the fused C sweep.
+        library = self._library()
+        if (
+            library is None
+            or table.ndim > _MAX_NDIM
+            or num_disks > _MAX_DISKS
+        ):
+            return self._reference.sliding_response_times(
+                table, num_disks, shape
+            )
+        from repro.core.allocation import DiskAllocation
+        from repro.core.grid import Grid
+
+        allocation = DiskAllocation(
+            Grid(table.shape), num_disks, table
+        )
+        sat = SummedAreaTable.build(allocation)
+        return self.window_response_times(sat, shape)
+
+    # -- whole-grid allocation-table kernels ---------------------------
+
+    def linear_mod_table(
+        self,
+        dims: Tuple[int, ...],
+        coefficients: Tuple[int, ...],
+        num_disks: int,
+    ) -> np.ndarray:
+        library = self._library()
+        if library is None or len(dims) > 64:
+            return self._reference.linear_mod_table(
+                dims, coefficients, num_disks
+            )
+        dims_arr = np.array(dims, dtype=np.int64)
+        coeffs_arr = np.array(coefficients, dtype=np.int64)
+        out = np.zeros(int(dims_arr.prod()), dtype=np.int64)
+        library.linear_mod_table(
+            dims_arr.ctypes.data_as(_PTR_I64),
+            coeffs_arr.ctypes.data_as(_PTR_I64),
+            ctypes.c_int32(len(dims)),
+            ctypes.c_int64(num_disks),
+            out.ctypes.data_as(_PTR_I64),
+        )
+        return out.reshape(dims)
+
+    def xor_mod_table(
+        self, dims: Tuple[int, ...], num_disks: int
+    ) -> np.ndarray:
+        library = self._library()
+        if library is None or len(dims) > 64:
+            return self._reference.xor_mod_table(dims, num_disks)
+        dims_arr = np.array(dims, dtype=np.int64)
+        out = np.zeros(int(dims_arr.prod()), dtype=np.int64)
+        library.xor_mod_table(
+            dims_arr.ctypes.data_as(_PTR_I64),
+            ctypes.c_int32(len(dims)),
+            ctypes.c_int64(num_disks),
+            out.ctypes.data_as(_PTR_I64),
+        )
+        return out.reshape(dims)

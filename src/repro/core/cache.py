@@ -176,11 +176,17 @@ class AllocationCache:
     def _key(
         self, scheme_name: str, grid: Grid, num_disks: int
     ) -> Tuple[Hashable, ...]:
+        from repro.core.backends import active_backend_name
         from repro.core.registry import scheme_factory
 
         # The factory object disambiguates same-name re-registrations.
+        # The backend name keys entries per kernel backend: results are
+        # certified bit-identical across backends (QA423), but an entry
+        # built under one backend must not satisfy a lookup made under
+        # another — backend comparisons (benchmarks, the QA423 sweep
+        # itself) rely on each backend doing its own work.
         return (scheme_name, scheme_factory(scheme_name), grid.dims,
-                int(num_disks))
+                int(num_disks), active_backend_name())
 
     def _lookup(
         self, scheme_name: str, grid: Grid, num_disks: int
@@ -258,13 +264,14 @@ class AllocationCache:
         """
         report: List[Dict[str, object]] = []
         for key, entry in self._entries.items():
-            scheme_name, _factory, dims, num_disks = key
+            scheme_name, _factory, dims, num_disks, backend = key
             allocation = entry.allocation
             report.append(
                 {
                     "scheme": scheme_name,
                     "dims": dims,
                     "num_disks": num_disks,
+                    "backend": backend,
                     "table_dtype": str(allocation.table.dtype),
                     "table_nbytes": allocation.nbytes,
                     "engine_built": entry.engine_built,

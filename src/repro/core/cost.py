@@ -195,38 +195,24 @@ def sliding_response_times(
             max(d - s + 1, 0) for s, d in zip(shape, grid.dims)
         )
         return np.zeros(out_shape, dtype=np.int64)
+    from repro.core.backends import active_backend
 
-    out_shape = tuple(d - s + 1 for s, d in zip(shape, grid.dims))
-    best = np.zeros(out_shape, dtype=np.int64)
-    table = allocation.table
-    for disk in range(allocation.num_disks):
-        window = _sliding_window_sums(
-            (table == disk).astype(np.int64), shape
-        )
-        np.maximum(best, window, out=best)
-    return best
+    return active_backend().sliding_response_times(
+        allocation.table, allocation.num_disks, shape
+    )
 
 
 def _sliding_window_sums(indicator: np.ndarray, shape: Sequence[int]) -> np.ndarray:
     """Sum of ``indicator`` over every axis-aligned window of ``shape``.
 
-    Separable: along each axis, the windowed sum is a difference of
-    cumulative sums.
+    Kept under its historical name; the implementation lives with the
+    numpy backend (:func:`repro.core.backends.numpy_backend.
+    sliding_window_sums`), which every compiled backend is certified
+    against.
     """
-    result = indicator
-    for axis, side in enumerate(shape):
-        csum = np.cumsum(result, axis=axis)
-        length = result.shape[axis]
-        head = np.take(csum, [side - 1], axis=axis)
-        if length > side:
-            tail = (
-                np.take(csum, range(side, length), axis=axis)
-                - np.take(csum, range(0, length - side), axis=axis)
-            )
-            result = np.concatenate([head, tail], axis=axis)
-        else:
-            result = head
-    return result
+    from repro.core.backends.numpy_backend import sliding_window_sums
+
+    return sliding_window_sums(indicator, shape)
 
 
 def average_response_time(

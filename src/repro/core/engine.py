@@ -8,20 +8,24 @@ visits every factorization of an area) that repeats the same
 
 This module makes workload evaluation *allocation-centric*: the
 k-dimensional summed-area table (SAT, a.k.a. integral image) of all ``M``
-disk-indicator tables is computed **once** per allocation, stacked as a
-single ``(M, d_1 + 1, ..., d_k + 1)`` array so the disk loop vectorizes
+disk-indicator tables is computed **once** per allocation
+(:class:`~repro.core.sat.SummedAreaTable`) so the disk loop vectorizes
 away.  Any shape's sliding response times then come from ``2^k``-corner
-inclusion–exclusion over the SAT — pure slice arithmetic, no further
-cumulative sums:
+inclusion–exclusion over the SAT — no further cumulative sums:
 
     window[o] = sum over corner subsets S of {1..k} of
                 (-1)^|S| * sat[o + shape * (1 - chi_S)]
 
 The same table also answers **batches of arbitrary rectangles**: a query
 ``[l, u]`` clipped to the grid is a single inclusion–exclusion over its
-``2^k`` corners, so a batch of N queries needs one fancy-indexing gather
-per corner — ``2^k`` numpy operations total, no per-query Python loop
-(:meth:`ResponseTimeEngine.batch_response_times`).
+``2^k`` corners (:meth:`ResponseTimeEngine.batch_response_times`).  The
+corner gathers themselves are *pluggable*: every batch and sweep call
+dispatches through :func:`repro.core.backends.active_backend`, so the
+same engine runs the vectorized numpy reference, the fused C kernels
+(``cnative``), or the JIT kernels (``numba``) — all certified
+bit-identical by QA423.  Engines can also wrap a chunked/memory-mapped
+SAT (:meth:`ResponseTimeEngine.open_chunked`) for grids too large to
+hold in RAM.
 
 All arithmetic is exact integer work, so the engine's results are
 bit-identical to the scalar path; ``repro.qa`` enforces that agreement as
@@ -30,18 +34,31 @@ a contract (QA42x) and the scalar kernel remains the reference oracle.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+import os
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.allocation import DiskAllocation
-from repro.core.exceptions import QueryError
-from repro.core.query import RangeQuery
+from repro.core.backends import active_backend
+from repro.core.backends.numpy_backend import NumpyBackend
+from repro.core.exceptions import AllocationError, QueryError
+from repro.core.grid import Grid
+from repro.core.query import QueryBatch, RangeQuery
+from repro.core.sat import SummedAreaTable
 from repro.obs.trace import trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.schemes.base import DeclusteringScheme
 
 __all__ = [
     "ResponseTimeEngine",
 ]
+
+#: A batch argument: either raw queries or pre-clipped bounds.
+Queries = Union[Sequence[RangeQuery], QueryBatch]
+
+_NUMPY_REFERENCE = NumpyBackend()
 
 
 class ResponseTimeEngine:
@@ -71,54 +88,100 @@ class ResponseTimeEngine:
             dims=list(allocation.grid.dims),
             num_disks=allocation.num_disks,
         ):
-            self._build(allocation)
+            self._allocation: Optional[DiskAllocation] = allocation
+            self._sat = SummedAreaTable.build(allocation)
 
-    def _build(self, allocation: DiskAllocation) -> None:
-        self._allocation = allocation
-        table = allocation.table
-        num_disks = allocation.num_disks
-        ndim = table.ndim
-        # Stacked disk indicators: one (d_1, ..., d_k) boolean plane per
-        # disk, compared in a single broadcast instead of a Python loop.
-        disks = np.arange(num_disks, dtype=table.dtype)
-        indicators = table[np.newaxis] == disks.reshape(
-            (num_disks,) + (1,) * ndim
+    # ------------------------------------------------------------------
+    # Alternative constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_sat(
+        cls,
+        sat: SummedAreaTable,
+        allocation: Optional[DiskAllocation] = None,
+    ) -> "ResponseTimeEngine":
+        """Wrap a prebuilt (possibly memory-mapped) SAT.
+
+        ``allocation`` is optional: chunked/mmap engines never
+        materialized one, and every engine query runs off the SAT alone.
+        """
+        engine = cls.__new__(cls)
+        engine._allocation = allocation
+        engine._sat = sat
+        return engine
+
+    @classmethod
+    def open_chunked(
+        cls,
+        scheme: "DeclusteringScheme",
+        grid: Grid,
+        num_disks: int,
+        byte_budget: Optional[int] = None,
+        path: Optional[Union[str, os.PathLike]] = None,
+    ) -> "ResponseTimeEngine":
+        """Build a beyond-RAM engine via the tiled, spilling SAT build.
+
+        The allocation table is generated slab by slab
+        (``scheme.disk_array_block``) and the SAT lands in a
+        memory-mapped ``.npy`` file — see
+        :meth:`repro.core.sat.SummedAreaTable.build_chunked`.
+        """
+        sat = SummedAreaTable.build_chunked(
+            scheme, grid, num_disks, byte_budget=byte_budget, path=path
         )
-        # Zero-padded SAT: sat[m, i_1, ..., i_k] counts disk-m buckets in
-        # the half-open box [0, i_1) x ... x [0, i_k).  The padding row of
-        # zeros per axis makes the inclusion-exclusion slices uniform.
-        # Entries never exceed the bucket count, so int32 suffices on any
-        # realistic grid; downstream arithmetic accumulates in int64.
-        sat_dtype = (
-            np.int32 if table.size <= np.iinfo(np.int32).max else np.int64
-        )
-        sat = np.zeros(
-            (num_disks,) + tuple(d + 1 for d in table.shape),
-            dtype=sat_dtype,
-        )
-        interior = (slice(None),) + (slice(1, None),) * ndim
-        sat[interior] = indicators
-        for axis in range(1, ndim + 1):
-            np.cumsum(sat, axis=axis, out=sat)
-        self._sat = sat
-        self._sat.setflags(write=False)
+        return cls.from_sat(sat)
+
+    @classmethod
+    def open_mmap(
+        cls, path: Union[str, os.PathLike]
+    ) -> "ResponseTimeEngine":
+        """Reopen a spilled SAT file as an engine (zero-copy)."""
+        return cls.from_sat(SummedAreaTable.open_mmap(path))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
 
     @property
     def allocation(self) -> DiskAllocation:
-        """The allocation this engine answers queries about."""
+        """The allocation this engine answers queries about.
+
+        Chunked/mmap engines never materialize the allocation table;
+        asking for it raises :class:`AllocationError`.
+        """
+        if self._allocation is None:
+            raise AllocationError(
+                "this engine wraps a chunked/memory-mapped SAT and has "
+                "no materialized allocation table"
+            )
         return self._allocation
+
+    @property
+    def sat(self) -> SummedAreaTable:
+        """The summed-area table every query is answered from."""
+        return self._sat
 
     @property
     def num_disks(self) -> int:
         """``M``, the number of disks."""
-        return self._allocation.num_disks
+        return self._sat.num_disks
+
+    @property
+    def grid(self) -> Grid:
+        """The grid the engine's SAT covers."""
+        return self._sat.grid
 
     def nbytes(self) -> int:
         """Memory footprint of the precomputed SAT, in bytes."""
-        return int(self._sat.nbytes)
+        return self._sat.nbytes()
+
+    # ------------------------------------------------------------------
+    # Shape sweeps
+    # ------------------------------------------------------------------
 
     def _validated_shape(self, shape: Sequence[int]) -> Tuple[int, ...]:
-        grid = self._allocation.grid
+        grid = self._sat.grid
         shape = tuple(int(s) for s in shape)
         if len(shape) != grid.ndim:
             raise QueryError(
@@ -136,34 +199,19 @@ class ResponseTimeEngine:
         the window's buckets live on disk ``m``.  Shapes that do not fit
         yield an empty array (some output extent is 0), mirroring
         :func:`repro.core.cost.sliding_response_times`.
+
+        Always computed by the numpy reference: the per-disk planes this
+        returns are exactly the intermediate the fused backends exist to
+        avoid, so there is nothing for them to accelerate here.
         """
         shape = self._validated_shape(shape)
-        dims = self._allocation.grid.dims
-        out_shape = tuple(max(d - s + 1, 0) for s, d in zip(shape, dims))
+        dims = self._sat.dims
         if any(s > d for s, d in zip(shape, dims)):
+            out_shape = tuple(
+                max(d - s + 1, 0) for s, d in zip(shape, dims)
+            )
             return np.zeros((self.num_disks,) + out_shape, dtype=np.int64)
-
-        ndim = len(dims)
-        counts: np.ndarray = np.zeros(0)
-        for corner in range(1 << ndim):
-            slices = [slice(None)]
-            parity = 0
-            for axis in range(ndim):
-                if (corner >> axis) & 1:
-                    # Low corner on this axis: origin o (subtracted term).
-                    slices.append(slice(0, dims[axis] - shape[axis] + 1))
-                    parity ^= 1
-                else:
-                    # High corner: o + s (added term).
-                    slices.append(slice(shape[axis], dims[axis] + 1))
-            term = self._sat[tuple(slices)]
-            if corner == 0:
-                counts = term.astype(np.int64, copy=True)
-            elif parity:
-                counts -= term
-            else:
-                counts += term
-        return counts
+        return _NUMPY_REFERENCE.window_disk_counts(self._sat, shape)
 
     def sliding_response_times(self, shape: Sequence[int]) -> np.ndarray:
         """Response time of ``shape`` at every placement — engine fast path.
@@ -176,10 +224,23 @@ class ResponseTimeEngine:
         # Hot path: the span carries no attrs so the disabled tracer
         # costs one call and no allocation (see the obs overhead gate).
         with trace("engine.sliding_response_times"):
-            return self.disk_window_counts(shape).max(axis=0)
+            shape = self._validated_shape(shape)
+            dims = self._sat.dims
+            if any(s > d for s, d in zip(shape, dims)):
+                out_shape = tuple(
+                    max(d - s + 1, 0) for s, d in zip(shape, dims)
+                )
+                return np.zeros(out_shape, dtype=np.int64)
+            return active_backend().window_response_times(
+                self._sat, shape
+            )
+
+    # ------------------------------------------------------------------
+    # Batched rectangle queries
+    # ------------------------------------------------------------------
 
     def _batch_bounds(
-        self, queries: Sequence[RangeQuery]
+        self, queries: Queries
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Clipped half-open bounds of a query batch.
 
@@ -188,59 +249,32 @@ class ResponseTimeEngine:
         query clipped to nothing gets a zero-extent box (``hi == lo``), so
         every downstream inclusion–exclusion term cancels exactly — the
         same 0-bucket semantics the scalar path's ``clip_to`` produces.
+        A prebuilt :class:`~repro.core.query.QueryBatch` skips the
+        conversion entirely.
         """
-        grid = self._allocation.grid
-        ndim = grid.ndim
-        for query in queries:
-            if query.ndim != ndim:
+        grid = self._sat.grid
+        if isinstance(queries, QueryBatch):
+            if queries.dims != grid.dims:
                 raise QueryError(
-                    f"{query.ndim}-d query does not match "
-                    f"{ndim}-d allocation"
+                    f"batch clipped for grid {queries.dims} does not "
+                    f"match engine grid {grid.dims}"
                 )
-        if not len(queries):
-            empty = np.zeros((0, ndim), dtype=np.int64)
-            return empty, empty.copy()
-        dims = np.asarray(grid.dims, dtype=np.int64)
-        lower = np.array([q.lower for q in queries], dtype=np.int64)
-        upper = np.array([q.upper for q in queries], dtype=np.int64)
-        lo = np.minimum(lower, dims)
-        hi = np.maximum(np.minimum(upper + 1, dims), lo)
-        return lo, hi
+            return queries.lo, queries.hi
+        batch = QueryBatch.from_queries(queries, grid)
+        return batch.lo, batch.hi
 
-    def batch_disk_counts(
-        self, queries: Sequence[RangeQuery]
-    ) -> np.ndarray:
+    def batch_disk_counts(self, queries: Queries) -> np.ndarray:
         """Per-query per-disk bucket counts, shape ``(N, M)``.
 
         Row ``n`` equals :func:`repro.core.cost.buckets_per_disk` for
         ``queries[n]`` (clipping included).  The whole batch is answered
-        with one fancy-indexing gather per SAT corner — ``2^k`` numpy
-        operations regardless of N.
+        with one gather per SAT corner — ``2^k`` kernel operations
+        regardless of N, on whichever backend is active.
         """
         lo, hi = self._batch_bounds(queries)
-        num_queries, ndim = lo.shape
-        counts = np.zeros((num_queries, self.num_disks), dtype=np.int64)
-        if num_queries == 0:
-            return counts
-        for corner in range(1 << ndim):
-            index: Tuple = (slice(None),)
-            parity = 0
-            for axis in range(ndim):
-                if (corner >> axis) & 1:
-                    index += (lo[:, axis],)
-                    parity ^= 1
-                else:
-                    index += (hi[:, axis],)
-            term = self._sat[index]  # shape (M, N)
-            if parity:
-                counts -= term.T
-            else:
-                counts += term.T
-        return counts
+        return active_backend().batch_disk_counts(self._sat, lo, hi)
 
-    def batch_response_times(
-        self, queries: Sequence[RangeQuery]
-    ) -> np.ndarray:
+    def batch_response_times(self, queries: Queries) -> np.ndarray:
         """Response time of every query in the batch, shape ``(N,)``.
 
         Bit-identical to calling
@@ -249,12 +283,12 @@ class ResponseTimeEngine:
         loop.
         """
         with trace("engine.batch_response_times", num_queries=len(queries)):
-            counts = self.batch_disk_counts(queries)
-            if counts.shape[0] == 0:
-                return np.zeros(0, dtype=np.int64)
-            return counts.max(axis=1)
+            lo, hi = self._batch_bounds(queries)
+            return active_backend().batch_response_times(
+                self._sat, lo, hi
+            )
 
-    def batch_optimal(self, queries: Sequence[RangeQuery]) -> np.ndarray:
+    def batch_optimal(self, queries: Queries) -> np.ndarray:
         """Effective OPT per query, shape ``(N,)``.
 
         Matches the scalar ``_effective_optimal`` semantics: OPT is taken
@@ -267,9 +301,7 @@ class ResponseTimeEngine:
         buckets = np.prod(hi - lo, axis=1)
         return -(-buckets // self.num_disks)
 
-    def batch_deviations(
-        self, queries: Sequence[RangeQuery]
-    ) -> np.ndarray:
+    def batch_deviations(self, queries: Queries) -> np.ndarray:
         """Relative deviation ``(RT - OPT) / OPT`` per query, ``(N,)``.
 
         Matches :func:`repro.core.cost.relative_deviation` query by query,

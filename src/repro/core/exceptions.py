@@ -9,6 +9,7 @@ from __future__ import annotations
 
 __all__ = [
     "AllocationError",
+    "BackendError",
     "CodeConstructionError",
     "DeclusteringError",
     "FaultError",
@@ -62,6 +63,16 @@ class SearchBudgetExceeded(DeclusteringError):
 
     Raised instead of returning a wrong existence verdict: the search is only
     allowed to answer "exists"/"does not exist" when it ran to completion.
+    """
+
+
+class BackendError(DeclusteringError):
+    """A kernel backend is unknown, unavailable, or failed to initialize.
+
+    Raised when ``REPRO_BACKEND`` (or ``--backend``) names a backend that
+    is not registered or whose runtime dependency (numba, a C compiler)
+    is missing — selecting a backend must fail loudly, never silently
+    fall back to a different implementation than the one asked for.
     """
 
 

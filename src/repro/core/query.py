@@ -21,10 +21,13 @@ import itertools
 from dataclasses import dataclass
 from typing import Iterator, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.exceptions import QueryError
 from repro.core.grid import Coords, Grid
 
 __all__ = [
+    "QueryBatch",
     "RangeQuery",
     "all_placements",
     "partial_match_query",
@@ -155,6 +158,78 @@ class RangeQuery:
             f"[{lo}..{hi}]" for lo, hi in zip(self.lower, self.upper)
         )
         return f"RangeQuery({ranges})"
+
+
+class QueryBatch:
+    """N queries pre-clipped to a grid, as half-open bounds arrays.
+
+    Converting a sequence of :class:`RangeQuery` objects into ``(N, k)``
+    bounds arrays is a per-query Python loop — for large batches it can
+    cost as much as the kernel that answers them.  A ``QueryBatch`` does
+    that conversion **once**; the engine's batch methods accept it in
+    place of a query sequence, so repeated evaluations of the same
+    workload (benchmarks, backend comparisons, repeated experiments) pay
+    the conversion a single time.
+
+    Attributes
+    ----------
+    lo, hi:
+        Clipped bounds, shape ``(N, k)`` int64 each, lower inclusive /
+        upper exclusive.  A query clipped to nothing has a zero-extent
+        box (``hi == lo``), preserving the scalar path's 0-bucket
+        semantics.
+    dims:
+        The grid extents the batch was clipped against; the engine
+        refuses batches clipped for a different grid.
+    """
+
+    __slots__ = ("lo", "hi", "dims")
+
+    def __init__(self, lo: np.ndarray, hi: np.ndarray, dims: Coords):
+        lo = np.ascontiguousarray(lo, dtype=np.int64)
+        hi = np.ascontiguousarray(hi, dtype=np.int64)
+        if lo.shape != hi.shape or lo.ndim != 2:
+            raise QueryError(
+                f"bounds must be matching (N, k) arrays, got "
+                f"{lo.shape} and {hi.shape}"
+            )
+        if lo.shape[1] != len(dims):
+            raise QueryError(
+                f"{lo.shape[1]}-d bounds do not match grid {dims}"
+            )
+        self.lo = lo
+        self.hi = hi
+        self.dims = tuple(int(d) for d in dims)
+
+    @classmethod
+    def from_queries(
+        cls, queries: Sequence[RangeQuery], grid: Grid
+    ) -> "QueryBatch":
+        """Clip ``queries`` against ``grid`` (the one-time conversion)."""
+        ndim = grid.ndim
+        for query in queries:
+            if query.ndim != ndim:
+                raise QueryError(
+                    f"{query.ndim}-d query does not match "
+                    f"{ndim}-d grid"
+                )
+        if not len(queries):
+            empty = np.zeros((0, ndim), dtype=np.int64)
+            return cls(empty, empty.copy(), grid.dims)
+        dims = np.asarray(grid.dims, dtype=np.int64)
+        lower = np.array([q.lower for q in queries], dtype=np.int64)
+        upper = np.array([q.upper for q in queries], dtype=np.int64)
+        lo = np.minimum(lower, dims)
+        hi = np.maximum(np.minimum(upper + 1, dims), lo)
+        return cls(lo, hi, grid.dims)
+
+    def __len__(self) -> int:
+        return int(self.lo.shape[0])
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryBatch(n={len(self)}, dims={self.dims})"
+        )
 
 
 def partial_match_query(

@@ -1,0 +1,430 @@
+"""Per-disk summed-area tables: in-RAM, and chunked/memory-mapped.
+
+The :class:`~repro.core.engine.ResponseTimeEngine` answers every query
+through one data structure: the stacked k-dimensional summed-area table
+(SAT) of the ``M`` disk-indicator arrays,
+
+    sat[m, i_1, ..., i_k] = |{ b on disk m : b_j < i_j for all j }|,
+
+zero-padded with one leading plane per spatial axis so inclusion–
+exclusion slices are uniform.  This module owns that structure:
+
+* :meth:`SummedAreaTable.build` — the in-RAM build (moved here from the
+  engine), one pass of indicators + one ``cumsum`` per axis;
+* :meth:`SummedAreaTable.build_chunked` — a **tiled build that never
+  materializes the whole grid**: the allocation is generated tile by
+  tile (:meth:`~repro.schemes.base.DeclusteringScheme.disk_array_block`),
+  prefix sums are carried across tiles, and the table spills to a
+  memory-mapped ``.npy`` file, all under a configurable byte budget.
+  This is what makes beyond-RAM grids (1024³ and up — billions of
+  buckets, a scenario the 1994 paper could not touch) buildable and
+  queryable on ordinary hardware;
+* :meth:`SummedAreaTable.open_mmap` — reopen a spilled table zero-copy
+  (the ``.npy`` header carries shape and dtype, so the path alone is a
+  complete, picklable handle — see ``repro.core.shm.MmapSatHandle``);
+* :meth:`SummedAreaTable.corner_counts` — the batched 2^k-corner gather,
+  streamed in ascending file order for memory-mapped tables so page
+  reads stay sequential.
+
+All arithmetic is exact integer work; every layout of the same
+allocation holds bit-identical counts, which the QA423 backend contract
+certifies.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.allocation import DiskAllocation
+from repro.core.exceptions import AllocationError, QueryError
+from repro.core.grid import Grid
+from repro.obs.trace import trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.schemes.base import DeclusteringScheme
+
+__all__ = [
+    "DEFAULT_BYTE_BUDGET",
+    "SummedAreaTable",
+    "sat_byte_budget",
+    "sat_dtype",
+]
+
+#: Default working-memory budget (bytes) for chunked builds and streamed
+#: gathers: 256 MiB, small enough for CI runners, large enough that the
+#: paper-scale grids never actually chunk.
+DEFAULT_BYTE_BUDGET = 256 * 1024 * 1024
+
+#: Environment variable overriding the default byte budget.
+BYTE_BUDGET_ENV = "REPRO_SAT_BUDGET"
+
+
+def sat_byte_budget(budget: Optional[int] = None) -> int:
+    """Resolve the working-memory budget: argument > env var > default."""
+    if budget is None:
+        raw = os.environ.get(BYTE_BUDGET_ENV)
+        budget = int(raw) if raw else DEFAULT_BYTE_BUDGET
+    budget = int(budget)
+    if budget <= 0:
+        raise AllocationError(f"SAT byte budget must be positive: {budget}")
+    return budget
+
+
+def sat_dtype(num_buckets: int) -> np.dtype:
+    """Smallest signed dtype that can hold any SAT entry.
+
+    Entries never exceed the bucket count, so int32 suffices up to
+    2^31 - 1 buckets; downstream arithmetic accumulates in int64.
+    """
+    return np.dtype(
+        np.int32 if num_buckets <= np.iinfo(np.int32).max else np.int64
+    )
+
+
+def _padded_shape(num_disks: int, dims: Sequence[int]) -> Tuple[int, ...]:
+    return (int(num_disks),) + tuple(int(d) + 1 for d in dims)
+
+
+class SummedAreaTable:
+    """The stacked per-disk SAT, backed by RAM or by a memory-mapped file.
+
+    Attributes
+    ----------
+    array:
+        The ``(M, d_1 + 1, ..., d_k + 1)`` table — an ``ndarray`` for
+        in-RAM tables, an ``np.memmap`` view for spilled ones.  Read-only
+        either way.
+    """
+
+    __slots__ = ("array", "grid", "num_disks", "path", "_disk_last")
+
+    def __init__(
+        self,
+        array: np.ndarray,
+        grid: Grid,
+        num_disks: int,
+        path: Optional[str] = None,
+    ):
+        expected = _padded_shape(num_disks, grid.dims)
+        if tuple(array.shape) != expected:
+            raise AllocationError(
+                f"SAT shape {tuple(array.shape)} does not match "
+                f"grid {grid.dims} with M={num_disks} (expected {expected})"
+            )
+        self.array = array
+        self.grid = grid
+        self.num_disks = int(num_disks)
+        self.path = path
+        #: Lazily built disk-last (disk-contiguous) copy for native
+        #: backends; shared across backends, in-RAM tables only.
+        self._disk_last: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, allocation: DiskAllocation) -> "SummedAreaTable":
+        """In-RAM build from a materialized allocation (the default path)."""
+        table = allocation.table
+        num_disks = allocation.num_disks
+        ndim = table.ndim
+        disks = np.arange(num_disks, dtype=table.dtype)
+        indicators = table[np.newaxis] == disks.reshape(
+            (num_disks,) + (1,) * ndim
+        )
+        sat = np.zeros(
+            _padded_shape(num_disks, table.shape),
+            dtype=sat_dtype(table.size),
+        )
+        interior = (slice(None),) + (slice(1, None),) * ndim
+        sat[interior] = indicators
+        for axis in range(1, ndim + 1):
+            np.cumsum(sat, axis=axis, out=sat)
+        sat.setflags(write=False)
+        return cls(sat, allocation.grid, num_disks)
+
+    @classmethod
+    def _tile_cost(cls, grid: Grid, num_disks: int) -> Tuple[int, int]:
+        """``(per_row_bytes, carry_bytes)`` of one chunked-build tile.
+
+        Per row: the SAT chunk row per disk, plus the int64 coordinate
+        arithmetic of the allocation block (ndim temporaries).
+        """
+        rest_padded = 1
+        for d in grid.dims[1:]:
+            rest_padded *= d + 1
+        itemsize = sat_dtype(grid.num_buckets).itemsize
+        per_row = num_disks * rest_padded * itemsize
+        per_row += (grid.ndim + 1) * rest_padded * 8
+        carry = num_disks * rest_padded * itemsize
+        return per_row, carry
+
+    @classmethod
+    def tile_rows(
+        cls, grid: Grid, num_disks: int, byte_budget: Optional[int] = None
+    ) -> int:
+        """Rows of the leading axis one build tile may span under the budget.
+
+        The tile working set is the per-tile SAT chunk (``M`` disks ×
+        rows × padded trailing extents), the tile's allocation block, and
+        the carry plane; the row count is what makes that fit.
+        """
+        budget = sat_byte_budget(byte_budget)
+        per_row, carry = cls._tile_cost(grid, num_disks)
+        rows = max(1, (budget - carry) // max(per_row, 1))
+        return int(min(rows, grid.dims[0]))
+
+    @classmethod
+    def tile_working_set(
+        cls, grid: Grid, num_disks: int, rows: int
+    ) -> int:
+        """Estimated peak bytes a ``rows``-row build tile touches.
+
+        The inverse of :meth:`tile_rows` — benchmarks and the CI gate use
+        it to certify a chunked build stayed within its byte budget.
+        """
+        per_row, carry = cls._tile_cost(grid, num_disks)
+        return int(rows) * per_row + carry
+
+    @classmethod
+    def build_chunked(
+        cls,
+        scheme: "DeclusteringScheme",
+        grid: Grid,
+        num_disks: int,
+        byte_budget: Optional[int] = None,
+        path: Optional[Union[str, os.PathLike]] = None,
+    ) -> "SummedAreaTable":
+        """Tiled build spilling to a memory-mapped ``.npy`` file.
+
+        The grid is swept in tiles of :meth:`tile_rows` rows along the
+        leading axis; each tile's allocation block comes from
+        ``scheme.disk_array_block`` (so the full table is never
+        materialized), trailing-axis prefix sums are computed within the
+        tile, and the leading-axis sum is carried across tiles.  ``path``
+        defaults to a fresh temp file (``REPRO_SAT_DIR`` overrides the
+        directory); the caller owns the file's lifetime.
+        """
+        if path is None:
+            directory = os.environ.get(
+                "REPRO_SAT_DIR"
+            ) or tempfile.gettempdir()
+            fd, path = tempfile.mkstemp(
+                prefix="repro-sat-", suffix=".npy", dir=directory
+            )
+            os.close(fd)
+        path = os.fspath(path)
+        dims = grid.dims
+        ndim = grid.ndim
+        dtype = sat_dtype(grid.num_buckets)
+        rows = cls.tile_rows(grid, num_disks, byte_budget)
+        with trace(
+            "sat.build_chunked",
+            dims=list(dims),
+            num_disks=int(num_disks),
+            tile_rows=rows,
+        ):
+            out = np.lib.format.open_memmap(
+                path,
+                mode="w+",
+                dtype=dtype,
+                shape=_padded_shape(num_disks, dims),
+            )
+            rest_padded = tuple(d + 1 for d in dims[1:])
+            carry = np.zeros((num_disks,) + rest_padded, dtype=dtype)
+            disks = np.arange(num_disks)
+            interior = (slice(None), slice(None)) + (
+                slice(1, None),
+            ) * (ndim - 1)
+            for start in range(0, dims[0], rows):
+                stop = min(start + rows, dims[0])
+                block = scheme.disk_array_block(
+                    grid, num_disks, start, stop
+                )
+                chunk = np.zeros(
+                    (num_disks, stop - start) + rest_padded, dtype=dtype
+                )
+                chunk[interior] = block[np.newaxis] == disks.reshape(
+                    (num_disks,) + (1,) * ndim
+                )
+                # Trailing axes first, then the tile axis; cumsums
+                # commute, and this order keeps the carry a single plane.
+                for axis in range(2, ndim + 1):
+                    np.cumsum(chunk, axis=axis, out=chunk)
+                np.cumsum(chunk, axis=1, out=chunk)
+                chunk += carry[:, np.newaxis]
+                carry = np.ascontiguousarray(chunk[:, -1])
+                out[:, start + 1 : stop + 1] = chunk
+            out.flush()
+        # Reopen read-only: the writable mapping is released and every
+        # consumer sees the same immutable view an open_mmap would.
+        del out
+        return cls.open_mmap(path)
+
+    @classmethod
+    def open_mmap(
+        cls, path: Union[str, os.PathLike]
+    ) -> "SummedAreaTable":
+        """Reopen a spilled table zero-copy (read-only memory map).
+
+        The ``.npy`` header carries shape and dtype; the disk count and
+        grid extents are recovered from the padded shape, so the path is
+        a complete handle.
+        """
+        path = os.fspath(path)
+        array = np.load(path, mmap_mode="r")
+        if array.ndim < 2:
+            raise AllocationError(
+                f"{path} does not hold a stacked SAT "
+                f"(ndim {array.ndim} < 2)"
+            )
+        num_disks = int(array.shape[0])
+        dims = tuple(int(d) - 1 for d in array.shape[1:])
+        if any(d <= 0 for d in dims):
+            raise AllocationError(
+                f"{path} has non-padded spatial extents {array.shape[1:]}"
+            )
+        return cls(array, Grid(dims), num_disks, path=path)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def dims(self) -> Tuple[int, ...]:
+        """Grid extents (without padding)."""
+        return self.grid.dims
+
+    @property
+    def ndim(self) -> int:
+        return self.grid.ndim
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.array.dtype
+
+    @property
+    def is_mmap(self) -> bool:
+        """Whether the table is backed by a memory-mapped file."""
+        return self.path is not None
+
+    def nbytes(self) -> int:
+        """Size of the table, in bytes (file size for mmap tables)."""
+        return int(self.array.nbytes)
+
+    def resident_nbytes(self) -> int:
+        """Bytes guaranteed resident in RAM (0 for mmap-backed tables)."""
+        if self.is_mmap:
+            return 0
+        extra = (
+            self._disk_last.nbytes if self._disk_last is not None else 0
+        )
+        return int(self.array.nbytes) + int(extra)
+
+    def disk_last(self) -> np.ndarray:
+        """Disk-contiguous copy ``(d_1+1, ..., d_k+1, M)`` for native kernels.
+
+        Each spatial corner's ``M`` per-disk counts become one contiguous
+        (usually single-cache-line) vector — the layout the compiled
+        backends vectorize over.  Built lazily, cached, and shared by
+        every backend; only available for in-RAM tables (a transposed
+        copy of a beyond-RAM table would defeat the point of spilling).
+        """
+        if self.is_mmap:
+            raise AllocationError(
+                "disk-last layout is not available for memory-mapped "
+                "SATs; use the streamed numpy path"
+            )
+        if self._disk_last is None:
+            transposed = np.ascontiguousarray(
+                np.moveaxis(self.array, 0, -1)
+            )
+            transposed.setflags(write=False)
+            self._disk_last = transposed
+        return self._disk_last
+
+    # ------------------------------------------------------------------
+    # Gathers
+    # ------------------------------------------------------------------
+
+    def _spatial_element_strides(self) -> np.ndarray:
+        """Row-major strides of the padded spatial box, in elements."""
+        padded = self.array.shape[1:]
+        strides = np.ones(len(padded), dtype=np.int64)
+        for axis in range(len(padded) - 2, -1, -1):
+            strides[axis] = strides[axis + 1] * padded[axis + 1]
+        return strides
+
+    def corner_counts(
+        self, lo: np.ndarray, hi: np.ndarray
+    ) -> np.ndarray:
+        """Per-query per-disk counts ``(N, M)`` by 2^k-corner gather.
+
+        ``lo``/``hi`` are clipped half-open bounds of shape ``(N, k)``
+        (see ``ResponseTimeEngine``).  In-RAM tables use one fancy-index
+        gather per corner; memory-mapped tables stream each corner's
+        gather in ascending file order (sorted linear offsets) so page
+        reads through the map stay sequential per disk plane.
+        """
+        num_queries, ndim = lo.shape
+        if ndim != self.ndim:
+            raise QueryError(
+                f"{ndim}-d bounds do not match {self.ndim}-d SAT"
+            )
+        counts = np.zeros(
+            (num_queries, self.num_disks), dtype=np.int64
+        )
+        if num_queries == 0:
+            return counts
+        if not self.is_mmap:
+            for corner in range(1 << ndim):
+                index: Tuple = (slice(None),)
+                parity = 0
+                for axis in range(ndim):
+                    if (corner >> axis) & 1:
+                        index += (lo[:, axis],)
+                        parity ^= 1
+                    else:
+                        index += (hi[:, axis],)
+                term = self.array[index]  # shape (M, N)
+                if parity:
+                    counts -= term.T
+                else:
+                    counts += term.T
+            return counts
+        strides = self._spatial_element_strides()
+        flat = self.array.reshape(self.num_disks, -1)
+        for corner in range(1 << ndim):
+            offsets = np.zeros(num_queries, dtype=np.int64)
+            parity = 0
+            for axis in range(ndim):
+                if (corner >> axis) & 1:
+                    offsets += lo[:, axis] * strides[axis]
+                    parity ^= 1
+                else:
+                    offsets += hi[:, axis] * strides[axis]
+            order = np.argsort(offsets, kind="stable")
+            sorted_offsets = offsets[order]
+            sign = -1 if parity else 1
+            for disk in range(self.num_disks):
+                values = flat[disk][sorted_offsets].astype(np.int64)
+                counts[order, disk] += sign * values
+        return counts
+
+    def close(self) -> None:
+        """Release a memory-mapped table's file mapping (idempotent).
+
+        The numpy views become invalid after this; in-RAM tables are
+        unaffected.  The backing file is *not* deleted — the path handle
+        stays reopenable.
+        """
+        if self.is_mmap and self.array is not None:
+            mmap_obj = getattr(self.array, "_mmap", None)
+            self.array = None  # type: ignore[assignment]
+            if mmap_obj is not None:
+                mmap_obj.close()

@@ -60,6 +60,7 @@ _LOG = get_logger("repro.core.shm")
 
 __all__ = [
     "SHM_NAME_PREFIX",
+    "MmapSatHandle",
     "SharedAllocationArena",
     "SharedAllocationBroker",
     "SharedTableHandle",
@@ -134,6 +135,38 @@ class SharedTableHandle:
         for extent in self.dims:
             size *= int(extent)
         return size * table_dtype(self.num_disks).itemsize
+
+
+@dataclass(frozen=True)
+class MmapSatHandle:
+    """Everything needed to re-open a chunked/spilled summed-area table.
+
+    The ``.npy`` header already carries shape and dtype, so the *path*
+    alone is a complete handle — tiny, picklable, and safe to pass
+    through spawn-pool initializers next to :class:`SharedTableHandle`.
+    Unlike shared-memory segments there is nothing to unlink: the file's
+    owner controls its lifetime, and any number of processes may map it
+    read-only at once.
+    """
+
+    path: str
+
+    def attach(self):
+        """Memory-map the table read-only (zero-copy, per process)."""
+        from repro.core.sat import SummedAreaTable
+
+        return SummedAreaTable.open_mmap(self.path)
+
+    def attach_engine(self):
+        """Memory-map the table and wrap it in a query engine."""
+        from repro.core.engine import ResponseTimeEngine
+
+        return ResponseTimeEngine.open_mmap(self.path)
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the backing file in bytes."""
+        return os.path.getsize(self.path)
 
 
 #: Segments this process has attached, kept alive for the lifetime of

@@ -287,6 +287,7 @@ def _run_experiment_job(
     """
     import os
 
+    from repro.core.backends import active_backend_name
     from repro.core.cache import global_cache
 
     tracer = global_tracer()
@@ -297,6 +298,11 @@ def _run_experiment_job(
     global_cache().publish_metrics(registry)
     return result, {
         "pid": os.getpid(),
+        # The kernel backend this worker actually resolved — the parent
+        # asserts it matches its own (see the runner tests): a worker
+        # silently falling back to a different backend would make
+        # "ran with --backend X" a lie.
+        "backend": active_backend_name(),
         "spans": tracer.drain() if collect_spans else [],
         "metrics": registry.payload(),
     }
@@ -304,6 +310,22 @@ def _run_experiment_job(
 
 def _ingest_job_payload(payload: Dict[str, object]) -> None:
     """Merge one worker payload into the parent's tracer and registry."""
+    from repro.core.backends import active_backend_name
+
+    worker_backend = payload.get("backend")
+    if (
+        worker_backend is not None
+        and worker_backend != active_backend_name()
+    ):
+        # Should be unreachable — the initializer validates the backend
+        # at worker startup — but a divergent worker must not pass
+        # silently: its numbers would be attributed to the wrong kernel.
+        global_registry().inc("runner.backend_mismatches")
+        trace_event(
+            "runner.backend_mismatch",
+            worker=str(worker_backend),
+            parent=active_backend_name(),
+        )
     tracer = global_tracer()
     if tracer.enabled:
         for span in payload.get("spans", []):  # type: ignore[union-attr]
@@ -311,16 +333,40 @@ def _ingest_job_payload(payload: Dict[str, object]) -> None:
     global_registry().ingest(payload["metrics"])  # type: ignore[arg-type]
 
 
-def _init_worker_broker(broker) -> None:
-    """Pool initializer: point this worker's global cache at the broker.
+def _init_worker_broker(
+    broker,
+    backend: Optional[str] = None,
+    sat_budget: Optional[int] = None,
+) -> None:
+    """Pool initializer: broker, kernel backend, and SAT byte budget.
 
     Runs in the worker before any experiment; module-level so it pickles
     under spawn.  Workers hold the pristine default scheme registry, so
     the broker's name-keyed registry is unambiguous here.
+
+    ``backend`` is the parent's resolved kernel-backend name: it is
+    written to ``REPRO_BACKEND`` *and* validated eagerly via
+    :func:`repro.core.backends.set_backend`, so a worker that cannot run
+    the requested backend (no compiler, no numba) fails at pool startup
+    instead of silently computing on a different implementation than the
+    parent.  ``sat_budget`` propagates the chunked-SAT working-memory
+    budget the same way.
     """
+    import os
+
     from repro.core.cache import global_cache
 
-    global_cache().set_broker(broker)
+    if broker is not None:
+        global_cache().set_broker(broker)
+    if backend is not None:
+        from repro.core.backends import BACKEND_ENV, set_backend
+
+        os.environ[BACKEND_ENV] = backend
+        set_backend(backend)
+    if sat_budget is not None:
+        from repro.core.sat import BYTE_BUDGET_ENV
+
+        os.environ[BYTE_BUDGET_ENV] = str(int(sat_budget))
 
 
 def _terminate_pool(pool: ProcessPoolExecutor) -> None:
@@ -364,12 +410,19 @@ def _run_parallel(
     # in a crashed round stay attachable in the next, and the single
     # ``finally`` below guarantees every segment is unlinked exactly once.
     arena = SharedAllocationArena.try_create()
-    initargs = {}
-    if arena is not None:
-        initargs = {
-            "initializer": _init_worker_broker,
-            "initargs": (arena.broker,),
-        }
+    # The initializer always runs — even without an arena the workers
+    # must inherit the parent's backend choice and SAT byte budget.
+    from repro.core.backends import active_backend_name
+    from repro.core.sat import sat_byte_budget
+
+    initargs = {
+        "initializer": _init_worker_broker,
+        "initargs": (
+            arena.broker if arena is not None else None,
+            active_backend_name(),
+            sat_byte_budget(),
+        ),
+    }
     try:
         while pending:
             context = multiprocessing.get_context("spawn")

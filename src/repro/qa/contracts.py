@@ -43,6 +43,7 @@ from repro.schemes.base import DeclusteringScheme
 
 __all__ = [
     "ContractConfig",
+    "check_backends",
     "check_engine",
     "check_registry",
     "check_scheme",
@@ -430,9 +431,13 @@ def check_engine(config: Optional[ContractConfig] = None) -> List[Finding]:
     return findings
 
 
-def _check_batch_engine(engine, allocation, grid: Grid, where: str):
-    """QA422: the batched engine path vs the scalar per-query oracles."""
-    from repro.core.cost import relative_deviation, response_time
+def _mixed_queries(grid: Grid):
+    """The standard mixed batch: in-grid, boundary-clipped, and outside.
+
+    All placements of three shapes, plus rectangles that clip at the
+    boundary, clip partially, and clip to nothing — the full range of
+    zero-bucket semantics the batched paths must preserve.
+    """
     from repro.core.query import RangeQuery, all_placements
 
     dims = grid.dims
@@ -458,6 +463,14 @@ def _check_batch_engine(engine, allocation, grid: Grid, where: str):
     queries.append(
         RangeQuery(tuple(dims), tuple(d + 1 for d in dims))
     )
+    return queries
+
+
+def _check_batch_engine(engine, allocation, grid: Grid, where: str):
+    """QA422: the batched engine path vs the scalar per-query oracles."""
+    from repro.core.cost import relative_deviation, response_time
+
+    queries = _mixed_queries(grid)
     batch_rts = engine.batch_response_times(queries)
     batch_devs = engine.batch_deviations(queries)
     for index, query in enumerate(queries):
@@ -482,6 +495,195 @@ def _check_batch_engine(engine, allocation, grid: Grid, where: str):
                 )
             ]
     return []
+
+
+def check_backends(
+    config: Optional[ContractConfig] = None,
+) -> List[Finding]:
+    """QA423: certify every available kernel backend against numpy.
+
+    The numpy backend is the bit-identical reference; for each *other*
+    available backend (``cnative``, ``numba``) and every grid/disk combo
+    in ``config``, a seeded-random allocation is drawn and the backend
+    must reproduce the reference **exactly** on:
+
+    * the batched rectangle paths (``batch_disk_counts`` /
+      ``batch_response_times``) over the standard mixed batch —
+      in-grid, boundary-clipped, and zero-bucket (fully outside)
+      queries included;
+    * the sliding-window sweep (``window_response_times``) for every
+      fitting shape;
+    * the whole-grid allocation-table kernels (``linear_mod_table``
+      with negative coefficients included, ``xor_mod_table``).
+
+    The chunked/memory-mapped SAT layout is certified the same way: its
+    streamed ``corner_counts`` must match the in-RAM gather bucket for
+    bucket.  Unavailable backends are skipped, not failed — availability
+    is a property of the machine, not of the code.
+    """
+    from repro.core import backends as backend_registry
+    from repro.core.allocation import DiskAllocation
+    from repro.core.query import QueryBatch
+    from repro.core.sat import SummedAreaTable
+
+    config = config or ContractConfig()
+    findings: List[Finding] = []
+    reference = backend_registry.get_backend("numpy")
+    others = [
+        backend
+        for backend in backend_registry.available_backends()
+        if backend.name != reference.name
+    ]
+    rng = np.random.default_rng(ENGINE_CONTRACT_SEED)
+    for dims in config.grids:
+        grid = Grid(dims)
+        for num_disks in config.disks:
+            where = f"grid={dims}, M={num_disks}"
+            table = rng.integers(0, num_disks, size=dims)
+            allocation = DiskAllocation(grid, num_disks, table)
+            sat = SummedAreaTable.build(allocation)
+            batch = QueryBatch.from_queries(_mixed_queries(grid), grid)
+            want_counts = reference.batch_disk_counts(
+                sat, batch.lo, batch.hi
+            )
+            want_rts = reference.batch_response_times(
+                sat, batch.lo, batch.hi
+            )
+            fitting_shapes = list(
+                itertools.product(*(range(1, d + 1) for d in dims))
+            )
+            want_windows = {
+                shape: reference.window_response_times(sat, shape)
+                for shape in fitting_shapes
+            }
+            coefficient_sets = [
+                (1,) * grid.ndim,
+                tuple(
+                    (-1) ** axis * (axis + 2)
+                    for axis in range(grid.ndim)
+                ),
+            ]
+            want_tables = [
+                reference.linear_mod_table(dims, coeffs, num_disks)
+                for coeffs in coefficient_sets
+            ]
+            want_xor = reference.xor_mod_table(dims, num_disks)
+            for backend in others:
+                if not np.array_equal(
+                    want_counts,
+                    backend.batch_disk_counts(sat, batch.lo, batch.hi),
+                ) or not np.array_equal(
+                    want_rts,
+                    backend.batch_response_times(
+                        sat, batch.lo, batch.hi
+                    ),
+                ):
+                    findings.append(
+                        _finding(
+                            f"backend:{backend.name}",
+                            "QA423",
+                            f"batched query kernel disagrees with the "
+                            f"numpy reference on the mixed batch "
+                            f"(clipped and zero-bucket queries "
+                            f"included, {where}, seed "
+                            f"{ENGINE_CONTRACT_SEED})",
+                        )
+                    )
+                    continue
+                bad_shape = next(
+                    (
+                        shape
+                        for shape in fitting_shapes
+                        if not np.array_equal(
+                            want_windows[shape],
+                            backend.window_response_times(sat, shape),
+                        )
+                    ),
+                    None,
+                )
+                if bad_shape is not None:
+                    findings.append(
+                        _finding(
+                            f"backend:{backend.name}",
+                            "QA423",
+                            f"sliding-window kernel disagrees with the "
+                            f"numpy reference for shape {bad_shape} "
+                            f"({where}, seed {ENGINE_CONTRACT_SEED})",
+                        )
+                    )
+                    continue
+                tables_ok = all(
+                    np.array_equal(
+                        want,
+                        backend.linear_mod_table(
+                            dims, coeffs, num_disks
+                        ),
+                    )
+                    for want, coeffs in zip(
+                        want_tables, coefficient_sets
+                    )
+                ) and np.array_equal(
+                    want_xor, backend.xor_mod_table(dims, num_disks)
+                )
+                if not tables_ok:
+                    findings.append(
+                        _finding(
+                            f"backend:{backend.name}",
+                            "QA423",
+                            f"allocation-table kernel disagrees with "
+                            f"the numpy reference ({where}, negative "
+                            f"coefficients included)",
+                        )
+                    )
+    findings.extend(_check_mmap_layout(config))
+    return findings
+
+
+def _check_mmap_layout(config: ContractConfig) -> List[Finding]:
+    """QA423 for the chunked/memory-mapped SAT: streamed == in-RAM."""
+    import os
+    import tempfile
+
+    from repro.core.allocation import DiskAllocation
+    from repro.core.query import QueryBatch
+    from repro.core.registry import get_scheme
+    from repro.core.sat import SummedAreaTable
+
+    findings: List[Finding] = []
+    scheme = get_scheme("dm")
+    dims = max(config.grids, key=len)
+    grid = Grid(dims)
+    num_disks = config.disks[-1]
+    with tempfile.TemporaryDirectory(prefix="repro-qa423-") as tmp:
+        chunked = SummedAreaTable.build_chunked(
+            scheme,
+            grid,
+            num_disks,
+            byte_budget=1024,  # forces several tiles even on tiny grids
+            path=os.path.join(tmp, "sat.npy"),
+        )
+        try:
+            allocation = DiskAllocation(
+                grid, num_disks, scheme.disk_array(grid, num_disks)
+            )
+            reference = SummedAreaTable.build(allocation)
+            batch = QueryBatch.from_queries(_mixed_queries(grid), grid)
+            if not np.array_equal(
+                reference.corner_counts(batch.lo, batch.hi),
+                chunked.corner_counts(batch.lo, batch.hi),
+            ):
+                findings.append(
+                    _finding(
+                        "backend:mmap-sat",
+                        "QA423",
+                        f"chunked/memory-mapped SAT corner_counts "
+                        f"disagrees with the in-RAM table "
+                        f"(grid={dims}, M={num_disks}, scheme=dm)",
+                    )
+                )
+        finally:
+            chunked.close()
+    return findings
 
 
 def check_registry(

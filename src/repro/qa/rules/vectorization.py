@@ -8,10 +8,17 @@ time and everything at benchmark time.  These rules guard the designated
 **hot regions**:
 
 * ``core/engine.py`` and ``core/cost.py`` — whole modules;
+* ``core/backends/`` — the whole directory: every kernel backend is a
+  hot path by definition;
 * ``schemes/*.py`` functions whose name contains ``disk_array`` (the
   per-scheme allocation kernels the engine batches over);
 * any function carrying a ``# qa7: hot`` marker comment (opt-in for new
   kernels before they earn a dedicated path here).
+
+One carve-out: functions decorated with a JIT compiler (``@njit`` and
+friends) are excluded from every hot region — their scalar loops are
+compiled to native code, exactly what these rules push python code
+toward, not a regression.
 
 The rules:
 
@@ -61,12 +68,22 @@ __all__ = [
 #: Modules that are hot in their entirety.
 _HOT_MODULE_SUFFIXES = ("repro/core/engine.py", "repro/core/cost.py")
 
+#: Directories hot in their entirety — every kernel backend is a hot
+#: path by definition, whatever its file name.
+_HOT_DIR_FRAGMENTS = ("repro/core/backends/",)
+
 #: Scheme allocation kernels: hot when the function name says so.
 _SCHEMES_DIR = "repro/schemes/"
 _HOT_SCHEME_TOKEN = "disk_array"
 
 #: Opt-in marker for functions not covered by the path rules.
 _HOT_MARKER = re.compile(r"#\s*qa7:\s*hot\b")
+
+#: Decorator names that JIT-compile a function to native code.  Scalar
+#: loops inside them are the *product*, not a missed vectorization — the
+#: QA7xx rules exist to keep interpreted numpy code batch-shaped, so
+#: jitted functions are carved out of every hot region.
+_JIT_DECORATORS = frozenset({"njit", "jit", "vectorize", "guvectorize"})
 
 #: Methods whose result on an array is still an array.
 _ARRAY_METHODS = frozenset(
@@ -119,9 +136,12 @@ class HotRegions:
     """Which lines of a module the QA7xx rules apply to."""
 
     def __init__(self, module: ModuleSource) -> None:
+        normalized = module.path.replace("\\", "/")
         self.module_hot = any(
-            module.path.endswith(suffix)
+            normalized.endswith(suffix)
             for suffix in _HOT_MODULE_SUFFIXES
+        ) or any(
+            fragment in normalized for fragment in _HOT_DIR_FRAGMENTS
         )
         self.spans: List[Tuple[int, int]] = []
         lines = module.source.splitlines()
@@ -131,9 +151,17 @@ class HotRegions:
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
         ]
         function_lines: Set[int] = set()
+        self.cold_spans: List[Tuple[int, int]] = []
         for func in functions:
             end = func.end_lineno or func.lineno
             function_lines.update(range(func.lineno, end + 1))
+            if any(
+                (dotted_name(d) or dotted_name(getattr(d, "func", d)) or "")
+                .split(".")[-1]
+                in _JIT_DECORATORS
+                for d in func.decorator_list
+            ):
+                self.cold_spans.append((func.lineno, end))
         if not self.module_hot:
             # A marker outside every function makes the module hot.
             for index, line in enumerate(lines, start=1):
@@ -158,6 +186,10 @@ class HotRegions:
                 self.spans.append((func.lineno, end))
 
     def is_hot(self, lineno: int) -> bool:
+        if any(
+            start <= lineno <= end for start, end in self.cold_spans
+        ):
+            return False
         if self.module_hot:
             return True
         return any(start <= lineno <= end for start, end in self.spans)

@@ -14,7 +14,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
-from repro.qa.contracts import ContractConfig, check_engine, check_registry
+from repro.qa.contracts import (
+    ContractConfig,
+    check_backends,
+    check_engine,
+    check_registry,
+)
 from repro.qa.diagnostics import (
     Baseline,
     Finding,
@@ -117,6 +122,7 @@ def run_qa(
     if contracts:
         findings.extend(check_registry(contract_config, names=schemes))
         findings.extend(check_engine(contract_config))
+        findings.extend(check_backends(contract_config))
     findings.sort()
     report = QAReport(findings=findings)
     baseline = baseline or Baseline()

@@ -17,7 +17,7 @@ with preconditions (e.g. ECC needs ``M`` to be a power of two) raise
 from __future__ import annotations
 
 import abc
-from typing import Sequence
+from typing import List, Sequence
 
 import numpy as np
 
@@ -25,7 +25,24 @@ from repro.core.allocation import DiskAllocation
 from repro.core.exceptions import SchemeError
 from repro.core.grid import Grid
 
-__all__ = ["DeclusteringScheme"]
+__all__ = ["DeclusteringScheme", "block_coordinate_arrays"]
+
+
+def block_coordinate_arrays(
+    grid: Grid, start: int, stop: int
+) -> List[np.ndarray]:
+    """Coordinate arrays for the row-slab ``start:stop`` along axis 0.
+
+    Same contract as ``grid.coordinate_arrays()`` restricted to buckets
+    whose first coordinate lies in ``[start, stop)`` — axis-0 values are
+    the *absolute* coordinates, so scheme rules evaluate unchanged on the
+    slab.  This is what lets the chunked SAT builder materialize a
+    beyond-RAM grid one slab at a time.
+    """
+    shape = (stop - start,) + grid.dims[1:]
+    coords = list(np.indices(shape, dtype=np.int64))
+    coords[0] += start
+    return coords
 
 
 class DeclusteringScheme(abc.ABC):
@@ -73,6 +90,26 @@ class DeclusteringScheme(abc.ABC):
         for coords in grid.iter_buckets():
             table[coords] = self.disk_of(coords, grid, num_disks)  # qa704: allow — scalar fallback by contract; fast schemes override disk_array
         return table
+
+    def disk_array_block(
+        self, grid: Grid, num_disks: int, start: int, stop: int
+    ) -> np.ndarray:
+        """Disk ids for buckets with first coordinate in ``[start, stop)``.
+
+        Output shape ``(stop - start, d_2, ..., d_k)``.  The chunked SAT
+        builder (:meth:`repro.core.sat.SummedAreaTable.build_chunked`)
+        calls this slab by slab so a beyond-RAM grid never materializes
+        whole.  The base implementation slices the full
+        :meth:`disk_array` — correct for every scheme but not
+        memory-bounded; schemes meant for beyond-RAM grids override it
+        with :func:`block_coordinate_arrays` arithmetic.
+        """
+        if not 0 <= start <= stop <= grid.dims[0]:
+            raise SchemeError(
+                f"block [{start}, {stop}) outside axis-0 extent "
+                f"{grid.dims[0]}"
+            )
+        return self.disk_array(grid, num_disks)[start:stop]
 
     def allocate(self, grid: Grid, num_disks: int) -> DiskAllocation:
         """Materialize the rule over ``grid`` into a full allocation table."""

@@ -22,9 +22,10 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.backends import active_backend
 from repro.core.exceptions import SchemeError
 from repro.core.grid import Grid
-from repro.schemes.base import DeclusteringScheme
+from repro.schemes.base import DeclusteringScheme, block_coordinate_arrays
 
 __all__ = [
     "DiskModuloScheme",
@@ -41,8 +42,15 @@ class DiskModuloScheme(DeclusteringScheme):
         return sum(int(c) for c in coords) % num_disks
 
     def disk_array(self, grid: Grid, num_disks: int) -> np.ndarray:
-        total = np.zeros(grid.dims, dtype=np.int64)
-        for axis_coords in grid.coordinate_arrays():
+        return active_backend().linear_mod_table(
+            grid.dims, (1,) * grid.ndim, num_disks
+        )
+
+    def disk_array_block(
+        self, grid: Grid, num_disks: int, start: int, stop: int
+    ) -> np.ndarray:
+        total = np.zeros((stop - start,) + grid.dims[1:], dtype=np.int64)
+        for axis_coords in block_coordinate_arrays(grid, start, stop):
             total += axis_coords
         return total % num_disks
 
@@ -88,9 +96,18 @@ class GeneralizedDiskModuloScheme(DeclusteringScheme):
         return sum(c * int(i) for c, i in zip(coeffs, coords)) % num_disks
 
     def disk_array(self, grid: Grid, num_disks: int) -> np.ndarray:
+        return active_backend().linear_mod_table(
+            grid.dims, self._coeffs_for(grid), num_disks
+        )
+
+    def disk_array_block(
+        self, grid: Grid, num_disks: int, start: int, stop: int
+    ) -> np.ndarray:
         coeffs = self._coeffs_for(grid)
-        total = np.zeros(grid.dims, dtype=np.int64)
-        for coeff, axis_coords in zip(coeffs, grid.coordinate_arrays()):
+        total = np.zeros((stop - start,) + grid.dims[1:], dtype=np.int64)
+        for coeff, axis_coords in zip(
+            coeffs, block_coordinate_arrays(grid, start, stop)
+        ):
             total += coeff * axis_coords
         return total % num_disks
 

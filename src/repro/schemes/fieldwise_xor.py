@@ -28,9 +28,10 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.backends import active_backend
 from repro.core.exceptions import SchemeError
 from repro.core.grid import Grid
-from repro.schemes.base import DeclusteringScheme
+from repro.schemes.base import DeclusteringScheme, block_coordinate_arrays
 
 __all__ = [
     "AutoFXScheme",
@@ -82,8 +83,13 @@ class FXScheme(DeclusteringScheme):
         return reduce(lambda a, b: a ^ b, (int(c) for c in coords)) % num_disks
 
     def disk_array(self, grid: Grid, num_disks: int) -> np.ndarray:
-        table = np.zeros(grid.dims, dtype=np.int64)
-        for axis_coords in grid.coordinate_arrays():
+        return active_backend().xor_mod_table(grid.dims, num_disks)
+
+    def disk_array_block(
+        self, grid: Grid, num_disks: int, start: int, stop: int
+    ) -> np.ndarray:
+        table = np.zeros((stop - start,) + grid.dims[1:], dtype=np.int64)
+        for axis_coords in block_coordinate_arrays(grid, start, stop):
             np.bitwise_xor(table, axis_coords, out=table)
         return table % num_disks
 
@@ -101,19 +107,33 @@ class ExFXScheme(DeclusteringScheme):
         return folded % num_disks
 
     def disk_array(self, grid: Grid, num_disks: int) -> np.ndarray:
+        return self._fold_block(
+            grid, num_disks, grid.coordinate_arrays()
+        )
+
+    def disk_array_block(
+        self, grid: Grid, num_disks: int, start: int, stop: int
+    ) -> np.ndarray:
+        return self._fold_block(
+            grid, num_disks, block_coordinate_arrays(grid, start, stop)
+        )
+
+    def _fold_block(self, grid, num_disks, coordinate_arrays):
         # Whole-grid form of concatenate_fields + xor_fold: pack every
         # bucket's fields LSB-first into one int64, then XOR the
         # chunk-wide slices — the same chunk walk as the scalar rule.
         widths = grid.bits_per_axis()
         chunk = max(1, (num_disks - 1).bit_length())
         total_bits = sum(widths)
-        packed = np.zeros(grid.dims, dtype=np.int64)
+        packed = None
         shift = 0
-        for width, axis_coords in zip(widths, grid.coordinate_arrays()):
+        for width, axis_coords in zip(widths, coordinate_arrays):
+            if packed is None:
+                packed = np.zeros(axis_coords.shape, dtype=np.int64)
             packed |= axis_coords << shift
             shift += width
         mask = (1 << chunk) - 1
-        folded = np.zeros(grid.dims, dtype=np.int64)
+        folded = np.zeros(packed.shape, dtype=np.int64)
         consumed = 0
         while consumed < max(total_bits, 1):
             np.bitwise_xor(folded, (packed >> consumed) & mask, out=folded)
@@ -149,3 +169,13 @@ class AutoFXScheme(DeclusteringScheme):
             else self._fx
         )
         return inner.disk_array(grid, num_disks)
+
+    def disk_array_block(
+        self, grid: Grid, num_disks: int, start: int, stop: int
+    ) -> np.ndarray:
+        inner = (
+            self._exfx
+            if self.chooses_extended(grid, num_disks)
+            else self._fx
+        )
+        return inner.disk_array_block(grid, num_disks, start, stop)

@@ -1,0 +1,394 @@
+"""The kernel-backend registry and its bit-identity contract.
+
+The registry (``repro.core.backends``) resolves names to
+:class:`~repro.core.backends.base.KernelBackend` instances; numpy is the
+always-available reference and every other backend must match it bit for
+bit on all three hot kernels — the batched 2^k-corner gather, the
+sliding-window sweep, and the whole-grid ``disk_array`` tables.  Tests
+for compiled backends parametrize over whatever is available in the
+environment (cnative needs a C compiler, numba the optional extra) and
+skip gracefully otherwise.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.backends import (
+    BACKEND_ENV,
+    DEFAULT_BACKEND,
+    active_backend,
+    active_backend_name,
+    all_backends,
+    available_backends,
+    get_backend,
+    set_backend,
+    use_backend,
+)
+from repro.core.backends.numpy_backend import NumpyBackend
+from repro.core.engine import ResponseTimeEngine
+from repro.core.exceptions import BackendError
+from repro.core.grid import Grid
+from repro.core.query import QueryBatch, RangeQuery
+from repro.core.registry import get_scheme
+from repro.core.sat import SummedAreaTable
+
+REFERENCE = NumpyBackend()
+
+#: Non-numpy backends usable in this environment; parametrized tests
+#: over this list simply do not run when only numpy is available.
+NON_NUMPY = [b for b in available_backends() if b.name != "numpy"]
+NON_NUMPY_IDS = [b.name for b in NON_NUMPY]
+
+
+def _mixed_queries(grid):
+    """Interior, boundary-clipped, zero-bucket, and whole-grid queries."""
+    dims = grid.dims
+    queries = [
+        RangeQuery((0,) * grid.ndim, tuple(d - 1 for d in dims)),
+        RangeQuery((0,) * grid.ndim, (0,) * grid.ndim),
+        RangeQuery(tuple(d - 1 for d in dims), tuple(d + 3 for d in dims)),
+        RangeQuery(tuple(dims), tuple(d + 1 for d in dims)),  # outside
+        RangeQuery(
+            tuple(d // 2 for d in dims), tuple(max(d - 1, 0) for d in dims)
+        ),
+    ]
+    return queries
+
+
+def _sat_for(scheme_name, dims, num_disks):
+    grid = Grid(dims)
+    allocation = get_scheme(scheme_name).allocate(grid, num_disks)
+    return grid, SummedAreaTable.build(allocation)
+
+
+class TestRegistry:
+    def test_numpy_always_registered_and_available(self):
+        backend = get_backend("numpy")
+        assert backend.name == "numpy"
+        assert backend.available()
+        assert backend.unavailable_reason() is None
+
+    def test_all_backends_sorted_by_name(self):
+        names = [b.name for b in all_backends()]
+        assert names == sorted(names)
+        assert "numpy" in names and "cnative" in names
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(BackendError, match="unknown backend"):
+            get_backend("does-not-exist")
+
+    def test_default_resolution_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        set_backend(None)
+        assert active_backend_name() == DEFAULT_BACKEND
+        assert isinstance(active_backend(), NumpyBackend)
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        set_backend(None)
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        assert active_backend_name() == "numpy"
+
+    def test_set_backend_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "does-not-exist")
+        set_backend("numpy")
+        try:
+            assert active_backend_name() == "numpy"
+        finally:
+            set_backend(None)
+
+    def test_set_backend_validates_eagerly(self):
+        with pytest.raises(BackendError):
+            set_backend("does-not-exist")
+        assert active_backend_name() != "does-not-exist"
+
+    def test_use_backend_restores_previous(self):
+        before = active_backend_name()
+        with use_backend("numpy") as backend:
+            assert backend.name == "numpy"
+            assert active_backend_name() == "numpy"
+        assert active_backend_name() == before
+
+    def test_native_alias_resolves_or_explains(self):
+        try:
+            backend = get_backend("native")
+        except BackendError as exc:
+            # No compiled backend in this environment: the error must
+            # name every candidate's reason.
+            assert "numba" in str(exc) and "cnative" in str(exc)
+        else:
+            assert backend.name in ("numba", "cnative")
+
+
+class TestEngineDispatch:
+    def test_engine_follows_active_backend(self):
+        grid, _ = _sat_for("dm", (6, 5), 3)
+        allocation = get_scheme("dm").allocate(grid, 3)
+        engine = ResponseTimeEngine(allocation)
+        queries = _mixed_queries(grid)
+        with use_backend("numpy"):
+            reference = engine.batch_response_times(queries)
+        for backend in NON_NUMPY:
+            with use_backend(backend.name):
+                assert np.array_equal(
+                    engine.batch_response_times(queries), reference
+                )
+
+
+@pytest.mark.parametrize("backend", NON_NUMPY, ids=NON_NUMPY_IDS)
+class TestBitIdentity:
+    """Every compiled backend against the numpy reference."""
+
+    CASES = [
+        ("dm", (7, 5), 3),
+        ("gdm", (6, 6), 4),
+        ("fx", (8, 8), 4),
+        ("dm", (5, 4, 3), 5),
+        ("fx", (4, 4, 4), 2),
+        ("hcam", (8, 8), 4),
+        ("random", (3, 3, 3, 3), 3),
+    ]
+
+    @pytest.mark.parametrize("scheme,dims,m", CASES)
+    def test_batch_kernels(self, backend, scheme, dims, m):
+        grid, sat = _sat_for(scheme, dims, m)
+        batch = QueryBatch.from_queries(_mixed_queries(grid), grid)
+        assert np.array_equal(
+            backend.batch_disk_counts(sat, batch.lo, batch.hi),
+            REFERENCE.batch_disk_counts(sat, batch.lo, batch.hi),
+        )
+        assert np.array_equal(
+            backend.batch_response_times(sat, batch.lo, batch.hi),
+            REFERENCE.batch_response_times(sat, batch.lo, batch.hi),
+        )
+
+    @pytest.mark.parametrize("scheme,dims,m", CASES[:5])
+    def test_window_kernel(self, backend, scheme, dims, m):
+        grid, sat = _sat_for(scheme, dims, m)
+        for shape in [
+            (1,) * grid.ndim,
+            tuple(min(2, d) for d in dims),
+            dims,  # whole grid
+        ]:
+            assert np.array_equal(
+                backend.window_response_times(sat, shape),
+                REFERENCE.window_response_times(sat, shape),
+            )
+
+    def test_zero_query_batch(self, backend):
+        grid, sat = _sat_for("dm", (4, 4), 2)
+        lo = np.zeros((0, 2), dtype=np.int64)
+        hi = np.zeros((0, 2), dtype=np.int64)
+        assert backend.batch_response_times(sat, lo, hi).shape == (0,)
+
+    @pytest.mark.parametrize(
+        "dims,coefficients,m",
+        [
+            ((5, 7), (1, 1), 3),
+            ((6, 4), (1, -2), 4),
+            ((4, 4, 4), (3, 1, 5), 7),
+            ((9,), (-1,), 2),
+        ],
+    )
+    def test_linear_mod_table(self, backend, dims, coefficients, m):
+        # Negative coefficients exercise python-vs-C modulo semantics.
+        assert np.array_equal(
+            backend.linear_mod_table(dims, coefficients, m),
+            REFERENCE.linear_mod_table(dims, coefficients, m),
+        )
+
+    @pytest.mark.parametrize(
+        "dims,m", [((8, 8), 4), ((4, 4, 4), 2), ((16, 2), 8)]
+    )
+    def test_xor_mod_table(self, backend, dims, m):
+        assert np.array_equal(
+            backend.xor_mod_table(dims, m),
+            REFERENCE.xor_mod_table(dims, m),
+        )
+
+    def test_mmap_sat_delegates_to_streamed_reference(
+        self, backend, tmp_path
+    ):
+        grid = Grid((6, 5))
+        scheme = get_scheme("dm")
+        sat = SummedAreaTable.build_chunked(
+            scheme, grid, 3, byte_budget=512,
+            path=tmp_path / "sat.npy",
+        )
+        try:
+            batch = QueryBatch.from_queries(_mixed_queries(grid), grid)
+            assert np.array_equal(
+                backend.batch_response_times(sat, batch.lo, batch.hi),
+                REFERENCE.batch_response_times(sat, batch.lo, batch.hi),
+            )
+        finally:
+            sat.close()
+
+    def test_sliding_response_times_matches_cost_kernel(self, backend):
+        from repro.core.cost import sliding_response_times
+
+        allocation = get_scheme("fx").allocate(Grid((8, 8)), 4)
+        expected = sliding_response_times(allocation, (3, 2))
+        assert np.array_equal(
+            backend.sliding_response_times(
+                allocation.table, allocation.num_disks, (3, 2)
+            ),
+            expected,
+        )
+
+
+# ---------------------------------------------------------------------
+# Property sweep: backends x schemes x {2-D, 3-D} grids
+# ---------------------------------------------------------------------
+
+_dims_2d = st.tuples(
+    st.integers(min_value=2, max_value=8),
+    st.integers(min_value=2, max_value=8),
+)
+_dims_3d = st.tuples(
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=2, max_value=5),
+)
+_pow2_dims = st.sampled_from([(4, 4), (8, 4), (2, 8), (4, 4, 4), (8, 2, 4)])
+
+
+@st.composite
+def _backend_case(draw):
+    """A (scheme, grid, M, queries) tuple every backend must agree on.
+
+    dm/gdm apply to arbitrary grids; fx needs power-of-two extents, so
+    its grids are drawn from a fixed power-of-two pool.
+    """
+    scheme_name = draw(st.sampled_from(["dm", "gdm", "fx", "random"]))
+    if scheme_name == "fx":
+        dims = draw(_pow2_dims)
+    else:
+        dims = draw(st.one_of(_dims_2d, _dims_3d))
+    num_disks = draw(st.integers(min_value=1, max_value=6))
+    grid = Grid(dims)
+    queries = list(_mixed_queries(grid))
+    lower = tuple(draw(st.integers(0, d - 1)) for d in dims)
+    upper = tuple(
+        draw(st.integers(lo, d + 1)) for lo, d in zip(lower, dims)
+    )
+    queries.append(RangeQuery(lower, upper))
+    return scheme_name, grid, num_disks, queries
+
+
+@pytest.mark.parametrize("backend", NON_NUMPY, ids=NON_NUMPY_IDS)
+@settings(max_examples=25, deadline=None)
+@given(case=_backend_case())
+def test_property_backend_bit_identity(backend, case):
+    scheme_name, grid, num_disks, queries = case
+    allocation = get_scheme(scheme_name).allocate(grid, num_disks)
+    assert np.array_equal(
+        allocation.table,
+        get_scheme(scheme_name).allocate(grid, num_disks).table,
+    )
+    sat = SummedAreaTable.build(allocation)
+    batch = QueryBatch.from_queries(queries, grid)
+    assert np.array_equal(
+        backend.batch_response_times(sat, batch.lo, batch.hi),
+        REFERENCE.batch_response_times(sat, batch.lo, batch.hi),
+    )
+    assert np.array_equal(
+        backend.batch_disk_counts(sat, batch.lo, batch.hi),
+        REFERENCE.batch_disk_counts(sat, batch.lo, batch.hi),
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(case=_backend_case())
+def test_property_disk_array_block_consistency(case):
+    """disk_array_block tiles reassemble the full disk_array exactly."""
+    scheme_name, grid, num_disks, _ = case
+    scheme = get_scheme(scheme_name)
+    full = scheme.disk_array(grid, num_disks)
+    rows = grid.dims[0]
+    for step in (1, 2, rows):
+        blocks = [
+            scheme.disk_array_block(
+                grid, num_disks, start, min(start + step, rows)
+            )
+            for start in range(0, rows, step)
+        ]
+        assert np.array_equal(np.concatenate(blocks, axis=0), full)
+
+
+class TestBackendAwareCache:
+    def test_cache_key_includes_backend(self):
+        from repro.core.cache import AllocationCache
+
+        cache = AllocationCache()
+        grid = Grid((6, 6))
+        with use_backend("numpy"):
+            first = cache.allocation("dm", grid, 3)
+        stats = cache.stats()
+        assert stats.misses == 1
+        with use_backend("numpy"):
+            again = cache.allocation("dm", grid, 3)
+        assert again is first
+        assert cache.stats().hits == 1
+        for backend in NON_NUMPY:
+            with use_backend(backend.name):
+                other = cache.allocation("dm", grid, 3)
+            # Same bits, separate entry: each backend pays its own work
+            # so cross-backend comparisons stay honest.
+            assert np.array_equal(other.table, first.table)
+            assert other is not first
+
+    def test_entry_report_names_backend(self):
+        from repro.core.cache import AllocationCache
+
+        cache = AllocationCache()
+        with use_backend("numpy"):
+            cache.allocation("dm", Grid((4, 4)), 2)
+        report = cache.entry_report()
+        assert report and report[0]["backend"] == "numpy"
+
+
+class TestNumbaBackendGraceful:
+    def test_numba_entry_exists_with_reason_or_works(self):
+        backend = {b.name: b for b in all_backends()}["numba"]
+        if not backend.available():
+            # get_backend must refuse it with the same reason.
+            with pytest.raises(BackendError, match="unavailable"):
+                get_backend("numba")
+            assert "numba" in backend.unavailable_reason()
+            pytest.skip(backend.unavailable_reason())
+        pytest.importorskip("numba")
+        grid, sat = _sat_for("dm", (6, 6), 3)
+        batch = QueryBatch.from_queries(_mixed_queries(grid), grid)
+        assert np.array_equal(
+            backend.batch_response_times(sat, batch.lo, batch.hi),
+            REFERENCE.batch_response_times(sat, batch.lo, batch.hi),
+        )
+
+
+class TestCNativeCompileCache:
+    def test_compile_cache_is_reused(self, monkeypatch, tmp_path):
+        cnative = get_backend("cnative")
+        if not cnative.available():
+            pytest.skip(cnative.unavailable_reason())
+        from repro.core.backends.native import CNativeBackend
+
+        monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path))
+        first = CNativeBackend()
+        assert first.available()
+        libraries = list(tmp_path.glob("*.so"))
+        assert len(libraries) == 1
+        mtime = libraries[0].stat().st_mtime_ns
+        second = CNativeBackend()
+        assert second.available()
+        assert libraries[0].stat().st_mtime_ns == mtime
+
+
+@pytest.fixture(autouse=True)
+def _reset_active_backend():
+    yield
+    set_backend(None)
+    os.environ.pop(BACKEND_ENV, None)
