@@ -53,6 +53,8 @@ __all__ = [
     'NATIVE_SMOKE_GRID',
     'NATIVE_SMOKE_GRID_ENV',
     'OBS_OVERHEAD_ITERATIONS',
+    'VERIFY_OVERHEAD_GRID',
+    'VERIFY_OVERHEAD_REPETITIONS',
     'SWEEP_DISKS',
     'SWEEP_GRID',
     'SWEEP_SCHEME',
@@ -63,6 +65,7 @@ __all__ = [
     'run_native_report',
     'run_obs_overhead_bench',
     'run_speedup_bench',
+    'run_verify_overhead_bench',
     'test_allocation_construction',
     'test_engine_batch_queries',
     'test_engine_build',
@@ -548,11 +551,104 @@ def run_chunked_smoke(
     }
 
 
+#: Configuration of the verify-overhead section: repetitions and the
+#: grid the spilled table is built on.
+VERIFY_OVERHEAD_GRID = (64, 64, 64)
+VERIFY_OVERHEAD_REPETITIONS = 7
+
+
+def run_verify_overhead_bench(
+    grid_dims=VERIFY_OVERHEAD_GRID,
+    num_disks=8,
+    scheme="dm",
+    repetitions=VERIFY_OVERHEAD_REPETITIONS,
+) -> dict:
+    """Measure what integrity verification adds to reopening a spilled SAT.
+
+    Builds one chunked summed-area table, then times
+    :meth:`~repro.core.sat.SummedAreaTable.open_mmap` at every verify
+    level (best-of ``repetitions``), both bare and followed by a
+    representative sliding-window sweep — the workload an open exists to
+    serve.  Two ratios come out: ``open_overhead_ratio`` (header vs off
+    on the bare open; informational — the open itself is microseconds,
+    so even a small constant manifest read looks large against it) and
+    ``open_query_overhead_ratio`` (header vs off on open + sweep), which
+    is the number the bench gate holds to the ≤5% contract.  The full
+    level re-hashes the whole file and is recorded for visibility, not
+    gated.
+    """
+    import os
+    import tempfile
+
+    from repro.core.sat import SummedAreaTable
+
+    grid = Grid(grid_dims)
+    fd, path = tempfile.mkstemp(
+        prefix="repro-sat-bench-", suffix=".npy"
+    )
+    os.close(fd)
+    os.unlink(path)  # build_chunked stages its own partial there
+    sat = SummedAreaTable.build_chunked(
+        get_scheme(scheme), grid, num_disks, path=path
+    )
+    sat.close()
+    window_shape = tuple(min(4, d) for d in grid_dims)
+
+    def best_of(verify, sweep):
+        best = float("inf")
+        for _ in range(repetitions + 1):  # first call warms the cache
+            start = time.perf_counter()
+            handle = SummedAreaTable.open_mmap(path, verify=verify)
+            try:
+                if sweep:
+                    engine = ResponseTimeEngine.from_sat(handle)
+                    engine.sliding_response_times(window_shape)
+            finally:
+                handle.close()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    try:
+        open_off = best_of("off", sweep=False)
+        open_header = best_of("header", sweep=False)
+        open_full = best_of("full", sweep=False)
+        query_off = best_of("off", sweep=True)
+        query_header = best_of("header", sweep=True)
+    finally:
+        for leftover in (
+            path,
+            path + ".manifest.json",
+        ):
+            try:
+                os.unlink(leftover)
+            except OSError:
+                pass
+
+    return {
+        "benchmark": "verify_overhead",
+        "grid": list(grid_dims),
+        "num_disks": num_disks,
+        "scheme": scheme,
+        "repetitions": repetitions,
+        "window_shape": list(window_shape),
+        "open_off_seconds": round(open_off, 6),
+        "open_header_seconds": round(open_header, 6),
+        "open_full_seconds": round(open_full, 6),
+        "open_overhead_ratio": round(open_header / open_off, 3),
+        "open_query_off_seconds": round(query_off, 6),
+        "open_query_header_seconds": round(query_header, 6),
+        "open_query_overhead_ratio": round(
+            query_header / query_off, 4
+        ),
+    }
+
+
 def run_native_report() -> dict:
     """The full ``BENCH_native.json`` record: backends + chunked smoke."""
     return {
         "backend_kernels": run_native_bench(),
         "chunked_smoke": run_chunked_smoke(),
+        "verify_overhead": run_verify_overhead_bench(),
     }
 
 

@@ -56,8 +56,28 @@ run_step "degraded mode (quick)" \
     python -m repro experiment degraded --quick
 # Self-healing smoke: crash -> checkpoint -> --resume, byte-identical.
 run_step "resume round-trip" python scripts/smoke_resume.py
-# Zero-copy workers must unlink every shared-memory segment they create.
-run_step "shm leak check" python scripts/check_shm_leaks.py
+# Zero-copy workers must unlink every shared-memory segment they create,
+# and `repro doctor --gc` must collect a planted crashed-run segment.
+run_step "shm leak check (+ doctor --gc)" python scripts/check_shm_leaks.py
+# Chaos smoke: injected I/O faults must land on real recovery paths —
+# kill-at-tile-boundary -> byte-identical resume, on-disk corruption ->
+# detected + rebuilt, compile fault -> numpy-reference degradation.
+run_step "chaos smoke (I/O fault injection)" python scripts/smoke_chaos.py
+# Worker-level chaos: sabotage two shared-memory attaches during an
+# instrumented 2-worker run; the run must still complete and the
+# degradations must be visible as obs counters in the metrics export.
+chaos_tmp="$(mktemp -d)"
+run_step "chaos run (shm.attach faults, workers=2)" \
+    env REPRO_IO_FAULTS="shm.attach:2" \
+        REPRO_IO_FAULTS_STATE="${chaos_tmp}/faults" \
+    python -m repro experiment all --quick --workers 2 \
+        --trace "${chaos_tmp}/trace.jsonl" \
+        --metrics-out "${chaos_tmp}/metrics.json"
+run_step "chaos obs check (shm.attach_faults counted)" \
+    python scripts/check_obs_output.py \
+        "${chaos_tmp}/trace.jsonl" "${chaos_tmp}/metrics.json" \
+        --expect-counter shm.attach_faults:1
+rm -rf "${chaos_tmp}"
 # The batch query engine must stay >=5x faster than the per-query loop;
 # the best compiled kernel backend must stay >=3x over the numpy batch
 # kernel (skipped with a warning when none is available); the chunked

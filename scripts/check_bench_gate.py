@@ -17,6 +17,12 @@ chunked summed-area-table build (``REPRO_NATIVE_SMOKE_GRID``, default
 the committed ``BENCH_native.json`` must record a completed full-scale
 1024³ smoke within its byte budget.
 
+The verify-overhead leg re-times reopening a spilled SAT with
+``REPRO_VERIFY=header`` versus ``off`` followed by a representative
+sliding-window sweep: the header ratio must stay at or below
+``REPRO_VERIFY_MAX_OVERHEAD`` (default 1.05 — the integrity layer's
+≤5% contract).
+
 Also asserts the observability layer's disabled-path contract: a
 :func:`repro.obs.trace.trace` span on a hot path must cost effectively
 nothing while tracing is off.  The bound is 2000 ns per disabled span by
@@ -54,6 +60,7 @@ from bench_kernels import (  # noqa: E402
     run_chunked_smoke,
     run_native_bench,
     run_obs_overhead_bench,
+    run_verify_overhead_bench,
 )
 
 __all__ = ['main']
@@ -168,6 +175,22 @@ def main() -> int:
         else:
             print(f"bench gate: grid {grid} at {speedup}x (floor {floor}x)")
     failures.extend(_check_native(floor_env="REPRO_NATIVE_MIN_SPEEDUP"))
+    verify_ceiling = float(
+        os.environ.get("REPRO_VERIFY_MAX_OVERHEAD", "1.05")
+    )
+    verify_record = run_verify_overhead_bench()
+    print(json.dumps(verify_record, indent=2))
+    verify_ratio = verify_record["open_query_overhead_ratio"]
+    if verify_ratio > verify_ceiling:
+        failures.append(
+            f"REPRO_VERIFY=header costs {verify_ratio}x on open+sweep "
+            f"> {verify_ceiling}x ceiling"
+        )
+    else:
+        print(
+            f"bench gate: header verification at {verify_ratio}x on "
+            f"open+sweep (ceiling {verify_ceiling}x)"
+        )
     obs_record = run_obs_overhead_bench()
     print(json.dumps(obs_record, indent=2))
     ns_per_span = obs_record["ns_per_disabled_span"]

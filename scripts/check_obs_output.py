@@ -15,12 +15,18 @@ written by ``repro-decluster experiment`` are well-formed:
   covers the allocation-cache counters;
 * with ``--expect-retry``, at least one ``runner.retry`` event and a
   nonzero ``runner.retries`` counter are present — the mode CI uses
-  after injecting a crash via ``REPRO_RUNNER_FAULTS``.
+  after injecting a crash via ``REPRO_RUNNER_FAULTS``;
+* with ``--expect-counter NAME[:MIN]`` (repeatable), the named
+  aggregate counter must be present with at least ``MIN`` (default 1)
+  — the chaos leg uses this to prove recovery paths actually fired
+  (``shm.attach_faults``, ``integrity.sat_rebuilds``, ...), not merely
+  that the run survived.
 
 Usage::
 
     PYTHONPATH=src python scripts/check_obs_output.py \
-        trace.jsonl metrics.json [--expect-retry]
+        trace.jsonl metrics.json [--expect-retry] \
+        [--expect-counter NAME[:MIN] ...]
 """
 
 import argparse
@@ -31,7 +37,8 @@ from repro.experiments.runner import EXPERIMENT_KEYS
 from repro.obs.summary import load_metrics, load_trace
 from repro.obs.trace import SPAN_FIELDS, TRACE_SCHEMA_VERSION
 
-__all__ = ['check_metrics', 'check_trace', 'main']
+__all__ = ['check_metrics', 'check_trace', 'main',
+           'parse_counter_expectation']
 
 #: Field -> accepted types, for every JSONL line.
 _FIELD_TYPES = {
@@ -111,7 +118,15 @@ def check_trace(path, errors, expect_retry):
     )
 
 
-def check_metrics(path, errors, expect_retry):
+def parse_counter_expectation(spec):
+    """``NAME[:MIN]`` -> ``(name, minimum)``; MIN defaults to 1."""
+    name, _, minimum = spec.partition(":")
+    if not name:
+        raise ValueError(f"bad counter expectation {spec!r}")
+    return name, int(minimum) if minimum else 1
+
+
+def check_metrics(path, errors, expect_retry, expect_counters=()):
     document = load_metrics(path)
     for section in ("aggregate", "parent", "processes"):
         if section not in document:
@@ -134,6 +149,13 @@ def check_metrics(path, errors, expect_retry):
             f"{path}: expected runner.retries >= 1, got "
             f"{counters.get('runner.retries', 0)}"
         )
+    for name, minimum in expect_counters:
+        actual = counters.get(name, 0)
+        if actual < minimum:
+            errors.append(
+                f"{path}: expected counter {name} >= {minimum}, "
+                f"got {actual}"
+            )
     print(
         f"obs check: {path}: {len(counters)} aggregate counter(s), "
         f"{len(document['processes'])} worker payload(s), "
@@ -152,7 +174,22 @@ def main(argv=None) -> int:
         action="store_true",
         help="require an injected retry to be visible in both files",
     )
+    parser.add_argument(
+        "--expect-counter",
+        action="append",
+        default=[],
+        metavar="NAME[:MIN]",
+        help="require the aggregate counter NAME >= MIN (default 1); "
+        "repeatable",
+    )
     args = parser.parse_args(argv)
+    try:
+        expect_counters = [
+            parse_counter_expectation(spec)
+            for spec in args.expect_counter
+        ]
+    except ValueError as exc:
+        parser.error(str(exc))
 
     errors = []
     try:
@@ -160,7 +197,9 @@ def main(argv=None) -> int:
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         errors.append(f"{args.trace}: {exc}")
     try:
-        check_metrics(args.metrics, errors, args.expect_retry)
+        check_metrics(
+            args.metrics, errors, args.expect_retry, expect_counters
+        )
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         errors.append(f"{args.metrics}: {exc}")
 

@@ -9,17 +9,43 @@ and reported, but anything newly created by this run must be gone:
 :class:`repro.core.shm.SharedAllocationArena` owns deterministic
 teardown, and this gate is its end-to-end proof.
 
+A second leg proves the recovery tool: a stray segment is planted (as
+a crashed run would leave one) and ``repro doctor --gc`` must find it,
+unlink it, and exit zero — leaving ``/dev/shm`` clean.
+
 Usage::
 
     PYTHONPATH=src python scripts/check_shm_leaks.py
 """
 
+import os
 import sys
 
-from repro.core.shm import stray_segments
+from repro.core.shm import SHM_NAME_PREFIX, _open_segment, stray_segments
+from repro.doctor import run_doctor, scan_shm_segments
 from repro.experiments.runner import run_all
 
 __all__ = ['main']
+
+
+def _check_doctor_gc() -> "list[str]":
+    """Plant a crashed-run segment; ``doctor --gc`` must remove it."""
+    errors = []
+    name = f"{SHM_NAME_PREFIX}-crashed-{os.getpid()}"
+    segment = _open_segment(name, create=True, size=64)  # qa602: allow — the planted leak IS the fixture; doctor --gc owns the unlink
+    segment.close()
+    if name not in set(stray_segments()):
+        return [f"planted segment {name} is not visible as stray"]
+    report = run_doctor(gc=True, scanners=[scan_shm_segments])
+    print(report.render())
+    if name in set(stray_segments()):
+        errors.append(f"doctor --gc left planted segment {name} behind")
+    if report.exit_code() != 0:
+        errors.append(
+            f"doctor --gc exited {report.exit_code()} on a stray "
+            f"segment it should have collected"
+        )
+    return errors
 
 
 def main() -> int:
@@ -42,6 +68,12 @@ def main() -> int:
         )
         return 1
     print("shm leak check: ok — no stray /dev/shm segments after run_all")
+    doctor_errors = _check_doctor_gc()
+    if doctor_errors:
+        for error in doctor_errors:
+            print(f"shm leak check: FAILED — {error}", file=sys.stderr)
+        return 1
+    print("shm leak check: ok — doctor --gc collects crashed-run segments")
     return 0
 
 

@@ -459,6 +459,24 @@ def _cmd_qa(args) -> int:
     return run_from_args(args)
 
 
+def _cmd_doctor(args) -> int:
+    import json as _json
+
+    from repro.doctor import run_doctor
+
+    report = run_doctor(
+        sat_dir=args.sat_dir,
+        native_cache=args.native_cache,
+        level=args.verify,
+        gc=args.gc,
+    )
+    if args.json:
+        print(_json.dumps(report.to_json(), indent=1, sort_keys=True))
+    else:
+        print(report.render())
+    return report.exit_code()
+
+
 def _cmd_theory(args) -> int:
     from repro.theory.conditions import render_table as render_conditions
     from repro.theory.search import impossibility_frontier
@@ -703,6 +721,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="span JSONL written by --trace",
     )
 
+    p_doctor = sub.add_parser(
+        "doctor",
+        help=(
+            "scan SAT/native/shm artifacts for corruption and "
+            "crash leftovers; --gc cleans them up"
+        ),
+    )
+    p_doctor.add_argument(
+        "--sat-dir",
+        default=None,
+        metavar="DIR",
+        help="SAT spill directory (default: $REPRO_SAT_DIR or tempdir)",
+    )
+    p_doctor.add_argument(
+        "--native-cache",
+        default=None,
+        metavar="DIR",
+        help=(
+            "compiled-kernel cache directory "
+            "(default: $REPRO_NATIVE_CACHE or the per-user temp cache)"
+        ),
+    )
+    p_doctor.add_argument(
+        "--verify",
+        default="full",
+        choices=("header", "full"),
+        help="verification depth for the scan (default: full)",
+    )
+    p_doctor.add_argument(
+        "--gc",
+        action="store_true",
+        help="remove corrupt artifacts, crash leftovers, stray shm",
+    )
+    p_doctor.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable report",
+    )
+
     p_theory = sub.add_parser("theory", help="strict-optimality tools")
     theory_sub = p_theory.add_subparsers(
         dest="theory_command", required=True
@@ -754,6 +811,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "theory": _cmd_theory,
         "qa": _cmd_qa,
         "obs": _cmd_obs,
+        "doctor": _cmd_doctor,
     }
     try:
         if args.backend is not None:

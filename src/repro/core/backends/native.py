@@ -37,7 +37,18 @@ import numpy as np
 
 from repro.core.backends.base import KernelBackend
 from repro.core.backends.numpy_backend import NumpyBackend
+from repro.core.exceptions import IntegrityError
+from repro.core.integrity import (
+    library_digest_path,
+    verify_library,
+    write_library_digest,
+)
 from repro.core.sat import SummedAreaTable, sat_dtype
+from repro.faults.io import maybe_io_fault
+from repro.obs.log import get_logger
+from repro.obs.metrics import global_registry
+
+_LOG = get_logger("repro.core.backends.native")
 
 __all__ = ["CNativeBackend"]
 
@@ -276,37 +287,70 @@ def _cache_dir() -> str:
     )
 
 
+def _remove_quietly(*paths: str) -> None:
+    for path in paths:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+
 def _compile_library(source: str) -> str:
     """Compile the kernel source into a cached shared library; return path.
 
-    Raises ``subprocess.CalledProcessError``/``OSError`` on failure —
-    the backend turns those into an unavailability reason.
+    A cache hit is verified against its digest sidecar first
+    (:func:`repro.core.integrity.verify_library`, depth from
+    ``REPRO_VERIFY``); a corrupt cached library is evicted and
+    recompiled rather than ``CDLL``-loaded.  Raises
+    ``subprocess.CalledProcessError``/``OSError`` on compile failure —
+    the backend turns those into an unavailability reason — and a
+    failed compile leaves nothing behind in the cache directory.
     """
     digest = hashlib.sha256(source.encode()).hexdigest()[:16]
     directory = _cache_dir()
     os.makedirs(directory, exist_ok=True)
     lib_path = os.path.join(directory, f"reprokern-{digest}.so")
+    maybe_io_fault("compile", lib_path)
     if os.path.exists(lib_path):
-        return lib_path
+        try:
+            verify_library(lib_path)
+            return lib_path
+        except IntegrityError as exc:
+            _LOG.warning(
+                "cached kernel library failed verification, "
+                "recompiling: %s",
+                exc,
+            )
+            global_registry().inc("integrity.so_rebuilds")
+            _remove_quietly(lib_path, library_digest_path(lib_path))
     compiler = _find_compiler()
     if compiler is None:
         raise OSError("no C compiler (cc/gcc/clang) on PATH")
     src_path = os.path.join(directory, f"reprokern-{digest}.c")
-    with open(src_path, "w") as handle:
-        handle.write(source)
     tmp_path = f"{lib_path}.{os.getpid()}.tmp"
-    base_cmd = [compiler, "-O3", "-fPIC", "-shared", src_path, "-o",
-                tmp_path]
+    compiled = False
     try:
-        subprocess.run(
-            base_cmd[:1] + ["-march=native"] + base_cmd[1:],
-            check=True,
-            capture_output=True,
-        )
-    except subprocess.CalledProcessError:
-        # Portable fallback: some toolchains reject -march=native.
-        subprocess.run(base_cmd, check=True, capture_output=True)
-    os.replace(tmp_path, lib_path)  # atomic: concurrent builds race safely
+        with open(src_path, "w") as handle:
+            handle.write(source)
+        base_cmd = [compiler, "-O3", "-fPIC", "-shared", src_path,
+                    "-o", tmp_path]
+        try:
+            subprocess.run(
+                base_cmd[:1] + ["-march=native"] + base_cmd[1:],
+                check=True,
+                capture_output=True,
+            )
+        except subprocess.CalledProcessError:
+            # Portable fallback: some toolchains reject -march=native.
+            subprocess.run(base_cmd, check=True, capture_output=True)
+        os.replace(tmp_path, lib_path)  # atomic: concurrent builds race
+        compiled = True
+    finally:
+        if not compiled:
+            # Both compiles failed (or the write itself did): leave no
+            # orphaned source/temp artifacts in the shared cache dir.
+            _remove_quietly(src_path, tmp_path)
+    write_library_digest(lib_path)
     return lib_path
 
 
@@ -328,9 +372,10 @@ class CNativeBackend(KernelBackend):
     def _library(self) -> Optional[ctypes.CDLL]:
         if self._lib is None and self._load_error is None:
             try:
-                self._lib = ctypes.CDLL(
-                    _compile_library(_kernel_source())
-                )
+                lib_path = _compile_library(_kernel_source())
+                # _compile_library digest-verifies cache hits and
+                # sidecars fresh compiles; this is the verified load.
+                self._lib = ctypes.CDLL(lib_path)  # qa503: allow — digest-verified by _compile_library
             except Exception as exc:
                 detail = ""
                 stderr = getattr(exc, "stderr", None)
@@ -339,6 +384,14 @@ class CNativeBackend(KernelBackend):
                 self._load_error = (
                     f"C kernel build failed ({type(exc).__name__}: "
                     f"{exc}{detail})"
+                )
+                # Every kernel call now takes the numpy reference path;
+                # counted so chaos runs can assert the degraded mode.
+                global_registry().inc("backend.reference_fallbacks")
+                _LOG.warning(
+                    "cnative unavailable, serving from the numpy "
+                    "reference: %s",
+                    self._load_error,
                 )
         return self._lib
 

@@ -32,13 +32,28 @@ duplicate resident memory.
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Tuple, TYPE_CHECKING
+from typing import (
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Tuple,
+    TYPE_CHECKING,
+    Union,
+)
 
 from repro.core.allocation import DiskAllocation
 from repro.core.engine import ResponseTimeEngine
+from repro.core.exceptions import IntegrityError
 from repro.core.grid import Grid
+from repro.core.sat import SummedAreaTable
+from repro.obs.log import get_logger
+from repro.obs.metrics import global_registry
+
+_LOG = get_logger("repro.core.cache")
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.shm import SharedAllocationBroker
@@ -69,6 +84,9 @@ class CacheStats:
     shared_hits: int = 0
     #: Freshly built allocations published to the broker.
     publishes: int = 0
+    #: Spilled SATs rebuilt after failing their integrity check
+    #: (:meth:`AllocationCache.mmap_engine`).
+    rebuilds: int = 0
 
     @property
     def requests(self) -> int:
@@ -147,6 +165,7 @@ class AllocationCache:
         self._evictions = 0
         self._shared_hits = 0
         self._publishes = 0
+        self._rebuilds = 0
         self._broker = broker
 
     def set_broker(
@@ -242,6 +261,47 @@ class AllocationCache:
         """The (cached) integral-image engine for the triple."""
         return self._lookup(scheme_name, grid, num_disks).engine
 
+    def mmap_engine(
+        self,
+        scheme_name: str,
+        grid: Grid,
+        num_disks: int,
+        path: Union[str, os.PathLike],
+        byte_budget: Optional[int] = None,
+    ) -> ResponseTimeEngine:
+        """An engine over a spilled SAT, rebuilt in place if corrupt.
+
+        Opens ``path`` through the integrity-verified
+        :meth:`~repro.core.sat.SummedAreaTable.open_mmap`; when the
+        artifact fails its check (truncation, a flipped bit, a torn
+        manifest) the allocation is deterministic (QA405), so the table
+        is simply rebuilt at the same path with
+        :meth:`~repro.core.sat.SummedAreaTable.build_chunked` — logged
+        and counted (``integrity.sat_rebuilds``), never served corrupt.
+        Mmap engines are not held in the LRU: the file is the cache.
+        """
+        try:
+            sat = SummedAreaTable.open_mmap(path)
+        except IntegrityError as exc:
+            _LOG.warning(
+                "spilled SAT %s failed verification, rebuilding: %s",
+                os.fspath(path),
+                exc,
+            )
+            global_registry().inc("integrity.sat_rebuilds")
+            self._rebuilds += 1
+            from repro.core.registry import get_scheme
+
+            sat = SummedAreaTable.build_chunked(
+                get_scheme(scheme_name),
+                grid,
+                int(num_disks),
+                byte_budget=byte_budget,
+                path=path,
+                resume=False,
+            )
+        return ResponseTimeEngine.from_sat(sat)
+
     def stats(self) -> CacheStats:
         """Current counters as an immutable snapshot."""
         return CacheStats(
@@ -252,6 +312,7 @@ class AllocationCache:
             maxsize=self._maxsize,
             shared_hits=self._shared_hits,
             publishes=self._publishes,
+            rebuilds=self._rebuilds,
         )
 
     def entry_report(self) -> List[Dict[str, object]]:
@@ -301,6 +362,7 @@ class AllocationCache:
         registry.set_counter("cache.evictions", stats.evictions)
         registry.set_counter("cache.shared_hits", stats.shared_hits)
         registry.set_counter("cache.publishes", stats.publishes)
+        registry.set_counter("cache.rebuilds", stats.rebuilds)
         registry.set_counter("cache.entries", stats.entries)
         registry.set_counter("cache.maxsize", stats.maxsize)
 
@@ -320,6 +382,7 @@ class AllocationCache:
             "hit_rate": stats.hit_rate,
             "shared_hits": stats.shared_hits,
             "publishes": stats.publishes,
+            "rebuilds": stats.rebuilds,
         }
 
 

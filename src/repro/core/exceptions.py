@@ -14,6 +14,7 @@ __all__ = [
     "DeclusteringError",
     "FaultError",
     "GridError",
+    "IntegrityError",
     "GridFileError",
     "QueryError",
     "RunnerError",
@@ -73,6 +74,19 @@ class BackendError(DeclusteringError):
     is not registered or whose runtime dependency (numba, a C compiler)
     is missing — selecting a backend must fail loudly, never silently
     fall back to a different implementation than the one asked for.
+    """
+
+
+class IntegrityError(DeclusteringError):
+    """A persisted artifact failed its integrity check.
+
+    Raised when a spilled summed-area table, its sidecar manifest, or a
+    cached compiled kernel library does not match its recorded digests —
+    a truncated file, a torn write, or bit rot.  Loading such an
+    artifact silently would produce wrong answers with no error, so the
+    integrity layer (:mod:`repro.core.integrity`) raises this instead;
+    callers with a rebuild path (the allocation cache, the native
+    backend) may catch it, rebuild, and count the recovery.
     """
 
 

@@ -33,23 +33,47 @@ certifies.
 
 from __future__ import annotations
 
+import json
 import os
 import tempfile
-from typing import TYPE_CHECKING, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
 from repro.core.allocation import DiskAllocation
 from repro.core.exceptions import AllocationError, QueryError
 from repro.core.grid import Grid
+from repro.core.integrity import (
+    MANIFEST_SCHEMA_VERSION,
+    SatManifest,
+    atomic_write_json,
+    sha256_hex,
+    verify_sat,
+)
+from repro.faults.io import maybe_io_fault
+from repro.obs.log import get_logger
+from repro.obs.metrics import global_registry
 from repro.obs.trace import trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.schemes.base import DeclusteringScheme
 
+_LOG = get_logger("repro.core.sat")
+
 __all__ = [
     "DEFAULT_BYTE_BUDGET",
     "SummedAreaTable",
+    "build_carry_path",
+    "build_journal_path",
+    "build_partial_path",
     "sat_byte_budget",
     "sat_dtype",
 ]
@@ -87,6 +111,42 @@ def sat_dtype(num_buckets: int) -> np.dtype:
 
 def _padded_shape(num_disks: int, dims: Sequence[int]) -> Tuple[int, ...]:
     return (int(num_disks),) + tuple(int(d) + 1 for d in dims)
+
+
+# ----------------------------------------------------------------------
+# Crash-safe chunked-build sidecars
+# ----------------------------------------------------------------------
+#
+# A chunked build never writes the final path directly.  It writes
+# ``<path>.partial`` plus a tile journal and a carry-plane checkpoint,
+# each updated with an atomic rename after every completed tile, then
+# renames the partial into place.  A SIGKILL at any moment therefore
+# leaves either (a) nothing at the final path plus a resumable
+# partial/journal pair, or (b) the finished table — never a torn file
+# under the real name.
+
+
+def build_partial_path(path: Union[str, os.PathLike]) -> str:
+    """Where a chunked build stages its output before the final rename."""
+    return os.fspath(path) + ".partial"
+
+
+def build_journal_path(path: Union[str, os.PathLike]) -> str:
+    """The tile journal recording how far a chunked build has gotten."""
+    return os.fspath(path) + ".journal.json"
+
+
+def build_carry_path(path: Union[str, os.PathLike]) -> str:
+    """The carry-plane checkpoint matching the journal's last tile."""
+    return os.fspath(path) + ".carry.npy"
+
+
+def _remove_quietly(*paths: str) -> None:
+    for p in paths:
+        try:
+            os.unlink(p)
+        except OSError:
+            pass
 
 
 class SummedAreaTable:
@@ -192,6 +252,86 @@ class SummedAreaTable:
         return int(rows) * per_row + carry
 
     @classmethod
+    def _load_build_journal(
+        cls,
+        path: str,
+        dtype: np.dtype,
+        shape: Tuple[int, ...],
+        scheme_name: str,
+    ) -> Optional[Dict[str, object]]:
+        """A prior interrupted build's journal, validated, or ``None``.
+
+        Returns the journal document only when every identity field
+        (dtype, shape, scheme) matches the requested build, the partial
+        file exists, the tile bookkeeping is self-consistent, and the
+        carry checkpoint's digest matches what the journal recorded —
+        anything less and resuming could not be byte-identical, so the
+        stale sidecars are removed and the build starts fresh.
+        """
+        journal_file = build_journal_path(path)
+        carry_file = build_carry_path(path)
+        partial = build_partial_path(path)
+
+        def _discard(why: str) -> None:
+            _LOG.warning(
+                "discarding unusable build journal for %s: %s", path, why
+            )
+            _remove_quietly(journal_file, carry_file, partial)
+
+        try:
+            with open(journal_file) as handle:
+                journal = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as exc:
+            _discard(f"unreadable ({exc!r})")
+            return None
+        try:
+            ok = (
+                int(journal["schema"]) == MANIFEST_SCHEMA_VERSION
+                and journal["kind"] == "sat-journal"
+                and str(journal["dtype"]) == dtype.str
+                and tuple(journal["shape"]) == shape
+                and str(journal.get("scheme", "")) == scheme_name
+                and int(journal["tile_rows"]) >= 1
+                and 0 < int(journal["next_start"]) <= shape[1] - 1
+                and len(journal["tile_starts"])
+                == len(journal["tile_digests"])
+            )
+        except (KeyError, TypeError, ValueError):
+            ok = False
+        if ok:
+            rows = int(journal["tile_rows"])
+            expected_starts = list(
+                range(0, int(journal["next_start"]), rows)
+            )
+            ok = [int(s) for s in journal["tile_starts"]] == (
+                expected_starts
+            )
+        if not ok:
+            _discard("identity or tile bookkeeping mismatch")
+            return None
+        if not os.path.exists(partial):
+            _discard("partial file is gone")
+            return None
+        try:
+            carry = np.load(carry_file)  # qa503: allow — digest-checked
+            # against the journal on the next line before any use.
+            carry = np.ascontiguousarray(carry)
+        except (OSError, ValueError):
+            _discard("carry checkpoint unreadable")
+            return None
+        if (
+            carry.dtype != dtype
+            or carry.shape != (shape[0],) + shape[2:]
+            or sha256_hex(carry.data) != journal.get("carry_sha256")
+        ):
+            _discard("carry checkpoint does not match the journal")
+            return None
+        journal["carry"] = carry
+        return journal
+
+    @classmethod
     def build_chunked(
         cls,
         scheme: "DeclusteringScheme",
@@ -199,6 +339,7 @@ class SummedAreaTable:
         num_disks: int,
         byte_budget: Optional[int] = None,
         path: Optional[Union[str, os.PathLike]] = None,
+        resume: bool = True,
     ) -> "SummedAreaTable":
         """Tiled build spilling to a memory-mapped ``.npy`` file.
 
@@ -209,7 +350,23 @@ class SummedAreaTable:
         tile, and the leading-axis sum is carried across tiles.  ``path``
         defaults to a fresh temp file (``REPRO_SAT_DIR`` overrides the
         directory); the caller owns the file's lifetime.
+
+        The build is **crash-safe and resumable**: it stages into
+        ``<path>.partial``, journals every completed tile (plus the
+        carry plane) with atomic renames, and only renames the finished
+        table into place.  Killed at any point, a re-run with the same
+        ``path`` picks up from the last journaled tile — reusing the
+        journal's tile size even if the byte budget changed, so the
+        resumed table is byte-identical to an uninterrupted build.
+        ``resume=False`` ignores and removes any prior journal.  Tile
+        digests are streamed into a sidecar manifest that
+        :meth:`open_mmap` verifies (see :mod:`repro.core.integrity`).
+        A build that *raises* cleans up after itself: temp-file builds
+        remove everything they created; explicit-path builds keep the
+        partial + journal pair for a later resume (``repro doctor``
+        reports and can garbage-collect them).
         """
+        owns_temp = path is None
         if path is None:
             directory = os.environ.get(
                 "REPRO_SAT_DIR"
@@ -219,65 +376,238 @@ class SummedAreaTable:
             )
             os.close(fd)
         path = os.fspath(path)
+        partial = build_partial_path(path)
+        journal_file = build_journal_path(path)
+        carry_file = build_carry_path(path)
         dims = grid.dims
         ndim = grid.ndim
         dtype = sat_dtype(grid.num_buckets)
-        rows = cls.tile_rows(grid, num_disks, byte_budget)
-        with trace(
-            "sat.build_chunked",
-            dims=list(dims),
-            num_disks=int(num_disks),
-            tile_rows=rows,
-        ):
-            out = np.lib.format.open_memmap(
-                path,
-                mode="w+",
-                dtype=dtype,
-                shape=_padded_shape(num_disks, dims),
+        shape = _padded_shape(num_disks, dims)
+        scheme_name = getattr(scheme, "name", "") or ""
+        rest_padded = tuple(d + 1 for d in dims[1:])
+
+        journal = None
+        if resume and not owns_temp:
+            journal = cls._load_build_journal(
+                path, dtype, shape, scheme_name
             )
-            rest_padded = tuple(d + 1 for d in dims[1:])
-            carry = np.zeros((num_disks,) + rest_padded, dtype=dtype)
-            disks = np.arange(num_disks)
-            interior = (slice(None), slice(None)) + (
-                slice(1, None),
-            ) * (ndim - 1)
-            for start in range(0, dims[0], rows):
-                stop = min(start + rows, dims[0])
-                block = scheme.disk_array_block(
-                    grid, num_disks, start, stop
+        elif not resume:
+            _remove_quietly(journal_file, carry_file, partial)
+
+        rows = (
+            int(journal["tile_rows"])
+            if journal is not None
+            else cls.tile_rows(grid, num_disks, byte_budget)
+        )
+        out = None
+        try:
+            with trace(
+                "sat.build_chunked",
+                dims=list(dims),
+                num_disks=int(num_disks),
+                tile_rows=rows,
+                resumed=journal is not None,
+            ):
+                if journal is not None:
+                    first_start = int(journal["next_start"])
+                    tile_starts = [
+                        int(s) for s in journal["tile_starts"]
+                    ]
+                    tile_digests = [
+                        str(d) for d in journal["tile_digests"]
+                    ]
+                    carry = journal["carry"]
+                    out = np.lib.format.open_memmap(
+                        partial, mode="r+"
+                    )  # qa503: allow — resuming our own journaled
+                    # partial; identity was validated against the
+                    # journal, and the final table is re-manifested.
+                    if (
+                        out.dtype != dtype
+                        or tuple(out.shape) != shape
+                    ):
+                        raise AllocationError(
+                            f"{partial} does not match its build "
+                            f"journal (dtype {out.dtype}, shape "
+                            f"{tuple(out.shape)})"
+                        )
+                    global_registry().inc("sat.build_resumes")
+                    _LOG.info(
+                        "resuming chunked SAT build of %s at row %d/%d",
+                        path,
+                        first_start,
+                        dims[0],
+                    )
+                else:
+                    first_start = 0
+                    tile_starts = []
+                    tile_digests = []
+                    carry = np.zeros(
+                        (num_disks,) + rest_padded, dtype=dtype
+                    )
+                    out = np.lib.format.open_memmap(
+                        partial,
+                        mode="w+",
+                        dtype=dtype,
+                        shape=shape,
+                    )  # qa503: allow — creating the staged partial
+                    # this build owns; nothing is being trusted.
+                disks = np.arange(num_disks)
+                interior = (slice(None), slice(None)) + (
+                    slice(1, None),
+                ) * (ndim - 1)
+                for start in range(first_start, dims[0], rows):
+                    stop = min(start + rows, dims[0])
+                    block = scheme.disk_array_block(
+                        grid, num_disks, start, stop
+                    )
+                    chunk = np.zeros(
+                        (num_disks, stop - start) + rest_padded,
+                        dtype=dtype,
+                    )
+                    chunk[interior] = block[
+                        np.newaxis
+                    ] == disks.reshape((num_disks,) + (1,) * ndim)
+                    # Trailing axes first, then the tile axis; cumsums
+                    # commute, and this order keeps the carry a single
+                    # plane.
+                    for axis in range(2, ndim + 1):
+                        np.cumsum(chunk, axis=axis, out=chunk)
+                    np.cumsum(chunk, axis=1, out=chunk)
+                    chunk += carry[:, np.newaxis]
+                    carry = np.ascontiguousarray(chunk[:, -1])
+                    out[:, start + 1 : stop + 1] = chunk
+                    # Tile data must be durable before the journal may
+                    # claim it — flush, then checkpoint, then journal.
+                    out.flush()
+                    tile_starts.append(start)
+                    tile_digests.append(sha256_hex(chunk.data))
+                    cls._checkpoint_tile(
+                        journal_file,
+                        carry_file,
+                        carry,
+                        dtype,
+                        shape,
+                        scheme_name,
+                        rows,
+                        stop,
+                        tile_starts,
+                        tile_digests,
+                    )
+                    # Injection point: the fault strikes *between*
+                    # tiles — the just-committed tile is durable, so an
+                    # ``exit``-mode plan is exactly "SIGKILL at a tile
+                    # boundary" and a later run must resume from here.
+                    maybe_io_fault("sat.write", f"tile@{start}")
+                out.flush()
+            # Release the writable mapping, then publish: rename the
+            # finished partial into place, write the manifest, drop the
+            # build sidecars.  A crash between these steps leaves a
+            # valid table that is at worst missing its manifest.
+            del out
+            out = None
+            os.replace(partial, path)
+            SatManifest(
+                dtype=dtype.str,
+                shape=shape,
+                num_disks=int(num_disks),
+                tile_rows=rows,
+                tile_starts=tile_starts,
+                tile_digests=tile_digests,
+                file_bytes=os.path.getsize(path),
+                params={"scheme": scheme_name, "dims": list(dims)},
+            ).write(path)
+            _remove_quietly(journal_file, carry_file)
+        except BaseException:
+            if out is not None:
+                del out
+            if owns_temp:
+                # Nobody holds this path: remove every artifact the
+                # failed build created (the mkstemp placeholder, the
+                # partial, and the build sidecars).
+                _remove_quietly(
+                    path, partial, journal_file, carry_file
                 )
-                chunk = np.zeros(
-                    (num_disks, stop - start) + rest_padded, dtype=dtype
-                )
-                chunk[interior] = block[np.newaxis] == disks.reshape(
-                    (num_disks,) + (1,) * ndim
-                )
-                # Trailing axes first, then the tile axis; cumsums
-                # commute, and this order keeps the carry a single plane.
-                for axis in range(2, ndim + 1):
-                    np.cumsum(chunk, axis=axis, out=chunk)
-                np.cumsum(chunk, axis=1, out=chunk)
-                chunk += carry[:, np.newaxis]
-                carry = np.ascontiguousarray(chunk[:, -1])
-                out[:, start + 1 : stop + 1] = chunk
-            out.flush()
+            raise
         # Reopen read-only: the writable mapping is released and every
         # consumer sees the same immutable view an open_mmap would.
-        del out
-        return cls.open_mmap(path)
+        # Header-level verification only — the manifest was written
+        # from the in-memory digests one rename ago.
+        return cls.open_mmap(path, verify="header")
+
+    @classmethod
+    def _checkpoint_tile(
+        cls,
+        journal_file: str,
+        carry_file: str,
+        carry: np.ndarray,
+        dtype: np.dtype,
+        shape: Tuple[int, ...],
+        scheme_name: str,
+        tile_rows: int,
+        next_start: int,
+        tile_starts: List[int],
+        tile_digests: List[str],
+    ) -> None:
+        """Durably record one completed tile (carry first, then journal).
+
+        Both files are replaced atomically; the journal's carry digest
+        binds the pair, so a crash between the two renames leaves a
+        journal that simply fails validation and resumes one tile
+        earlier.
+        """
+        tmp = f"{carry_file}.{os.getpid()}.tmp"
+        try:
+            with open(tmp, "wb") as handle:
+                np.save(handle, carry)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, carry_file)
+        except BaseException:
+            _remove_quietly(tmp)
+            raise
+        atomic_write_json(
+            journal_file,
+            {
+                "schema": MANIFEST_SCHEMA_VERSION,
+                "kind": "sat-journal",
+                "dtype": dtype.str,
+                "shape": list(shape),
+                "scheme": scheme_name,
+                "tile_rows": int(tile_rows),
+                "next_start": int(next_start),
+                "tile_starts": list(tile_starts),
+                "tile_digests": list(tile_digests),
+                "carry_sha256": sha256_hex(carry.data),
+            },
+        )
 
     @classmethod
     def open_mmap(
-        cls, path: Union[str, os.PathLike]
+        cls,
+        path: Union[str, os.PathLike],
+        verify: Optional[str] = None,
     ) -> "SummedAreaTable":
         """Reopen a spilled table zero-copy (read-only memory map).
 
         The ``.npy`` header carries shape and dtype; the disk count and
         grid extents are recovered from the padded shape, so the path is
         a complete handle.
+
+        The table is checked against its sidecar manifest *before* it is
+        mapped — ``verify`` overrides ``REPRO_VERIFY`` (default
+        ``header``; see :func:`repro.core.integrity.verify_sat`) — and a
+        corrupt artifact raises
+        :class:`~repro.core.exceptions.IntegrityError` rather than ever
+        being loaded.  Tables without a manifest (pre-integrity spills,
+        hand-made fixtures) still open at ``header``, logged and counted
+        as unverified.
         """
         path = os.fspath(path)
-        array = np.load(path, mmap_mode="r")
+        maybe_io_fault("sat.read", path)
+        verify_sat(path, verify)
+        array = np.load(path, mmap_mode="r")  # qa503: allow — this IS
+        # the integrity-verified open; verify_sat ran one line up.
         if array.ndim < 2:
             raise AllocationError(
                 f"{path} does not hold a stacked SAT "

@@ -52,6 +52,7 @@ import numpy as np
 
 from repro.core.allocation import DiskAllocation, table_dtype
 from repro.core.grid import Grid
+from repro.faults.io import maybe_io_fault
 from repro.obs.log import get_logger
 from repro.obs.metrics import global_registry
 from repro.obs.trace import trace
@@ -216,6 +217,7 @@ def attach_allocation(handle: SharedTableHandle) -> DiskAllocation:
     """
     segment = _ATTACHED.get(handle.name)
     if segment is None:
+        maybe_io_fault("shm.attach", handle.name)
         with trace("shm.attach", segment=handle.name):
             segment = _open_segment(handle.name)
         # _ATTACHED is deliberately per-process: each worker ledgers
@@ -333,6 +335,17 @@ class SharedAllocationBroker:
             return attach_allocation(handle)
         except FileNotFoundError:
             return None
+        except OSError as exc:
+            # The segment exists but could not be mapped (EMFILE, a
+            # half-torn-down arena, an injected fault): treat it as a
+            # cache miss — the caller rebuilds privately — but loudly.
+            _LOG.warning(
+                "shm attach of %s failed, rebuilding privately: %r",
+                handle.name,
+                exc,
+            )
+            global_registry().inc("shm.attach_faults")
+            return None
 
     def publish(
         self,
@@ -370,7 +383,20 @@ class SharedAllocationBroker:
             if attached is not None:
                 return attached
             return allocation
-        return attach_allocation(handle)
+        try:
+            return attach_allocation(handle)
+        except OSError as exc:
+            # We just created the segment, so a failed re-attach is a
+            # torn-down arena or an injected fault; the private table
+            # is still correct — serve it and count the degradation.
+            _LOG.warning(
+                "re-attach of freshly published %s failed, serving "
+                "the private table: %r",
+                handle.name,
+                exc,
+            )
+            global_registry().inc("shm.attach_faults")
+            return allocation
 
     def segment_names(self) -> list:
         """Every segment name ever reserved through this broker."""

@@ -1,0 +1,484 @@
+"""``repro doctor``: scan, diagnose, and garbage-collect on-disk artifacts.
+
+The artifact layer leaves three kinds of state on a machine: spilled
+summed-area tables (``repro-sat-*.npy`` plus manifest and, after a
+crash, ``.partial``/``.journal.json``/``.carry.npy`` build sidecars),
+the compiled-kernel cache (``reprokern-*.so`` with digest sidecars, and
+``.c``/``.tmp`` leftovers from failed compiles), and shared-memory
+segments (``repro-shm-*`` under ``/dev/shm``) from runs that died before
+teardown.  The doctor walks all three:
+
+* **report** (default): verify every artifact against its sidecar
+  (:mod:`repro.core.integrity`), classify each finding, and exit
+  non-zero when anything needs attention;
+* **``--gc``**: additionally remove what cannot or should not be kept —
+  corrupt artifacts, orphaned sidecars, failed-compile leftovers,
+  interrupted-build staging sets, stray shared-memory segments.
+  Resumable build sets are reported as such before removal, so an
+  operator who wants the resume simply re-runs the build instead of
+  the doctor.
+
+Classifications:
+
+``corrupt``
+    the artifact contradicts its sidecar (or is structurally broken,
+    e.g. a zero-byte ``.so``) — gc removes it;
+``stale``
+    leftover staging state no live build owns (partials + journals,
+    compile temps, orphaned sidecars, shm segments) — gc removes it;
+``resumable``
+    an interrupted chunked build whose journal still validates — gc
+    removes it, but the report says a re-run would resume it instead;
+``unverified``
+    a pre-integrity artifact with no sidecar — reported, never removed;
+``ok``
+    verified clean (listed only in ``--json`` output).
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.exceptions import IntegrityError
+from repro.core.integrity import (
+    library_digest_path,
+    manifest_path,
+    verify_level,
+    verify_library,
+    verify_sat,
+)
+from repro.core.sat import (
+    build_carry_path,
+    build_journal_path,
+    build_partial_path,
+)
+from repro.obs.log import get_logger
+
+__all__ = [
+    "ArtifactIssue",
+    "DoctorReport",
+    "run_doctor",
+    "scan_native_cache",
+    "scan_sat_artifacts",
+    "scan_shm_segments",
+]
+
+_LOG = get_logger("repro.doctor")
+
+#: Classification ranks for exit-code purposes: anything at or above
+#: ``stale`` makes a plain report exit non-zero.
+_ACTIONABLE = ("corrupt", "stale", "resumable")
+
+
+@dataclass
+class ArtifactIssue:
+    """One classified artifact (see module docstring for the states)."""
+
+    kind: str  #: "sat" | "sat-build" | "native" | "shm"
+    state: str  #: "ok" | "unverified" | "resumable" | "stale" | "corrupt"
+    path: str
+    detail: str
+    #: Files (or the shm segment name) that ``--gc`` would remove.
+    removals: List[str]
+
+    @property
+    def actionable(self) -> bool:
+        return self.state in _ACTIONABLE
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "state": self.state,
+            "path": self.path,
+            "detail": self.detail,
+            "removals": list(self.removals),
+        }
+
+
+def _sat_dir() -> str:
+    return os.environ.get("REPRO_SAT_DIR") or tempfile.gettempdir()
+
+
+def _native_dir() -> str:
+    # Mirrors repro.core.backends.native._cache_dir without importing
+    # the backend (the doctor must run even where ctypes/cc are broken).
+    configured = os.environ.get("REPRO_NATIVE_CACHE")
+    if configured:
+        return configured
+    return os.path.join(
+        tempfile.gettempdir(), f"repro-native-{os.getuid()}"
+    )
+
+
+def _journal_is_resumable(npy_path: str) -> bool:
+    """Whether an interrupted build's sidecars would actually resume.
+
+    A light-weight version of the build's own validation: the journal
+    must parse and its carry/partial files must exist.  The build
+    re-validates digests itself, so the doctor only has to distinguish
+    "a re-run resumes this" from "this is dead weight".
+    """
+    import json
+
+    try:
+        with open(build_journal_path(npy_path)) as handle:
+            journal = json.load(handle)
+        return (
+            journal.get("kind") == "sat-journal"
+            and os.path.exists(build_partial_path(npy_path))
+            and os.path.exists(build_carry_path(npy_path))
+        )
+    except (OSError, ValueError):
+        return False
+
+
+def scan_sat_artifacts(
+    directory: Optional[str] = None, level: Optional[str] = None
+) -> List[ArtifactIssue]:
+    """Classify every spilled SAT and build-staging set in ``directory``.
+
+    Only repro-owned files are considered: ``repro-sat-*`` temp spills,
+    any ``.npy`` with a manifest sidecar, and chunked-build staging
+    sets (``*.partial`` / ``*.journal.json`` / ``*.carry.npy``).
+    """
+    directory = directory or _sat_dir()
+    level = verify_level(level)
+    issues: List[ArtifactIssue] = []
+    if not os.path.isdir(directory):
+        return issues
+
+    tables = {
+        # Carry checkpoints also end in .npy; they belong to the
+        # staging sets below, not the table inventory.
+        path
+        for path in glob.glob(os.path.join(directory, "repro-sat-*.npy"))
+        if not path.endswith(".carry.npy")
+    }
+    for sidecar in glob.glob(
+        os.path.join(directory, "*.npy.manifest.json")
+    ):
+        tables.add(sidecar[: -len(".manifest.json")])
+    staged = set()
+    for pattern in ("*.npy.partial", "*.npy.journal.json",
+                    "*.npy.carry.npy"):
+        for leftover in glob.glob(os.path.join(directory, pattern)):
+            for suffix in (".partial", ".journal.json", ".carry.npy"):
+                if leftover.endswith(suffix):
+                    staged.add(leftover[: -len(suffix)])
+
+    for path in sorted(tables):
+        manifest = manifest_path(path)
+        if not os.path.exists(path):
+            issues.append(
+                ArtifactIssue(
+                    kind="sat",
+                    state="stale",
+                    path=manifest,
+                    detail="manifest without its table",
+                    removals=[manifest],
+                )
+            )
+            continue
+        if not os.path.exists(manifest):
+            issues.append(
+                ArtifactIssue(
+                    kind="sat",
+                    state="unverified",
+                    path=path,
+                    detail="no sidecar manifest (pre-integrity spill)",
+                    removals=[],
+                )
+            )
+            continue
+        try:
+            # The doctor's depth is the caller's REPRO_VERIFY/--verify,
+            # but never weaker than header: an 'off' doctor would be
+            # a scan that scans nothing.
+            verify_sat(path, "header" if level == "off" else level)
+            issues.append(
+                ArtifactIssue(
+                    kind="sat",
+                    state="ok",
+                    path=path,
+                    detail="verified",
+                    removals=[],
+                )
+            )
+        except IntegrityError as exc:
+            issues.append(
+                ArtifactIssue(
+                    kind="sat",
+                    state="corrupt",
+                    path=path,
+                    detail=str(exc),
+                    removals=[path, manifest],
+                )
+            )
+
+    for base in sorted(staged):
+        parts = [
+            p
+            for p in (
+                build_partial_path(base),
+                build_journal_path(base),
+                build_carry_path(base),
+            )
+            if os.path.exists(p)
+        ]
+        if _journal_is_resumable(base):
+            state = "resumable"
+            detail = (
+                "interrupted chunked build; re-running the build for "
+                f"{os.path.basename(base)} resumes it"
+            )
+        else:
+            state = "stale"
+            detail = "dead build staging files (journal unusable)"
+        issues.append(
+            ArtifactIssue(
+                kind="sat-build",
+                state=state,
+                path=base,
+                detail=detail,
+                removals=parts,
+            )
+        )
+    return issues
+
+
+def scan_native_cache(
+    directory: Optional[str] = None, level: Optional[str] = None
+) -> List[ArtifactIssue]:
+    """Classify every cached kernel library and compile leftover."""
+    directory = directory or _native_dir()
+    level = verify_level(level)
+    issues: List[ArtifactIssue] = []
+    if not os.path.isdir(directory):
+        return issues
+
+    libraries = sorted(
+        glob.glob(os.path.join(directory, "reprokern-*.so"))
+    )
+    for lib in libraries:
+        sidecar = library_digest_path(lib)
+        try:
+            if os.path.getsize(lib) == 0:
+                raise IntegrityError("zero-byte shared library")
+            if not os.path.exists(sidecar):
+                issues.append(
+                    ArtifactIssue(
+                        kind="native",
+                        state="unverified",
+                        path=lib,
+                        detail="no digest sidecar (pre-integrity cache)",
+                        removals=[],
+                    )
+                )
+                continue
+            verify_library(lib, "header" if level == "off" else level)
+            issues.append(
+                ArtifactIssue(
+                    kind="native",
+                    state="ok",
+                    path=lib,
+                    detail="verified",
+                    removals=[],
+                )
+            )
+        except (IntegrityError, OSError) as exc:
+            issues.append(
+                ArtifactIssue(
+                    kind="native",
+                    state="corrupt",
+                    path=lib,
+                    detail=str(exc),
+                    removals=[lib, sidecar]
+                    if os.path.exists(sidecar)
+                    else [lib],
+                )
+            )
+
+    lib_stems = {lib[: -len(".so")] for lib in libraries}
+    for leftover in sorted(
+        glob.glob(os.path.join(directory, "reprokern-*.so.*.tmp"))
+    ):
+        issues.append(
+            ArtifactIssue(
+                kind="native",
+                state="stale",
+                path=leftover,
+                detail="temp object from an interrupted compile",
+                removals=[leftover],
+            )
+        )
+    for source in sorted(
+        glob.glob(os.path.join(directory, "reprokern-*.c"))
+    ):
+        if source[: -len(".c")] not in lib_stems:
+            issues.append(
+                ArtifactIssue(
+                    kind="native",
+                    state="stale",
+                    path=source,
+                    detail="kernel source without its library "
+                    "(failed compile)",
+                    removals=[source],
+                )
+            )
+    for sidecar in sorted(
+        glob.glob(os.path.join(directory, "reprokern-*.so.sha256"))
+    ):
+        if sidecar[: -len(".sha256")] not in libraries:
+            issues.append(
+                ArtifactIssue(
+                    kind="native",
+                    state="stale",
+                    path=sidecar,
+                    detail="digest sidecar without its library",
+                    removals=[sidecar],
+                )
+            )
+    return issues
+
+
+def scan_shm_segments() -> List[ArtifactIssue]:
+    """Classify leftover ``repro-shm-*`` segments in ``/dev/shm``.
+
+    Any surviving segment is stale by definition: every orderly run
+    tears its arena down, so what remains belongs to a crashed run.
+    """
+    from repro.core.shm import SHM_NAME_PREFIX, stray_segments
+
+    return [
+        ArtifactIssue(
+            kind="shm",
+            state="stale",
+            path=f"/dev/shm/{name}",
+            detail="shared-memory segment from a crashed run",
+            removals=[name],
+        )
+        for name in stray_segments(SHM_NAME_PREFIX)
+    ]
+
+
+def _gc_issue(issue: ArtifactIssue) -> List[str]:
+    """Remove one issue's artifacts; returns what was actually removed."""
+    removed: List[str] = []
+    if issue.kind == "shm":
+        from repro.core.shm import unlink_segment
+
+        for name in issue.removals:
+            if unlink_segment(name):
+                removed.append(f"/dev/shm/{name}")
+        return removed
+    for path in issue.removals:
+        try:
+            os.unlink(path)
+            removed.append(path)
+        except OSError as exc:
+            _LOG.warning("doctor gc could not remove %s: %r", path, exc)
+    return removed
+
+
+@dataclass
+class DoctorReport:
+    """Everything one doctor run found (and, with gc, removed)."""
+
+    issues: List[ArtifactIssue]
+    removed: List[str]
+    gc: bool
+
+    @property
+    def actionable(self) -> List[ArtifactIssue]:
+        return [issue for issue in self.issues if issue.actionable]
+
+    @property
+    def clean(self) -> bool:
+        return not self.actionable
+
+    def exit_code(self) -> int:
+        """0 when clean or everything actionable was gc'd; 1 otherwise."""
+        if self.clean:
+            return 0
+        if not self.gc:
+            return 1
+        from repro.core.shm import stray_segments
+
+        leftover_segments = set(stray_segments())
+        for issue in self.actionable:
+            for target in issue.removals:
+                if issue.kind == "shm":
+                    if target in leftover_segments:
+                        return 1
+                elif os.path.exists(target):
+                    return 1
+        return 0
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "issues": [issue.to_json() for issue in self.issues],
+            "removed": list(self.removed),
+            "gc": self.gc,
+            "clean": self.clean,
+        }
+
+    def render(self) -> str:
+        lines: List[str] = []
+        reported = [i for i in self.issues if i.state != "ok"]
+        ok_count = len(self.issues) - len(reported)
+        for issue in reported:
+            lines.append(
+                f"[{issue.state:>10s}] {issue.kind:<9s} {issue.path}"
+                f" — {issue.detail}"
+            )
+        if self.gc and self.removed:
+            lines.append(f"gc: removed {len(self.removed)} artifact(s)")
+            for path in self.removed:
+                lines.append(f"  removed {path}")
+        if not reported:
+            lines.append(
+                f"doctor: clean ({ok_count} verified artifact(s), "
+                f"no leftovers)"
+            )
+        else:
+            lines.append(
+                f"doctor: {len(reported)} finding(s), "
+                f"{ok_count} verified artifact(s)"
+            )
+        return "\n".join(lines)
+
+
+def run_doctor(
+    sat_dir: Optional[str] = None,
+    native_cache: Optional[str] = None,
+    level: Optional[str] = None,
+    gc: bool = False,
+    scanners: Optional[
+        List[Callable[[], List[ArtifactIssue]]]
+    ] = None,
+) -> DoctorReport:
+    """Scan all artifact stores, optionally garbage-collecting.
+
+    ``scanners`` overrides the scan list (tests inject single scans);
+    the default covers SAT spills, the native kernel cache, and
+    ``/dev/shm``.
+    """
+    if scanners is None:
+        scanners = [
+            lambda: scan_sat_artifacts(sat_dir, level),
+            lambda: scan_native_cache(native_cache, level),
+            scan_shm_segments,
+        ]
+    issues: List[ArtifactIssue] = []
+    for scan in scanners:
+        issues.extend(scan())
+    removed: List[str] = []
+    if gc:
+        for issue in issues:
+            if issue.actionable:
+                removed.extend(_gc_issue(issue))
+    return DoctorReport(issues=issues, removed=removed, gc=gc)

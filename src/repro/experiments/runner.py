@@ -337,8 +337,9 @@ def _init_worker_broker(
     broker,
     backend: Optional[str] = None,
     sat_budget: Optional[int] = None,
+    verify: Optional[str] = None,
 ) -> None:
-    """Pool initializer: broker, kernel backend, and SAT byte budget.
+    """Pool initializer: broker, backend, SAT budget, verify level.
 
     Runs in the worker before any experiment; module-level so it pickles
     under spawn.  Workers hold the pristine default scheme registry, so
@@ -350,7 +351,10 @@ def _init_worker_broker(
     the requested backend (no compiler, no numba) fails at pool startup
     instead of silently computing on a different implementation than the
     parent.  ``sat_budget`` propagates the chunked-SAT working-memory
-    budget the same way.
+    budget the same way, and ``verify`` the parent's resolved
+    artifact-verification depth (``REPRO_VERIFY``) — workers must check
+    spilled tables and cached kernels exactly as strictly as the parent
+    would.
     """
     import os
 
@@ -367,6 +371,10 @@ def _init_worker_broker(
         from repro.core.sat import BYTE_BUDGET_ENV
 
         os.environ[BYTE_BUDGET_ENV] = str(int(sat_budget))
+    if verify is not None:
+        from repro.core.integrity import VERIFY_ENV
+
+        os.environ[VERIFY_ENV] = verify
 
 
 def _terminate_pool(pool: ProcessPoolExecutor) -> None:
@@ -413,6 +421,7 @@ def _run_parallel(
     # The initializer always runs — even without an arena the workers
     # must inherit the parent's backend choice and SAT byte budget.
     from repro.core.backends import active_backend_name
+    from repro.core.integrity import verify_level
     from repro.core.sat import sat_byte_budget
 
     initargs = {
@@ -421,6 +430,7 @@ def _run_parallel(
             arena.broker if arena is not None else None,
             active_backend_name(),
             sat_byte_budget(),
+            verify_level(),
         ),
     }
     try:

@@ -9,7 +9,10 @@ experiment runner itself must degrade gracefully.  Three pieces:
 * :mod:`repro.faults.degraded` — availability and degraded response-time
   semantics for unreplicated and replicated allocations;
 * :mod:`repro.faults.injection` — crash/hang injection for the runner's
-  own worker processes (chaos testing the self-healing paths).
+  own worker processes (chaos testing the self-healing paths);
+* :mod:`repro.faults.io` — I/O-level injection points inside the
+  artifact layer (SAT spills, kernel compiles, shm attaches), driving
+  the integrity/recovery chaos tests.
 """
 
 from repro.faults.degraded import (
@@ -26,6 +29,11 @@ from repro.faults.injection import (
     RunnerFaultPlan,
     maybe_inject_runner_fault,
 )
+from repro.faults.io import (
+    InjectedIOFault,
+    IoFaultPlan,
+    maybe_io_fault,
+)
 from repro.faults.models import (
     FailStop,
     Fault,
@@ -40,6 +48,8 @@ __all__ = [
     "FaultInjector",
     "FaultScenario",
     "InjectedFault",
+    "InjectedIOFault",
+    "IoFaultPlan",
     "RunnerFaultPlan",
     "Slowdown",
     "availability",
@@ -47,6 +57,7 @@ __all__ = [
     "degraded_optimal_response_time",
     "degraded_response_time",
     "maybe_inject_runner_fault",
+    "maybe_io_fault",
     "query_is_available",
     "replicated_availability",
     "replicated_query_is_available",

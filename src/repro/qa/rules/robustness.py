@@ -26,6 +26,15 @@ suppresses the finding, but only when a non-empty reason follows the
 point is that the waiver documents *why*.  The same mechanism (shared
 via :func:`repro.qa.rules.pragma_status`) backs the QA6xx/QA7xx flow
 rules.
+
+* **QA503** — loading a cache-controlled artifact (``np.load``,
+  ``open_memmap``, ``ctypes.CDLL``) anywhere outside the
+  integrity-verified helpers (:mod:`repro.core.integrity`).  A mapped
+  ``.npy`` or a ``CDLL``-loaded ``.so`` that skipped verification is
+  exactly the silent-wrong-answers path the integrity layer exists to
+  close; the few legitimate call sites (the verified open itself, a
+  build writing its own staged partial) carry a reasoned
+  ``# qa503: allow — <why>`` waiver on the call's first or last line.
 """
 
 from __future__ import annotations
@@ -45,6 +54,7 @@ from repro.qa.rules import (
 __all__ = [
     "BareExceptRule",
     "SilentBroadExceptRule",
+    "UnverifiedArtifactLoadRule",
 ]
 
 #: Exception names whose silent swallowing is always a hazard.
@@ -131,3 +141,66 @@ class SilentBroadExceptRule(LintRule):
                     "failure silently; record, retry, re-raise, or narrow "
                     "the exception type",
                 )
+
+
+#: Dotted call names that load cache-controlled artifacts.  Exact
+#: matches only — a generic ``.load`` suffix would flag ``json.load``
+#: and friends, which carry no integrity contract here.
+_ARTIFACT_LOADERS = {
+    "np.load",
+    "numpy.load",
+    "CDLL",
+    "ctypes.CDLL",
+    "open_memmap",
+    "np.lib.format.open_memmap",
+    "numpy.lib.format.open_memmap",
+}
+
+#: The module allowed to perform raw artifact reads: it IS the verifier.
+_INTEGRITY_MODULE = "repro/core/integrity.py"
+
+
+@register_rule
+class UnverifiedArtifactLoadRule(LintRule):
+    """QA503: no raw artifact loads outside the integrity layer."""
+
+    rule_id = "QA503"
+    title = "artifact loaded without integrity verification"
+    severity = Severity.ERROR
+
+    def check_module(
+        self, module: ModuleSource, project: Project
+    ) -> Iterable[Finding]:
+        if module.path.endswith(_INTEGRITY_MODULE):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted not in _ARTIFACT_LOADERS:
+                continue
+            # The waiver may sit on the call's first or last physical
+            # line — multi-line calls put the closing paren (and the
+            # room for a comment) on a different line than the name.
+            suppressed, replacement = self.pragma_gate(
+                module, node.lineno
+            )
+            if not suppressed and replacement is None:
+                end = getattr(node, "end_lineno", None)
+                if end is not None and end != node.lineno:
+                    suppressed, replacement = self.pragma_gate(
+                        module, end
+                    )
+            if replacement is not None:
+                yield replacement
+                continue
+            if suppressed:
+                continue
+            yield self.finding(
+                module.path,
+                node.lineno,
+                f"{dotted} on a cache-controlled artifact bypasses "
+                f"integrity verification; go through "
+                f"repro.core.integrity / SummedAreaTable.open_mmap, or "
+                f"waive with '# qa503: allow — <why this is safe>'",
+            )

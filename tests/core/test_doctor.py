@@ -1,0 +1,296 @@
+"""``repro doctor``: artifact scans, classifications, gc, exit codes."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.grid import Grid
+from repro.core.integrity import (
+    library_digest_path,
+    manifest_path,
+    write_library_digest,
+)
+from repro.core.registry import get_scheme
+from repro.core.sat import (
+    SummedAreaTable,
+    build_carry_path,
+    build_journal_path,
+    build_partial_path,
+)
+from repro.doctor import (
+    ArtifactIssue,
+    _journal_is_resumable,
+    run_doctor,
+    scan_native_cache,
+    scan_sat_artifacts,
+)
+
+GRID = Grid((8, 5))
+DISKS = 2
+
+
+def _build_sat(directory, name="repro-sat-t.npy"):
+    path = os.path.join(str(directory), name)
+    sat = SummedAreaTable.build_chunked(
+        get_scheme("dm"), GRID, DISKS, path=path
+    )
+    sat.close()
+    return path
+
+
+def _states(issues):
+    return {issue.path: issue.state for issue in issues}
+
+
+class TestSatScan:
+    def test_verified_table_is_ok(self, tmp_path):
+        path = _build_sat(tmp_path)
+        issues = scan_sat_artifacts(str(tmp_path))
+        assert _states(issues) == {path: "ok"}
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert scan_sat_artifacts(str(tmp_path / "nope")) == []
+
+    def test_corrupt_table_lists_its_removals(self, tmp_path):
+        path = _build_sat(tmp_path)
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) - 64)
+        (issue,) = scan_sat_artifacts(str(tmp_path))
+        assert issue.state == "corrupt"
+        assert set(issue.removals) == {path, manifest_path(path)}
+
+    def test_bitflip_found_at_full_depth_only(self, tmp_path):
+        path = _build_sat(tmp_path)
+        with open(path, "r+b") as handle:
+            handle.seek(os.path.getsize(path) - 11)
+            byte = handle.read(1)
+            handle.seek(-1, os.SEEK_CUR)
+            handle.write(bytes([byte[0] ^ 0x20]))
+        (header,) = scan_sat_artifacts(str(tmp_path), level="header")
+        assert header.state == "ok"  # size/shape still agree
+        (full,) = scan_sat_artifacts(str(tmp_path), level="full")
+        assert full.state == "corrupt"
+
+    def test_off_level_is_floored_to_header(self, tmp_path):
+        # An 'off' doctor would scan nothing; truncation must still show.
+        path = _build_sat(tmp_path)
+        with open(path, "r+b") as handle:
+            handle.truncate(128)
+        (issue,) = scan_sat_artifacts(str(tmp_path), level="off")
+        assert issue.state == "corrupt"
+
+    def test_manifestless_spill_is_unverified_not_removed(
+        self, tmp_path
+    ):
+        path = _build_sat(tmp_path)
+        os.unlink(manifest_path(path))
+        (issue,) = scan_sat_artifacts(str(tmp_path))
+        assert issue.state == "unverified"
+        assert issue.removals == []
+
+    def test_orphan_manifest_is_stale(self, tmp_path):
+        path = _build_sat(tmp_path)
+        os.unlink(path)
+        (issue,) = scan_sat_artifacts(str(tmp_path))
+        assert issue.state == "stale"
+        assert issue.removals == [manifest_path(path)]
+
+    def test_interrupted_build_is_resumable(self, tmp_path, monkeypatch):
+        path = os.path.join(str(tmp_path), "repro-sat-k.npy")
+        monkeypatch.setenv("REPRO_IO_FAULTS", "sat.write:1")
+        monkeypatch.setenv(
+            "REPRO_IO_FAULTS_STATE", str(tmp_path / "state")
+        )
+        with pytest.raises(OSError):
+            SummedAreaTable.build_chunked(
+                get_scheme("dm"), Grid((12, 6)), 3,
+                byte_budget=400, path=path,
+            )
+        monkeypatch.delenv("REPRO_IO_FAULTS")
+        (issue,) = scan_sat_artifacts(str(tmp_path))
+        assert issue.kind == "sat-build"
+        assert issue.state == "resumable"
+        assert set(issue.removals) == {
+            build_partial_path(path),
+            build_journal_path(path),
+            build_carry_path(path),
+        }
+
+    def test_dead_staging_files_are_stale(self, tmp_path):
+        base = os.path.join(str(tmp_path), "repro-sat-d.npy")
+        with open(build_partial_path(base), "wb") as handle:
+            handle.write(b"torn")
+        with open(build_journal_path(base), "w") as handle:
+            handle.write("{not json")
+        (issue,) = scan_sat_artifacts(str(tmp_path))
+        assert issue.state == "stale"
+        assert set(issue.removals) == {
+            build_partial_path(base),
+            build_journal_path(base),
+        }
+
+
+class TestJournalResumable:
+    def test_requires_parse_and_companions(self, tmp_path):
+        base = os.path.join(str(tmp_path), "t.npy")
+        assert not _journal_is_resumable(base)  # no journal at all
+        with open(build_journal_path(base), "w") as handle:
+            json.dump({"kind": "sat-journal"}, handle)
+        assert not _journal_is_resumable(base)  # partial/carry missing
+        with open(build_partial_path(base), "wb") as handle:
+            handle.write(b"x")
+        with open(build_carry_path(base), "wb") as handle:
+            handle.write(b"x")
+        assert _journal_is_resumable(base)
+        with open(build_journal_path(base), "w") as handle:
+            json.dump({"kind": "something-else"}, handle)
+        assert not _journal_is_resumable(base)
+
+
+class TestNativeScan:
+    def test_verified_library_is_ok(self, tmp_path):
+        lib = str(tmp_path / "reprokern-abc.so")
+        with open(lib, "wb") as handle:
+            handle.write(b"\x7fELF fake")
+        write_library_digest(lib)
+        (issue,) = scan_native_cache(str(tmp_path))
+        assert issue.state == "ok"
+
+    def test_zero_byte_library_is_corrupt(self, tmp_path):
+        lib = str(tmp_path / "reprokern-abc.so")
+        open(lib, "wb").close()
+        (issue,) = scan_native_cache(str(tmp_path))
+        assert issue.state == "corrupt"
+        assert issue.removals == [lib]
+
+    def test_modified_library_is_corrupt(self, tmp_path):
+        lib = str(tmp_path / "reprokern-abc.so")
+        with open(lib, "wb") as handle:
+            handle.write(b"\x7fELF fake")
+        write_library_digest(lib)
+        with open(lib, "ab") as handle:
+            handle.write(b"!")
+        (issue,) = scan_native_cache(str(tmp_path))
+        assert issue.state == "corrupt"
+        assert set(issue.removals) == {lib, library_digest_path(lib)}
+
+    def test_sidecarless_library_is_unverified(self, tmp_path):
+        lib = str(tmp_path / "reprokern-abc.so")
+        with open(lib, "wb") as handle:
+            handle.write(b"\x7fELF fake")
+        (issue,) = scan_native_cache(str(tmp_path))
+        assert issue.state == "unverified"
+        assert issue.removals == []
+
+    def test_compile_leftovers_are_stale(self, tmp_path):
+        tmp = str(tmp_path / "reprokern-abc.so.123.tmp")
+        src = str(tmp_path / "reprokern-abc.c")
+        orphan = str(tmp_path / "reprokern-def.so.sha256")
+        for leftover in (tmp, src):
+            with open(leftover, "wb") as handle:
+                handle.write(b"x")
+        with open(orphan, "w") as handle:
+            json.dump({"schema": 1, "kind": "library",
+                       "sha256": "0" * 64}, handle)
+        states = _states(scan_native_cache(str(tmp_path)))
+        assert states == {tmp: "stale", src: "stale", orphan: "stale"}
+
+    def test_source_with_library_is_kept(self, tmp_path):
+        lib = str(tmp_path / "reprokern-abc.so")
+        with open(lib, "wb") as handle:
+            handle.write(b"\x7fELF fake")
+        write_library_digest(lib)
+        with open(str(tmp_path / "reprokern-abc.c"), "w") as handle:
+            handle.write("int x;")
+        states = set(_states(scan_native_cache(str(tmp_path))).values())
+        assert states == {"ok"}
+
+
+class TestRunDoctor:
+    def test_clean_report_exits_zero(self, tmp_path):
+        _build_sat(tmp_path)
+        report = run_doctor(scanners=[
+            lambda: scan_sat_artifacts(str(tmp_path)),
+        ])
+        assert report.clean
+        assert report.exit_code() == 0
+        assert "clean" in report.render()
+
+    def test_findings_without_gc_exit_one(self, tmp_path):
+        path = _build_sat(tmp_path)
+        with open(path, "r+b") as handle:
+            handle.truncate(128)
+        report = run_doctor(scanners=[
+            lambda: scan_sat_artifacts(str(tmp_path)),
+        ])
+        assert not report.clean
+        assert report.removed == []
+        assert report.exit_code() == 1
+
+    def test_gc_removes_and_exits_zero(self, tmp_path):
+        path = _build_sat(tmp_path)
+        with open(path, "r+b") as handle:
+            handle.truncate(128)
+        report = run_doctor(
+            gc=True,
+            scanners=[lambda: scan_sat_artifacts(str(tmp_path))],
+        )
+        assert set(report.removed) == {path, manifest_path(path)}
+        assert not os.path.exists(path)
+        assert report.exit_code() == 0
+        # Unverified artifacts are never gc targets.
+        assert all(i.state != "unverified" for i in report.actionable)
+
+    def test_gc_failure_keeps_nonzero_exit(self, tmp_path):
+        # Simulate EPERM-style gc failure: the removal target still
+        # exists when exit_code() re-checks, so the doctor stays loud.
+        survivor = str(tmp_path / "keep.bin")
+        stubborn = ArtifactIssue(
+            kind="sat",
+            state="corrupt",
+            path=survivor,
+            detail="test double whose target outlives gc",
+            removals=[survivor],
+        )
+        report = run_doctor(gc=True, scanners=[lambda: [stubborn]])
+        with open(survivor, "wb") as handle:
+            handle.write(b"x")
+        assert report.exit_code() == 1
+
+    def test_json_payload_shape(self, tmp_path):
+        path = _build_sat(tmp_path)
+        os.unlink(manifest_path(path))
+        report = run_doctor(scanners=[
+            lambda: scan_sat_artifacts(str(tmp_path)),
+        ])
+        payload = report.to_json()
+        assert payload["clean"] is True  # unverified is not actionable
+        (issue,) = payload["issues"]
+        assert issue["state"] == "unverified"
+        assert issue["removals"] == []
+
+
+class TestDoctorCli:
+    def test_cli_scan_and_gc(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = _build_sat(tmp_path)
+        with open(path, "r+b") as handle:
+            handle.truncate(128)
+        code = main([
+            "doctor", "--sat-dir", str(tmp_path),
+            "--native-cache", str(tmp_path / "no-cache"), "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["clean"] is False
+
+        code = main([
+            "doctor", "--sat-dir", str(tmp_path),
+            "--native-cache", str(tmp_path / "no-cache"), "--gc",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "removed" in out
+        assert not os.path.exists(path)

@@ -1,0 +1,156 @@
+"""The ``REPRO_IO_FAULTS`` plan: grammar, counting, injection points."""
+
+import os
+
+import pytest
+
+from repro.core.exceptions import FaultError
+from repro.core.grid import Grid
+from repro.core.registry import get_scheme
+from repro.core.sat import SummedAreaTable
+from repro.faults.io import (
+    IO_FAULTS_ENV,
+    IO_FAULTS_STATE_ENV,
+    InjectedIOFault,
+    IoFaultPlan,
+    maybe_io_fault,
+)
+
+
+class TestPlanParsing:
+    def test_defaults(self):
+        plan = IoFaultPlan.from_spec("sat.read")
+        with pytest.raises(InjectedIOFault):
+            plan.apply("sat.read")
+
+    def test_times_without_mode(self, tmp_path):
+        plan = IoFaultPlan.from_spec("compile:2", str(tmp_path))
+        for _ in range(2):
+            with pytest.raises(InjectedIOFault):
+                plan.apply("compile")
+        plan.apply("compile")  # third hit passes
+
+    def test_mode_and_times(self, tmp_path):
+        plan = IoFaultPlan.from_spec(
+            "shm.attach:error:1", str(tmp_path)
+        )
+        with pytest.raises(InjectedIOFault):
+            plan.apply("shm.attach")
+        plan.apply("shm.attach")
+
+    def test_multiple_entries(self):
+        plan = IoFaultPlan.from_spec("sat.read; sat.write:2")
+        with pytest.raises(InjectedIOFault):
+            plan.apply("sat.read")
+        with pytest.raises(InjectedIOFault):
+            plan.apply("sat.write")
+        plan.apply("compile")  # not in the plan
+
+    def test_unknown_point_rejected(self):
+        with pytest.raises(FaultError, match="unknown I/O fault point"):
+            IoFaultPlan.from_spec("sat.rite")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(FaultError, match="unknown I/O fault mode"):
+            IoFaultPlan.from_spec("sat.read:explode")
+
+    def test_nonpositive_times_rejected(self):
+        with pytest.raises(FaultError, match="at least once"):
+            IoFaultPlan.from_spec("sat.read:error:0")
+
+    def test_injected_fault_is_oserror(self):
+        # Recovery paths must not be able to special-case chaos.
+        assert issubclass(InjectedIOFault, OSError)
+
+
+class TestEnvironmentPlan:
+    def test_absent_env_is_noop(self, monkeypatch):
+        monkeypatch.delenv(IO_FAULTS_ENV, raising=False)
+        maybe_io_fault("sat.read")  # no plan, no fault
+
+    def test_env_plan_fires(self, monkeypatch):
+        monkeypatch.setenv(IO_FAULTS_ENV, "sat.read")
+        with pytest.raises(InjectedIOFault):
+            maybe_io_fault("sat.read")
+
+    def test_state_survives_plan_reconstruction(
+        self, monkeypatch, tmp_path
+    ):
+        # maybe_io_fault builds a fresh plan per call — exactly what a
+        # spawned worker does — so the state file carries the count.
+        monkeypatch.setenv(IO_FAULTS_ENV, "sat.read:1")
+        monkeypatch.setenv(IO_FAULTS_STATE_ENV, str(tmp_path))
+        with pytest.raises(InjectedIOFault):
+            maybe_io_fault("sat.read")
+        maybe_io_fault("sat.read")  # budget spent
+
+
+class TestInjectionPoints:
+    def test_sat_read_point(self, monkeypatch, tmp_path):
+        path = str(tmp_path / "t.npy")
+        sat = SummedAreaTable.build_chunked(
+            get_scheme("dm"), Grid((6, 4)), 2, path=path
+        )
+        sat.close()
+        monkeypatch.setenv(IO_FAULTS_ENV, "sat.read")
+        with pytest.raises(InjectedIOFault):
+            SummedAreaTable.open_mmap(path)
+
+    def test_sat_write_point_keeps_resumable_state(
+        self, monkeypatch, tmp_path
+    ):
+        from repro.core.sat import (
+            build_journal_path,
+            build_partial_path,
+        )
+
+        path = str(tmp_path / "t.npy")
+        monkeypatch.setenv(IO_FAULTS_ENV, "sat.write:1")
+        monkeypatch.setenv(
+            IO_FAULTS_STATE_ENV, str(tmp_path / "state")
+        )
+        with pytest.raises(InjectedIOFault):
+            SummedAreaTable.build_chunked(
+                get_scheme("dm"), Grid((12, 6)), 3,
+                byte_budget=400, path=path,
+            )
+        assert os.path.exists(build_partial_path(path))
+        assert os.path.exists(build_journal_path(path))
+        # The fault budget is spent: the next build resumes and lands.
+        sat = SummedAreaTable.build_chunked(
+            get_scheme("dm"), Grid((12, 6)), 3,
+            byte_budget=400, path=path,
+        )
+        sat.close()
+        assert os.path.exists(path)
+
+    def test_compile_point(self, monkeypatch, tmp_path):
+        from repro.core.backends.native import _compile_library
+
+        monkeypatch.setenv(
+            "REPRO_NATIVE_CACHE", str(tmp_path / "cache")
+        )
+        monkeypatch.setenv(IO_FAULTS_ENV, "compile")
+        with pytest.raises(InjectedIOFault):
+            _compile_library("int x;")
+
+    def test_shm_attach_point_degrades_to_private_build(
+        self, monkeypatch
+    ):
+        shm = pytest.importorskip("repro.core.shm")
+        arena = shm.SharedAllocationArena.try_create()
+        if arena is None:
+            pytest.skip("no shared-memory support here")
+        try:
+            grid = Grid((6, 6))
+            allocation = get_scheme("dm").allocate(grid, 2)
+            arena.broker.publish("dm", grid, 2, allocation)
+            shm.detach_all()
+            monkeypatch.setenv(IO_FAULTS_ENV, "shm.attach")
+            # The broker treats the failed attach as a miss: the
+            # caller gets None and rebuilds privately.
+            assert arena.broker.get("dm", grid, 2) is None
+        finally:
+            monkeypatch.delenv(IO_FAULTS_ENV, raising=False)
+            shm.detach_all()
+            arena.close()
