@@ -20,7 +20,11 @@ written by ``repro-decluster experiment`` are well-formed:
   aggregate counter must be present with at least ``MIN`` (default 1)
   — the chaos leg uses this to prove recovery paths actually fired
   (``shm.attach_faults``, ``integrity.sat_rebuilds``, ...), not merely
-  that the run survived.
+  that the run survived;
+* with ``--counters-only``, only the metrics document layout and the
+  ``--expect-counter`` expectations are checked — for exports written
+  by non-experiment processes (the parallel-build chaos smoke passes
+  the metrics file as the sole positional).
 
 Usage::
 
@@ -126,24 +130,36 @@ def parse_counter_expectation(spec):
     return name, int(minimum) if minimum else 1
 
 
-def check_metrics(path, errors, expect_retry, expect_counters=()):
+def check_metrics(path, errors, expect_retry, expect_counters=(),
+                  full=True):
+    """Validate a ``--metrics-out`` document.
+
+    ``full=False`` (the ``--counters-only`` mode) keeps the layout and
+    ``--expect-counter`` checks but drops the experiment-runner
+    requirements (cache counters, per-experiment histograms) — for
+    exports written by processes that aren't experiment runs, e.g. the
+    parallel-build chaos smoke.
+    """
     document = load_metrics(path)
     for section in ("aggregate", "parent", "processes"):
         if section not in document:
             errors.append(f"{path}: missing section {section!r}")
             return
     counters = document["aggregate"].get("counters", {})
-    for name in ("cache.hits", "cache.misses"):
-        if name not in counters:
-            errors.append(f"{path}: aggregate counter {name!r} missing")
     histograms = document["aggregate"].get("histograms", {})
     timed = [
         name
         for name in histograms
         if name.startswith("experiment.") and name.endswith(".seconds")
     ]
-    if not timed:
-        errors.append(f"{path}: no experiment.*.seconds histograms")
+    if full:
+        for name in ("cache.hits", "cache.misses"):
+            if name not in counters:
+                errors.append(
+                    f"{path}: aggregate counter {name!r} missing"
+                )
+        if not timed:
+            errors.append(f"{path}: no experiment.*.seconds histograms")
     if expect_retry and counters.get("runner.retries", 0) < 1:
         errors.append(
             f"{path}: expected runner.retries >= 1, got "
@@ -165,9 +181,20 @@ def check_metrics(path, errors, expect_retry, expect_counters=()):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("trace", help="JSONL file written by --trace")
+    parser.add_argument("trace", help="JSONL file written by --trace "
+                        "(with --counters-only: the metrics file)")
     parser.add_argument(
-        "metrics", help="JSON file written by --metrics-out"
+        "metrics",
+        nargs="?",
+        help="JSON file written by --metrics-out",
+    )
+    parser.add_argument(
+        "--counters-only",
+        action="store_true",
+        help="validate only the metrics document layout and "
+        "--expect-counter expectations; no trace file and no "
+        "experiment-runner requirements (usage: check_obs_output.py "
+        "--counters-only metrics.json --expect-counter NAME:MIN)",
     )
     parser.add_argument(
         "--expect-retry",
@@ -192,16 +219,28 @@ def main(argv=None) -> int:
         parser.error(str(exc))
 
     errors = []
-    try:
-        check_trace(args.trace, errors, args.expect_retry)
-    except (OSError, ValueError, json.JSONDecodeError) as exc:
-        errors.append(f"{args.trace}: {exc}")
-    try:
-        check_metrics(
-            args.metrics, errors, args.expect_retry, expect_counters
-        )
-    except (OSError, ValueError, json.JSONDecodeError) as exc:
-        errors.append(f"{args.metrics}: {exc}")
+    if args.counters_only:
+        metrics_path = args.metrics or args.trace
+        try:
+            check_metrics(
+                metrics_path, errors, args.expect_retry,
+                expect_counters, full=False,
+            )
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            errors.append(f"{metrics_path}: {exc}")
+    else:
+        if args.metrics is None:
+            parser.error("metrics file required unless --counters-only")
+        try:
+            check_trace(args.trace, errors, args.expect_retry)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            errors.append(f"{args.trace}: {exc}")
+        try:
+            check_metrics(
+                args.metrics, errors, args.expect_retry, expect_counters
+            )
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            errors.append(f"{args.metrics}: {exc}")
 
     if errors:
         for error in errors:

@@ -1,0 +1,186 @@
+#!/usr/bin/env python
+"""CI chaos smoke for the two-phase parallel SAT build.
+
+A 4-worker :meth:`repro.core.sat.SummedAreaTable.build_chunked` runs in
+a subprocess with ``REPRO_IO_FAULTS=sat.write:exit:1`` armed — the
+first worker to commit a phase-1 shard dies mid-build (the
+deterministic stand-in for an OOM-killed or segfaulting worker).  The
+parent build must survive the :class:`BrokenProcessPool`, re-pool, and
+finish in the same run, producing a file byte-identical to an
+uninterrupted serial reference build.
+
+The subprocess exports its metrics registry so the recovery path is
+externally provable: ``check_all.sh`` feeds the file to
+``check_obs_output.py --counters-only --expect-counter
+sat.build.worker_deaths:1`` (and ``sat.build.parallel_builds:1``) —
+the gate fails if the build merely survived without the worker-death
+recovery machinery firing.
+
+Usage::
+
+    PYTHONPATH=src python scripts/smoke_parallel_build.py \
+        [--metrics-out FILE]
+"""
+
+import argparse
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+_REPO = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(_REPO / "src"))
+
+from repro.core.integrity import file_sha256  # noqa: E402
+from repro.faults.io import (  # noqa: E402
+    IO_FAULTS_ENV,
+    IO_FAULTS_STATE_ENV,
+)
+
+__all__ = ['main']
+
+GRID_DIMS = (48, 24, 24)
+DISKS = 4
+#: Small enough for several tiles on GRID_DIMS, so shards really fan out.
+BYTE_BUDGET = 256 * 1024
+WORKERS = 4
+
+#: The build driver is written to a real file with a ``__main__``
+#: guard: spawn workers re-import ``__main__``, and an unguarded
+#: driver would re-run the build inside every worker's bootstrap.
+_BUILD_SCRIPT = """\
+import sys
+
+def main():
+    from repro.core.grid import Grid
+    from repro.core.registry import get_scheme
+    from repro.core.sat import SummedAreaTable
+    from repro.obs.metrics import global_registry
+
+    sat = SummedAreaTable.build_chunked(
+        get_scheme("dm"), Grid({dims}), {disks},
+        byte_budget={budget}, path=sys.argv[1], workers={workers},
+    )
+    sat.close()
+    if len(sys.argv) > 2:
+        global_registry().write_json(sys.argv[2])
+    print("BUILD-OK")
+
+if __name__ == "__main__":
+    main()
+"""
+
+#: Generous ceiling for one build subprocess; spawn startup on a slow
+#: single-core runner dominates, the build itself is small.
+BUILD_TIMEOUT_SECONDS = 600
+
+
+class _BuildResult:
+    def __init__(self, returncode: int, stdout: str, stderr: str):
+        self.returncode = returncode
+        self.stdout = stdout
+        self.stderr = stderr
+
+
+def _run_build(
+    workdir: str,
+    path: str,
+    workers: int,
+    env_overrides: dict,
+    metrics_out: str = "",
+) -> "_BuildResult":
+    env = dict(os.environ)
+    env.pop(IO_FAULTS_ENV, None)
+    env.pop(IO_FAULTS_STATE_ENV, None)
+    env.update(env_overrides)
+    env["PYTHONPATH"] = str(_REPO / "src")
+    driver = os.path.join(workdir, f"build-driver-{workers}.py")
+    with open(driver, "w") as handle:
+        handle.write(_BUILD_SCRIPT.format(
+            dims=GRID_DIMS, disks=DISKS, budget=BYTE_BUDGET,
+            workers=workers,
+        ))
+    argv = [sys.executable, driver, path]
+    if metrics_out:
+        argv.append(metrics_out)
+    # Output goes to files, not pipes: a crashing pool can strand
+    # half-spawned workers holding inherited pipe fds, and a pipe
+    # reader would then wait for an EOF that never comes.
+    out_path = os.path.join(workdir, f"build-{workers}.out")
+    err_path = os.path.join(workdir, f"build-{workers}.err")
+    with open(out_path, "w") as out, open(err_path, "w") as err:
+        proc = subprocess.run(
+            argv, env=env, cwd=str(_REPO), stdout=out, stderr=err,
+            timeout=BUILD_TIMEOUT_SECONDS,
+        )
+    return _BuildResult(
+        proc.returncode,
+        pathlib.Path(out_path).read_text(),
+        pathlib.Path(err_path).read_text(),
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--metrics-out",
+        default="",
+        help="write the chaos build's metrics export here (for "
+        "check_obs_output.py --counters-only)",
+    )
+    args = parser.parse_args(argv)
+
+    errors = []
+    with tempfile.TemporaryDirectory(prefix="repro-pbuild-") as workdir:
+        reference = os.path.join(workdir, "repro-sat-serial.npy")
+        chaotic = os.path.join(workdir, "repro-sat-parallel.npy")
+
+        result = _run_build(workdir, reference, 1, {})
+        if result.returncode != 0:
+            print(
+                "parallel-build smoke: FAILED — serial reference build "
+                f"failed: {result.stderr[-300:]}",
+                file=sys.stderr,
+            )
+            return 1
+
+        chaos = _run_build(
+            workdir,
+            chaotic,
+            WORKERS,
+            {
+                IO_FAULTS_ENV: "sat.write:exit:1",
+                IO_FAULTS_STATE_ENV: os.path.join(workdir, "fault-state"),
+            },
+            metrics_out=args.metrics_out,
+        )
+        if chaos.returncode != 0 or "BUILD-OK" not in chaos.stdout:
+            errors.append(
+                f"chaos build did not complete ({chaos.returncode}): "
+                f"{chaos.stderr[-300:]}"
+            )
+        elif file_sha256(chaotic) != file_sha256(reference):
+            errors.append(
+                "chaos parallel build is not byte-identical to the "
+                "serial reference"
+            )
+        else:
+            print(
+                "parallel-build smoke: worker killed mid-phase-1, "
+                "build re-pooled and finished byte-identical"
+            )
+
+    if errors:
+        for error in errors:
+            print(
+                f"parallel-build smoke: FAILED — {error}",
+                file=sys.stderr,
+            )
+        return 1
+    print("parallel-build smoke: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

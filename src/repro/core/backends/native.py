@@ -15,8 +15,11 @@ corner's ``M`` per-disk counts are a single contiguous vector — for the
 paper-scale ``M = 16`` exactly one cache line — and fuses the 2^k-corner
 accumulation with the max-over-disks reduction, so a query is answered
 in ``2^k`` cache-line reads with no intermediates at all.  Memory-mapped
-(beyond-RAM) SATs have no disk-last copy by design; those delegate to
-the streamed numpy gather.
+(beyond-RAM) SATs have no disk-last copy by design; batch queries on
+those dispatch to the ``stream_counts`` kernel instead, which walks the
+mapped file's disk-first planes in ascending file order over pre-sorted
+corner offsets (madvise/willneed-prefetched) — the numpy streamed
+gather remains only as the no-compiler fallback.
 
 Bit-identity with the numpy reference is certified by QA423 and the
 backend property tests; the speedup floor is gated by
@@ -148,6 +151,70 @@ void batch_counts_{suffix}(
    disks, from the same disk-last SAT.  Corner offsets relative to the
    origin are constant for a fixed shape, so each origin costs 2^k
    contiguous M-vector reads. */
+
+/* Streaming corner gather for memory-mapped (disk-FIRST) SATs.
+
+   The spilled file stores one contiguous spatial plane per disk, so
+   the walk is ordered for page locality: outer loop over disk planes
+   (ascending file position), inner loop over corners, queries visited
+   in `perm` order — the caller sorts them once by base-corner offset,
+   which keeps every corner's plane reads mostly ascending without
+   paying a per-corner sort.  Corner offsets are folded in here (a few
+   integer mul-adds per gathered element, nothing next to the memory
+   access) so the caller builds no per-corner temporaries at all.
+   Accumulation is scatter by original query index, so results are
+   independent of the visit order — exact integer sums either way.  No
+   stack-sized tables: the stream path has no disk cap. */
+
+void stream_counts_{suffix}(
+    const {ctype} *sat, int64_t plane_elems,
+    int32_t num_disks, int32_t ndim,
+    const int64_t *strides,
+    const int64_t *lo, const int64_t *hi,
+    const int64_t *perm, int64_t num_queries,
+    int64_t *scratch, int64_t *out)
+{{
+    int32_t ncorners = 1 << ndim;
+    int64_t *offs = scratch;                /* num_queries entries */
+    int64_t *rows = scratch + num_queries;  /* num_queries entries */
+    for (int32_t c = 0; c < ncorners; c++) {{
+        int32_t parity = 0;
+        for (int32_t a = 0; a < ndim; a++)
+            if ((c >> a) & 1) parity ^= 1;
+        for (int64_t i = 0; i < num_queries; i++) {{
+            int64_t q = perm[i];
+            const int64_t *qlo = lo + (size_t)q * ndim;
+            const int64_t *qhi = hi + (size_t)q * ndim;
+            int64_t off = 0;
+            for (int32_t a = 0; a < ndim; a++)
+                off += (((c >> a) & 1) ? qlo[a] : qhi[a])
+                    * strides[a];
+            offs[i] = off;
+            rows[i] = q * num_disks;
+        }}
+        for (int32_t m = 0; m < num_disks; m++) {{
+            const {ctype} *plane = sat + (size_t)m * plane_elems;
+            /* The gathers are independent L2/L3 misses; prefetching a
+               couple dozen iterations ahead overlaps them instead of
+               serializing on each load. */
+            if (parity) {{
+                for (int64_t i = 0; i < num_queries; i++) {{
+                    if (i + 24 < num_queries)
+                        __builtin_prefetch(
+                            plane + offs[i + 24], 0, 1);
+                    out[rows[i] + m] -= (int64_t)plane[offs[i]];
+                }}
+            }} else {{
+                for (int64_t i = 0; i < num_queries; i++) {{
+                    if (i + 24 < num_queries)
+                        __builtin_prefetch(
+                            plane + offs[i + 24], 0, 1);
+                    out[rows[i] + m] += (int64_t)plane[offs[i]];
+                }}
+            }}
+        }}
+    }}
+}}
 
 void window_rt_{suffix}(
     const {ctype} *satT, const int64_t *strides,
@@ -433,6 +500,78 @@ class CNativeBackend(KernelBackend):
         hi = np.ascontiguousarray(hi, dtype=np.int64)
         return lo, hi
 
+    # -- streaming gather over memory-mapped tables --------------------
+
+    @staticmethod
+    def _stream_suffix(sat: SummedAreaTable) -> Optional[str]:
+        """Kernel dtype suffix for a mapped table, or None if unusable.
+
+        The stream kernel has no stack-sized tables, so there is no
+        disk-count cap; only the 2^k corner enumeration bounds ndim.
+        """
+        if not sat.is_mmap or sat.array is None:
+            return None
+        if sat.ndim > _MAX_NDIM:
+            return None
+        if sat.dtype == np.int32:
+            return "i32"
+        if sat.dtype == np.int64:
+            return "i64"
+        return None
+
+    def _stream_counts(
+        self,
+        sat: SummedAreaTable,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        library: ctypes.CDLL,
+        suffix: str,
+    ) -> np.ndarray:
+        """Per-query per-disk counts ``(N, M)`` via the stream kernel.
+
+        Queries are sorted once by their base (all-``hi``) corner's
+        flat offset — the other corners' offsets are strongly
+        correlated, so one permutation keeps every corner's plane
+        reads mostly ascending at an eighth of a per-corner sort's
+        cost.  The C kernel folds the corner offset arithmetic in and
+        walks disk planes in file order accumulating
+        ``sign * plane[offset]`` into each query's row.  Bit-identical
+        to the numpy streamed gather and the in-RAM fancy-index path —
+        all three sum the same exact integers.
+        """
+        num_queries, ndim = lo.shape
+        lo, hi = self._bounds_c(lo, hi)
+        strides = sat.spatial_element_strides()
+        base_offsets = hi @ strides
+        perm = np.ascontiguousarray(
+            np.argsort(base_offsets, kind="stable").astype(np.int64)
+        )
+        sat.prefetch()
+        out = np.zeros((num_queries, sat.num_disks), dtype=np.int64)
+        ctype = (
+            ctypes.c_int32 if suffix == "i32" else ctypes.c_int64
+        )
+        plane_elems = int(np.prod(sat.array.shape[1:]))
+        strides = np.ascontiguousarray(strides, dtype=np.int64)
+        scratch = np.empty(2 * num_queries, dtype=np.int64)
+        getattr(library, f"stream_counts_{suffix}")(
+            sat.array.ctypes.data_as(ctypes.POINTER(ctype)),
+            ctypes.c_int64(plane_elems),
+            ctypes.c_int32(sat.num_disks),
+            ctypes.c_int32(ndim),
+            strides.ctypes.data_as(_PTR_I64),
+            lo.ctypes.data_as(_PTR_I64),
+            hi.ctypes.data_as(_PTR_I64),
+            perm.ctypes.data_as(_PTR_I64),
+            ctypes.c_int64(num_queries),
+            scratch.ctypes.data_as(_PTR_I64),
+            out.ctypes.data_as(_PTR_I64),
+        )
+        registry = global_registry()
+        registry.inc("backend.stream.batches")
+        registry.inc("backend.stream.queries", num_queries)
+        return out
+
     # -- batched rectangle queries -------------------------------------
 
     def batch_response_times(
@@ -441,6 +580,14 @@ class CNativeBackend(KernelBackend):
         prepared = self._sat_call_args(sat)
         library = self._library()
         if prepared is None or library is None:
+            suffix = self._stream_suffix(sat)
+            if library is not None and suffix is not None:
+                if lo.shape[0] == 0:
+                    return np.zeros(0, dtype=np.int64)
+                counts = self._stream_counts(
+                    sat, lo, hi, library, suffix
+                )
+                return counts.max(axis=1)
             return self._reference.batch_response_times(sat, lo, hi)
         num_queries = lo.shape[0]
         out = np.zeros(num_queries, dtype=np.int64)
@@ -466,6 +613,15 @@ class CNativeBackend(KernelBackend):
         prepared = self._sat_call_args(sat)
         library = self._library()
         if prepared is None or library is None:
+            suffix = self._stream_suffix(sat)
+            if library is not None and suffix is not None:
+                if lo.shape[0] == 0:
+                    return np.zeros(
+                        (0, sat.num_disks), dtype=np.int64
+                    )
+                return self._stream_counts(
+                    sat, lo, hi, library, suffix
+                )
             return self._reference.batch_disk_counts(sat, lo, hi)
         num_queries = lo.shape[0]
         out = np.zeros((num_queries, sat.num_disks), dtype=np.int64)

@@ -87,6 +87,12 @@ class CacheStats:
     #: Spilled SATs rebuilt after failing their integrity check
     #: (:meth:`AllocationCache.mmap_engine`).
     rebuilds: int = 0
+    #: Mmap-engine lookups served from the open-handle memo (the file
+    #: was already mapped and verified by this process).
+    mmap_hits: int = 0
+    #: Mmap engines attached from a handle another worker published
+    #: through the broker (one page-cache-backed mapping per fleet).
+    mmap_shared_hits: int = 0
 
     @property
     def requests(self) -> int:
@@ -166,6 +172,14 @@ class AllocationCache:
         self._shared_hits = 0
         self._publishes = 0
         self._rebuilds = 0
+        self._mmap_hits = 0
+        self._mmap_shared_hits = 0
+        #: Open mmap engines by (scheme, dims, M, path): the file is
+        #: the cache for the *data*, but re-opening means re-verifying
+        #: and a private second mapping — memoize the open handle.
+        self._mmap_engines: Dict[
+            Tuple[Hashable, ...], ResponseTimeEngine
+        ] = {}
         self._broker = broker
 
     def set_broker(
@@ -278,8 +292,25 @@ class AllocationCache:
         is simply rebuilt at the same path with
         :meth:`~repro.core.sat.SummedAreaTable.build_chunked` — logged
         and counted (``integrity.sat_rebuilds``), never served corrupt.
-        Mmap engines are not held in the LRU: the file is the cache.
+
+        Mmap engines are not held in the LRU (the file is the cache for
+        the data), but the *open handle* is memoized: a repeat lookup
+        reuses the already-verified mapping instead of paying a second
+        verification pass and a second private map.  When a broker is
+        installed the finished table's :class:`~repro.core.shm.MmapSatHandle`
+        is also published, so an ``--workers N`` fleet shares one
+        page-cache-backed mapping instead of N private opens.
         """
+        memo_key = (
+            scheme_name,
+            grid.dims,
+            int(num_disks),
+            os.fspath(path),
+        )
+        cached = self._mmap_engines.get(memo_key)
+        if cached is not None and cached.sat.array is not None:
+            self._mmap_hits += 1
+            return cached
         try:
             sat = SummedAreaTable.open_mmap(path)
         except IntegrityError as exc:
@@ -300,7 +331,61 @@ class AllocationCache:
                 path=path,
                 resume=False,
             )
-        return ResponseTimeEngine.from_sat(sat)
+        engine = ResponseTimeEngine.from_sat(sat)
+        self._mmap_engines[memo_key] = engine
+        if self._broker is not None:
+            try:
+                self._broker.publish_sat(
+                    scheme_name, grid, int(num_disks), path
+                )
+            except Exception as exc:  # qa502: allow — publication is
+                # best-effort; the private engine is already correct.
+                _LOG.warning(
+                    "spilled-SAT handle publish failed for %s: %r",
+                    os.fspath(path),
+                    exc,
+                )
+        return engine
+
+    def shared_mmap_engine(
+        self, scheme_name: str, grid: Grid, num_disks: int
+    ) -> Optional[ResponseTimeEngine]:
+        """Attach the fleet-shared spilled SAT for the triple, or None.
+
+        Consults the broker for an :class:`~repro.core.shm.MmapSatHandle`
+        another worker published (via :meth:`mmap_engine`) and maps it
+        read-only — N workers then share one page-cache-backed file
+        instead of each building or verifying privately.  Returns None
+        when no broker is installed or nothing has been published.
+        """
+        if self._broker is None:
+            return None
+        handle = self._broker.get_sat(scheme_name, grid, int(num_disks))
+        if handle is None:
+            return None
+        memo_key = (
+            scheme_name,
+            grid.dims,
+            int(num_disks),
+            handle.path,
+        )
+        cached = self._mmap_engines.get(memo_key)
+        if cached is not None and cached.sat.array is not None:
+            self._mmap_hits += 1
+            return cached
+        try:
+            engine = handle.attach_engine()
+        except (OSError, IntegrityError) as exc:
+            _LOG.warning(
+                "attach of published spilled SAT %s failed: %r",
+                handle.path,
+                exc,
+            )
+            global_registry().inc("shm.attach_faults")
+            return None
+        self._mmap_shared_hits += 1
+        self._mmap_engines[memo_key] = engine
+        return engine
 
     def stats(self) -> CacheStats:
         """Current counters as an immutable snapshot."""
@@ -313,6 +398,8 @@ class AllocationCache:
             shared_hits=self._shared_hits,
             publishes=self._publishes,
             rebuilds=self._rebuilds,
+            mmap_hits=self._mmap_hits,
+            mmap_shared_hits=self._mmap_shared_hits,
         )
 
     def entry_report(self) -> List[Dict[str, object]]:
@@ -363,12 +450,17 @@ class AllocationCache:
         registry.set_counter("cache.shared_hits", stats.shared_hits)
         registry.set_counter("cache.publishes", stats.publishes)
         registry.set_counter("cache.rebuilds", stats.rebuilds)
+        registry.set_counter("cache.mmap_hits", stats.mmap_hits)
+        registry.set_counter(
+            "cache.mmap_shared_hits", stats.mmap_shared_hits
+        )
         registry.set_counter("cache.entries", stats.entries)
         registry.set_counter("cache.maxsize", stats.maxsize)
 
     def clear(self) -> None:
-        """Drop all entries; counters are preserved."""
+        """Drop all entries (open mmap memos included); counters stay."""
         self._entries.clear()
+        self._mmap_engines.clear()
 
     def as_report_dict(self) -> Dict[str, float]:
         """Counters as a plain dict for machine-readable reports."""
@@ -383,6 +475,8 @@ class AllocationCache:
             "shared_hits": stats.shared_hits,
             "publishes": stats.publishes,
             "rebuilds": stats.rebuilds,
+            "mmap_hits": stats.mmap_hits,
+            "mmap_shared_hits": stats.mmap_shared_hits,
         }
 
 

@@ -46,7 +46,7 @@ import itertools
 import os
 import secrets
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -313,6 +313,61 @@ class SharedAllocationBroker:
     @staticmethod
     def _key(scheme_name: str, grid: Grid, num_disks: int) -> str:
         return f"{scheme_name}|{grid.dims}|{int(num_disks)}"
+
+    @staticmethod
+    def _sat_key(scheme_name: str, grid: Grid, num_disks: int) -> str:
+        # Distinct namespace from the in-RAM table keys: the same triple
+        # may be published both as a shared-memory table and as a
+        # spilled SAT path.
+        return f"sat|{scheme_name}|{grid.dims}|{int(num_disks)}"
+
+    def get_sat(
+        self, scheme_name: str, grid: Grid, num_disks: int
+    ) -> Optional[MmapSatHandle]:
+        """The published spilled-SAT handle for the triple, or None.
+
+        The path is existence-checked before it is returned, so a
+        handle whose backing file was deleted behaves like a miss (the
+        caller builds and republishes) instead of an open error.
+        """
+        handle = self._registry.get(
+            self._sat_key(scheme_name, grid, num_disks)
+        )
+        if handle is None or not os.path.exists(handle.path):
+            return None
+        return handle
+
+    def publish_sat(
+        self,
+        scheme_name: str,
+        grid: Grid,
+        num_disks: int,
+        path: Union[str, os.PathLike],
+    ) -> MmapSatHandle:
+        """Publish the path of a finished spilled SAT (first writer wins).
+
+        Unlike :meth:`publish` there is no segment to copy or unlink —
+        the handle *is* the path, any number of workers may map the file
+        read-only at once, and the OS page cache backs them all with one
+        set of physical pages.  That single shared mapping is the whole
+        point: an ``--workers N`` fleet touching one beyond-RAM table
+        faults each page in once, not N times.
+        """
+        handle = MmapSatHandle(path=os.fspath(path))
+        key = self._sat_key(scheme_name, grid, num_disks)
+        try:
+            winner = self._registry.setdefault(key, handle)
+        except Exception as exc:  # qa502: allow — logged and counted, the private handle is correct
+            _LOG.warning(
+                "spilled-SAT publish of %s fell back to a private "
+                "handle (broker registry unreachable): %r", key, exc,
+            )
+            global_registry().inc("shm.publish_fallbacks")
+            return handle
+        if winner.path != handle.path:
+            return winner
+        global_registry().inc("shm.sat_publishes")
+        return handle
 
     def _reserve_name(self) -> str:
         # The name goes on the ledger *before* the segment exists, so a

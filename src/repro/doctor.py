@@ -2,7 +2,9 @@
 
 The artifact layer leaves three kinds of state on a machine: spilled
 summed-area tables (``repro-sat-*.npy`` plus manifest and, after a
-crash, ``.partial``/``.journal.json``/``.carry.npy`` build sidecars),
+crash, ``.partial``/``.journal.json``/``.carry.npy``/``.shards.json``
+build sidecars — the last one the phase-1 shard log of a parallel
+build),
 the compiled-kernel cache (``reprokern-*.so`` with digest sidecars, and
 ``.c``/``.tmp`` leftovers from failed compiles), and shared-memory
 segments (``repro-shm-*`` under ``/dev/shm``) from runs that died before
@@ -55,6 +57,7 @@ from repro.core.sat import (
     build_carry_path,
     build_journal_path,
     build_partial_path,
+    build_shards_path,
 )
 from repro.obs.log import get_logger
 
@@ -114,6 +117,16 @@ def _native_dir() -> str:
     )
 
 
+def _load_sidecar_json(path: str):
+    import json
+
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
 def _journal_is_resumable(npy_path: str) -> bool:
     """Whether an interrupted build's sidecars would actually resume.
 
@@ -122,18 +135,33 @@ def _journal_is_resumable(npy_path: str) -> bool:
     re-validates digests itself, so the doctor only has to distinguish
     "a re-run resumes this" from "this is dead weight".
     """
-    import json
+    from repro.core.integrity import SAT_JOURNAL_KIND
 
-    try:
-        with open(build_journal_path(npy_path)) as handle:
-            journal = json.load(handle)
-        return (
-            journal.get("kind") == "sat-journal"
-            and os.path.exists(build_partial_path(npy_path))
-            and os.path.exists(build_carry_path(npy_path))
-        )
-    except (OSError, ValueError):
-        return False
+    journal = _load_sidecar_json(build_journal_path(npy_path))
+    return (
+        journal is not None
+        and journal.get("kind") == SAT_JOURNAL_KIND
+        and os.path.exists(build_partial_path(npy_path))
+        and os.path.exists(build_carry_path(npy_path))
+    )
+
+
+def _shards_are_resumable(npy_path: str) -> bool:
+    """Whether a parallel build's phase-1 shard state would resume.
+
+    A build killed during phase 1 leaves a shard log plus the partial
+    but no (valid) carry journal — per-worker state, not corruption: a
+    re-run digest-verifies each committed shard and finishes the build.
+    """
+    from repro.core.integrity import SAT_SHARDS_KIND
+
+    shards = _load_sidecar_json(build_shards_path(npy_path))
+    return (
+        shards is not None
+        and shards.get("kind") == SAT_SHARDS_KIND
+        and bool(shards.get("done"))
+        and os.path.exists(build_partial_path(npy_path))
+    )
 
 
 def scan_sat_artifacts(
@@ -164,9 +192,10 @@ def scan_sat_artifacts(
         tables.add(sidecar[: -len(".manifest.json")])
     staged = set()
     for pattern in ("*.npy.partial", "*.npy.journal.json",
-                    "*.npy.carry.npy"):
+                    "*.npy.carry.npy", "*.npy.shards.json"):
         for leftover in glob.glob(os.path.join(directory, pattern)):
-            for suffix in (".partial", ".journal.json", ".carry.npy"):
+            for suffix in (".partial", ".journal.json", ".carry.npy",
+                           ".shards.json"):
                 if leftover.endswith(suffix):
                     staged.add(leftover[: -len(suffix)])
 
@@ -226,6 +255,7 @@ def scan_sat_artifacts(
                 build_partial_path(base),
                 build_journal_path(base),
                 build_carry_path(base),
+                build_shards_path(base),
             )
             if os.path.exists(p)
         ]
@@ -235,9 +265,19 @@ def scan_sat_artifacts(
                 "interrupted chunked build; re-running the build for "
                 f"{os.path.basename(base)} resumes it"
             )
+        elif _shards_are_resumable(base):
+            state = "resumable"
+            detail = (
+                "parallel build interrupted in phase 1; re-running "
+                f"the build for {os.path.basename(base)} verifies the "
+                "committed worker shards and resumes"
+            )
         else:
             state = "stale"
-            detail = "dead build staging files (journal unusable)"
+            detail = (
+                "dead build staging files (no usable journal or "
+                "shard log)"
+            )
         issues.append(
             ArtifactIssue(
                 kind="sat-build",

@@ -375,6 +375,14 @@ def _init_worker_broker(
         from repro.core.integrity import VERIFY_ENV
 
         os.environ[VERIFY_ENV] = verify
+    # Experiment workers never nest a build pool inside the experiment
+    # pool: N experiment workers × M build workers would oversubscribe
+    # every core and multiply the transient tile footprint.  Any chunked
+    # build a worker performs runs serially; parallel builds belong to
+    # the parent (or a dedicated build invocation).
+    from repro.core.sat import BUILD_WORKERS_ENV
+
+    os.environ[BUILD_WORKERS_ENV] = "1"
 
 
 def _terminate_pool(pool: ProcessPoolExecutor) -> None:

@@ -46,6 +46,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
 from repro.core.exceptions import FaultError
 
 __all__ = [
@@ -152,17 +157,32 @@ class IoFaultPlan:
 
         Without a state directory every hit counts as the first, so the
         fault fires forever — documented hard-down behavior.
+
+        The counter may be bumped from several processes at once (a
+        parallel build's workers and its parent all pass the same
+        seam), so the read-modify-write holds an exclusive ``flock`` —
+        otherwise two processes can read the same value, both claim
+        hit 1, and a ``TIMES=1`` exit plan kills both instead of the
+        one victim the plan named.
         """
         if self._state_dir is None:
             return 1
         self._state_dir.mkdir(parents=True, exist_ok=True)
         path = self._state_dir / f"{point.replace('.', '_')}.hits"
-        hits = 0
-        if path.exists():
-            text = path.read_text().strip()
-            hits = int(text) if text else 0
-        hits += 1
-        path.write_text(str(hits))
+        with open(path, "a+") as handle:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                handle.seek(0)
+                text = handle.read().strip()
+                hits = (int(text) if text else 0) + 1
+                handle.seek(0)
+                handle.truncate()
+                handle.write(str(hits))
+                handle.flush()
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
         return hits
 
     def apply(self, point: str, detail: str = "") -> None:

@@ -640,10 +640,20 @@ def check_backends(
 
 
 def _check_mmap_layout(config: ContractConfig) -> List[Finding]:
-    """QA423 for the chunked/memory-mapped SAT: streamed == in-RAM."""
+    """QA423 for the chunked/memory-mapped SAT: streamed == in-RAM.
+
+    Certifies three things over one multi-tile chunked table built by
+    a parallel (2-worker) sweep: the streamed ``corner_counts`` gather
+    matches the in-RAM table bucket for bucket, and **every** available
+    backend's batch kernels over the mapped table — the ``cnative``
+    streaming kernel included — are bit-identical to the in-RAM
+    reference on the mixed batch (clipped and zero-bucket queries
+    included).
+    """
     import os
     import tempfile
 
+    from repro.core import backends as backend_registry
     from repro.core.allocation import DiskAllocation
     from repro.core.query import QueryBatch
     from repro.core.registry import get_scheme
@@ -661,6 +671,7 @@ def _check_mmap_layout(config: ContractConfig) -> List[Finding]:
             num_disks,
             byte_budget=1024,  # forces several tiles even on tiny grids
             path=os.path.join(tmp, "sat.npy"),
+            workers=2,  # phase-1 fan-out must stay byte-identical too
         )
         try:
             allocation = DiskAllocation(
@@ -681,6 +692,37 @@ def _check_mmap_layout(config: ContractConfig) -> List[Finding]:
                         f"(grid={dims}, M={num_disks}, scheme=dm)",
                     )
                 )
+            numpy_backend = backend_registry.get_backend("numpy")
+            want_counts = numpy_backend.batch_disk_counts(
+                reference, batch.lo, batch.hi
+            )
+            want_rts = numpy_backend.batch_response_times(
+                reference, batch.lo, batch.hi
+            )
+            for backend in backend_registry.available_backends():
+                if not np.array_equal(
+                    want_counts,
+                    backend.batch_disk_counts(
+                        chunked, batch.lo, batch.hi
+                    ),
+                ) or not np.array_equal(
+                    want_rts,
+                    backend.batch_response_times(
+                        chunked, batch.lo, batch.hi
+                    ),
+                ):
+                    findings.append(
+                        _finding(
+                            f"backend:{backend.name}",
+                            "QA423",
+                            f"streamed batch kernel over the "
+                            f"memory-mapped SAT disagrees with the "
+                            f"in-RAM reference on the mixed batch "
+                            f"(clipped and zero-bucket queries "
+                            f"included, grid={dims}, M={num_disks}, "
+                            f"scheme=dm)",
+                        )
+                    )
         finally:
             chunked.close()
     return findings

@@ -154,3 +154,69 @@ class TestAmortization:
                     grid, 2, ["counting"], cache=cache
                 ).evaluate_shapes([(2, 2)])
         assert _CountingScheme.calls == 1
+
+
+class TestMmapEngineMemo:
+    """Spilled-SAT engines: memoized handles, rebuilds, sharing."""
+
+    @staticmethod
+    def _spill(cache, tmp_path, name="repro-sat-m.npy"):
+        path = str(tmp_path / name)
+        from repro.core.sat import SummedAreaTable
+
+        SummedAreaTable.build_chunked(
+            get_scheme("dm"), Grid((8, 5)), 2, path=path
+        ).close()
+        return path
+
+    def test_repeat_lookup_reuses_open_handle(self, tmp_path):
+        cache = AllocationCache(maxsize=4)
+        path = self._spill(cache, tmp_path)
+        first = cache.mmap_engine("dm", Grid((8, 5)), 2, path)
+        second = cache.mmap_engine("dm", Grid((8, 5)), 2, path)
+        assert second is first
+        stats = cache.stats()
+        assert stats.mmap_hits == 1
+        assert stats.mmap_shared_hits == 0
+
+    def test_closed_handle_is_reopened_not_served(self, tmp_path):
+        cache = AllocationCache(maxsize=4)
+        path = self._spill(cache, tmp_path)
+        first = cache.mmap_engine("dm", Grid((8, 5)), 2, path)
+        first.sat.close()
+        second = cache.mmap_engine("dm", Grid((8, 5)), 2, path)
+        assert second is not first
+        assert second.sat.array is not None
+        assert cache.stats().mmap_hits == 0
+
+    def test_corrupt_spill_rebuilt_in_place(self, tmp_path):
+        import os
+
+        cache = AllocationCache(maxsize=4)
+        path = self._spill(cache, tmp_path)
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) - 64)
+        engine = cache.mmap_engine("dm", Grid((8, 5)), 2, path)
+        assert engine.sat.array is not None
+        assert cache.stats().rebuilds == 1
+        reference = ResponseTimeEngine(
+            get_scheme("dm").allocate(Grid((8, 5)), 2)
+        )
+        assert np.array_equal(
+            engine.sliding_response_times((2, 2)),
+            reference.sliding_response_times((2, 2)),
+        )
+
+    def test_shared_lookup_none_without_broker(self, tmp_path):
+        cache = AllocationCache(maxsize=4)
+        assert cache.shared_mmap_engine("dm", Grid((8, 5)), 2) is None
+        assert cache.stats().mmap_shared_hits == 0
+
+    def test_stats_and_report_carry_mmap_counters(self, tmp_path):
+        cache = AllocationCache(maxsize=4)
+        path = self._spill(cache, tmp_path)
+        cache.mmap_engine("dm", Grid((8, 5)), 2, path)
+        cache.mmap_engine("dm", Grid((8, 5)), 2, path)
+        report = cache.as_report_dict()
+        assert report["mmap_hits"] == 1
+        assert report["mmap_shared_hits"] == 0

@@ -12,15 +12,18 @@ from repro.core.integrity import (
     write_library_digest,
 )
 from repro.core.registry import get_scheme
+from repro.core.integrity import SAT_SHARDS_KIND
 from repro.core.sat import (
     SummedAreaTable,
     build_carry_path,
     build_journal_path,
     build_partial_path,
+    build_shards_path,
 )
 from repro.doctor import (
     ArtifactIssue,
     _journal_is_resumable,
+    _shards_are_resumable,
     run_doctor,
     scan_native_cache,
     scan_sat_artifacts,
@@ -129,6 +132,69 @@ class TestSatScan:
             build_partial_path(base),
             build_journal_path(base),
         }
+
+
+def _plant_shard_state(directory, name="repro-sat-p.npy"):
+    """A phase-1-only crash: shard log + partial, no carry journal."""
+    base = os.path.join(str(directory), name)
+    with open(build_partial_path(base), "wb") as handle:
+        handle.write(b"half-built")
+    with open(build_shards_path(base), "w") as handle:
+        json.dump(
+            {
+                "kind": SAT_SHARDS_KIND,
+                "done": {"0": "0" * 64, "4": "1" * 64},
+            },
+            handle,
+        )
+    return base
+
+
+class TestShardsResumable:
+    def test_phase1_crash_state_is_resumable(self, tmp_path):
+        base = _plant_shard_state(tmp_path)
+        (issue,) = scan_sat_artifacts(str(tmp_path))
+        assert issue.kind == "sat-build"
+        assert issue.state == "resumable"
+        assert "parallel build" in issue.detail
+        assert set(issue.removals) == {
+            build_partial_path(base),
+            build_shards_path(base),
+        }
+
+    def test_requires_kind_done_and_partial(self, tmp_path):
+        base = os.path.join(str(tmp_path), "t.npy")
+        assert not _shards_are_resumable(base)  # no log at all
+        with open(build_shards_path(base), "w") as handle:
+            json.dump({"kind": SAT_SHARDS_KIND, "done": {"0": "x"}}, handle)
+        assert not _shards_are_resumable(base)  # partial missing
+        with open(build_partial_path(base), "wb") as handle:
+            handle.write(b"x")
+        assert _shards_are_resumable(base)
+        with open(build_shards_path(base), "w") as handle:
+            json.dump({"kind": SAT_SHARDS_KIND, "done": {}}, handle)
+        assert not _shards_are_resumable(base)  # nothing committed
+        with open(build_shards_path(base), "w") as handle:
+            json.dump({"kind": "something-else", "done": {"0": "x"}}, handle)
+        assert not _shards_are_resumable(base)
+
+    def test_shard_log_without_partial_is_stale(self, tmp_path):
+        base = os.path.join(str(tmp_path), "repro-sat-s.npy")
+        with open(build_shards_path(base), "w") as handle:
+            json.dump({"kind": SAT_SHARDS_KIND, "done": {"0": "x"}}, handle)
+        (issue,) = scan_sat_artifacts(str(tmp_path))
+        assert issue.state == "stale"
+        assert issue.removals == [build_shards_path(base)]
+
+    def test_gc_collects_shard_state(self, tmp_path):
+        base = _plant_shard_state(tmp_path)
+        report = run_doctor(
+            gc=True,
+            scanners=[lambda: scan_sat_artifacts(str(tmp_path))],
+        )
+        assert report.exit_code() == 0
+        assert not os.path.exists(build_partial_path(base))
+        assert not os.path.exists(build_shards_path(base))
 
 
 class TestJournalResumable:

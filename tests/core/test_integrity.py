@@ -432,3 +432,114 @@ class TestCacheRebuild:
         engine = cache.mmap_engine("dm", GRID, DISKS, path)
         assert cache.stats().rebuilds == 0
         assert engine.sat.is_mmap
+
+
+class TestParallelKillAndResume:
+    """Worker and parent deaths during a two-phase parallel build.
+
+    The driver is a real file with a ``__main__`` guard (spawn workers
+    re-import ``__main__``; an unguarded ``-c`` string would re-run the
+    build inside every worker's bootstrap).
+    """
+
+    SCRIPT = """\
+import sys
+
+def main():
+    from repro.core.grid import Grid
+    from repro.core.registry import get_scheme
+    from repro.core.sat import SummedAreaTable
+    sat = SummedAreaTable.build_chunked(
+        get_scheme("dm"), Grid((4, 4)), 2,
+        byte_budget=200, path=sys.argv[1], workers=2,
+    )
+    sat.close()
+    print("BUILD-OK")
+
+if __name__ == "__main__":
+    main()
+"""
+
+    def _run(self, tmp_path, path, faults=None, state=None):
+        driver = tmp_path / "parallel-driver.py"
+        driver.write_text(self.SCRIPT)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + (
+            os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH")
+            else ""
+        )
+        env.pop("REPRO_IO_FAULTS", None)
+        env.pop("REPRO_IO_FAULTS_STATE", None)
+        if faults:
+            env["REPRO_IO_FAULTS"] = faults
+        if state:
+            env["REPRO_IO_FAULTS_STATE"] = state
+        # stdout/stderr go to files: a broken pool can strand workers
+        # holding inherited pipe fds, and a pipe reader would then
+        # wait forever for EOF.
+        out_path = tmp_path / "driver.out"
+        err_path = tmp_path / "driver.err"
+        with open(out_path, "w") as out, open(err_path, "w") as err:
+            proc = subprocess.run(
+                [sys.executable, str(driver), path],
+                env=env,
+                stdout=out,
+                stderr=err,
+                timeout=600,
+                cwd=os.path.dirname(
+                    os.path.dirname(os.path.dirname(__file__))
+                ),
+            )
+        proc.stdout = out_path.read_text()
+        proc.stderr = err_path.read_text()
+        return proc
+
+    def _reference(self, tmp_path):
+        sat = SummedAreaTable.build_chunked(
+            get_scheme("dm"), Grid((4, 4)), 2,
+            byte_budget=200, path=str(tmp_path / "ref.npy"),
+        )
+        sat.close()
+        return str(tmp_path / "ref.npy")
+
+    def test_worker_death_recovers_in_run(self, tmp_path):
+        """One phase-1 worker dies; the parent re-pools and finishes."""
+        reference = self._reference(tmp_path)
+        path = str(tmp_path / "worker-killed.npy")
+        result = self._run(
+            tmp_path, path,
+            faults="sat.write:exit:1",
+            state=str(tmp_path / "fault-state"),
+        )
+        # The first sat.write hit is always a phase-1 worker (the
+        # parent only writes after a worker has committed), so the
+        # build must survive it and complete in the same run.
+        assert result.returncode == 0, result.stderr
+        assert "BUILD-OK" in result.stdout
+        assert file_sha256(path) == file_sha256(reference)
+
+    def test_relay_kills_through_phase2_resume_identical(self, tmp_path):
+        """Every process dies at every write until the build lands.
+
+        ``exit``-mode with a huge TIMES kills each worker round, then
+        the parent at each serial-sweep tile boundary — so successive
+        attempts exercise worker-death re-pooling, round exhaustion,
+        the parent dying mid-phase-2, and shard-log/journal resume.
+        """
+        reference = self._reference(tmp_path)
+        path = str(tmp_path / "relay.npy")
+        for attempt in range(10):
+            state = str(tmp_path / f"state-{attempt}")
+            result = self._run(
+                tmp_path, path,
+                faults="sat.write:exit:99",
+                state=state,
+            )
+            if result.returncode == 0:
+                break
+            assert result.returncode == IO_EXIT_STATUS, result.stderr
+        else:
+            pytest.fail("build never completed under repeated kills")
+        assert file_sha256(path) == file_sha256(reference)
+        assert verify_sat(path, "full") is not None

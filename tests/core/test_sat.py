@@ -8,6 +8,8 @@ reference build bit for bit, plus the budget arithmetic (`tile_rows` /
 `tile_working_set`) the benchmarks and the CI gate rely on.
 """
 
+import os
+
 import numpy as np
 import pytest
 
@@ -265,3 +267,119 @@ class TestQueryBatchIntegration:
         batch = QueryBatch.from_queries(_queries(other), other)
         with pytest.raises(QueryError):
             engine.batch_response_times(batch)
+
+
+class TestParallelBuild:
+    """Two-phase parallel builds must be byte-identical to serial."""
+
+    def _sha(self, path):
+        from repro.core.integrity import file_sha256
+
+        return file_sha256(path)
+
+    @pytest.mark.parametrize("scheme_name", ["dm", "fx"])
+    @pytest.mark.parametrize("dims", [(9, 7), (6, 5, 4)])
+    def test_matches_serial_and_in_ram(
+        self, tmp_path, scheme_name, dims
+    ):
+        grid = Grid(dims)
+        scheme = get_scheme(scheme_name)
+        serial = SummedAreaTable.build_chunked(
+            scheme, grid, 3, byte_budget=600,
+            path=tmp_path / "serial.npy", workers=1,
+        )
+        parallel = SummedAreaTable.build_chunked(
+            scheme, grid, 3, byte_budget=600,
+            path=tmp_path / "parallel.npy", workers=2,
+        )
+        in_ram = SummedAreaTable.build(scheme.allocate(grid, 3))
+        try:
+            assert self._sha(serial.path) == self._sha(parallel.path)
+            assert np.array_equal(
+                np.asarray(parallel.array), in_ram.array
+            )
+        finally:
+            serial.close()
+            parallel.close()
+
+    def test_shards_sidecar_removed_on_success(self, tmp_path):
+        from repro.core.sat import build_shards_path
+
+        path = tmp_path / "sat.npy"
+        built = SummedAreaTable.build_chunked(
+            get_scheme("dm"), Grid((8, 6)), 2,
+            byte_budget=600, path=path, workers=2,
+        )
+        built.close()
+        assert not os.path.exists(build_shards_path(path))
+
+    def test_env_resolution_and_override(self, monkeypatch):
+        from repro.core.sat import BUILD_WORKERS_ENV, build_workers
+
+        monkeypatch.delenv(BUILD_WORKERS_ENV, raising=False)
+        assert build_workers() == 1
+        monkeypatch.setenv(BUILD_WORKERS_ENV, "3")
+        assert build_workers() == 3
+        assert build_workers(2) == 2
+
+    def test_invalid_worker_count_rejected(self):
+        from repro.core.sat import build_workers
+
+        with pytest.raises(AllocationError, match="worker count"):
+            build_workers(0)
+
+    def test_unpicklable_scheme_builds_serially(self, tmp_path):
+        """A scheme that cannot travel to spawn workers still builds."""
+        scheme = get_scheme("dm")
+        scheme._hostage = lambda: None  # closures don't pickle
+        try:
+            built = SummedAreaTable.build_chunked(
+                scheme, Grid((6, 4)), 2,
+                byte_budget=400, path=tmp_path / "sat.npy", workers=2,
+            )
+            built.close()
+            reference = SummedAreaTable.build_chunked(
+                get_scheme("dm"), Grid((6, 4)), 2,
+                byte_budget=400, path=tmp_path / "ref.npy",
+            )
+            reference.close()
+            assert self._sha(built.path) == self._sha(reference.path)
+        finally:
+            del scheme._hostage
+
+
+class TestMmapLayoutErrors:
+    def test_disk_last_raises_typed_layout_error(self, tmp_path):
+        from repro.core.exceptions import LayoutError
+
+        built = SummedAreaTable.build_chunked(
+            get_scheme("dm"), Grid((4, 4)), 2,
+            byte_budget=1024, path=tmp_path / "sat.npy",
+        )
+        try:
+            with pytest.raises(LayoutError) as excinfo:
+                built.disk_last()
+            message = str(excinfo.value)
+            # The error must name the actual layout and the streamed
+            # alternatives, so callers can self-serve the fix.
+            assert "disk-first" in message
+            assert "corner_counts" in message
+            assert "cnative" in message
+        finally:
+            built.close()
+
+    def test_prefetch_hints_mapped_tables_only(self, tmp_path):
+        built = SummedAreaTable.build_chunked(
+            get_scheme("dm"), Grid((4, 4)), 2,
+            byte_budget=1024, path=tmp_path / "sat.npy",
+        )
+        in_ram = SummedAreaTable.build(
+            get_scheme("dm").allocate(Grid((4, 4)), 2)
+        )
+        try:
+            assert built.prefetch() is True
+            assert in_ram.prefetch() is False
+            built.close()
+            assert built.prefetch() is False
+        finally:
+            built.close()

@@ -267,3 +267,97 @@ class TestObservableFailures:
         assert "manager shutdown failed" in caplog.text
         arena.close()  # idempotent: the dead manager is not re-counted
         assert obs_registry.counter("shm.teardown_errors") == 1
+
+
+def _spill_sat(tmp_path, name="repro-sat-h.npy"):
+    from repro.core.sat import SummedAreaTable
+
+    path = str(tmp_path / name)
+    SummedAreaTable.build_chunked(
+        get_scheme("dm"), Grid((8, 5)), 2, path=path
+    ).close()
+    return path
+
+
+class TestSpilledSatSharing:
+    def test_handle_attach_round_trip(self, tmp_path):
+        path = _spill_sat(tmp_path)
+        handle = shm.MmapSatHandle(path=path)
+        sat = handle.attach()
+        try:
+            assert sat.is_mmap
+            assert handle.nbytes == sat.array.nbytes or handle.nbytes > 0
+        finally:
+            sat.close()
+        engine = handle.attach_engine()
+        try:
+            assert engine.sat.is_mmap
+        finally:
+            engine.sat.close()
+
+    def test_get_before_publish_is_none(self, arena, tmp_path):
+        assert arena.broker.get_sat("dm", Grid((8, 5)), 2) is None
+
+    def test_publish_then_get(self, arena, tmp_path):
+        path = _spill_sat(tmp_path)
+        published = arena.broker.publish_sat("dm", Grid((8, 5)), 2, path)
+        assert published.path == path
+        fetched = arena.broker.get_sat("dm", Grid((8, 5)), 2)
+        assert fetched is not None
+        assert fetched.path == path
+        # Distinct triples stay distinct.
+        assert arena.broker.get_sat("dm", Grid((8, 5)), 3) is None
+
+    def test_first_writer_wins(self, arena, tmp_path):
+        first = _spill_sat(tmp_path, "repro-sat-a.npy")
+        second = _spill_sat(tmp_path, "repro-sat-b.npy")
+        arena.broker.publish_sat("dm", Grid((8, 5)), 2, first)
+        winner = arena.broker.publish_sat("dm", Grid((8, 5)), 2, second)
+        assert winner.path == first
+
+    def test_deleted_backing_file_is_a_miss(self, arena, tmp_path):
+        import os
+
+        path = _spill_sat(tmp_path)
+        arena.broker.publish_sat("dm", Grid((8, 5)), 2, path)
+        os.unlink(path)
+        assert arena.broker.get_sat("dm", Grid((8, 5)), 2) is None
+
+    def test_publish_counter_increments(self, arena, tmp_path):
+        from repro.obs.metrics import global_registry
+
+        before = global_registry().aggregate_counters().get(
+            "shm.sat_publishes", 0
+        )
+        arena.broker.publish_sat(
+            "dm", Grid((8, 5)), 2, _spill_sat(tmp_path)
+        )
+        after = global_registry().aggregate_counters().get(
+            "shm.sat_publishes", 0
+        )
+        assert after == before + 1
+
+
+class TestSpilledSatCacheIntegration:
+    def test_peer_cache_attaches_published_engine(self, arena, tmp_path):
+        grid = Grid((8, 5))
+        path = _spill_sat(tmp_path)
+        first = AllocationCache(broker=arena.broker)
+        second = AllocationCache(broker=arena.broker)
+        built = first.mmap_engine("dm", grid, 2, path)
+        shared = second.shared_mmap_engine("dm", grid, 2)
+        assert shared is not None
+        assert np.array_equal(
+            built.sliding_response_times((2, 2)),
+            shared.sliding_response_times((2, 2)),
+        )
+        assert first.stats().mmap_shared_hits == 0
+        assert second.stats().mmap_shared_hits == 1
+        # A repeat shared lookup is a plain memo hit.
+        again = second.shared_mmap_engine("dm", grid, 2)
+        assert again is shared
+        assert second.stats().mmap_hits == 1
+
+    def test_unpublished_triple_returns_none(self, arena):
+        cache = AllocationCache(broker=arena.broker)
+        assert cache.shared_mmap_engine("dm", Grid((9, 9)), 2) is None

@@ -154,3 +154,38 @@ class TestInjectionPoints:
             monkeypatch.delenv(IO_FAULTS_ENV, raising=False)
             shm.detach_all()
             arena.close()
+
+
+class TestConcurrentHitCounting:
+    def test_hits_are_unique_across_threads(self, tmp_path):
+        # A parallel build bumps one counter from several processes at
+        # once; without the flock two bumpers can claim the same hit
+        # and a TIMES=1 exit plan kills both.  Threads exercise the
+        # same file-level race (each opens its own descriptor).
+        import threading
+
+        plan = IoFaultPlan.from_spec("sat.write:90", str(tmp_path))
+        seen = []
+        lock = threading.Lock()
+
+        def bump(n):
+            for _ in range(n):
+                hit = plan._bump_hit("sat.write")
+                with lock:
+                    seen.append(hit)
+
+        threads = [
+            threading.Thread(target=bump, args=(10,)) for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(seen) == list(range(1, 81))
+
+    def test_counter_survives_separate_plans(self, tmp_path):
+        first = IoFaultPlan.from_spec("sat.write:5", str(tmp_path))
+        second = IoFaultPlan.from_spec("sat.write:5", str(tmp_path))
+        assert first._bump_hit("sat.write") == 1
+        assert second._bump_hit("sat.write") == 2
+        assert first._bump_hit("sat.write") == 3

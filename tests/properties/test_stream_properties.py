@@ -1,0 +1,108 @@
+"""Property sweep: streamed kernels over mmap tables == in-RAM truth.
+
+Three evaluation paths must agree bit for bit on arbitrary query
+batches — the in-RAM fancy-index gather (ground truth), the streamed
+numpy gather over a memory-mapped chunked table, and the cnative
+streaming kernel over the same mapping.  All three sum the same exact
+integers, so equality is ``==``, not ``allclose``.  Hypothesis drives
+the query boxes, including clipped (touching the grid boundary) and
+zero-extent (``lo == hi``) degenerate cases, across schemes and
+2-D/3-D grids.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.backends.native import CNativeBackend
+from repro.core.backends.numpy_backend import NumpyBackend
+from repro.core.grid import Grid
+from repro.core.registry import get_scheme
+from repro.core.sat import SummedAreaTable
+
+CONFIGS = [
+    ("dm", (9, 7)),
+    ("fx", (11, 5)),
+    ("dm", (6, 5, 4)),
+    ("gdm", (5, 4, 6)),
+]
+DISKS = 3
+
+_NATIVE = CNativeBackend()
+_NUMPY = NumpyBackend()
+
+
+@pytest.fixture(scope="module")
+def tables(tmp_path_factory):
+    """One (mmap, in-RAM) table pair per config, built once."""
+    root = tmp_path_factory.mktemp("stream-tables")
+    built = {}
+    for index, (scheme_name, dims) in enumerate(CONFIGS):
+        grid = Grid(dims)
+        scheme = get_scheme(scheme_name)
+        mapped = SummedAreaTable.build_chunked(
+            scheme, grid, DISKS,
+            byte_budget=600, path=root / f"sat-{index}.npy",
+        )
+        in_ram = SummedAreaTable.build(scheme.allocate(grid, DISKS))
+        built[(scheme_name, dims)] = (mapped, in_ram)
+    yield built
+    for mapped, _ in built.values():
+        mapped.close()
+
+
+@st.composite
+def query_batch(draw, dims):
+    """``(lo, hi)`` int64 arrays; hi may equal lo (zero extent) or d."""
+    count = draw(st.integers(min_value=1, max_value=8))
+    lo_rows, hi_rows = [], []
+    for _ in range(count):
+        lo = [draw(st.integers(0, d)) for d in dims]
+        hi = [
+            draw(st.integers(axis_lo, d))
+            for axis_lo, d in zip(lo, dims)
+        ]
+        lo_rows.append(lo)
+        hi_rows.append(hi)
+    return (
+        np.asarray(lo_rows, dtype=np.int64),
+        np.asarray(hi_rows, dtype=np.int64),
+    )
+
+
+@pytest.mark.parametrize("scheme_name,dims", CONFIGS)
+class TestStreamedEquivalence:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(data=st.data())
+    def test_disk_counts_agree(self, tables, scheme_name, dims, data):
+        mapped, in_ram = tables[(scheme_name, dims)]
+        lo, hi = data.draw(query_batch(dims))
+        truth = _NUMPY.batch_disk_counts(in_ram, lo, hi)
+        streamed = _NUMPY.batch_disk_counts(mapped, lo, hi)
+        assert np.array_equal(truth, streamed)
+        if _NATIVE.available():
+            native = _NATIVE.batch_disk_counts(mapped, lo, hi)
+            assert np.array_equal(truth, native)
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(data=st.data())
+    def test_response_times_agree(
+        self, tables, scheme_name, dims, data
+    ):
+        mapped, in_ram = tables[(scheme_name, dims)]
+        lo, hi = data.draw(query_batch(dims))
+        truth = _NUMPY.batch_response_times(in_ram, lo, hi)
+        streamed = _NUMPY.batch_response_times(mapped, lo, hi)
+        assert np.array_equal(truth, streamed)
+        if _NATIVE.available():
+            native = _NATIVE.batch_response_times(mapped, lo, hi)
+            assert np.array_equal(truth, native)
