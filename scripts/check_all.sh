@@ -91,12 +91,27 @@ run_step "chaos obs check (shm.attach_faults counted)" \
         "${chaos_tmp}/trace.jsonl" "${chaos_tmp}/metrics.json" \
         --expect-counter shm.attach_faults:1
 rm -rf "${chaos_tmp}"
+# Serving smoke: boot the real `repro serve` daemon, SIGKILL a fleet
+# worker mid-run (must respawn and keep answering byte-identically —
+# the shared-queue lock-poisoning regression), SIGTERM-drain cleanly
+# with no shm leaks, and prove the recovery in the metrics export.
+serve_tmp="$(mktemp -d)"
+run_step "serve smoke (worker kill + drain)" \
+    python scripts/smoke_serve.py "${serve_tmp}/metrics.json"
+run_step "serve obs check (requests + worker death counted)" \
+    python scripts/check_obs_output.py --counters-only \
+        "${serve_tmp}/metrics.json" \
+        --expect-counter serve.requests:3 \
+        --expect-counter serve.worker_deaths:1 \
+        --expect-counter serve.connections:1
+rm -rf "${serve_tmp}"
 # The batch query engine must stay >=5x faster than the per-query loop;
 # the best compiled kernel backend must stay >=3x over the numpy batch
 # kernel (skipped with a warning when none is available); the chunked
 # beyond-RAM SAT build must complete within its byte budget (live on a
 # CI-sized grid, plus the committed full-scale BENCH_native.json record);
-# a disabled tracer span must stay effectively free.
+# a disabled tracer span must stay effectively free; the serve daemon
+# must answer byte-identically over the wire (qps floor on 4+ cores).
 run_step "batch + native bench gate" python scripts/check_bench_gate.py
 # Observability smoke: a fully instrumented 2-worker run with one
 # injected crash must export a valid trace + metrics pair that records

@@ -25,6 +25,12 @@ kernel to agree bit-for-bit with the streamed numpy gather over the
 same mmap table and beat it by ``REPRO_STREAM_MIN_SPEEDUP`` (default
 2x), skipped when no compiler is available.
 
+The serve leg boots the real ``repro serve`` daemon over a unix
+socket via ``serve-bench`` and requires byte-identity of served
+answers against the in-process engine on any hardware; the
+``REPRO_SERVE_MIN_QPS`` throughput floor (default 50000 queries/sec)
+is armed only on runners with 4+ cores.
+
 The verify-overhead leg re-times reopening a spilled SAT with
 ``REPRO_VERIFY=header`` versus ``off`` followed by a representative
 sliding-window sweep: the header ratio must stay at or below
@@ -283,6 +289,85 @@ def _check_stream() -> "list[str]":
     return failures
 
 
+def _check_serve() -> "list[str]":
+    """The serving leg: byte-identity always, a qps floor on big boxes.
+
+    Spins up the real ``repro serve`` daemon through the CLI's
+    self-hosting ``serve-bench`` path (subprocess + unix socket — the
+    same plumbing a supervisor would run) and reads back the result
+    document.  Byte-identity of served answers against the in-process
+    engine is unconditional: a single mismatched response fails the
+    gate on any hardware.  The throughput floor
+    (``REPRO_SERVE_MIN_QPS``, default 50000 queries/sec) is armed only
+    on runners with 4+ cores — on smaller boxes the number is pure
+    scheduler noise, but the identity and shedding contracts still
+    hold.  The burst phase must shed (clients see ``shed`` responses,
+    never errors) whenever the daemon saturates; a burst that sheds
+    nothing is fine on fast hardware, so only transport errors and
+    mismatches are fatal there.
+    """
+    import subprocess
+    import tempfile
+
+    failures = []
+    floor = float(os.environ.get("REPRO_SERVE_MIN_QPS", "50000"))
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "BENCH_serve.json")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(_REPO / "src")]
+            + [p for p in (env.get("PYTHONPATH"),) if p]
+        )
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.cli", "serve-bench",
+                "--duration", os.environ.get(
+                    "REPRO_SERVE_BENCH_SECONDS", "2"
+                ),
+                "--batch", "512",
+                "--concurrency", "4",
+                "--max-inflight", "2",
+                "--out", out,
+            ],
+            env=env,
+            cwd=str(_REPO),
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        if proc.returncode != 0:
+            failures.append(
+                "serve-bench exited "
+                f"{proc.returncode}:\n{proc.stdout}\n{proc.stderr}"
+            )
+            return failures
+        record = json.loads(pathlib.Path(out).read_text())
+    print(json.dumps(record, indent=2))
+    if record["mismatches"] != 0:
+        failures.append(
+            f"served answers diverged from the in-process engine "
+            f"({record['mismatches']} mismatched batch(es))"
+        )
+    qps = record["measured"]["queries_per_second"]
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        if qps < floor:
+            failures.append(
+                f"serve throughput {qps:.0f} q/s < {floor:.0f} floor"
+            )
+        else:
+            print(
+                f"bench gate: serve at {qps:.0f} q/s "
+                f"(floor {floor:.0f})"
+            )
+    else:
+        print(
+            f"bench gate: serve at {qps:.0f} q/s "
+            f"(floor unarmed on {cores} core(s))"
+        )
+    return failures
+
+
 def main() -> int:
     floor = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "5"))
     obs_ceiling = float(
@@ -303,6 +388,7 @@ def main() -> int:
     failures.extend(_check_native(floor_env="REPRO_NATIVE_MIN_SPEEDUP"))
     failures.extend(_check_parallel_build())
     failures.extend(_check_stream())
+    failures.extend(_check_serve())
     verify_ceiling = float(
         os.environ.get("REPRO_VERIFY_MAX_OVERHEAD", "1.05")
     )

@@ -13,6 +13,12 @@ A second leg proves the recovery tool: a stray segment is planted (as
 a crashed run would leave one) and ``repro doctor --gc`` must find it,
 unlink it, and exit zero — leaving ``/dev/shm`` clean.
 
+A third leg covers the serving daemon's server-tagged segments
+(``repro-shm-srv<pid>-*``): a planted orphan whose embedded owner pid
+is dead must be swept by :func:`reap_stale_server_segments` (the
+startup sweep every daemon restart runs), while a segment owned by a
+*live* pid must survive both the reaper and ``doctor --gc``.
+
 Usage::
 
     PYTHONPATH=src python scripts/check_shm_leaks.py
@@ -21,7 +27,12 @@ Usage::
 import os
 import sys
 
-from repro.core.shm import SHM_NAME_PREFIX, _open_segment, stray_segments
+from repro.core.shm import (
+    SHM_NAME_PREFIX,
+    _open_segment,
+    reap_stale_server_segments,
+    stray_segments,
+)
 from repro.doctor import run_doctor, scan_shm_segments
 from repro.experiments.runner import run_all
 
@@ -45,6 +56,39 @@ def _check_doctor_gc() -> "list[str]":
             f"doctor --gc exited {report.exit_code()} on a stray "
             f"segment it should have collected"
         )
+    return errors
+
+
+def _check_server_segments() -> "list[str]":
+    """Dead-owner server segments reaped; live-owner segments kept."""
+    errors = []
+    orphan = f"{SHM_NAME_PREFIX}-srv999999-leakcheck"
+    live = f"{SHM_NAME_PREFIX}-srv{os.getpid()}-leakcheck"
+    for name in (orphan, live):
+        segment = _open_segment(name, create=True, size=64)  # qa602: allow — planted server segments ARE the fixture; the reaper owns the unlink
+        segment.close()
+    try:
+        reaped = {name.lstrip("/") for name in reap_stale_server_segments()}
+        if orphan not in reaped:
+            errors.append(
+                f"reap_stale_server_segments missed orphan {orphan}"
+            )
+        remaining = set(stray_segments())
+        if live not in remaining:
+            errors.append(
+                f"reaper collected live-owner segment {live}"
+            )
+        # doctor --gc must also leave the live server's segment alone.
+        run_doctor(gc=True, scanners=[scan_shm_segments])
+        if live not in set(stray_segments()):
+            errors.append(
+                f"doctor --gc collected live-owner segment {live}"
+            )
+    finally:
+        from repro.core.shm import unlink_segment
+
+        unlink_segment(live)
+        unlink_segment(orphan)
     return errors
 
 
@@ -74,6 +118,15 @@ def main() -> int:
             print(f"shm leak check: FAILED — {error}", file=sys.stderr)
         return 1
     print("shm leak check: ok — doctor --gc collects crashed-run segments")
+    server_errors = _check_server_segments()
+    if server_errors:
+        for error in server_errors:
+            print(f"shm leak check: FAILED — {error}", file=sys.stderr)
+        return 1
+    print(
+        "shm leak check: ok — dead-owner server segments reaped, "
+        "live-owner kept"
+    )
     return 0
 
 

@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""CI serving smoke: daemon boot, worker-kill recovery, clean drain.
+
+Boots the real ``repro serve`` daemon over a unix socket with a
+two-process worker fleet, then walks the failure path CI cares about:
+
+1. **Serve** — a batch of random range queries answered over the wire
+   must be byte-identical to the in-process engine's answer.
+2. **Worker kill** — SIGKILL one fleet worker mid-flight.  The daemon
+   must respawn it (``serve.worker_deaths`` counted, the stats
+   endpoint shows a fresh pid) and keep answering with byte-identical
+   results — the regression this guards is the shared-queue write-lock
+   poisoning that used to deadlock every *surviving* worker.
+3. **Drain** — SIGTERM must exit 0, kill the fleet, write the metrics
+   export, and leave no ``repro-shm-srv<pid>-*`` segments behind.
+
+The metrics export is left on disk for ``check_obs_output.py
+--counters-only`` (check_all.sh chains it with ``--expect-counter``
+assertions on the serve counters).
+
+Usage::
+
+    PYTHONPATH=src python scripts/smoke_serve.py [metrics-out.json]
+"""
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+_REPO = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(_REPO / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.cache import AllocationCache  # noqa: E402
+from repro.core.grid import Grid  # noqa: E402
+from repro.core.query import QueryBatch, RangeQuery  # noqa: E402
+from repro.core.shm import stray_segments  # noqa: E402
+from repro.serve.client import ServeClient  # noqa: E402
+
+__all__ = ['main']
+
+SCHEME, DIMS, DISKS = "ecc", (16, 16), 8
+SPEC = f"{SCHEME}:{'x'.join(str(d) for d in DIMS)}:{DISKS}"
+
+
+def _fail(message):
+    print(f"smoke_serve: FAILED — {message}", file=sys.stderr)
+    return 1
+
+
+def _random_bounds(seed, count=64):
+    rng = np.random.default_rng(seed)
+    lower = rng.integers(0, 16, size=(count, 2)).astype(np.int64)
+    upper = np.minimum(
+        lower + rng.integers(0, 6, size=(count, 2)), 15
+    ).astype(np.int64)
+    return lower, upper
+
+
+def _local_times(cache, lower, upper):
+    engine = cache.engine(SCHEME, Grid(DIMS), DISKS)
+    queries = [
+        RangeQuery(tuple(lo), tuple(hi))
+        for lo, hi in zip(lower.tolist(), upper.tolist())
+    ]
+    return engine.batch_response_times(
+        QueryBatch.from_queries(queries, Grid(DIMS))
+    )
+
+
+def _wait_ready(process, socket_path, deadline=120):
+    limit = time.monotonic() + deadline
+    while time.monotonic() < limit:
+        if process.poll() is not None:
+            out = process.stdout.read() if process.stdout else ""
+            raise RuntimeError(
+                f"daemon exited {process.returncode} at startup:\n{out}"
+            )
+        if os.path.exists(socket_path):
+            try:
+                with ServeClient(unix_path=socket_path) as client:
+                    client.ping()
+                return
+            except OSError:
+                pass
+        time.sleep(0.1)
+    raise RuntimeError("daemon never became ready")
+
+
+def main() -> int:
+    metrics_out = (
+        sys.argv[1] if len(sys.argv) > 1
+        else os.path.join(tempfile.mkdtemp(), "serve_metrics.json")
+    )
+    tmp = tempfile.mkdtemp(prefix="repro-smoke-serve-")
+    socket_path = os.path.join(tmp, "serve.sock")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(_REPO / "src")]
+        + [p for p in (env.get("PYTHONPATH"),) if p]
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--spec", SPEC,
+            "--unix", socket_path,
+            "--serve-workers", "2",
+            "--metrics-out", metrics_out,
+            "--drain-timeout", "15",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    cache = AllocationCache(maxsize=4)
+    try:
+        _wait_ready(process, socket_path)
+        print(f"smoke_serve: daemon ready (pid {process.pid})")
+
+        with ServeClient(unix_path=socket_path, timeout=60) as client:
+            lower, upper = _random_bounds(11)
+            times, _shed = client.batch_response_times(
+                SCHEME, DIMS, DISKS, lower, upper
+            )
+            if times.tobytes() != _local_times(
+                cache, lower, upper
+            ).tobytes():
+                return _fail("served batch diverged from local engine")
+            print("smoke_serve: served batch byte-identical")
+
+            stats = client.stats()
+            pids = stats["workers"]
+            if len(pids) != 2:
+                return _fail(f"expected 2 fleet workers, got {pids}")
+            victim = pids[0]
+            os.kill(victim, signal.SIGKILL)
+            print(f"smoke_serve: killed worker {victim}")
+
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                stats = client.stats()
+                fresh = stats["workers"]
+                if victim not in fresh and len(fresh) == 2:
+                    break
+                time.sleep(0.2)
+            else:
+                return _fail(
+                    f"fleet never recovered (workers {stats['workers']})"
+                )
+            if stats["counters"].get("serve.worker_deaths", 0) < 1:
+                return _fail("worker death not counted")
+            print(f"smoke_serve: fleet respawned ({stats['workers']})")
+
+            lower, upper = _random_bounds(12)
+            times, _shed = client.batch_response_times(
+                SCHEME, DIMS, DISKS, lower, upper
+            )
+            if times.tobytes() != _local_times(
+                cache, lower, upper
+            ).tobytes():
+                return _fail("post-kill batch diverged from local engine")
+            print("smoke_serve: post-kill batch byte-identical")
+
+        process.send_signal(signal.SIGTERM)
+        process.wait(timeout=60)
+        if process.returncode != 0:
+            out = process.stdout.read() if process.stdout else ""
+            return _fail(
+                f"drain exited {process.returncode}:\n{out}"
+            )
+        leaked = [
+            name for name in stray_segments()
+            if f"-srv{process.pid}-" in name
+        ]
+        if leaked:
+            return _fail(f"shm segments leaked: {leaked}")
+        if not os.path.exists(metrics_out):
+            return _fail("metrics export missing after drain")
+        print(
+            "smoke_serve: ok — drain clean, no shm leaks, "
+            f"metrics at {metrics_out}"
+        )
+        return 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -222,10 +222,18 @@ def _print_cache_stats(args) -> None:
                 else "engine=unbuilt"
             )
             residency = "shared" if entry["shared"] else "private"
+            resident = entry.get("resident_nbytes")
+            footprint = (
+                f"mapped={entry['mapped_nbytes']}B "
+                f"resident="
+                + (f"{resident}B" if resident is not None else "unknown")
+            )
+            kind = entry.get("kind", "table")
             print(
                 f"  {entry['scheme']:10s} grid={dims} M={entry['num_disks']} "
-                f"dtype={entry['table_dtype']} "
-                f"table={entry['table_nbytes']}B {engine} {residency}",
+                f"dtype={entry['table_dtype']} kind={kind} "
+                f"table={entry['table_nbytes']}B {engine} {residency} "
+                + footprint,
                 file=sys.stderr,
             )
 
@@ -475,6 +483,126 @@ def _cmd_doctor(args) -> int:
     else:
         print(report.render())
     return report.exit_code()
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve.server import ServeConfig, parse_spec, run_server
+
+    config = ServeConfig(
+        specs=[parse_spec(text) for text in args.spec],
+        unix_path=args.unix,
+        host=args.host,
+        port=args.port,
+        workers=args.serve_workers,
+        max_inflight=args.max_inflight,
+        drain_timeout=args.drain_timeout,
+        metrics_out=args.metrics_out,
+        backend=args.backend,
+    )
+    if args.log_level:
+        from repro.obs.log import configure_logging
+
+        configure_logging(level=args.log_level)
+    asyncio.run(run_server(config))
+    return 0
+
+
+def _cmd_serve_bench(args) -> int:
+    import json as _json
+    import os as _os
+    import signal as _signal
+    import subprocess
+    import tempfile
+    import time as _time
+
+    from repro.serve.bench import BenchConfig, run_bench
+    from repro.serve.client import ServeClient
+
+    spec_text = args.spec
+    scheme, grid_text, disks_text = spec_text.split(":")
+    dims = tuple(int(d) for d in grid_text.lower().split("x"))
+    config = BenchConfig(
+        scheme=scheme,
+        dims=dims,
+        num_disks=int(disks_text),
+        batch=args.batch,
+        duration=args.duration,
+        concurrency=args.concurrency,
+        seed=args.seed,
+        unix_path=args.connect,
+        out=args.out,
+    )
+    daemon = None
+    socket_path = args.connect
+    try:
+        if socket_path is None:
+            # Spawn our own daemon on a private unix socket; small
+            # max_inflight so the overload burst demonstrably sheds.
+            socket_path = tempfile.mktemp(
+                prefix="repro-serve-bench-", suffix=".sock"
+            )
+            config.unix_path = socket_path
+            command = [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--spec", spec_text,
+                "--unix", socket_path,
+                "--serve-workers", str(args.serve_workers),
+                "--max-inflight", str(args.max_inflight),
+            ]
+            if args.backend:
+                command[3:3] = ["--backend", args.backend]
+            daemon = subprocess.Popen(command)
+            deadline = _time.monotonic() + 120
+            while _time.monotonic() < deadline:
+                if daemon.poll() is not None:
+                    print(
+                        "error: serve daemon exited "
+                        f"{daemon.returncode} during startup",
+                        file=sys.stderr,
+                    )
+                    return 1
+                if _os.path.exists(socket_path):
+                    try:
+                        with ServeClient(unix_path=socket_path) as c:
+                            c.ping()
+                        break
+                    except OSError:
+                        pass
+                _time.sleep(0.1)
+            else:
+                print("error: serve daemon never came up", file=sys.stderr)
+                return 1
+        result = run_bench(config)
+        measured = result["measured"]
+        print(
+            f"serve-bench: {measured['queries']} queries in "
+            f"{measured['elapsed_s']:.2f}s = "
+            f"{measured['queries_per_second']:,.0f} q/s  "
+            f"p50={measured['latency_p50_s'] * 1e3:.2f}ms "
+            f"p99={measured['latency_p99_s'] * 1e3:.2f}ms  "
+            f"shed={result['burst']['shed_counter_delta']}"
+        )
+        if args.out:
+            print(f"results written to {args.out}")
+        else:
+            print(_json.dumps(result, indent=2))
+        return 0
+    finally:
+        if daemon is not None:
+            daemon.send_signal(_signal.SIGTERM)
+            try:
+                daemon.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                daemon.kill()
+                daemon.wait(timeout=10)
+        if (
+            args.connect is None
+            and socket_path
+            and _os.path.exists(socket_path)
+        ):
+            _os.unlink(socket_path)
 
 
 def _cmd_theory(args) -> int:
@@ -772,6 +900,119 @@ def build_parser() -> argparse.ArgumentParser:
         help="machine-readable report",
     )
 
+    p_serve = sub.add_parser(
+        "serve",
+        help=(
+            "run the declustering daemon: preload schemes once, answer "
+            "disk_of/batch/degraded-plan queries over a socket"
+        ),
+    )
+    p_serve.add_argument(
+        "--spec",
+        action="append",
+        required=True,
+        metavar="SCHEME:GRID:M",
+        help="preload this triple, e.g. ecc:16x16:8 (repeatable)",
+    )
+    p_serve.add_argument(
+        "--unix", default=None, metavar="PATH", help="unix socket path"
+    )
+    p_serve.add_argument(
+        "--host", default=None, help="TCP bind host (with --port)"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=0, help="TCP bind port (0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--serve-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "worker processes computing batches off shared memory "
+            "(0 = in-process thread pool)"
+        ),
+    )
+    p_serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        metavar="N",
+        help=(
+            "batch requests in flight before the server sheds to the "
+            "scalar path (answers stay byte-identical)"
+        ),
+    )
+    p_serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="grace period for in-flight requests on SIGTERM",
+    )
+    p_serve.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write serve counters/latency histograms as JSON at drain",
+    )
+    p_serve.add_argument(
+        "--log-level",
+        default=None,
+        metavar="LEVEL",
+        help="emit server logs to stderr at LEVEL",
+    )
+
+    p_serve_bench = sub.add_parser(
+        "serve-bench",
+        help=(
+            "closed-loop load generator against the serve daemon "
+            "(spawns one unless --connect)"
+        ),
+    )
+    p_serve_bench.add_argument(
+        "--spec",
+        default="ecc:16x16:8",
+        metavar="SCHEME:GRID:M",
+        help="triple to load-test (default: ecc:16x16:8)",
+    )
+    p_serve_bench.add_argument(
+        "--connect",
+        default=None,
+        metavar="PATH",
+        help="bench an already-running daemon on this unix socket",
+    )
+    p_serve_bench.add_argument(
+        "--duration", type=float, default=5.0, help="measured seconds"
+    )
+    p_serve_bench.add_argument(
+        "--batch", type=int, default=1024, help="queries per request"
+    )
+    p_serve_bench.add_argument(
+        "--concurrency", type=int, default=2, help="closed-loop connections"
+    )
+    p_serve_bench.add_argument(
+        "--serve-workers",
+        type=int,
+        default=0,
+        help="worker processes for the spawned daemon",
+    )
+    p_serve_bench.add_argument(
+        "--max-inflight",
+        type=int,
+        default=2,
+        help="spawned daemon's admission bound (small = shedding visible)",
+    )
+    p_serve_bench.add_argument(
+        "--seed", type=int, default=2024, help="request-pool RNG seed"
+    )
+    p_serve_bench.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write p50/p99/throughput JSON here",
+    )
+
     p_theory = sub.add_parser("theory", help="strict-optimality tools")
     theory_sub = p_theory.add_subparsers(
         dest="theory_command", required=True
@@ -835,6 +1076,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "qa": _cmd_qa,
         "obs": _cmd_obs,
         "doctor": _cmd_doctor,
+        "serve": _cmd_serve,
+        "serve-bench": _cmd_serve_bench,
     }
     try:
         if args.backend is not None:

@@ -135,7 +135,7 @@ def set_backend(name: Optional[str]) -> None:
     global _ACTIVE
     if name is not None:
         get_backend(name)
-    _ACTIVE = name
+    _ACTIVE = name  # qa601: allow — per-process override by design; serve workers each re-apply the server's --backend at startup
 
 
 @contextmanager

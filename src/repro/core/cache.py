@@ -63,10 +63,50 @@ __all__ = [
     "CacheStats",
     "global_cache",
     "reset_global_cache",
+    "resident_nbytes",
 ]
 
 #: Default maximum number of cached (scheme, grid, M) entries.
 DEFAULT_MAXSIZE = 128
+
+
+def resident_nbytes(array) -> Optional[int]:
+    """Bytes of ``array``'s buffer actually resident in RAM, or None.
+
+    An mmap-backed SAT has a *mapped* size (the full logical table) and
+    a usually much smaller *resident* set — only the pages the kernel
+    has faulted in.  ``mincore(2)`` reports exactly that, page by page.
+    Returns None where the probe is unavailable (non-Linux libc, an
+    exotic buffer) so callers can render "unknown" instead of repeating
+    the old lie of logical size == residency.
+    """
+    import ctypes
+    import mmap as _mmap
+
+    try:
+        libc = ctypes.CDLL(None, use_errno=True)  # qa503: allow — read-only mincore(2) residency probe, no artifact loading
+        mincore = libc.mincore
+    except (OSError, AttributeError):
+        return None
+    nbytes = int(array.nbytes)
+    if nbytes == 0:
+        return 0
+    page = _mmap.PAGESIZE
+    address = int(array.ctypes.data)
+    start = address - (address % page)
+    span = (address + nbytes) - start
+    pages = (span + page - 1) // page
+    vector = (ctypes.c_ubyte * pages)()
+    mincore.argtypes = [
+        ctypes.c_void_p,
+        ctypes.c_size_t,
+        ctypes.POINTER(ctypes.c_ubyte),
+    ]
+    mincore.restype = ctypes.c_int
+    if mincore(ctypes.c_void_p(start), ctypes.c_size_t(span), vector):
+        return None
+    resident_pages = sum(byte & 1 for byte in vector)
+    return min(resident_pages * page, nbytes)
 
 
 @dataclass(frozen=True)
@@ -408,14 +448,28 @@ class AllocationCache:
         One dict per cached entry, in LRU order (least recent first):
         scheme name, grid dims, disk count, table dtype and bytes,
         whether the integral-image engine has been built (and its
-        bytes), and whether the table resides in shared memory.
+        bytes), and whether the table resides in shared memory.  Every
+        row also reports ``mapped_nbytes`` (address-space footprint)
+        next to ``resident_nbytes`` (pages actually in RAM, None where
+        unmeasurable): for in-RAM tables the two agree, but an
+        mmap-backed SAT maps its full logical size while touching only
+        the pages queries fault in — reporting the logical size as
+        residency is exactly the overstatement this separates.  The
+        memoized mmap engines get their own ``kind="mmap-sat"`` rows;
+        previously they were invisible here despite holding the largest
+        mappings in the process.
         """
         report: List[Dict[str, object]] = []
         for key, entry in self._entries.items():
             scheme_name, _factory, dims, num_disks, backend = key
             allocation = entry.allocation
+            engine_nbytes = (
+                entry.engine.nbytes() if entry.engine_built else 0
+            )
+            mapped = allocation.nbytes + engine_nbytes
             report.append(
                 {
+                    "kind": "table",
                     "scheme": scheme_name,
                     "dims": dims,
                     "num_disks": num_disks,
@@ -423,10 +477,35 @@ class AllocationCache:
                     "table_dtype": str(allocation.table.dtype),
                     "table_nbytes": allocation.nbytes,
                     "engine_built": entry.engine_built,
-                    "engine_nbytes": (
-                        entry.engine.nbytes() if entry.engine_built else 0
-                    ),
+                    "engine_nbytes": engine_nbytes,
                     "shared": entry.shared,
+                    # In-RAM (or shared-segment) tables are fully
+                    # materialized: mapped == resident by construction.
+                    "mapped_nbytes": mapped,
+                    "resident_nbytes": mapped,
+                }
+            )
+        for memo_key, engine in self._mmap_engines.items():
+            scheme_name, dims, num_disks, path = memo_key
+            array = engine.sat.array
+            if array is None:
+                continue
+            mapped = int(array.nbytes)
+            report.append(
+                {
+                    "kind": "mmap-sat",
+                    "scheme": scheme_name,
+                    "dims": dims,
+                    "num_disks": num_disks,
+                    "backend": "mmap",
+                    "path": path,
+                    "table_dtype": str(array.dtype),
+                    "table_nbytes": mapped,
+                    "engine_built": True,
+                    "engine_nbytes": 0,
+                    "shared": False,
+                    "mapped_nbytes": mapped,
+                    "resident_nbytes": resident_nbytes(array),
                 }
             )
         return report

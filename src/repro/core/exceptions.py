@@ -17,8 +17,10 @@ __all__ = [
     "IntegrityError",
     "GridFileError",
     "LayoutError",
+    "ProtocolError",
     "QueryError",
     "RunnerError",
+    "ServeError",
     "SchemeError",
     "SchemeNotApplicableError",
     "SearchBudgetExceeded",
@@ -127,4 +129,24 @@ class RunnerError(DeclusteringError):
 
     Raised when an experiment keeps failing after its bounded retries are
     exhausted, or a checkpoint file cannot be used for the requested run.
+    """
+
+
+class ServeError(DeclusteringError):
+    """The serving daemon could not start or answer a request.
+
+    Raised for configuration problems (no preloaded scheme matches a
+    request, a dead endpoint) and wrapped into typed error responses on
+    the wire; request handlers never let it tear the connection down.
+    """
+
+
+class ProtocolError(ServeError):
+    """A wire frame violates the serve protocol.
+
+    Raised for truncated frames, length prefixes beyond the hard frame
+    cap, unknown request kinds, or malformed headers/bodies.  The server
+    answers with a typed error response where the stream is still
+    parseable and closes the connection only when framing itself is
+    unrecoverable (a half-received length, an oversized prefix).
     """

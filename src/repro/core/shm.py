@@ -44,9 +44,10 @@ from __future__ import annotations
 import contextlib
 import itertools
 import os
+import re
 import secrets
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -66,6 +67,9 @@ __all__ = [
     "SharedAllocationBroker",
     "SharedTableHandle",
     "attach_allocation",
+    "reap_stale_server_segments",
+    "segment_owner_pid",
+    "server_segment_prefix",
     "share_allocation",
     "stray_segments",
 ]
@@ -73,6 +77,70 @@ __all__ = [
 #: Every segment this module creates starts with this prefix, which is
 #: what the leak check greps /dev/shm for.
 SHM_NAME_PREFIX = "repro-shm"
+
+#: Segments whose lifetime is owned by a long-running server process
+#: carry the owner's pid in the name (``repro-shm-srv<pid>-...``), so a
+#: later process — a restarted daemon, ``repro doctor`` — can tell a
+#: live server's segments from a crashed one's without the (long gone)
+#: ledger.  Short-lived runs keep the untagged historical names.
+_SERVER_OWNER_RE = re.compile(
+    rf"^{re.escape(SHM_NAME_PREFIX)}-srv(\d+)-"
+)
+
+
+def server_segment_prefix(pid: Optional[int] = None) -> str:
+    """The segment-name prefix a server owned by ``pid`` must use."""
+    return f"{SHM_NAME_PREFIX}-srv{os.getpid() if pid is None else pid}"
+
+
+def segment_owner_pid(name: str) -> Optional[int]:
+    """The owner pid embedded in a server-tagged segment name, or None.
+
+    Only names carrying the explicit ``srv`` marker resolve — a bare
+    pid-looking token in an untagged name (the historical
+    ``repro-shm-<pid>-<token>`` form) stays anonymous on purpose, so
+    crashed short-lived runs are never mistaken for live servers.
+    """
+    match = _SERVER_OWNER_RE.match(name)
+    return int(match.group(1)) if match else None
+
+
+def _pid_alive(pid: int) -> bool:
+    """True if a process with ``pid`` currently exists."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def reap_stale_server_segments(
+    prefix: str = SHM_NAME_PREFIX,
+) -> List[str]:
+    """Unlink server-tagged segments whose owner process is gone.
+
+    A daemon that restarts cannot rely on its predecessor's ledger (it
+    died with the manager process), so at startup it sweeps ``/dev/shm``
+    for ``srv``-tagged names and unlinks every one whose embedded owner
+    pid no longer exists.  Segments owned by a *live* pid — another
+    server still running — are left alone.  Returns the reaped names.
+    """
+    reaped = []
+    for name in stray_segments(prefix):
+        owner = segment_owner_pid(name)
+        if owner is None or _pid_alive(owner):
+            continue
+        if unlink_segment(name):
+            reaped.append(name)
+    if reaped:
+        _LOG.info(
+            "reaped %d stale server segment(s): %s",
+            len(reaped), ", ".join(reaped),
+        )
+        global_registry().inc("shm.reaped_segments", len(reaped))
+    return reaped
 
 
 @contextlib.contextmanager
@@ -483,15 +551,36 @@ class SharedAllocationArena:
     run even if workers crashed or hung mid-publish.
     """
 
-    def __init__(self, manager, broker: SharedAllocationBroker):
+    def __init__(
+        self,
+        manager,
+        broker: SharedAllocationBroker,
+        prefix: Optional[str] = None,
+    ):
         self._manager = manager
         self.broker = broker
+        # Remembered parent-side so teardown can sweep /dev/shm by
+        # prefix even when the manager (and with it the ledger proxy)
+        # is already dead.
+        self._prefix = prefix if prefix is not None else broker._prefix
 
     @classmethod
-    def try_create(cls) -> Optional["SharedAllocationArena"]:
-        """Build an arena, or None where managers/shm are unavailable."""
+    def try_create(
+        cls, server_owned: bool = False
+    ) -> Optional["SharedAllocationArena"]:
+        """Build an arena, or None where managers/shm are unavailable.
+
+        ``server_owned=True`` tags every segment name with this
+        process's pid (``repro-shm-srv<pid>-...``) so restarted daemons
+        and ``repro doctor`` can distinguish a live server's segments
+        from a crashed one's — see :func:`reap_stale_server_segments`.
+        """
         if os.environ.get("REPRO_DISABLE_SHM") == "1":
             return None
+        if server_owned:
+            prefix = f"{server_segment_prefix()}-{secrets.token_hex(4)}"
+        else:
+            prefix = f"{SHM_NAME_PREFIX}-{secrets.token_hex(4)}"
         try:
             import multiprocessing
 
@@ -499,7 +588,7 @@ class SharedAllocationArena:
             broker = SharedAllocationBroker(
                 manager.dict(),
                 manager.list(),
-                prefix=f"{SHM_NAME_PREFIX}-{secrets.token_hex(4)}",
+                prefix=prefix,
             )
         except Exception as exc:  # qa502: allow — logged and counted, None disables sharing
             # No manager / no shm on this platform: the parallel runner
@@ -512,15 +601,39 @@ class SharedAllocationArena:
             )
             global_registry().inc("shm.arena_failures")
             return None
-        return cls(manager, broker)
+        return cls(manager, broker, prefix=prefix)
 
     def close(self) -> None:
-        """Unlink all segments, then stop the manager (idempotent)."""
+        """Unlink all segments, then stop the manager (idempotent).
+
+        Teardown never trusts the ledger alone: after draining it (or
+        failing to — the manager hosting the ledger proxy may already
+        be dead), every surviving ``/dev/shm`` entry under this arena's
+        unique prefix is unlinked directly.  That makes ``close``
+        idempotent across daemon restarts and robust to the
+        crashed-manager case that used to leak segments the ledger no
+        longer tracked.
+        """
         if self._manager is None:
             return
         try:
             with trace("shm.teardown"):
-                unlinked = self.broker.unlink_all()
+                try:
+                    unlinked = self.broker.unlink_all()
+                except Exception as exc:  # qa502: allow — logged and counted, prefix sweep below still collects
+                    # The ledger lives in the manager process; if that
+                    # died (daemon restart, crashed run) the proxy call
+                    # fails — fall through to the prefix sweep, which
+                    # needs no cooperating process.
+                    _LOG.warning(
+                        "arena ledger unreachable at teardown, "
+                        "sweeping by prefix: %r", exc,
+                    )
+                    global_registry().inc("shm.teardown_errors")
+                    unlinked = 0
+                for name in stray_segments(self._prefix):
+                    if unlink_segment(name):
+                        unlinked += 1
             _LOG.debug("arena teardown unlinked %d segment(s)", unlinked)
         finally:
             try:

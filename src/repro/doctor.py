@@ -33,6 +33,10 @@ Classifications:
     removes it, but the report says a re-run would resume it instead;
 ``unverified``
     a pre-integrity artifact with no sidecar — reported, never removed;
+``in-use``
+    a shared-memory segment whose embedded owner pid
+    (``repro-shm-srv<pid>-...``) is a live server process — reported
+    for visibility, never removed, and never fails the report;
 ``ok``
     verified clean (listed only in ``--json`` output).
 """
@@ -82,7 +86,7 @@ class ArtifactIssue:
     """One classified artifact (see module docstring for the states)."""
 
     kind: str  #: "sat" | "sat-build" | "native" | "shm"
-    state: str  #: "ok" | "unverified" | "resumable" | "stale" | "corrupt"
+    state: str  #: "ok"|"unverified"|"in-use"|"resumable"|"stale"|"corrupt"
     path: str
     detail: str
     #: Files (or the shm segment name) that ``--gc`` would remove.
@@ -388,21 +392,48 @@ def scan_native_cache(
 def scan_shm_segments() -> List[ArtifactIssue]:
     """Classify leftover ``repro-shm-*`` segments in ``/dev/shm``.
 
-    Any surviving segment is stale by definition: every orderly run
-    tears its arena down, so what remains belongs to a crashed run.
+    Untagged segments surviving a run are stale by definition: every
+    orderly short-lived run tears its arena down, so what remains
+    belongs to a crashed run.  Server-tagged segments
+    (``repro-shm-srv<pid>-...``) carry their owner's pid: while that
+    process lives the segment is **in-use** (reported, never
+    collected); once the owner is gone it is an orphan of a crashed or
+    killed daemon and gc may unlink it.
     """
-    from repro.core.shm import SHM_NAME_PREFIX, stray_segments
+    from repro.core.shm import (
+        SHM_NAME_PREFIX,
+        _pid_alive,
+        segment_owner_pid,
+        stray_segments,
+    )
 
-    return [
-        ArtifactIssue(
-            kind="shm",
-            state="stale",
-            path=f"/dev/shm/{name}",
-            detail="shared-memory segment from a crashed run",
-            removals=[name],
+    issues = []
+    for name in stray_segments(SHM_NAME_PREFIX):
+        owner = segment_owner_pid(name)
+        if owner is None:
+            state = "stale"
+            detail = "shared-memory segment from a crashed run"
+        elif _pid_alive(owner):
+            state = "in-use"
+            detail = (
+                f"segment owned by live server pid {owner}; "
+                "not collectable while it runs"
+            )
+        else:
+            state = "stale"
+            detail = (
+                f"orphaned server segment (owner pid {owner} is gone)"
+            )
+        issues.append(
+            ArtifactIssue(
+                kind="shm",
+                state=state,
+                path=f"/dev/shm/{name}",
+                detail=detail,
+                removals=[name] if state == "stale" else [],
+            )
         )
-        for name in stray_segments(SHM_NAME_PREFIX)
-    ]
+    return issues
 
 
 def _gc_issue(issue: ArtifactIssue) -> List[str]:

@@ -97,6 +97,28 @@ def render_metrics_summary(document: Dict[str, Any]) -> str:
                 f"total={_fmt_seconds(summary['sum'])}"
             )
 
+    serve = _counter_block(counters, "serve.")
+    serve_rows = [
+        (name[len("serve.latency."):-len(".seconds")], summary)
+        for name, summary in sorted(histograms.items())
+        if name.startswith("serve.latency.")
+        and name.endswith(".seconds")
+    ]
+    if serve or serve_rows:
+        lines.append(
+            f"  serve: requests={serve.get('requests', 0)} "
+            f"shed={serve.get('shed', 0)} "
+            f"errors={serve.get('errors', 0)} "
+            f"worker_deaths={serve.get('worker_deaths', 0)}"
+        )
+        for kind, summary in serve_rows:
+            lines.append(
+                f"    {kind:20s} n={summary['count']:<8.0f} "
+                f"p50={_fmt_seconds(summary['p50'])} "
+                f"p99={_fmt_seconds(summary.get('p99', 0.0))} "
+                f"max={_fmt_seconds(summary['max'])}"
+            )
+
     cache = _counter_block(counters, "cache.")
     if cache:
         hits = cache.get("hits", 0)

@@ -81,6 +81,13 @@ _SUBMIT_METHODS = frozenset(
     {"submit", "map", "apply_async", "starmap", "imap", "imap_unordered"}
 )
 
+#: Async offload calls: name -> positional index of the callable they
+#: run on a worker thread.  ``loop.run_in_executor(executor, func,
+#: ...)`` carries its callable second; ``asyncio.to_thread(func, ...)``
+#: first.  Without these seeds the whole thread-side of an asyncio
+#: server is invisible to the reachability pass.
+_ASYNC_OFFLOAD_CALLS = {"run_in_executor": 1, "to_thread": 0}
+
 #: Callee names whose ``target=`` / ``initializer=`` keyword runs in a
 #: child process (or a pool worker).
 _WORKER_KEYWORD_CALLEES = frozenset(
@@ -477,6 +484,18 @@ class ProjectFlow:
                             f"{mf.module.path}:{node.lineno} "
                             f".{node.func.attr}(...)",
                         )
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _ASYNC_OFFLOAD_CALLS
+                ):
+                    index = _ASYNC_OFFLOAD_CALLS[node.func.attr]
+                    if len(node.args) > index:
+                        for fq in resolve_expr(node.args[index]):
+                            self.seeds.setdefault(
+                                fq,
+                                f"{mf.module.path}:{node.lineno} "
+                                f".{node.func.attr}(...)",
+                            )
                 if last in _WORKER_KEYWORD_CALLEES:
                     for keyword in node.keywords:
                         if keyword.arg in _WORKER_KEYWORDS:

@@ -1,0 +1,281 @@
+"""Clients for the serve daemon: blocking and asyncio flavors.
+
+:class:`ServeClient` is the blocking client used by the CLI, the test
+suite, and the bench load generator's per-connection threads; it speaks
+the :mod:`repro.serve.protocol` frames over a plain socket.
+:class:`AsyncServeClient` is the asyncio counterpart for callers
+already inside an event loop.
+
+Both convert :data:`~repro.serve.protocol.RESPONSE_ERROR` frames into
+raised :class:`~repro.core.exceptions.ServeError` /
+:class:`~repro.core.exceptions.ProtocolError`, so callers handle server
+failures the same way as local library failures.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import ProtocolError, ServeError
+from repro.serve import protocol
+
+__all__ = ["AsyncServeClient", "ServeClient"]
+
+
+def _raise_for_error(kind: int, header: Dict[str, Any]) -> None:
+    if kind != protocol.RESPONSE_ERROR:
+        return
+    error = str(header.get("error", "ServeError"))
+    message = str(header.get("message", "server reported an error"))
+    if error == "ProtocolError":
+        raise ProtocolError(message)
+    raise ServeError(f"{error}: {message}")
+
+
+def _batch_request_parts(
+    scheme: str,
+    dims: Sequence[int],
+    num_disks: int,
+    lower: np.ndarray,
+    upper: np.ndarray,
+) -> Tuple[Dict[str, Any], bytes]:
+    lower = np.ascontiguousarray(lower, dtype=np.int64)
+    upper = np.ascontiguousarray(upper, dtype=np.int64)
+    if lower.shape != upper.shape or lower.ndim != 2:
+        raise ServeError(
+            f"lower/upper must be matching (N, k) arrays, got "
+            f"{lower.shape} and {upper.shape}"
+        )
+    header = {
+        "scheme": scheme,
+        "dims": [int(d) for d in dims],
+        "num_disks": int(num_disks),
+        "count": int(lower.shape[0]),
+    }
+    return header, lower.tobytes() + upper.tobytes()
+
+
+class ServeClient:
+    """Blocking client over a Unix or TCP socket.
+
+    Usable as a context manager; one instance holds one connection and
+    is **not** thread-safe — give each thread its own client.
+    """
+
+    def __init__(
+        self,
+        unix_path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: int = 0,
+        timeout: Optional[float] = 30.0,
+    ):
+        if unix_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(unix_path)
+        elif host is not None:
+            self._sock = socket.create_connection(
+                (host, port), timeout=timeout
+            )
+            self._sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+        else:
+            raise ServeError("ServeClient needs unix_path or host/port")
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    # -- low-level ----------------------------------------------------
+
+    def raw_request(
+        self, data: bytes
+    ) -> Optional[Tuple[int, Dict[str, Any], bytes]]:
+        """Send pre-encoded bytes, read one response frame (fuzz hook)."""
+        self._sock.sendall(data)
+        return protocol.recv_frame(self._sock)
+
+    def request(
+        self,
+        kind: int,
+        header: Optional[Dict[str, Any]] = None,
+        body: bytes = b"",
+    ) -> Tuple[Dict[str, Any], bytes]:
+        """One request/response exchange; raises on typed errors."""
+        frame = self.raw_request(protocol.encode_frame(kind, header, body))
+        if frame is None:
+            raise ServeError("server closed the connection")
+        response_kind, response_header, response_body = frame
+        _raise_for_error(response_kind, response_header)
+        return response_header, response_body
+
+    # -- request types ------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        header, _body = self.request(protocol.REQUEST_PING)
+        return header
+
+    def stats(self) -> Dict[str, Any]:
+        header, _body = self.request(protocol.REQUEST_STATS)
+        return header
+
+    def disk_of(
+        self,
+        scheme: str,
+        dims: Sequence[int],
+        num_disks: int,
+        coords: np.ndarray,
+    ) -> np.ndarray:
+        coords = np.ascontiguousarray(coords, dtype=np.int64)
+        if coords.ndim != 2 or coords.shape[1] != len(dims):
+            raise ServeError(
+                f"coords must be (N, {len(dims)}), got {coords.shape}"
+            )
+        header, body = self.request(
+            protocol.REQUEST_DISK_OF,
+            {
+                "scheme": scheme,
+                "dims": [int(d) for d in dims],
+                "num_disks": int(num_disks),
+            },
+            coords.tobytes(),
+        )
+        return protocol.array_from_bytes(body, (int(header["count"]),))
+
+    def batch_response_times(
+        self,
+        scheme: str,
+        dims: Sequence[int],
+        num_disks: int,
+        lower: np.ndarray,
+        upper: np.ndarray,
+    ) -> Tuple[np.ndarray, bool]:
+        """Response times for inclusive (lower, upper) query bounds.
+
+        Returns ``(times, shed)`` — ``shed`` reports whether the server
+        answered on the overload (scalar) path.
+        """
+        header, body = _batch_request_parts(
+            scheme, dims, num_disks, lower, upper
+        )
+        response_header, response_body = self.request(
+            protocol.REQUEST_BATCH_RT, header, body
+        )
+        times = protocol.array_from_bytes(
+            response_body, (int(response_header["count"]),)
+        )
+        return times, bool(response_header.get("shed", False))
+
+    def degraded_plan(
+        self,
+        scheme: str,
+        dims: Sequence[int],
+        num_disks: int,
+        lower: Sequence[int],
+        upper: Sequence[int],
+        failed: Sequence[int] = (),
+        method: str = "flow",
+        offset: int = 1,
+    ) -> Dict[str, Any]:
+        header, _body = self.request(
+            protocol.REQUEST_DEGRADED_PLAN,
+            {
+                "scheme": scheme,
+                "dims": [int(d) for d in dims],
+                "num_disks": int(num_disks),
+                "lower": [int(c) for c in lower],
+                "upper": [int(c) for c in upper],
+                "failed": [int(d) for d in failed],
+                "method": method,
+                "offset": int(offset),
+            },
+        )
+        return header
+
+
+class AsyncServeClient:
+    """Asyncio client; create with :meth:`connect`."""
+
+    def __init__(self, reader, writer):
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(
+        cls,
+        unix_path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: int = 0,
+    ) -> "AsyncServeClient":
+        import asyncio
+
+        if unix_path is not None:
+            reader, writer = await asyncio.open_unix_connection(unix_path)
+        elif host is not None:
+            reader, writer = await asyncio.open_connection(host, port)
+        else:
+            raise ServeError(
+                "AsyncServeClient needs unix_path or host/port"
+            )
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def request(
+        self,
+        kind: int,
+        header: Optional[Dict[str, Any]] = None,
+        body: bytes = b"",
+    ) -> Tuple[Dict[str, Any], bytes]:
+        self._writer.write(protocol.encode_frame(kind, header, body))
+        await self._writer.drain()
+        frame = await protocol.read_frame(self._reader)
+        if frame is None:
+            raise ServeError("server closed the connection")
+        response_kind, response_header, response_body = frame
+        _raise_for_error(response_kind, response_header)
+        return response_header, response_body
+
+    async def ping(self) -> Dict[str, Any]:
+        header, _body = await self.request(protocol.REQUEST_PING)
+        return header
+
+    async def stats(self) -> Dict[str, Any]:
+        header, _body = await self.request(protocol.REQUEST_STATS)
+        return header
+
+    async def batch_response_times(
+        self,
+        scheme: str,
+        dims: Sequence[int],
+        num_disks: int,
+        lower: np.ndarray,
+        upper: np.ndarray,
+    ) -> Tuple[np.ndarray, bool]:
+        header, body = _batch_request_parts(
+            scheme, dims, num_disks, lower, upper
+        )
+        response_header, response_body = await self.request(
+            protocol.REQUEST_BATCH_RT, header, body
+        )
+        times = protocol.array_from_bytes(
+            response_body, (int(response_header["count"]),)
+        )
+        return times, bool(response_header.get("shed", False))

@@ -1,0 +1,348 @@
+"""Spawn-process worker fleet answering batch response-time requests.
+
+The daemon's heavy request type — ``batch_response_times`` — runs on a
+fleet of spawn-context processes so the asyncio loop never blocks on a
+kernel sweep.  Workers attach the preloaded allocations **zero-copy**
+through the :class:`~repro.core.shm.SharedAllocationBroker` the server
+published at startup: N workers share one resident table per triple,
+and each builds its summed-area engine once, on first use.
+
+Result plumbing is **one pipe per worker**, not a shared queue, and the
+reason is a failure mode worth spelling out: a ``multiprocessing.Queue``
+guards its write end with a semaphore shared by every producer, and a
+worker SIGKILLed between its feeder thread's ``send_bytes`` and the
+lock release leaves that semaphore held forever — one crashed worker
+deadlocks result delivery from every *surviving* worker (easily
+reproduced on one core, where the parent preempts the child's feeder
+the instant the result arrives).  A pipe has exactly one writer, so a
+dead worker can only break its own channel — the parent sees EOF on
+that pipe and the others keep flowing.
+
+Fault model.  Each worker owns a dedicated task queue (so the parent
+always knows which tasks a dead worker held) and its own result pipe.
+A monitor thread polls liveness: on a death the worker is counted
+(``serve.worker_deaths``), respawned with fresh plumbing, and every
+task the dead worker had outstanding is resubmitted.  Results are
+deduplicated by task id, so a task that raced its worker's death (a
+result flushed into the pipe before the crash plus a resubmitted copy)
+resolves exactly once.
+
+``count=0`` configures the in-process fallback: the server computes
+batches on a thread-pool executor instead — same code path, no fleet.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import multiprocessing.connection
+import os
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import ServeError
+from repro.core.grid import Grid
+from repro.core.query import QueryBatch
+from repro.obs.log import get_logger
+from repro.obs.metrics import global_registry
+
+_LOG = get_logger("repro.serve.workers")
+
+__all__ = ["WorkerFleet", "compute_batch_response_times"]
+
+#: Seconds between liveness sweeps of the monitor thread.
+_MONITOR_INTERVAL = 0.2
+
+
+def compute_batch_response_times(
+    cache,
+    scheme: str,
+    dims: Tuple[int, ...],
+    num_disks: int,
+    lo: np.ndarray,
+    hi: np.ndarray,
+) -> np.ndarray:
+    """One batch through the cached engine (server and workers share it)."""
+    engine = cache.engine(scheme, Grid(dims), num_disks)
+    return engine.batch_response_times(QueryBatch(lo, hi, dims))
+
+
+def _worker_main(
+    worker_index: int,
+    backend: Optional[str],
+    broker,
+    task_queue,
+    result_conn,
+) -> None:
+    """Fleet worker loop: attach shared tables, answer batches until None."""
+    from repro.core.cache import global_cache
+
+    if backend is not None:
+        from repro.core.backends import set_backend
+
+        set_backend(backend)
+    cache = global_cache()
+    if broker is not None:
+        cache.set_broker(broker)
+    while True:
+        task = task_queue.get()
+        if task is None:
+            result_conn.close()
+            return
+        task_id, scheme, dims, num_disks, shape, lo_bytes, hi_bytes = task
+        try:
+            lo = np.frombuffer(lo_bytes, dtype=np.int64).reshape(shape)
+            hi = np.frombuffer(hi_bytes, dtype=np.int64).reshape(shape)
+            times = compute_batch_response_times(
+                cache, scheme, tuple(dims), num_disks, lo, hi
+            )
+            result_conn.send((task_id, True, times.tobytes()))
+        except Exception as exc:  # qa502: allow — worker survives a bad task; the error travels to the requester as a typed response
+            result_conn.send(
+                (task_id, False, f"{type(exc).__name__}: {exc}")
+            )
+
+
+class _Worker:
+    """One fleet member: its process, task queue, and result pipe."""
+
+    __slots__ = ("process", "task_queue", "result_recv", "outstanding")
+
+    def __init__(self, process, task_queue, result_recv):
+        self.process = process
+        self.task_queue = task_queue
+        self.result_recv = result_recv
+        #: task_id -> the submitted task tuple, for resubmission.
+        self.outstanding: Dict[int, tuple] = {}
+
+
+class WorkerFleet:
+    """Owner of the worker processes and their task/result plumbing.
+
+    ``resolve`` is called from the result-pump thread as
+    ``resolve(task_id, ok, payload)`` — the server installs a callback
+    that completes the matching asyncio future loop-safely.
+    """
+
+    def __init__(
+        self,
+        count: int,
+        broker=None,
+        backend: Optional[str] = None,
+        resolve: Optional[Callable[[int, bool, Any], None]] = None,
+    ):
+        self._count = int(count)
+        self._broker = broker
+        self._backend = backend
+        self._resolve = resolve or (lambda task_id, ok, payload: None)
+        self._ctx = multiprocessing.get_context("spawn")
+        self._workers: List[_Worker] = []
+        #: Dead workers whose result pipes may still hold flushed
+        #: results; the pump drains them to EOF and closes them (the
+        #: monitor must NOT close a pipe the pump may be waiting on).
+        self._retired: List[_Worker] = []
+        self._task_ids = itertools.count()
+        self._rr = itertools.count()
+        self._lock = threading.Lock()
+        self._stopping = threading.Event()
+        # Self-pipe so stop() can wake the pump out of connection.wait.
+        self._wake_r, self._wake_w = os.pipe()
+        self._pump: Optional[threading.Thread] = None
+        self._monitor: Optional[threading.Thread] = None
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> None:
+        if self._count <= 0:
+            return
+        for index in range(self._count):
+            self._workers.append(self._spawn(index))
+        self._pump = threading.Thread(
+            target=self._pump_results, name="serve-result-pump",
+            daemon=True,
+        )
+        self._pump.start()
+        self._monitor = threading.Thread(
+            target=self._monitor_liveness, name="serve-worker-monitor",
+            daemon=True,
+        )
+        self._monitor.start()
+
+    def _spawn(self, index: int) -> _Worker:
+        task_queue = self._ctx.Queue()
+        result_recv, result_send = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                index,
+                self._backend,
+                self._broker,
+                task_queue,
+                result_send,
+            ),
+            name=f"repro-serve-worker-{index}",
+            daemon=True,
+        )
+        process.start()
+        # Drop the parent's copy of the send end: the child holds the
+        # only writer, so its death reads as EOF on result_recv.
+        result_send.close()
+        return _Worker(process, task_queue, result_recv)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Drain sentinels, join, terminate stragglers (idempotent)."""
+        if self._stopping.is_set():
+            return
+        self._stopping.set()
+        try:
+            os.write(self._wake_w, b"x")
+        except OSError:
+            pass
+        for worker in self._workers:
+            try:
+                worker.task_queue.put(None)
+            except (OSError, ValueError) as exc:
+                _LOG.debug("sentinel to dead worker queue: %r", exc)
+        for worker in self._workers:
+            worker.process.join(timeout=timeout)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+        if self._monitor is not None:
+            self._monitor.join(timeout=1.0)
+        if self._pump is not None:
+            self._pump.join(timeout=2.0)
+        for worker in self._workers + self._retired:
+            if not worker.result_recv.closed:
+                worker.result_recv.close()
+        self._retired.clear()
+        for fd in (self._wake_r, self._wake_w):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+
+    @property
+    def alive(self) -> bool:
+        return bool(self._workers) and not self._stopping.is_set()
+
+    def pids(self) -> List[int]:
+        """Pids of the current fleet members (for stats / chaos tests)."""
+        return [
+            worker.process.pid
+            for worker in self._workers
+            if worker.process.pid is not None
+        ]
+
+    # -- submission ---------------------------------------------------
+
+    def submit(
+        self,
+        scheme: str,
+        dims: Sequence[int],
+        num_disks: int,
+        lo: np.ndarray,
+        hi: np.ndarray,
+    ) -> int:
+        """Queue one batch on the least-loaded live worker; returns the id."""
+        if not self.alive:
+            raise ServeError("worker fleet is not running")
+        task_id = next(self._task_ids)
+        task = (
+            task_id,
+            scheme,
+            tuple(int(d) for d in dims),
+            int(num_disks),
+            tuple(lo.shape),
+            lo.tobytes(),
+            hi.tobytes(),
+        )
+        with self._lock:
+            start = next(self._rr)
+            candidates = [
+                self._workers[(start + offset) % len(self._workers)]
+                for offset in range(len(self._workers))
+            ]
+            worker = min(
+                (w for w in candidates if w.process.is_alive()),
+                key=lambda w: len(w.outstanding),
+                default=None,
+            )
+            if worker is None:
+                raise ServeError("no live worker to accept the batch")
+            worker.outstanding[task_id] = task
+            worker.task_queue.put(task)
+        return task_id
+
+    # -- internal threads ---------------------------------------------
+
+    def _pump_results(self) -> None:
+        while not self._stopping.is_set():
+            with self._lock:
+                conns = [
+                    worker.result_recv
+                    for worker in self._workers + self._retired
+                    if not worker.result_recv.closed
+                ]
+            try:
+                ready = multiprocessing.connection.wait(
+                    conns + [self._wake_r], timeout=1.0
+                )
+            except OSError:
+                if self._stopping.is_set():
+                    return  # wake pipe closed under us
+                continue  # a conn closed mid-wait; rebuild the set
+            for conn in ready:
+                if conn == self._wake_r:
+                    return  # stop() poked the self-pipe
+                try:
+                    task_id, ok, payload = conn.recv()
+                except (EOFError, OSError):
+                    # The worker died; drain what it flushed, then stop
+                    # listening — the monitor respawns and resubmits.
+                    conn.close()
+                    continue
+                with self._lock:
+                    for worker in self._workers:
+                        worker.outstanding.pop(task_id, None)
+                self._resolve(task_id, ok, payload)
+
+    def _monitor_liveness(self) -> None:
+        while not self._stopping.wait(_MONITOR_INTERVAL):
+            with self._lock:
+                # Retired pipes the pump has drained can be dropped.
+                self._retired = [
+                    w for w in self._retired
+                    if not w.result_recv.closed
+                ]
+                dead = [
+                    (index, worker)
+                    for index, worker in enumerate(self._workers)
+                    if not worker.process.is_alive()
+                ]
+                if not dead:
+                    continue
+                for index, worker in dead:
+                    orphans = list(worker.outstanding.values())
+                    _LOG.warning(
+                        "serve worker %d (pid %s) died with %d task(s) "
+                        "outstanding; respawning",
+                        index, worker.process.pid, len(orphans),
+                    )
+                    global_registry().inc("serve.worker_deaths")
+                    try:
+                        worker.task_queue.close()
+                    except (OSError, ValueError) as exc:
+                        _LOG.debug(
+                            "dead worker queue close: %r", exc
+                        )
+                    self._retired.append(worker)
+                    replacement = self._spawn(index)
+                    # Resubmission is at-least-once: a result that raced
+                    # the death is deduplicated by task id in the pump.
+                    for task in orphans:
+                        replacement.outstanding[task[0]] = task
+                        replacement.task_queue.put(task)
+                    self._workers[index] = replacement

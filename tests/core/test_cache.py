@@ -220,3 +220,50 @@ class TestMmapEngineMemo:
         report = cache.as_report_dict()
         assert report["mmap_hits"] == 1
         assert report["mmap_shared_hits"] == 0
+
+
+class TestEntryReportResidency:
+    """Mapped-vs-resident accounting in ``entry_report``."""
+
+    def test_resident_probe_bounds(self):
+        from repro.core.cache import resident_nbytes
+
+        empty = np.empty(0, dtype=np.int64)
+        assert resident_nbytes(empty) == 0
+        touched = np.arange(4096, dtype=np.int64)
+        touched.sum()  # force the pages in
+        resident = resident_nbytes(touched)
+        if resident is None:
+            pytest.skip("mincore probe unavailable on this platform")
+        assert 0 <= resident <= touched.nbytes
+
+    def test_table_rows_report_mapped_equals_resident(self):
+        cache = AllocationCache(maxsize=4)
+        cache.engine("dm", Grid((8, 5)), 2)
+        rows = cache.entry_report()
+        assert rows, "one cached entry expected"
+        row = rows[0]
+        assert row["kind"] == "table"
+        assert row["mapped_nbytes"] >= row["table_nbytes"]
+        # Fully materialized tables: no mapped/resident gap to report.
+        assert row["resident_nbytes"] == row["mapped_nbytes"]
+
+    def test_mmap_rows_appear_with_residency(self, tmp_path):
+        from repro.core.sat import SummedAreaTable
+
+        path = str(tmp_path / "repro-sat-rep.npy")
+        SummedAreaTable.build_chunked(
+            get_scheme("dm"), Grid((8, 5)), 2, path=path
+        ).close()
+        cache = AllocationCache(maxsize=4)
+        cache.mmap_engine("dm", Grid((8, 5)), 2, path)
+        rows = [
+            row for row in cache.entry_report()
+            if row["kind"] == "mmap-sat"
+        ]
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["path"] == path
+        assert row["mapped_nbytes"] == row["table_nbytes"] > 0
+        resident = row["resident_nbytes"]
+        assert resident is None or 0 <= resident <= row["mapped_nbytes"]

@@ -361,3 +361,66 @@ class TestSpilledSatCacheIntegration:
     def test_unpublished_triple_returns_none(self, arena):
         cache = AllocationCache(broker=arena.broker)
         assert cache.shared_mmap_engine("dm", Grid((9, 9)), 2) is None
+
+
+class TestServerSegments:
+    def test_owner_pid_parses_only_explicit_srv_tags(self):
+        prefix = shm.SHM_NAME_PREFIX
+        assert shm.segment_owner_pid(f"{prefix}-srv1234-abcd") == 1234
+        assert shm.segment_owner_pid(f"{prefix}-abcd1234") is None
+        # A name that merely contains digits is not an owner tag.
+        assert shm.segment_owner_pid(f"{prefix}-crashed-999") is None
+
+    def test_server_prefix_carries_pid(self):
+        import os
+
+        assert shm.server_segment_prefix().endswith(f"srv{os.getpid()}")
+        assert shm.server_segment_prefix(42).endswith("srv42")
+
+    def test_reap_collects_dead_owner_spares_live(self):
+        import os
+        from multiprocessing import shared_memory
+
+        try:
+            dead = shared_memory.SharedMemory(
+                name=f"{shm.SHM_NAME_PREFIX}-srv999999-reaptest",
+                create=True,
+                size=64,
+            )
+            live = shared_memory.SharedMemory(
+                name=f"{shm.SHM_NAME_PREFIX}-srv{os.getpid()}-reaptest",
+                create=True,
+                size=64,
+            )
+        except (OSError, FileNotFoundError):
+            pytest.skip("shared memory unavailable here")
+        try:
+            reaped = shm.reap_stale_server_segments()
+            assert dead.name.lstrip("/") in [
+                name.lstrip("/") for name in reaped
+            ]
+            # The live server's segment must survive the sweep.
+            survivor = shared_memory.SharedMemory(name=live.name)
+            survivor.close()
+        finally:
+            dead.close()
+            live.close()
+            try:
+                live.unlink()
+            except FileNotFoundError:
+                pass
+            try:
+                dead.unlink()
+            except FileNotFoundError:
+                pass
+
+    def test_server_owned_arena_close_is_idempotent(self):
+        arena = shm.SharedAllocationArena.try_create(server_owned=True)
+        if arena is None:
+            pytest.skip("shared memory / managers unavailable here")
+        cache = AllocationCache(broker=arena.broker)
+        cache.allocation("hcam", Grid((8, 8)), 5)
+        assert arena.broker.segment_names()
+        arena.close()
+        arena.close()  # second teardown is a no-op, not an error
+        assert shm.stray_segments(arena._prefix) == []

@@ -162,3 +162,95 @@ class TestGlobalRegistry:
             assert fresh.counter("marker") == 0
         finally:
             reset_global_registry()
+
+
+class TestReservoirHistograms:
+    def test_samples_are_bounded_but_aggregates_exact(self):
+        from repro.obs.metrics import HISTOGRAM_RESERVOIR_SIZE
+
+        registry = MetricsRegistry()
+        total = HISTOGRAM_RESERVOIR_SIZE + 500
+        for value in range(total):
+            registry.observe("big.series", float(value))
+        payload = registry.payload()
+        samples = payload["histograms"]["big.series"]
+        stats = payload["histogram_stats"]["big.series"]
+        assert len(samples) == HISTOGRAM_RESERVOIR_SIZE
+        assert stats["count"] == total
+        assert stats["sum"] == pytest.approx(sum(range(total)))
+        assert stats["max"] == float(total - 1)
+        summary = registry.to_json_dict()["parent"]["histograms"][
+            "big.series"
+        ]
+        # Exact aggregates survive sampling; percentiles come from the
+        # reservoir and stay within the observed range.
+        assert summary["count"] == total
+        assert summary["max"] == float(total - 1)
+        assert 0.0 <= summary["p50"] <= float(total - 1)
+        assert summary["p50"] <= summary["p99"] <= summary["max"]
+
+    def test_p99_reported_and_exact_below_capacity(self):
+        registry = MetricsRegistry()
+        for value in range(1, 101):
+            registry.observe("small.series", float(value))
+        summary = registry.to_json_dict()["parent"]["histograms"][
+            "small.series"
+        ]
+        assert summary["p99"] == 99.0  # nearest-rank on 1..100
+        assert summary["p95"] == 95.0
+
+    def test_reservoir_is_deterministic_per_name(self):
+        first = MetricsRegistry()
+        second = MetricsRegistry()
+        for value in range(10_000):
+            first.observe("det.series", float(value))
+            second.observe("det.series", float(value))
+        assert (
+            first.payload()["histograms"]["det.series"]
+            == second.payload()["histograms"]["det.series"]
+        )
+
+    def test_legacy_payload_without_stats_still_aggregates(self):
+        registry = MetricsRegistry()
+        registry.ingest(
+            {
+                "pid": 4242,
+                "counters": {},
+                "histograms": {"old.series": [1.0, 3.0]},
+            }
+        )
+        merged = registry.aggregate_histograms()
+        assert merged["old.series"]["count"] == 2
+        assert merged["old.series"]["sum"] == pytest.approx(4.0)
+        assert merged["old.series"]["max"] == 3.0
+        doc = registry.to_json_dict()
+        assert doc["processes"]["4242"]["histograms"]["old.series"][
+            "count"
+        ] == 2
+
+    def test_worker_stats_fold_into_aggregate_exactly(self):
+        from repro.obs.metrics import HISTOGRAM_RESERVOIR_SIZE
+
+        registry = MetricsRegistry()
+        registry.observe("shared.series", 1.0)
+        cap = HISTOGRAM_RESERVOIR_SIZE
+        worker_samples = [float(v) for v in range(cap)]
+        registry.ingest(
+            {
+                "pid": 77,
+                "counters": {},
+                "histograms": {"shared.series": worker_samples},
+                "histogram_stats": {
+                    "shared.series": {
+                        "count": cap + 1000,
+                        "sum": 123456789.0,
+                        "max": 99999.0,
+                    }
+                },
+            }
+        )
+        doc = registry.to_json_dict()
+        merged = doc["aggregate"]["histograms"]["shared.series"]
+        assert merged["count"] == cap + 1000 + 1
+        assert merged["sum"] == pytest.approx(123456789.0 + 1.0)
+        assert merged["max"] == 99999.0

@@ -251,3 +251,47 @@ class TestGetFlowMemoization:
         first = get_flow(project)
         assert get_flow(project) is first
         assert project.analysis["flow"] is first
+
+
+class TestAsyncOffloadSeeds:
+    """run_in_executor / to_thread callables are worker-reachable roots."""
+
+    SOURCES = {
+        "pkg/compute.py": """
+        def heavy(n):
+            return inner(n)
+
+        def inner(n):
+            return n + 1
+
+        def threaded(n):
+            return n - 1
+
+        def untouched():
+            return None
+        """,
+        "pkg/server.py": """
+        import asyncio
+
+        from pkg import compute
+
+        async def handle(loop, executor, n):
+            a = await loop.run_in_executor(executor, compute.heavy, n)
+            b = await asyncio.to_thread(compute.threaded, n)
+            return a + b
+        """,
+    }
+
+    def test_run_in_executor_callable_is_a_seed(self):
+        flow = flow_from(self.SOURCES)
+        assert "pkg.compute.heavy" in flow.seeds
+        assert flow.is_worker_reachable("pkg.compute.inner")
+
+    def test_to_thread_callable_is_a_seed(self):
+        flow = flow_from(self.SOURCES)
+        assert "pkg.compute.threaded" in flow.seeds
+
+    def test_executor_argument_itself_is_not_a_seed(self):
+        flow = flow_from(self.SOURCES)
+        assert "pkg.compute.untouched" not in flow.seeds
+        assert not flow.is_worker_reachable("pkg.compute.untouched")

@@ -1,0 +1,137 @@
+"""Worker-fleet tests: computation, failure typed-ness, death recovery.
+
+These spawn real processes (spawn context, like the experiment runner's
+pool) — kept to one or two workers and small grids so the suite stays
+fast on one core.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.cache import global_cache
+from repro.core.exceptions import ServeError
+from repro.core.grid import Grid
+from repro.core.query import QueryBatch, RangeQuery
+from repro.serve.workers import WorkerFleet, compute_batch_response_times
+
+
+class _Collector:
+    """Thread-safe resolve sink standing in for the server's futures."""
+
+    def __init__(self):
+        self.results = {}
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+
+    def __call__(self, task_id, ok, payload):
+        with self._lock:
+            self.results[task_id] = (ok, payload)
+        self._event.set()
+
+    def wait_for(self, task_id, timeout=120.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if task_id in self.results:
+                    return self.results[task_id]
+            self._event.wait(0.2)
+            self._event.clear()
+        raise AssertionError(f"task {task_id} never resolved")
+
+
+def _batch(seed=0, count=16):
+    rng = np.random.default_rng(seed)
+    lower = rng.integers(0, 8, size=(count, 2)).astype(np.int64)
+    upper = np.minimum(
+        lower + rng.integers(0, 4, size=(count, 2)), 7
+    ).astype(np.int64)
+    dims = np.asarray((8, 8), dtype=np.int64)
+    lo = np.minimum(lower, dims)
+    hi = np.maximum(np.minimum(upper + 1, dims), lo)
+    return lo, hi
+
+
+def test_compute_helper_matches_engine_directly():
+    lo, hi = _batch(seed=1)
+    times = compute_batch_response_times(
+        global_cache(), "ecc", (8, 8), 4, lo, hi
+    )
+    expected = global_cache().engine("ecc", Grid((8, 8)), 4).batch_response_times(
+        QueryBatch(lo, hi, (8, 8))
+    )
+    np.testing.assert_array_equal(times, expected)
+
+
+def test_submit_requires_running_fleet():
+    fleet = WorkerFleet(count=0)
+    lo, hi = _batch()
+    with pytest.raises(ServeError, match="not running"):
+        fleet.submit("ecc", (8, 8), 4, lo, hi)
+
+
+class TestFleetRoundTrip:
+    def test_results_and_typed_failures(self):
+        collector = _Collector()
+        fleet = WorkerFleet(count=1, resolve=collector)
+        fleet.start()
+        try:
+            lo, hi = _batch(seed=2)
+            good = fleet.submit("ecc", (8, 8), 4, lo, hi)
+            bad = fleet.submit("no-such-scheme", (8, 8), 4, lo, hi)
+            ok, payload = collector.wait_for(good)
+            assert ok
+            times = np.frombuffer(payload, dtype=np.int64)
+            expected = global_cache().engine(
+                "ecc", Grid((8, 8)), 4
+            ).batch_response_times(QueryBatch(lo, hi, (8, 8)))
+            np.testing.assert_array_equal(times, expected)
+            ok, message = collector.wait_for(bad)
+            assert not ok
+            # The worker survives the bad task and reports a typed name.
+            assert "no-such-scheme" in message or "Error" in message
+            again = fleet.submit("ecc", (8, 8), 4, lo, hi)
+            ok, _payload = collector.wait_for(again)
+            assert ok
+        finally:
+            fleet.stop()
+
+    def test_killed_worker_is_respawned_and_task_resubmitted(self):
+        collector = _Collector()
+        fleet = WorkerFleet(count=1, resolve=collector)
+        fleet.start()
+        try:
+            # Warm the worker so the engine is cached before the kill.
+            lo, hi = _batch(seed=3)
+            warm = fleet.submit("ecc", (8, 8), 4, lo, hi)
+            collector.wait_for(warm)
+            victim = fleet.pids()[0]
+            fleet._workers[0].process.kill()
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                pids = fleet.pids()
+                if pids and pids[0] != victim and fleet._workers[0].process.is_alive():
+                    break
+                time.sleep(0.1)
+            else:
+                raise AssertionError("worker never respawned")
+            task = fleet.submit("ecc", (8, 8), 4, lo, hi)
+            ok, payload = collector.wait_for(task)
+            assert ok
+            expected = global_cache().engine(
+                "ecc", Grid((8, 8)), 4
+            ).batch_response_times(QueryBatch(lo, hi, (8, 8)))
+            np.testing.assert_array_equal(
+                np.frombuffer(payload, dtype=np.int64), expected
+            )
+        finally:
+            fleet.stop()
+
+    def test_stop_is_idempotent(self):
+        fleet = WorkerFleet(count=1)
+        fleet.start()
+        fleet.stop()
+        fleet.stop()
+        assert not fleet.alive
